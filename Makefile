@@ -1,0 +1,50 @@
+# Developer entry points. Everything is stdlib Go; no tool dependencies.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench quick full taxonomy examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper table/figure plus ablations and hot paths.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Laptop-scale reproduction of every table and figure (see EXPERIMENTS.md).
+quick:
+	$(GO) run carbon/cmd/blbench -all -csv results -svg results
+
+# The paper-faithful protocol: 30 runs x 50k evaluations per level.
+full:
+	$(GO) run carbon/cmd/blbench -all -full -csv results-full -svg results-full
+
+# Race the five bi-level architectures under equal budgets.
+taxonomy:
+	$(GO) run carbon/cmd/blbench -taxonomy
+
+examples:
+	$(GO) run carbon/examples/quickstart
+	$(GO) run carbon/examples/linearbilevel
+	$(GO) run carbon/examples/hyperheuristic
+	$(GO) run carbon/examples/cloudpricing
+	$(GO) run carbon/examples/multicustomer
+	$(GO) run carbon/examples/trilevel
+	$(GO) run carbon/examples/packing
+
+clean:
+	rm -rf results results-full test_output.txt bench_output.txt

@@ -1,0 +1,116 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// reports the actually-achieved %-gap ("gap%") of a CARBON variant on
+// the n=250, m=10 class, so the variants are directly comparable:
+//
+//	Baseline        — the paper's configuration (Eq. 1 gap fitness,
+//	                  Table I terminals, redundancy elimination on)
+//	CostFitness     — predators minimize raw follower cost (COBRA-style)
+//	BlindTerminals  — Table I without the LP terminals d and x̄
+//	NoElimination   — greedy keeps redundant bundles
+//	PreySample/N    — predators scored against N prey per generation
+package carbon_test
+
+import (
+	"testing"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/core"
+	"carbon/internal/covering"
+	"carbon/internal/orlib"
+)
+
+var ablationClass = orlib.Class{N: 250, M: 10}
+
+func ablationConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ULPopSize, cfg.LLPopSize = 16, 16
+	cfg.ULArchiveSize, cfg.LLArchiveSize = 16, 16
+	cfg.ULEvalBudget, cfg.LLEvalBudget = 480, 960
+	cfg.PreySample = 2
+	cfg.Workers = 1
+	return cfg
+}
+
+func runAblation(b *testing.B, mutate func(*core.Config)) {
+	b.Helper()
+	mk, err := bcpop.NewMarketFromClass(ablationClass, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig(uint64(i + 1))
+		mutate(&cfg)
+		res, err := core.Run(mk, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Best.GapPct
+	}
+	b.ReportMetric(total/float64(b.N), "gap%")
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	runAblation(b, func(*core.Config) {})
+}
+
+func BenchmarkAblationCostFitness(b *testing.B) {
+	runAblation(b, func(c *core.Config) { c.CostFitness = true })
+}
+
+func BenchmarkAblationBlindTerminals(b *testing.B) {
+	runAblation(b, func(c *core.Config) {
+		set := covering.TableISet()
+		set.Terms = set.Terms[:3] // drop d and x̄ (env slots 3,4 unused)
+		c.PrimitiveSet = set
+	})
+}
+
+func BenchmarkAblationNoElimination(b *testing.B) {
+	runAblation(b, func(c *core.Config) { c.NoElimination = true })
+}
+
+func BenchmarkAblationDEVariation(b *testing.B) {
+	runAblation(b, func(c *core.Config) { c.ULVariation = "de" })
+}
+
+func BenchmarkAblationPointMutation(b *testing.B) {
+	runAblation(b, func(c *core.Config) { c.LLPointMutProb = 0.2 })
+}
+
+func BenchmarkAblationPreySample(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		b.Run(string(rune('0'+n)), func(b *testing.B) {
+			runAblation(b, func(c *core.Config) { c.PreySample = n })
+		})
+	}
+}
+
+// BenchmarkAblationIslands compares the island-model CARBON against the
+// single-population baseline under equal total budgets on the ablation
+// class: coarse-grained parallelism with ring migration vs one panmictic
+// population.
+func BenchmarkAblationIslands(b *testing.B) {
+	mk, err := bcpop.NewMarketFromClass(ablationClass, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ic := core.DefaultIslandConfig()
+	ic.Islands = 4
+	total := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig(uint64(i + 1))
+		cfg.ULEvalBudget *= 4 // same per-island budget as the baseline
+		cfg.LLEvalBudget *= 4
+		res, err := core.RunIslands(mk, cfg, ic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Best.GapPct
+	}
+	b.ReportMetric(total/float64(b.N), "gap%")
+}

@@ -1,0 +1,144 @@
+// Command carbon runs one CARBON optimization on a BCPOP instance class
+// and prints the best pricing, the best evolved heuristic and the
+// convergence summary.
+//
+// Usage:
+//
+//	carbon [-n 100] [-m 5] [-runsidx 0] [-seed 1] [-pop 100]
+//	       [-ulevals 50000] [-llevals 50000] [-sample 4] [-workers 0]
+//	       [-curves]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/core"
+	"carbon/internal/orlib"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 100, "number of market bundles (paper: 100, 250, 500)")
+		m       = flag.Int("m", 5, "number of service constraints (paper: 5, 10, 30)")
+		idx     = flag.Int("instance", 0, "instance index within the class")
+		seed    = flag.Uint64("seed", 1, "run seed")
+		pop     = flag.Int("pop", 100, "population and archive size at both levels")
+		ulEvals = flag.Int("ulevals", 50000, "upper-level fitness evaluation budget")
+		llEvals = flag.Int("llevals", 50000, "lower-level fitness evaluation budget")
+		sample  = flag.Int("sample", 4, "prey sampled per predator evaluation")
+		workers = flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+		curves  = flag.Bool("curves", false, "print convergence curves as CSV")
+
+		customers = flag.Int("customers", 1, "rational customers (>1 = multi-customer extension)")
+		variation = flag.Float64("variation", 0.25, "per-customer requirement variation (multi-customer)")
+
+		saveEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N generations (0 = off)")
+		ckptPath  = flag.String("checkpoint", "carbon.ckpt.json", "checkpoint file path")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint file")
+	)
+	flag.Parse()
+
+	mk, err := bcpop.NewMarketFromClass(orlib.Class{N: *n, M: *m}, *idx)
+	if err == nil && *customers > 1 {
+		var in = mk.Template()
+		mk, err = bcpop.NewMultiMarket(in, mk.Leaders(), *customers, *variation, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbon:", err)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.ULPopSize, cfg.LLPopSize = *pop, *pop
+	cfg.ULArchiveSize, cfg.LLArchiveSize = *pop, *pop
+	cfg.ULEvalBudget, cfg.LLEvalBudget = *ulEvals, *llEvals
+	cfg.PreySample = *sample
+	cfg.Workers = *workers
+
+	fmt.Printf("CARBON on class n=%d m=%d (instance %d, L=%d leader bundles, %d customer(s))\n",
+		*n, *m, *idx, mk.Leaders(), mk.Customers())
+	t0 := time.Now()
+	res, err := runWithCheckpoints(mk, cfg, *saveEvery, *ckptPath, *resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbon:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("finished: %d generations, %d UL evals, %d LL evals in %v\n",
+		res.Gens, res.ULEvals, res.LLEvals, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("best UL objective (revenue):  %.2f\n", res.Best.Revenue)
+	fmt.Printf("best heuristic mean %%-gap:    %.3f%%\n", res.Best.GapPct)
+	fmt.Printf("best evolved heuristic:       %s\n", res.Best.TreeStr)
+	if res.Best.Simplified != res.Best.TreeStr {
+		fmt.Printf("simplified:                   %s\n", res.Best.Simplified)
+	}
+	if len(res.Best.Price) <= 20 {
+		fmt.Printf("best pricing: %.2f\n", res.Best.Price)
+	}
+	if *curves {
+		fmt.Println("evals,best_F")
+		for i := range res.ULCurve.X {
+			fmt.Printf("%.0f,%.4f\n", res.ULCurve.X[i], res.ULCurve.Y[i])
+		}
+		fmt.Println("evals,best_gap")
+		for i := range res.GapCurve.X {
+			fmt.Printf("%.0f,%.4f\n", res.GapCurve.X[i], res.GapCurve.Y[i])
+		}
+	}
+}
+
+// runWithCheckpoints drives the engine directly so long runs can be
+// snapshotted and resumed.
+func runWithCheckpoints(mk *bcpop.Market, cfg core.Config, every int, path string, resume bool) (*core.Result, error) {
+	var (
+		e   *core.Engine
+		err error
+	)
+	if resume {
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return nil, ferr
+		}
+		cp, lerr := core.LoadCheckpoint(f)
+		f.Close()
+		if lerr != nil {
+			return nil, lerr
+		}
+		e, err = core.ResumeEngine(mk, cfg, cp)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "resumed from %s at generation %d\n", path, e.Gens())
+		}
+	} else {
+		e, err = core.NewEngine(mk, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for e.Step() {
+		if every > 0 && e.Gens()%every == 0 {
+			if werr := writeCheckpoint(e, path); werr != nil {
+				return nil, werr
+			}
+		}
+	}
+	return e.Result()
+}
+
+func writeCheckpoint(e *core.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := e.Checkpoint().Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,118 @@
+// Command gpview inspects evolved heuristics: it parses an S-expression
+// over the paper's Table I primitive set (or the knapsack/policy sets),
+// reports size and depth, algebraically simplifies it, and optionally
+// evaluates it against an environment vector or benchmarks it on a
+// generated instance.
+//
+// Usage:
+//
+//	gpview '(% (* q d) c)'
+//	gpview -set knapsack '(% p (* w d))'
+//	gpview -env 2,3,5,7,11 '(+ c (* q d))'
+//	gpview -apply -n 100 -m 10 '(% (* q d) c)'   # gap on a class instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"carbon/internal/covering"
+	"carbon/internal/gp"
+	"carbon/internal/knapsack"
+	"carbon/internal/multilevel"
+	"carbon/internal/orlib"
+)
+
+func main() {
+	var (
+		setName = flag.String("set", "covering", "primitive set: covering | knapsack | policy")
+		envCSV  = flag.String("env", "", "comma-separated environment to evaluate against")
+		apply   = flag.Bool("apply", false, "apply as a greedy heuristic to a generated instance")
+		n       = flag.Int("n", 100, "instance bundles (with -apply)")
+		m       = flag.Int("m", 5, "instance constraints (with -apply)")
+		idx     = flag.Int("instance", 0, "instance index (with -apply)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gpview [flags] '<s-expression>'")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+
+	var set *gp.Set
+	switch *setName {
+	case "covering":
+		set = covering.TableISet()
+	case "knapsack":
+		set = knapsack.Set()
+	case "policy":
+		set = multilevel.PolicySet()
+	default:
+		fmt.Fprintf(os.Stderr, "gpview: unknown set %q\n", *setName)
+		os.Exit(2)
+	}
+
+	tree, err := gp.Parse(set, src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpview:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("expression: %s\n", tree.String(set))
+	fmt.Printf("size: %d nodes, depth: %d, constants: %d\n",
+		tree.Size(), tree.Depth(set), tree.ConstCount())
+	simp := gp.Simplify(set, tree)
+	if !simp.Equal(tree) {
+		fmt.Printf("simplified: %s (size %d)\n", simp.String(set), simp.Size())
+	} else {
+		fmt.Println("simplified: (already minimal)")
+	}
+	fmt.Printf("terminals: %s\n", strings.Join(set.Terms, ", "))
+
+	if *envCSV != "" {
+		parts := strings.Split(*envCSV, ",")
+		if len(parts) != len(set.Terms) {
+			fmt.Fprintf(os.Stderr, "gpview: env needs %d values (%s)\n",
+				len(set.Terms), strings.Join(set.Terms, ","))
+			os.Exit(1)
+		}
+		env := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gpview:", err)
+				os.Exit(1)
+			}
+			env[i] = v
+		}
+		fmt.Printf("value at env %v: %g\n", env, tree.Eval(set, env))
+	}
+
+	if *apply {
+		if *setName != "covering" {
+			fmt.Fprintln(os.Stderr, "gpview: -apply supports the covering set only")
+			os.Exit(1)
+		}
+		in, err := orlib.GenerateCovering(orlib.Class{N: *n, M: *m}, *idx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpview:", err)
+			os.Exit(1)
+		}
+		rx, err := in.Relax()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpview:", err)
+			os.Exit(1)
+		}
+		ts := covering.NewTreeScorer(set, in, rx)
+		res := ts.ApplyHeuristic(tree, true)
+		if !res.Feasible {
+			fmt.Println("heuristic result: INFEASIBLE")
+			os.Exit(1)
+		}
+		fmt.Printf("applied to n=%d m=%d instance %d: cost %.0f, LP bound %.2f, gap %.3f%%\n",
+			*n, *m, *idx, res.Cost, rx.LB, covering.Gap(res.Cost, rx.LB))
+	}
+}

@@ -1,0 +1,90 @@
+// Command instancegen emits synthetic modified-MKP covering instances in
+// the OR-library text format — the data side of the paper's §V-A setup.
+// Generated files round-trip through the same parser that reads genuine
+// OR-library MKP files, so real downloads can replace them untouched.
+//
+// Usage:
+//
+//	instancegen -n 100 -m 5 -count 10 [-tightness 0.25] [-seed 7] [-o file]
+//	instancegen -classes [-count 1] [-o dir]   # all nine paper classes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"carbon/internal/orlib"
+	"carbon/internal/rng"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 100, "variables (bundles)")
+		m         = flag.Int("m", 5, "constraints (services)")
+		count     = flag.Int("count", 1, "instances per class")
+		tightness = flag.Float64("tightness", orlib.DefaultTightness, "requirement fraction of row sums")
+		seed      = flag.Uint64("seed", 7, "generator seed")
+		out       = flag.String("o", "", "output file (or directory with -classes); default stdout")
+		classes   = flag.Bool("classes", false, "emit all nine paper classes")
+	)
+	flag.Parse()
+
+	if *classes {
+		dir := *out
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			die(err)
+		}
+		for _, cl := range orlib.PaperClasses {
+			problems, err := generate(cl.N, cl.M, *count, *tightness, *seed)
+			die(err)
+			path := filepath.Join(dir, fmt.Sprintf("cover_%s.txt", cl))
+			f, err := os.Create(path)
+			die(err)
+			die(orlib.WriteMKP(f, problems))
+			die(f.Close())
+			fmt.Fprintf(os.Stderr, "wrote %s (%d instances)\n", path, *count)
+		}
+		return
+	}
+
+	problems, err := generate(*n, *m, *count, *tightness, *seed)
+	die(err)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		die(err)
+		defer f.Close()
+		w = f
+	}
+	die(orlib.WriteMKP(w, problems))
+}
+
+// generate builds count feasible covering instances of one class,
+// re-drawing on the (rare) empty-search-space rejection.
+func generate(n, m, count int, tightness float64, seed uint64) ([]orlib.MKP, error) {
+	r := rng.New(seed + uint64(n)*31 + uint64(m))
+	problems := make([]orlib.MKP, 0, count)
+	for len(problems) < count {
+		p, err := orlib.GenerateMKP(r, n, m, tightness)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.ToCovering(); err != nil {
+			continue // reject and redraw, like the paper's feasibility check
+		}
+		problems = append(problems, p)
+	}
+	return problems, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "instancegen:", err)
+		os.Exit(1)
+	}
+}

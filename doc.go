@@ -1,0 +1,15 @@
+// Package carbon is a from-scratch Go reproduction of "A Competitive
+// Approach for Bi-Level Co-Evolution" (Kieffer, Danoy, Bouvry, Nagih):
+// the CARBON competitive co-evolutionary algorithm for bi-level
+// optimization, the COBRA baseline, the Bi-level Cloud Pricing
+// Optimization Problem, and every substrate they need (a bounded-variable
+// simplex LP solver, a GP hyper-heuristics engine, real-coded GA
+// operators, covering-problem solvers, and OR-library-style instance
+// tooling).
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root-level benchmarks in bench_test.go regenerate each of
+// the paper's tables and figures at laptop scale; cmd/blbench runs the
+// full protocol.
+package carbon

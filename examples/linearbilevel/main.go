@@ -1,0 +1,90 @@
+// Linear bi-level didactics: the paper's Program 3 (Mersha & Dempe)
+// solved exactly, with an ASCII rendering of Fig 1's discontinuous
+// inducible region and the §II cautionary tale — why the leader cannot
+// trust a non-rational lower-level answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"carbon/internal/bilevel"
+)
+
+func main() {
+	p := bilevel.MershaDempe()
+
+	fmt.Println("Program 3 (Mersha & Dempe):")
+	fmt.Println("  leader:   min F(x,y) = -x - 2y")
+	fmt.Println("            s.t. 2x - 3y >= -12,  x + y <= 14")
+	fmt.Println("  follower: min f(y) = -y")
+	fmt.Println("            s.t. -3x + y <= -3,  3x + y <= 30,  y >= 0")
+	fmt.Println()
+
+	// The cautionary tale of §II.
+	r := p.RationalReaction(6)
+	fmt.Printf("leader picks x=6 hoping for y=8: F(6,8) = %.0f, UL-feasible: %v\n",
+		p.F(6, 8), p.ULFeasible(6, 8))
+	fmt.Printf("but the rational reaction is y*=%.0f: UL-feasible: %v  ← the leader ends infeasible\n\n",
+		r.Y, p.ULFeasible(6, r.Y))
+
+	// Exact bi-level optimum, twice: the scalar breakpoint solver and
+	// the KKT single-level transformation (the §III "STA" category),
+	// which enumerates complementarity patterns.
+	sol, err := p.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact bi-level optimum (breakpoints): x=%.0f, y=%.0f, F=%.0f\n", sol.X, sol.Y, sol.F)
+	kkt, err := p.ToLinearBilevel().SolveKKT()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact bi-level optimum (KKT):         x=%.0f, y=%.0f, F=%.0f (%d active-set patterns)\n\n",
+		kkt.X[0], kkt.Y[0], kkt.F, kkt.Patterns)
+
+	// Fig 1: sample the inducible region and draw it.
+	pts := p.SampleIR(121)
+	fmt.Println("inducible region (x: 0..15, '#' = bi-level feasible, '.' = rational")
+	fmt.Println("reaction exists but violates UL constraints, ' ' = no reaction):")
+	fmt.Println(renderIR(pts))
+	fmt.Println("The feasible x values form [1,3] ∪ [8,10] — a *discontinuous*")
+	fmt.Println("inducible region caused purely by upper-level constraints that the")
+	fmt.Println("follower ignores (Fig 1 in the paper).")
+}
+
+// renderIR draws y*(x) over the sampled grid.
+func renderIR(pts []bilevel.Point) string {
+	const height = 14
+	maxY := 0.0
+	for _, pt := range pts {
+		if pt.Y == pt.Y && pt.Y > maxY { // NaN-safe
+			maxY = pt.Y
+		}
+	}
+	rows := make([][]byte, height)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", len(pts)))
+	}
+	for c, pt := range pts {
+		if pt.Y != pt.Y {
+			continue
+		}
+		rIdx := int(float64(height-1) * (maxY - pt.Y) / maxY)
+		ch := byte('.')
+		if pt.Feasible {
+			ch = '#'
+		}
+		rows[rIdx][c] = ch
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5.1f ┐\n", maxY)
+	for _, row := range rows {
+		b.WriteString("      │")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%5.1f ┘ x: %.0f → %.0f\n", 0.0, pts[0].X, pts[len(pts)-1].X)
+	return b.String()
+}

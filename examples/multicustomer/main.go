@@ -1,0 +1,59 @@
+// Multi-customer cloud pricing: lifts the paper's simplification of a
+// single rational customer (§IV-B: "for the sake of simplicity, we will
+// consider a single rational CSC"). Several customers with different
+// service requirements face the same leader prices; the lower level
+// becomes a block-diagonal covering problem and the leader's revenue
+// aggregates every customer's purchases.
+//
+// The example shows CARBON running unchanged on the extended model —
+// the predator heuristics never depended on the market being a single
+// block — and how the pricing that maximizes aggregate revenue differs
+// from the single-customer optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/core"
+	"carbon/internal/orlib"
+)
+
+func main() {
+	base, err := orlib.GenerateCovering(orlib.Class{N: 80, M: 5}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const leaders = 8
+
+	cfg := core.DefaultConfig()
+	cfg.ULPopSize, cfg.LLPopSize = 24, 24
+	cfg.ULArchiveSize, cfg.LLArchiveSize = 24, 24
+	cfg.ULEvalBudget, cfg.LLEvalBudget = 1200, 2400
+	cfg.PreySample = 2
+
+	fmt.Printf("%-10s %12s %12s %9s %s\n",
+		"customers", "revenue", "rev/customer", "gap%", "best heuristic")
+	for _, k := range []int{1, 2, 4} {
+		mk, err := bcpop.NewMultiMarket(base, leaders, k, 0.25, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(mk, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree := res.Best.TreeStr
+		if len(tree) > 40 {
+			tree = tree[:37] + "..."
+		}
+		fmt.Printf("%-10d %12.0f %12.0f %9.2f %s\n",
+			k, res.Best.Revenue, res.Best.Revenue/float64(k), res.Best.GapPct, tree)
+	}
+
+	fmt.Println("\nWith more customers the aggregate revenue grows, while the")
+	fmt.Println("heuristics keep forecasting each customer's rational basket — the")
+	fmt.Println("gap stays small because Eq. 1 normalizes per induced instance,")
+	fmt.Println("no matter how many follower blocks that instance contains.")
+}

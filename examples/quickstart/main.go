@@ -1,0 +1,49 @@
+// Quickstart: solve a small Bi-level Cloud Pricing problem with CARBON
+// in a few seconds and inspect what came out — the best pricing, the
+// best evolved heuristic, and why the %-gap is the number to watch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/core"
+	"carbon/internal/orlib"
+)
+
+func main() {
+	// A market with 100 bundles, 5 service requirements; the leader owns
+	// the first 10 bundles and must price them.
+	mk, err := bcpop.NewMarketFromClass(orlib.Class{N: 100, M: 5}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("market: %d bundles, %d services, leader owns %d bundles\n",
+		mk.Bundles(), mk.Services(), mk.Leaders())
+
+	// Table II defaults, with budgets shrunk from 50 000 to a quickstart
+	// scale.
+	cfg := core.DefaultConfig()
+	cfg.ULPopSize, cfg.LLPopSize = 30, 30
+	cfg.ULArchiveSize, cfg.LLArchiveSize = 30, 30
+	cfg.ULEvalBudget, cfg.LLEvalBudget = 1500, 3000
+	cfg.PreySample = 2
+
+	res, err := core.Run(mk, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nCARBON finished after %d generations (%d UL + %d LL evaluations)\n",
+		res.Gens, res.ULEvals, res.LLEvals)
+	fmt.Printf("best revenue forecast:   %.2f\n", res.Best.Revenue)
+	fmt.Printf("forecast accuracy:       %.2f%% gap to the LP bound\n", res.Best.GapPct)
+	fmt.Printf("best evolved heuristic:  %s\n", res.Best.TreeStr)
+	fmt.Printf("best leader pricing:     %.1f\n", res.Best.Price)
+
+	fmt.Println("\nWhy the gap matters: the revenue above is computed against the")
+	fmt.Println("follower reaction *forecast* by the evolved heuristic. A small gap")
+	fmt.Println("means the forecast is close to the true rational reaction, so the")
+	fmt.Println("revenue is realistic rather than an over-estimate (paper §V, Eq. 2-3).")
+}

@@ -1,0 +1,44 @@
+// Tri-level pricing chain: the paper's future-work direction ("deeper
+// nested structure") prototyped. CSP-A prices first, CSP-B reacts with
+// an evolved pricing *policy*, the customer reacts with an evolved
+// covering *heuristic* — three populations co-evolving, with CARBON's
+// decoupling trick applied at both reactive levels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carbon/internal/multilevel"
+	"carbon/internal/orlib"
+)
+
+func main() {
+	tm, err := multilevel.NewTriMarketFromClass(orlib.Class{N: 100, M: 5}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tri-level market: CSP-A (10 bundles) → CSP-B (10 bundles) → customer")
+	fmt.Printf("competitor-anchored price cap: %.0f\n\n", tm.CapB())
+
+	cfg := multilevel.DefaultConfig()
+	cfg.PopSize = 16
+	cfg.Budget = 4000
+	res, err := multilevel.Run(tm, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("co-evolution: %d generations, %d chain evaluations\n\n", res.Gens, res.Evals)
+	fmt.Printf("A's best revenue:        %.0f\n", res.BestRevenueA)
+	fmt.Printf("B's best mean revenue:   %.0f\n", res.BestRevenueB)
+	fmt.Printf("customer forecast gap:   %.2f%%\n", res.BestGapPct)
+	fmt.Printf("B's evolved policy:      price = clamp(|%s|)\n", res.BestPolicy)
+	fmt.Printf("customer's heuristic:    %s\n", res.BestCust)
+
+	fmt.Println("\nWhat to notice: the bottom level keeps the paper's gap fitness")
+	fmt.Println("and its gap converges steadily, as in the bi-level case. The middle")
+	fmt.Println("level has no LP-bound-quality normalizer for its revenue, so its")
+	fmt.Println("selection signal is noisier — the co-evolution limitation the")
+	fmt.Println("paper's future-work section wants analyzed, now measurable here.")
+}

@@ -1,0 +1,3 @@
+module carbon
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package archive implements the bounded elite archives both CARBON and
+// COBRA maintain at each level (Table II: "UL/LL Archive size 100";
+// Algorithm 1 lines 6 and 9). An archive keeps the best K entries ever
+// offered to it, ordered best-first, with optional deduplication by a
+// caller-supplied key.
+package archive
+
+import "sort"
+
+// Entry pairs an archived item with the fitness it was archived at.
+type Entry[T any] struct {
+	Item    T
+	Fitness float64
+}
+
+// Archive is a bounded best-K container. Lower fitness is better when
+// Minimize is true, higher otherwise. The zero value is unusable; use New.
+type Archive[T any] struct {
+	cap      int
+	minimize bool
+	key      func(T) string // optional dedup key; nil disables dedup
+	entries  []Entry[T]
+	seen     map[string]int // key → index in entries
+}
+
+// New creates an archive holding at most capacity entries. key may be
+// nil (no deduplication); when set, offering an item whose key is
+// already present keeps only the better of the two.
+func New[T any](capacity int, minimize bool, key func(T) string) *Archive[T] {
+	if capacity <= 0 {
+		panic("archive: non-positive capacity")
+	}
+	a := &Archive[T]{cap: capacity, minimize: minimize, key: key}
+	if key != nil {
+		a.seen = make(map[string]int)
+	}
+	return a
+}
+
+func (a *Archive[T]) better(x, y float64) bool {
+	if a.minimize {
+		return x < y
+	}
+	return x > y
+}
+
+// Add offers an item. It returns true if the archive changed (the item
+// was inserted, possibly evicting the worst entry or a duplicate).
+func (a *Archive[T]) Add(item T, fitness float64) bool {
+	if a.key != nil {
+		k := a.key(item)
+		if idx, dup := a.seen[k]; dup {
+			if !a.better(fitness, a.entries[idx].Fitness) {
+				return false
+			}
+			// Replace in place, then restore order.
+			a.entries[idx].Fitness = fitness
+			a.entries[idx].Item = item
+			a.resort()
+			return true
+		}
+	}
+	if len(a.entries) >= a.cap {
+		worst := a.entries[len(a.entries)-1].Fitness
+		if !a.better(fitness, worst) {
+			return false
+		}
+		evicted := a.entries[len(a.entries)-1]
+		a.entries = a.entries[:len(a.entries)-1]
+		if a.key != nil {
+			delete(a.seen, a.key(evicted.Item))
+		}
+	}
+	// Insert keeping best-first order.
+	pos := sort.Search(len(a.entries), func(i int) bool {
+		return a.better(fitness, a.entries[i].Fitness)
+	})
+	a.entries = append(a.entries, Entry[T]{})
+	copy(a.entries[pos+1:], a.entries[pos:])
+	a.entries[pos] = Entry[T]{Item: item, Fitness: fitness}
+	if a.key != nil {
+		a.reindex(pos)
+	}
+	return true
+}
+
+func (a *Archive[T]) resort() {
+	sort.SliceStable(a.entries, func(i, j int) bool {
+		return a.better(a.entries[i].Fitness, a.entries[j].Fitness)
+	})
+	if a.key != nil {
+		a.reindex(0)
+	}
+}
+
+func (a *Archive[T]) reindex(from int) {
+	for i := from; i < len(a.entries); i++ {
+		a.seen[a.key(a.entries[i].Item)] = i
+	}
+}
+
+// Len returns the number of archived entries.
+func (a *Archive[T]) Len() int { return len(a.entries) }
+
+// Best returns the best entry; ok is false when the archive is empty.
+func (a *Archive[T]) Best() (Entry[T], bool) {
+	if len(a.entries) == 0 {
+		return Entry[T]{}, false
+	}
+	return a.entries[0], true
+}
+
+// At returns the i-th best entry (0 = best).
+func (a *Archive[T]) At(i int) Entry[T] { return a.entries[i] }
+
+// Entries returns a copy of all entries, best-first.
+func (a *Archive[T]) Entries() []Entry[T] {
+	return append([]Entry[T](nil), a.entries...)
+}

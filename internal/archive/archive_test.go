@@ -1,0 +1,184 @@
+package archive
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"carbon/internal/rng"
+)
+
+func TestOrderingMinimize(t *testing.T) {
+	a := New[string](3, true, nil)
+	a.Add("c", 3)
+	a.Add("a", 1)
+	a.Add("b", 2)
+	got := a.Entries()
+	want := []float64{1, 2, 3}
+	for i, e := range got {
+		if e.Fitness != want[i] {
+			t.Fatalf("order %v", got)
+		}
+	}
+	best, ok := a.Best()
+	if !ok || best.Item != "a" {
+		t.Fatalf("Best = %+v", best)
+	}
+}
+
+func TestOrderingMaximize(t *testing.T) {
+	a := New[int](3, false, nil)
+	a.Add(1, 1)
+	a.Add(3, 3)
+	a.Add(2, 2)
+	if best, _ := a.Best(); best.Fitness != 3 {
+		t.Fatalf("max archive best = %v", best.Fitness)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	a := New[int](2, true, nil)
+	if !a.Add(1, 10) || !a.Add(2, 20) {
+		t.Fatal("initial adds rejected")
+	}
+	if a.Add(3, 30) {
+		t.Fatal("worse-than-worst accepted at capacity")
+	}
+	if !a.Add(4, 5) {
+		t.Fatal("better item rejected")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	es := a.Entries()
+	if es[0].Fitness != 5 || es[1].Fitness != 10 {
+		t.Fatalf("entries after eviction: %v", es)
+	}
+}
+
+func TestEqualFitnessAtCapacityRejected(t *testing.T) {
+	a := New[int](1, true, nil)
+	a.Add(1, 10)
+	if a.Add(2, 10) {
+		t.Fatal("equal fitness should not evict")
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	a := New[int](4, true, nil)
+	if _, ok := a.Best(); ok {
+		t.Fatal("Best on empty archive returned ok")
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New[int](0, true, nil)
+}
+
+func TestDedupKeepsBetter(t *testing.T) {
+	key := func(s string) string { return s }
+	a := New[string](10, true, key)
+	a.Add("x", 5)
+	if a.Add("x", 7) {
+		t.Fatal("worse duplicate accepted")
+	}
+	if !a.Add("x", 3) {
+		t.Fatal("better duplicate rejected")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("dedup failed: Len = %d", a.Len())
+	}
+	if best, _ := a.Best(); best.Fitness != 3 {
+		t.Fatalf("best = %v", best.Fitness)
+	}
+}
+
+func TestDedupWithEviction(t *testing.T) {
+	key := func(s string) string { return s }
+	a := New[string](2, true, key)
+	a.Add("a", 1)
+	a.Add("b", 2)
+	a.Add("c", 0) // evicts b
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	// b's key must have been forgotten: re-adding b at a better fitness
+	// must work as a fresh insert.
+	if !a.Add("b", 0.5) {
+		t.Fatal("evicted key still blocking")
+	}
+	es := a.Entries()
+	if es[0].Item != "c" || es[1].Item != "b" {
+		t.Fatalf("entries %v", es)
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	r := rng.New(42)
+	f := func(capRaw uint8, seed uint16) bool {
+		capacity := int(capRaw%10) + 1
+		rr := rng.New(uint64(seed))
+		a := New[int](capacity, true, func(v int) string { return fmt.Sprint(v % 7) })
+		for op := 0; op < 200; op++ {
+			a.Add(rr.Intn(50), float64(rr.Intn(30)))
+			if a.Len() > capacity {
+				return false
+			}
+			// best-first order
+			es := a.Entries()
+			for i := 1; i < len(es); i++ {
+				if es[i-1].Fitness > es[i].Fitness {
+					return false
+				}
+			}
+			// dedup: no two entries share a key
+			keys := map[string]bool{}
+			for _, e := range es {
+				k := fmt.Sprint(e.Item % 7)
+				if keys[k] {
+					return false
+				}
+				keys[k] = true
+			}
+		}
+		return true
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtAccess(t *testing.T) {
+	a := New[int](5, true, nil)
+	for i := 5; i > 0; i-- {
+		a.Add(i, float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		if a.At(i).Fitness != float64(i+1) {
+			t.Fatalf("At(%d) = %v", i, a.At(i).Fitness)
+		}
+	}
+}
+
+func TestBestNeverWorsensUnderAdds(t *testing.T) {
+	// Monotone improvement invariant used by the convergence recorders.
+	r := rng.New(7)
+	a := New[int](10, true, nil)
+	bestSeen := 1e18
+	for i := 0; i < 1000; i++ {
+		f := r.Range(0, 100)
+		a.Add(i, f)
+		if f < bestSeen {
+			bestSeen = f
+		}
+		if got, _ := a.Best(); got.Fitness != bestSeen {
+			t.Fatalf("best %v != running min %v", got.Fitness, bestSeen)
+		}
+	}
+}

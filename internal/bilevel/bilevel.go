@@ -1,0 +1,256 @@
+// Package bilevel holds the general bi-level optimization vocabulary of
+// the paper's §II (Program 1) and an exact solver for the class of
+// small linear bi-level programs the paper uses didactically
+// (Program 3 / Fig 1, the Mersha–Dempe example with a discontinuous
+// inducible region).
+//
+// The scalar-variable solver is deliberately specialized: both decision
+// vectors are one-dimensional, which covers the paper's example and
+// makes exactness cheap (the rational reaction y*(x) is piecewise
+// linear, so the upper-level optimum sits at one of finitely many
+// breakpoints). The combinatorial machinery for BCPOP lives in
+// internal/bcpop; this package is the didactic/verification counterpart.
+package bilevel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LinCon is a linear constraint a·x + b·y ≤ c in the two scalar
+// decisions.
+type LinCon struct {
+	A, B, C float64
+}
+
+// Eval returns a·x + b·y − c (≤ 0 means satisfied).
+func (l LinCon) Eval(x, y float64) float64 { return l.A*x + l.B*y - l.C }
+
+func (l LinCon) String() string {
+	return fmt.Sprintf("%g·x + %g·y <= %g", l.A, l.B, l.C)
+}
+
+// Linear1D is a linear bi-level program with scalar upper decision x and
+// scalar lower decision y:
+//
+//	min  Fx·x + Fy·y
+//	s.t. UL constraints (in x and y)
+//	     x ∈ [XLo, XHi]
+//	     min  Gy·y
+//	     s.t. LL constraints (in x and y), y ≥ 0
+//
+// The follower ignores the UL constraints (the paper's §II point: the
+// leader may end up infeasible at the induced reaction).
+type Linear1D struct {
+	Fx, Fy float64
+	UL     []LinCon
+	Gy     float64
+	LL     []LinCon
+	XLo    float64
+	XHi    float64
+}
+
+const eps = 1e-9
+
+// Reaction is the follower's rational answer to one leader decision.
+type Reaction struct {
+	Y        float64
+	Feasible bool // the LL problem has a feasible y for this x
+}
+
+// RationalReaction solves the lower level for a fixed x: the feasible
+// interval for y is intersected from the LL constraints and y ≥ 0, and
+// the optimum is the interval endpoint selected by the sign of Gy
+// (Gy < 0 maximizes y, Gy > 0 minimizes y, Gy = 0 returns the smallest
+// feasible y — the optimistic tie-break toward the leader would require
+// the leader objective; for the paper's example Gy ≠ 0).
+func (p *Linear1D) RationalReaction(x float64) Reaction {
+	ylo, yhi := 0.0, math.Inf(1)
+	for _, c := range p.LL {
+		switch {
+		case c.B > eps:
+			// y ≤ (C − A·x)/B
+			if v := (c.C - c.A*x) / c.B; v < yhi {
+				yhi = v
+			}
+		case c.B < -eps:
+			// y ≥ (C − A·x)/B (division by negative flips)
+			if v := (c.C - c.A*x) / c.B; v > ylo {
+				ylo = v
+			}
+		default:
+			// Constraint on x alone: infeasible x kills the LL problem.
+			if c.A*x-c.C > eps {
+				return Reaction{Feasible: false}
+			}
+		}
+	}
+	if ylo > yhi+eps {
+		return Reaction{Feasible: false}
+	}
+	switch {
+	case p.Gy < 0:
+		if math.IsInf(yhi, 1) {
+			return Reaction{Feasible: false} // unbounded LL
+		}
+		return Reaction{Y: yhi, Feasible: true}
+	case p.Gy > 0:
+		return Reaction{Y: ylo, Feasible: true}
+	default:
+		return Reaction{Y: ylo, Feasible: true}
+	}
+}
+
+// ULFeasible reports whether (x, y) satisfies the upper-level
+// constraints and the x box.
+func (p *Linear1D) ULFeasible(x, y float64) bool {
+	if x < p.XLo-eps || x > p.XHi+eps {
+		return false
+	}
+	for _, c := range p.UL {
+		if c.Eval(x, y) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// F evaluates the leader objective.
+func (p *Linear1D) F(x, y float64) float64 { return p.Fx*x + p.Fy*y }
+
+// Point is one inducible-region sample: the leader decision, the
+// rational reaction, and whether the pair is bi-level feasible
+// (LL-optimal *and* UL-feasible).
+type Point struct {
+	X, Y     float64
+	Feasible bool
+}
+
+// SampleIR samples the inducible region on a uniform x grid — the data
+// behind Fig 1: pairs (x, y*(x)) marked UL-feasible or not, exposing the
+// discontinuity.
+func (p *Linear1D) SampleIR(points int) []Point {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]Point, 0, points)
+	for i := 0; i < points; i++ {
+		x := p.XLo + (p.XHi-p.XLo)*float64(i)/float64(points-1)
+		r := p.RationalReaction(x)
+		if !r.Feasible {
+			out = append(out, Point{X: x, Y: math.NaN(), Feasible: false})
+			continue
+		}
+		out = append(out, Point{X: x, Y: r.Y, Feasible: p.ULFeasible(x, r.Y)})
+	}
+	return out
+}
+
+// Solution is the bi-level optimum of a Linear1D program.
+type Solution struct {
+	X, Y, F float64
+}
+
+// Solve computes the exact bi-level optimum. Along each linear piece of
+// y*(x) both F and the UL constraints are linear in x, so the optimum
+// lies at a breakpoint: an intersection of LL constraint boundaries, an
+// x where a UL constraint becomes active along a piece, or a box end.
+// All candidates are enumerated and the best feasible one returned.
+func (p *Linear1D) Solve() (Solution, error) {
+	if p.XHi < p.XLo {
+		return Solution{}, errors.New("bilevel: empty x box")
+	}
+	cands := p.candidateXs()
+	best := Solution{F: math.Inf(1)}
+	found := false
+	for _, x := range cands {
+		if x < p.XLo-eps || x > p.XHi+eps {
+			continue
+		}
+		// Nudge candidates inside numeric noise of the box.
+		x = math.Max(p.XLo, math.Min(p.XHi, x))
+		r := p.RationalReaction(x)
+		if !r.Feasible || !p.ULFeasible(x, r.Y) {
+			continue
+		}
+		f := p.F(x, r.Y)
+		if f < best.F-eps {
+			best = Solution{X: x, Y: r.Y, F: f}
+			found = true
+		}
+	}
+	if !found {
+		return Solution{}, errors.New("bilevel: no bi-level feasible point")
+	}
+	return best, nil
+}
+
+// candidateXs enumerates breakpoint x values: box ends, pairwise
+// intersections of LL boundary lines (including y = 0), and x values
+// where a UL constraint is active along each LL boundary line.
+func (p *Linear1D) candidateXs() []float64 {
+	// LL boundary lines as a·x + b·y = c, plus y = 0.
+	lines := append([]LinCon(nil), p.LL...)
+	lines = append(lines, LinCon{A: 0, B: 1, C: 0})
+	var xs []float64
+	xs = append(xs, p.XLo, p.XHi)
+	// Pairwise intersections.
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			if x, ok := intersectX(lines[i], lines[j]); ok {
+				xs = append(xs, x)
+			}
+		}
+	}
+	// UL activity changes along LL lines: substitute y = (c−a·x)/b of
+	// each LL line with b ≠ 0 into each UL constraint equality.
+	for _, ll := range lines {
+		if math.Abs(ll.B) < eps {
+			if math.Abs(ll.A) > eps {
+				xs = append(xs, ll.C/ll.A)
+			}
+			continue
+		}
+		for _, ul := range p.UL {
+			// ul.A·x + ul.B·(ll.C − ll.A·x)/ll.B = ul.C
+			den := ul.A - ul.B*ll.A/ll.B
+			if math.Abs(den) < eps {
+				continue
+			}
+			xs = append(xs, (ul.C-ul.B*ll.C/ll.B)/den)
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// intersectX returns the x-coordinate where two boundary lines meet.
+func intersectX(l1, l2 LinCon) (float64, bool) {
+	det := l1.A*l2.B - l2.A*l1.B
+	if math.Abs(det) < eps {
+		return 0, false
+	}
+	return (l1.C*l2.B - l2.C*l1.B) / det, true
+}
+
+// MershaDempe returns the paper's Program 3 (the Introduction example
+// from Mersha & Dempe): the inducible region is the union [1,3] ∪ [8,10]
+// with optimum (x,y,F) = (8, 6, −20), and the naive choice x = 6 induces
+// y = 12 which violates the upper-level constraints.
+func MershaDempe() *Linear1D {
+	return &Linear1D{
+		Fx: -1, Fy: -2,
+		UL: []LinCon{
+			{A: -2, B: 3, C: 12}, // 2x − 3y ≥ −12
+			{A: 1, B: 1, C: 14},  // x + y ≤ 14
+		},
+		Gy: -1,
+		LL: []LinCon{
+			{A: -3, B: 1, C: -3}, // −3x + y ≤ −3
+			{A: 3, B: 1, C: 30},  // 3x + y ≤ 30
+		},
+		XLo: 0, XHi: 15,
+	}
+}

@@ -1,0 +1,184 @@
+package bilevel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMershaDempeRationalReaction(t *testing.T) {
+	p := MershaDempe()
+	// The paper's §V discussion: x=2 → y*=3, x=6 → y*=12.
+	cases := []struct{ x, y float64 }{
+		{2, 3}, {6, 12}, {8, 6}, {3, 6}, {10, 0},
+	}
+	for _, c := range cases {
+		r := p.RationalReaction(c.x)
+		if !r.Feasible {
+			t.Fatalf("x=%v: LL infeasible", c.x)
+		}
+		if math.Abs(r.Y-c.y) > 1e-9 {
+			t.Fatalf("y*(%v) = %v, want %v", c.x, r.Y, c.y)
+		}
+	}
+}
+
+func TestMershaDempeLLInfeasibleOutsideRange(t *testing.T) {
+	p := MershaDempe()
+	// For x < 1, y ≤ 3x−3 < 0 conflicts with y ≥ 0.
+	if r := p.RationalReaction(0.5); r.Feasible {
+		t.Fatalf("x=0.5 should have an empty LL feasible set, got y=%v", r.Y)
+	}
+	// For x > 10, y ≤ 30−3x < 0.
+	if r := p.RationalReaction(10.5); r.Feasible {
+		t.Fatalf("x=10.5 should have an empty LL feasible set, got y=%v", r.Y)
+	}
+}
+
+func TestMershaDempeNaiveChoiceInfeasible(t *testing.T) {
+	// The paper's central cautionary example: the leader picks x=6
+	// hoping for y=8, but the rational reaction is y=12, which violates
+	// the UL constraint 2x − 3y ≥ −12.
+	p := MershaDempe()
+	r := p.RationalReaction(6)
+	if !r.Feasible || r.Y != 12 {
+		t.Fatalf("reaction = %+v", r)
+	}
+	if p.ULFeasible(6, 12) {
+		t.Fatal("(6,12) must be UL-infeasible")
+	}
+	if !p.ULFeasible(6, 8) {
+		t.Fatal("(6,8) is inside the UL constraints (the leader's wrong hope)")
+	}
+}
+
+func TestMershaDempeSolve(t *testing.T) {
+	p := MershaDempe()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X-8) > 1e-6 || math.Abs(sol.Y-6) > 1e-6 || math.Abs(sol.F-(-20)) > 1e-6 {
+		t.Fatalf("optimum = %+v, want (8, 6, -20)", sol)
+	}
+}
+
+func TestMershaDempeIRDiscontinuous(t *testing.T) {
+	// Bi-level feasible x values form [1,3] ∪ [8,10] — Fig 1's
+	// discontinuous inducible region.
+	p := MershaDempe()
+	pts := p.SampleIR(301) // x grid step 0.05 on [0,15]
+	inFirst, inGap, inSecond := 0, 0, 0
+	for _, pt := range pts {
+		if !pt.Feasible {
+			continue
+		}
+		switch {
+		case pt.X >= 1-1e-6 && pt.X <= 3+1e-6:
+			inFirst++
+		case pt.X > 3+1e-6 && pt.X < 8-1e-6:
+			inGap++
+		case pt.X >= 8-1e-6 && pt.X <= 10+1e-6:
+			inSecond++
+		default:
+			t.Fatalf("feasible point outside known IR: %+v", pt)
+		}
+	}
+	if inFirst == 0 || inSecond == 0 {
+		t.Fatalf("IR pieces missing: first=%d second=%d", inFirst, inSecond)
+	}
+	if inGap != 0 {
+		t.Fatalf("%d feasible points in the (3,8) gap", inGap)
+	}
+}
+
+func TestRationalReactionMinimizingFollower(t *testing.T) {
+	// Gy > 0: the follower minimizes y, reaction is the lower endpoint.
+	p := &Linear1D{
+		Gy: 1,
+		LL: []LinCon{
+			{A: -1, B: -1, C: -4}, // x + y ≥ 4 → y ≥ 4 − x
+			{A: 0, B: 1, C: 10},   // y ≤ 10
+		},
+		XLo: 0, XHi: 10,
+	}
+	r := p.RationalReaction(1)
+	if !r.Feasible || math.Abs(r.Y-3) > 1e-9 {
+		t.Fatalf("reaction %+v, want y=3", r)
+	}
+	// y ≥ 0 binds once x ≥ 4.
+	r = p.RationalReaction(7)
+	if !r.Feasible || r.Y != 0 {
+		t.Fatalf("reaction %+v, want y=0", r)
+	}
+}
+
+func TestRationalReactionUnboundedLL(t *testing.T) {
+	// Follower maximizes y with no upper limit: no rational reaction.
+	p := &Linear1D{Gy: -1, LL: nil, XLo: 0, XHi: 1}
+	if r := p.RationalReaction(0.5); r.Feasible {
+		t.Fatalf("unbounded LL reported feasible: %+v", r)
+	}
+}
+
+func TestRationalReactionXOnlyConstraint(t *testing.T) {
+	p := &Linear1D{
+		Gy:  1,
+		LL:  []LinCon{{A: 1, B: 0, C: 5}}, // x ≤ 5, no y involvement
+		XLo: 0, XHi: 10,
+	}
+	if r := p.RationalReaction(6); r.Feasible {
+		t.Fatal("x-only LL constraint violation not detected")
+	}
+	if r := p.RationalReaction(4); !r.Feasible || r.Y != 0 {
+		t.Fatalf("reaction %+v", r)
+	}
+}
+
+func TestSolveEmptyBox(t *testing.T) {
+	p := &Linear1D{XLo: 2, XHi: 1}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("empty box accepted")
+	}
+}
+
+func TestSolveNoFeasiblePoint(t *testing.T) {
+	p := &Linear1D{
+		Fx:  1,
+		UL:  []LinCon{{A: 0, B: 1, C: -1}}, // y ≤ −1 never holds with y ≥ 0
+		Gy:  1,
+		LL:  []LinCon{{A: 0, B: 1, C: 5}},
+		XLo: 0, XHi: 1,
+	}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("infeasible bi-level program solved")
+	}
+}
+
+func TestSolveSimpleAlignedProgram(t *testing.T) {
+	// Leader min −x−y, follower min y with y ≥ x−1: y*(x) = max(0, x−1).
+	// UL: y ≤ 2 → with y* = x−1, x ≤ 3. F = −x−y = −x−(x−1) = 1−2x →
+	// optimum at x=3, y=2, F=−5.
+	p := &Linear1D{
+		Fx: -1, Fy: -1,
+		UL:  []LinCon{{A: 0, B: 1, C: 2}},
+		Gy:  1,
+		LL:  []LinCon{{A: -1, B: -1, C: -1} /* x + y ≥ 1 → y ≥ 1 − x */},
+		XLo: 0, XHi: 10,
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y*(x) = max(0, 1−x); F = −x − max(0,1−x). For x ≥ 1 F = −x,
+	// minimized at the box end x=10, y=0, F=−10.
+	if math.Abs(sol.X-10) > 1e-6 || math.Abs(sol.Y-0) > 1e-6 || math.Abs(sol.F-(-10)) > 1e-6 {
+		t.Fatalf("optimum %+v, want (10, 0, -10)", sol)
+	}
+}
+
+func TestLinConString(t *testing.T) {
+	s := LinCon{A: 2, B: -3, C: 4}.String()
+	if s != "2·x + -3·y <= 4" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,27 @@
+package bilevel_test
+
+import (
+	"fmt"
+
+	"carbon/internal/bilevel"
+)
+
+// The paper's §II example (Program 3): the rational reaction to x=6
+// violates the leader's constraints, and the true optimum sits on the
+// second piece of a discontinuous inducible region.
+func Example() {
+	p := bilevel.MershaDempe()
+
+	r := p.RationalReaction(6)
+	fmt.Printf("y*(6) = %.0f, UL-feasible: %v\n", r.Y, p.ULFeasible(6, r.Y))
+
+	sol, _ := p.Solve()
+	fmt.Printf("optimistic optimum: x=%.0f y=%.0f F=%.0f\n", sol.X, sol.Y, sol.F)
+
+	kkt, _ := p.ToLinearBilevel().SolveKKT()
+	fmt.Printf("KKT reformulation agrees: F=%.0f\n", kkt.F)
+	// Output:
+	// y*(6) = 12, UL-feasible: false
+	// optimistic optimum: x=8 y=6 F=-20
+	// KKT reformulation agrees: F=-20
+}

@@ -1,0 +1,220 @@
+package bilevel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"carbon/internal/lp"
+)
+
+// LinearBilevel is a general continuous linear bi-level program with
+// vector decisions x ∈ ℝᵖ (leader) and y ∈ ℝ^q (follower):
+//
+//	min  Fx·x + Fy·y
+//	s.t. AGx·x + AGy·y ≤ BG          (upper-level constraints)
+//	     x ≥ 0
+//	     min  Gy·y
+//	     s.t. ACx·x + ACy·y ≤ D      (lower-level constraints)
+//	          y ≥ 0
+//
+// SolveKKT implements the paper's STA taxonomy category (§III,
+// "single-level transformation"): the convex lower level is replaced by
+// its Karush–Kuhn–Tucker conditions, and the complementarity
+// disjunctions are resolved by enumerating active sets. Exact for small
+// programs; the pattern count is 2^(len(D)+q), so this is a reference
+// solver for verification, not a scalable method — precisely the
+// motivation the paper gives for metaheuristics.
+type LinearBilevel struct {
+	Fx, Fy []float64
+	AGx    [][]float64
+	AGy    [][]float64
+	BG     []float64
+	Gy     []float64
+	ACx    [][]float64
+	ACy    [][]float64
+	D      []float64
+}
+
+// VectorSolution is the optimum found by SolveKKT.
+type VectorSolution struct {
+	X, Y     []float64
+	F        float64
+	Patterns int // active-set patterns enumerated
+}
+
+// Validate checks dimensional consistency.
+func (p *LinearBilevel) Validate() error {
+	px, qy := len(p.Fx), len(p.Fy)
+	if px == 0 || qy == 0 {
+		return errors.New("bilevel: empty decision vectors")
+	}
+	if len(p.Gy) != qy {
+		return fmt.Errorf("bilevel: Gy has %d entries, want %d", len(p.Gy), qy)
+	}
+	if len(p.AGx) != len(p.BG) || len(p.AGy) != len(p.BG) {
+		return errors.New("bilevel: UL constraint blocks disagree")
+	}
+	for i := range p.AGx {
+		if len(p.AGx[i]) != px || len(p.AGy[i]) != qy {
+			return fmt.Errorf("bilevel: UL row %d has wrong width", i)
+		}
+	}
+	if len(p.ACx) != len(p.D) || len(p.ACy) != len(p.D) {
+		return errors.New("bilevel: LL constraint blocks disagree")
+	}
+	for i := range p.ACx {
+		if len(p.ACx[i]) != px || len(p.ACy[i]) != qy {
+			return fmt.Errorf("bilevel: LL row %d has wrong width", i)
+		}
+	}
+	return nil
+}
+
+// maxKKTPatterns caps the enumeration (2^22 ≈ 4M LPs would be absurd;
+// we refuse far earlier).
+const maxKKTPatterns = 1 << 16
+
+// SolveKKT enumerates lower-level active sets, solving one LP per
+// pattern over the variables (x, y, μ, ν):
+//
+//	stationarity   Gy + ACyᵀ·μ − ν = 0
+//	primal         ACx·x + ACy·y {=, ≤} D   (= on the active set S)
+//	complementarity μᵢ = 0 for i ∉ S,  νⱼ = 0 for j ∉ T,  yⱼ = 0 for j ∈ T
+//	plus the upper-level constraints, all variables ≥ 0
+//
+// and returns the feasible pattern minimizing the leader objective — the
+// optimistic bi-level optimum.
+func (p *LinearBilevel) SolveKKT() (VectorSolution, error) {
+	if err := p.Validate(); err != nil {
+		return VectorSolution{}, err
+	}
+	px, qy := len(p.Fx), len(p.Fy)
+	mLL := len(p.D)
+	bits := mLL + qy
+	if bits > 20 || 1<<bits > maxKKTPatterns {
+		return VectorSolution{}, fmt.Errorf("bilevel: %d complementarity bits exceed the enumeration cap", bits)
+	}
+
+	// Variable layout: x [0,px) | y [px,px+qy) | μ [.., +mLL) | ν [.., +qy).
+	nv := px + qy + mLL + qy
+	muOff := px + qy
+	nuOff := muOff + mLL
+
+	best := VectorSolution{F: math.Inf(1)}
+	found := false
+	patterns := 0
+	for mask := 0; mask < 1<<bits; mask++ {
+		patterns++
+		activeLL := mask & (1<<mLL - 1) // bit i: LL row i forced active
+		zeroY := mask >> mLL            // bit j: y_j forced to 0
+
+		c := make([]float64, nv)
+		copy(c[:px], p.Fx)
+		copy(c[px:px+qy], p.Fy)
+		lo := make([]float64, nv)
+		up := make([]float64, nv)
+		for j := range up {
+			up[j] = math.Inf(1)
+		}
+		for i := 0; i < mLL; i++ {
+			if activeLL&(1<<i) == 0 {
+				up[muOff+i] = 0 // inactive row: μ_i = 0
+			}
+		}
+		for j := 0; j < qy; j++ {
+			if zeroY&(1<<j) != 0 {
+				up[px+j] = 0 // y_j = 0
+			} else {
+				up[nuOff+j] = 0 // interior y_j: ν_j = 0
+			}
+		}
+
+		var A [][]float64
+		var rel []lp.Relation
+		var b []float64
+		// Upper-level rows.
+		for i := range p.BG {
+			row := make([]float64, nv)
+			copy(row[:px], p.AGx[i])
+			copy(row[px:px+qy], p.AGy[i])
+			A = append(A, row)
+			rel = append(rel, lp.LE)
+			b = append(b, p.BG[i])
+		}
+		// Lower-level primal rows.
+		for i := 0; i < mLL; i++ {
+			row := make([]float64, nv)
+			copy(row[:px], p.ACx[i])
+			copy(row[px:px+qy], p.ACy[i])
+			A = append(A, row)
+			if activeLL&(1<<i) != 0 {
+				rel = append(rel, lp.EQ)
+			} else {
+				rel = append(rel, lp.LE)
+			}
+			b = append(b, p.D[i])
+		}
+		// Stationarity rows: Σᵢ ACy[i][j]·μᵢ − νⱼ = −Gy[j].
+		for j := 0; j < qy; j++ {
+			row := make([]float64, nv)
+			for i := 0; i < mLL; i++ {
+				row[muOff+i] = p.ACy[i][j]
+			}
+			row[nuOff+j] = -1
+			A = append(A, row)
+			rel = append(rel, lp.EQ)
+			b = append(b, -p.Gy[j])
+		}
+
+		sol, err := lp.Solve(&lp.Problem{C: c, A: A, Rel: rel, B: b, Lo: lo, Up: up})
+		if err != nil {
+			return VectorSolution{}, err
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		if sol.Obj < best.F-1e-9 {
+			best = VectorSolution{
+				X: append([]float64(nil), sol.X[:px]...),
+				Y: append([]float64(nil), sol.X[px:px+qy]...),
+				F: sol.Obj,
+			}
+			found = true
+		}
+	}
+	best.Patterns = patterns
+	if !found {
+		return best, errors.New("bilevel: no bi-level feasible point")
+	}
+	return best, nil
+}
+
+// ToLinearBilevel lifts a scalar Linear1D program into the vector form
+// (p = q = 1), translating the x box into upper-level rows so the two
+// solvers can cross-check each other.
+func (p1 *Linear1D) ToLinearBilevel() *LinearBilevel {
+	lb := &LinearBilevel{
+		Fx: []float64{p1.Fx},
+		Fy: []float64{p1.Fy},
+		Gy: []float64{p1.Gy},
+	}
+	for _, c := range p1.UL {
+		lb.AGx = append(lb.AGx, []float64{c.A})
+		lb.AGy = append(lb.AGy, []float64{c.B})
+		lb.BG = append(lb.BG, c.C)
+	}
+	// x box: x ≤ XHi and −x ≤ −XLo.
+	lb.AGx = append(lb.AGx, []float64{1})
+	lb.AGy = append(lb.AGy, []float64{0})
+	lb.BG = append(lb.BG, p1.XHi)
+	lb.AGx = append(lb.AGx, []float64{-1})
+	lb.AGy = append(lb.AGy, []float64{0})
+	lb.BG = append(lb.BG, -p1.XLo)
+	for _, c := range p1.LL {
+		lb.ACx = append(lb.ACx, []float64{c.A})
+		lb.ACy = append(lb.ACy, []float64{c.B})
+		lb.D = append(lb.D, c.C)
+	}
+	return lb
+}

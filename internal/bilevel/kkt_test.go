@@ -1,0 +1,158 @@
+package bilevel
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func TestKKTMershaDempe(t *testing.T) {
+	lb := MershaDempe().ToLinearBilevel()
+	sol, err := lb.SolveKKT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-8) > 1e-6 || math.Abs(sol.Y[0]-6) > 1e-6 ||
+		math.Abs(sol.F-(-20)) > 1e-6 {
+		t.Fatalf("KKT optimum (%v, %v, %v), want (8, 6, -20)", sol.X, sol.Y, sol.F)
+	}
+	// 2 LL rows + y≥0 → 2^3 = 8 patterns.
+	if sol.Patterns != 8 {
+		t.Fatalf("patterns = %d, want 8", sol.Patterns)
+	}
+}
+
+func TestKKTMatchesScalarSolverOnRandomPrograms(t *testing.T) {
+	// Cross-validation: random scalar bi-level programs solved by both
+	// the breakpoint solver and the KKT enumeration must agree.
+	r := rng.New(91)
+	agreements := 0
+	for trial := 0; trial < 60; trial++ {
+		p1 := randomScalarBilevel(r)
+		s1, err1 := p1.Solve()
+		lb := p1.ToLinearBilevel()
+		s2, err2 := lb.SolveKKT()
+		if (err1 == nil) != (err2 == nil) {
+			// The breakpoint solver declares feasibility on a finite
+			// candidate grid; disagreement on *feasibility* can only
+			// stem from boundary tolerance. Accept when the feasible
+			// side's optimum sits within tolerance of a constraint
+			// boundary; otherwise fail loudly.
+			t.Fatalf("trial %d: feasibility disagreement: scalar err=%v kkt err=%v (program %+v)",
+				trial, err1, err2, p1)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(s1.F-s2.F) > 1e-6*(1+math.Abs(s1.F)) {
+			t.Fatalf("trial %d: objectives differ: scalar %v vs KKT %v (program %+v)",
+				trial, s1.F, s2.F, p1)
+		}
+		agreements++
+	}
+	if agreements < 20 {
+		t.Fatalf("only %d feasible cross-checks; generator too restrictive", agreements)
+	}
+}
+
+// randomScalarBilevel generates a bounded scalar bi-level program: the
+// follower's y is always capped by a y ≤ U row, so a rational reaction
+// exists whenever the LL is feasible.
+func randomScalarBilevel(r *rng.Rand) *Linear1D {
+	p := &Linear1D{
+		Fx:  r.Range(-2, 2),
+		Fy:  r.Range(-2, 2),
+		Gy:  []float64{-1, 1}[r.Intn(2)],
+		XLo: 0,
+		XHi: r.Range(4, 10),
+	}
+	// One or two UL constraints.
+	for i := 0; i < r.IntRange(1, 2); i++ {
+		p.UL = append(p.UL, LinCon{
+			A: r.Range(-1, 1), B: r.Range(-1, 1), C: r.Range(2, 12),
+		})
+	}
+	// LL: a cap row plus one or two random rows.
+	p.LL = append(p.LL, LinCon{A: 0, B: 1, C: r.Range(3, 12)})
+	for i := 0; i < r.IntRange(1, 2); i++ {
+		p.LL = append(p.LL, LinCon{
+			A: r.Range(-1.5, 1.5), B: r.Range(0.2, 1.5), C: r.Range(1, 12),
+		})
+	}
+	return p
+}
+
+func TestKKTValidation(t *testing.T) {
+	bad := []*LinearBilevel{
+		{},
+		{Fx: []float64{1}, Fy: []float64{1}, Gy: []float64{1, 2}},
+		{Fx: []float64{1}, Fy: []float64{1}, Gy: []float64{1},
+			AGx: [][]float64{{1}}, AGy: [][]float64{{1}}, BG: []float64{1, 2}},
+		{Fx: []float64{1}, Fy: []float64{1}, Gy: []float64{1},
+			ACx: [][]float64{{1, 2}}, ACy: [][]float64{{1}}, D: []float64{1}},
+	}
+	for i, p := range bad {
+		if _, err := p.SolveKKT(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestKKTEnumerationCap(t *testing.T) {
+	p := &LinearBilevel{
+		Fx: []float64{1}, Fy: make([]float64, 25), Gy: make([]float64, 25),
+	}
+	if _, err := p.SolveKKT(); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+func TestKKTTwoDimensionalFollower(t *testing.T) {
+	// Leader pays the follower's y₁ on top of earning x: F = −x + y₁,
+	// x ≤ 4. Follower: min y₁+y₂ s.t. y₁+y₂ ≥ x (encoded
+	// x − y₁ − y₂ ≤ 0), yⱼ ≤ 3. Rational reaction: y₁+y₂ = x with the
+	// optimistic split y₁ = max(0, x−3). Hence
+	// F(x) = −x + max(0, x−3) = max(−x, −3): a plateau at −3 for x ≥ 3.
+	p := &LinearBilevel{
+		Fx:  []float64{-1},
+		Fy:  []float64{1, 0},
+		AGx: [][]float64{{1}},
+		AGy: [][]float64{{0, 0}},
+		BG:  []float64{4},
+		Gy:  []float64{1, 1},
+		ACx: [][]float64{{1}, {0}, {0}},
+		ACy: [][]float64{{-1, -1}, {1, 0}, {0, 1}},
+		D:   []float64{0, 3, 3},
+	}
+	sol, err := p.SolveKKT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.F-(-3)) > 1e-6 {
+		t.Fatalf("F = %v, want -3 (x=%v y=%v)", sol.F, sol.X, sol.Y)
+	}
+	// Follower rationality: the basket sums exactly to x.
+	if math.Abs(sol.Y[0]+sol.Y[1]-sol.X[0]) > 1e-6 {
+		t.Fatalf("follower not rational: y sums to %v for x=%v",
+			sol.Y[0]+sol.Y[1], sol.X[0])
+	}
+	// Optimistic split: y₁ carries only the overflow past y₂'s cap.
+	wantY1 := math.Max(0, sol.X[0]-3)
+	if math.Abs(sol.Y[0]-wantY1) > 1e-6 {
+		t.Fatalf("optimistic tie-break failed: y1 = %v, want %v", sol.Y[0], wantY1)
+	}
+}
+
+func TestKKTInfeasible(t *testing.T) {
+	// UL constraint y ≤ −1 can never hold with y ≥ 0.
+	p := &LinearBilevel{
+		Fx: []float64{1}, Fy: []float64{0},
+		AGx: [][]float64{{0}}, AGy: [][]float64{{1}}, BG: []float64{-1},
+		Gy:  []float64{1},
+		ACx: [][]float64{{0}}, ACy: [][]float64{{1}}, D: []float64{5},
+	}
+	if _, err := p.SolveKKT(); err == nil {
+		t.Fatal("infeasible program solved")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"carbon/internal/covering"
+	"carbon/internal/gp"
+)
+
+// blindSet is Table I without the LP-derived terminals d and x̄ — the
+// heuristic can only see raw instance data. Layout padding keeps the
+// environment indices aligned with covering.TableITerms by reusing the
+// raw terminals in the LP slots.
+func blindSet(t testing.TB) *gp.Set {
+	t.Helper()
+	// Terminal index i reads environment slot i, and the Table I env
+	// layout is [c, q, b, d, x̄] — so truncating the terminal list to the
+	// first three names removes all access to the LP-derived slots.
+	s := covering.TableISet()
+	s.Terms = s.Terms[:3]
+	return s
+}
+
+func TestGapFitnessBeatsCostFitness(t *testing.T) {
+	// The paper's central design argument (§V discussion of Table III):
+	// minimizing the raw LL objective across different induced instances
+	// is incoherent; minimizing the gap is not. The ablation must show
+	// the gap-driven predators reaching better real gaps.
+	mk := smallMarket(t)
+	base := smallConfig(17)
+	base.ULEvalBudget, base.LLEvalBudget = 1200, 2400
+
+	gapCfg := base
+	costCfg := base
+	costCfg.CostFitness = true
+
+	gapRes, err := Run(mk, gapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costRes, err := Run(mk, costCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gapRes.Best.GapPct > costRes.Best.GapPct {
+		t.Fatalf("gap fitness (%v%%) did not beat cost fitness (%v%%)",
+			gapRes.Best.GapPct, costRes.Best.GapPct)
+	}
+}
+
+func TestNoEliminationRuns(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(19)
+	cfg.NoElimination = true
+	res, err := Run(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.GapPct < 0 {
+		t.Fatalf("gap %v", res.Best.GapPct)
+	}
+}
+
+func TestCustomPrimitiveSet(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(23)
+	set := covering.TableISet()
+	set.Ops = append(set.Ops, gp.Min, gp.Max) // extension operators
+	cfg.PrimitiveSet = set
+	res, err := Run(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.TreeStr == "" {
+		t.Fatal("no best tree")
+	}
+}
+
+func TestBlindSetCannotSeeLPTerminals(t *testing.T) {
+	// Plumbing check for the terminal ablation: runs complete, and the
+	// evolved trees never mention the LP-derived terminals. The quality
+	// comparison lives in the ablation benchmark.
+	mk := smallMarket(t)
+	cfg := smallConfig(29)
+	cfg.PrimitiveSet = blindSet(t)
+	res, err := Run(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"d", "xbar"} {
+		for _, tok := range strings.Fields(strings.NewReplacer("(", " ", ")", " ").Replace(res.Best.TreeStr)) {
+			if tok == bad {
+				t.Fatalf("blind tree references %q: %s", bad, res.Best.TreeStr)
+			}
+		}
+	}
+}
+
+func TestDEVariationRuns(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(31)
+	cfg.ULVariation = "de"
+	res, err := Run(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.GapPct < 0 || res.Gens == 0 {
+		t.Fatalf("bad DE run: %+v", res.Best)
+	}
+}
+
+func TestPointMutationRuns(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(33)
+	cfg.LLPointMutProb = 0.2
+	if _, err := Run(mk, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadULVariationRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ULVariation = "pso"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown variation accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.LLPointMutProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad point-mutation probability accepted")
+	}
+}

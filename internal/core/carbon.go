@@ -1,0 +1,327 @@
+// Package core implements CARBON, the paper's hybrid competitive
+// co-evolutionary algorithm for bi-level optimization (§IV, Fig 3).
+//
+// Two populations evolve against each other:
+//
+//   - the *prey*: upper-level pricing decisions (continuous vectors),
+//     evolved with the GA operators of Table II (binary tournament, SBX,
+//     polynomial mutation);
+//   - the *predators*: greedy lower-level heuristics encoded as GP
+//     syntax trees over the Table I primitive set, evolved with GP
+//     operators (tournament, one-point subtree crossover, uniform
+//     mutation, reproduction).
+//
+// The competitive coupling: each generation the predators are scored by
+// their mean %-gap to LP optimality (Eq. 1) across a fresh sample of the
+// *current prey population's* induced instances — predators chase
+// whatever lower-level instances the prey currently create. Each prey is
+// then scored by the leader revenue it obtains under the most accurate
+// predator's forecast of the rational reaction. Because the gap is
+// relative to each induced instance's own bound, predator quality is
+// comparable across arbitrary upper-level decisions, which is what lets
+// the two populations evolve independently — the paper's answer to the
+// epistasis that breaks naive two-population co-evolution.
+//
+// Determinism: a run is reproducible bit-for-bit for a fixed
+// (Config.Seed, Config.Workers) pair. Across different worker counts the
+// per-worker warm-started LP solvers see different solve sequences and
+// may land on alternative optimal bases — same bound LB(x), but
+// different dual vectors — which legitimately perturbs GP scores.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"carbon/internal/archive"
+	"carbon/internal/ga"
+	"carbon/internal/gp"
+	"carbon/internal/par"
+	"carbon/internal/rng"
+	"carbon/internal/stats"
+)
+
+// Config carries the Table II parameters for CARBON plus the
+// implementation knobs the paper leaves open (documented in DESIGN.md).
+type Config struct {
+	Seed uint64
+
+	// Upper level (prey): Table II left column.
+	ULPopSize       int     // population size (100)
+	ULArchiveSize   int     // archive size (100)
+	ULEvalBudget    int     // UL fitness evaluations (50000)
+	ULCrossoverProb float64 // SBX probability (0.85)
+	ULMutationProb  float64 // polynomial mutation, per gene (0.01)
+	ULSBXEta        float64 // SBX distribution index
+	ULPolyEta       float64 // polynomial-mutation distribution index
+
+	// Lower level (predators).
+	LLPopSize       int     // population size (100)
+	LLArchiveSize   int     // archive size (100)
+	LLEvalBudget    int     // LL fitness evaluations (50000)
+	LLCrossoverProb float64 // GP one-point crossover (0.85)
+	LLMutationProb  float64 // GP uniform mutation (0.10)
+	LLReproProb     float64 // GP reproduction (0.05)
+	LLTournamentK   int     // GP tournament size ("Tournament": k=3)
+
+	// GP shape control.
+	InitDepthMin int // ramped half-and-half minimum depth
+	InitDepthMax int // ramped half-and-half maximum depth
+	MutGrowDepth int // grow depth of uniform-mutation subtrees
+	Limits       gp.Limits
+
+	// PreySample is how many prey decisions each predator is scored
+	// against per generation (fresh sample each generation).
+	PreySample int
+
+	// Elites is the number of best individuals copied unchanged into
+	// the next generation of each population.
+	Elites int
+
+	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+
+	// --- Ablation hooks (DESIGN.md §7). Defaults reproduce the paper. ---
+
+	// CostFitness switches predator fitness from the %-gap (Eq. 1) to
+	// the raw follower cost — the COBRA-style objective the paper argues
+	// is incomparable across induced instances. Exists to measure that
+	// argument.
+	CostFitness bool
+
+	// PrimitiveSet overrides the GP primitive set (nil = the paper's
+	// Table I). The terminal layout must match covering.TableITerms.
+	// Used by the terminal-ablation benchmark (e.g. dropping the LP
+	// terminals d and x̄).
+	PrimitiveSet *gp.Set
+
+	// NoElimination disables the greedy's redundancy-removal pass.
+	NoElimination bool
+
+	// ULVariation selects the upper-level variation suite: "" or "sbx"
+	// for Table II's SBX + polynomial mutation, "de" for DE/best/1/bin
+	// trials (DE-based bi-level solvers appear in the paper's related
+	// work; the ablation benchmark compares the suites).
+	ULVariation string
+	// DEF and DECR are the differential weight and crossover rate used
+	// when ULVariation is "de" (defaults 0.5 and 0.9).
+	DEF, DECR float64
+
+	// LLPointMutProb additionally applies a shape-preserving point
+	// mutation to each bred predator with this probability (0 = off,
+	// the paper's configuration).
+	LLPointMutProb float64
+}
+
+// DefaultConfig returns the paper's Table II parameter column for CARBON.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		ULPopSize:       100,
+		ULArchiveSize:   100,
+		ULEvalBudget:    50000,
+		ULCrossoverProb: 0.85,
+		ULMutationProb:  0.01,
+		ULSBXEta:        15,
+		ULPolyEta:       20,
+		LLPopSize:       100,
+		LLArchiveSize:   100,
+		LLEvalBudget:    50000,
+		LLCrossoverProb: 0.85,
+		LLMutationProb:  0.10,
+		LLReproProb:     0.05,
+		LLTournamentK:   3,
+		InitDepthMin:    1,
+		InitDepthMax:    4,
+		MutGrowDepth:    3,
+		Limits:          gp.DefaultLimits(),
+		PreySample:      4,
+		Elites:          1,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c *Config) Validate() error {
+	switch {
+	case c.ULPopSize < 2 || c.LLPopSize < 2:
+		return errors.New("core: population sizes must be at least 2")
+	case c.ULArchiveSize < 1 || c.LLArchiveSize < 1:
+		return errors.New("core: archive sizes must be positive")
+	case c.ULEvalBudget < c.ULPopSize || c.LLEvalBudget < c.LLPopSize:
+		return errors.New("core: budgets must cover at least one generation")
+	case c.LLCrossoverProb+c.LLMutationProb+c.LLReproProb > 1+1e-9:
+		return errors.New("core: GP operator probabilities exceed 1")
+	case c.PreySample < 1:
+		return errors.New("core: PreySample must be at least 1")
+	case c.Elites < 0 || c.Elites >= c.ULPopSize || c.Elites >= c.LLPopSize:
+		return errors.New("core: bad elite count")
+	case c.InitDepthMin < 0 || c.InitDepthMax < c.InitDepthMin:
+		return errors.New("core: bad ramped depth range")
+	case c.ULVariation != "" && c.ULVariation != "sbx" && c.ULVariation != "de":
+		return fmt.Errorf("core: unknown ULVariation %q", c.ULVariation)
+	case c.LLPointMutProb < 0 || c.LLPointMutProb > 1:
+		return errors.New("core: LLPointMutProb outside [0,1]")
+	}
+	return nil
+}
+
+// BestPair is the reported solution: the best archived pricing and the
+// best archived heuristic.
+type BestPair struct {
+	Price      []float64
+	Revenue    float64 // F under the best forecast at archive time
+	Tree       gp.Tree
+	TreeStr    string  // raw evolved form
+	Simplified string  // algebraically simplified form (gp.Simplify)
+	GapPct     float64 // mean %-gap of the best heuristic
+}
+
+// Result summarizes one CARBON run.
+type Result struct {
+	Best      BestPair
+	ULEvals   int
+	LLEvals   int
+	Gens      int
+	ULCurve   stats.Series // x: total evals consumed, y: best archived F
+	GapCurve  stats.Series // x: total evals consumed, y: best archived mean gap
+	ULArchive []archive.Entry[[]float64]
+	GPArchive []archive.Entry[gp.Tree]
+}
+
+// evalStriped splits [0,n) into one contiguous stripe per worker so each
+// stripe can own per-worker scratch (warm LP solvers). Results land by
+// index, so the outcome is deterministic regardless of scheduling.
+func evalStriped(n, workers int, fn func(i, worker int)) {
+	if workers > n {
+		workers = n
+	}
+	par.ForEach(workers, workers, func(w int) {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		for i := lo; i < hi; i++ {
+			fn(i, w)
+		}
+	})
+}
+
+// breedPrey builds the next prey generation: elitism, then either
+// Table II's binary-tournament + SBX + polynomial mutation suite or
+// DE/best/1/bin trials (cfg.ULVariation).
+func breedPrey(r *rng.Rand, pop [][]float64, fit []float64, bounds ga.Bounds, cfg Config) [][]float64 {
+	better := func(i, j int) bool { return fit[i] > fit[j] }
+	next := make([][]float64, 0, len(pop))
+	for _, e := range topK(fit, cfg.Elites, better) {
+		next = append(next, append([]float64(nil), pop[e]...))
+	}
+	if cfg.ULVariation == "de" {
+		f, cr := cfg.DEF, cfg.DECR
+		if f == 0 {
+			f = 0.5
+		}
+		if cr == 0 {
+			cr = 0.9
+		}
+		bestIdx := topK(fit, 1, better)[0]
+		for target := 0; len(next) < len(pop); target++ {
+			next = append(next, ga.DEBest1Bin(r, pop, bestIdx, target%len(pop), f, cr, bounds))
+		}
+		return next
+	}
+	for len(next) < len(pop) {
+		p1 := pop[ga.BinaryTournament(r, len(pop), better)]
+		p2 := pop[ga.BinaryTournament(r, len(pop), better)]
+		var c1, c2 []float64
+		if r.Bool(cfg.ULCrossoverProb) {
+			c1, c2 = ga.SBX(r, p1, p2, bounds, cfg.ULSBXEta)
+		} else {
+			c1 = append([]float64(nil), p1...)
+			c2 = append([]float64(nil), p2...)
+		}
+		ga.PolynomialMutateInPlace(r, c1, bounds, cfg.ULPolyEta, cfg.ULMutationProb)
+		ga.PolynomialMutateInPlace(r, c2, bounds, cfg.ULPolyEta, cfg.ULMutationProb)
+		next = append(next, c1)
+		if len(next) < len(pop) {
+			next = append(next, c2)
+		}
+	}
+	return next
+}
+
+// breedPredators builds the next predator generation with DEAP's varOr
+// semantics over Table II's GP probabilities: each offspring is produced
+// by crossover (0.85), uniform mutation (0.10) or reproduction (0.05).
+func breedPredators(r *rng.Rand, set *gp.Set, pop []gp.Tree, fit []float64, cfg Config) []gp.Tree {
+	better := func(i, j int) bool { return fit[i] < fit[j] }
+	next := make([]gp.Tree, 0, len(pop))
+	for _, e := range topK(fit, cfg.Elites, better) {
+		next = append(next, pop[e].Clone())
+	}
+	for len(next) < len(pop) {
+		u := r.Float64()
+		switch {
+		case u < cfg.LLCrossoverProb:
+			p1 := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
+			p2 := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
+			c1, c2 := gp.OnePointCrossover(r, set, p1, p2, cfg.Limits)
+			next = append(next, c1)
+			if len(next) < len(pop) {
+				next = append(next, c2)
+			}
+		case u < cfg.LLCrossoverProb+cfg.LLMutationProb:
+			p := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
+			next = append(next, gp.UniformMutate(r, set, p, cfg.MutGrowDepth, cfg.Limits))
+		default:
+			p := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
+			next = append(next, p.Clone())
+		}
+	}
+	if cfg.LLPointMutProb > 0 {
+		for i := cfg.Elites; i < len(next); i++ {
+			if r.Bool(cfg.LLPointMutProb) {
+				next[i] = gp.PointMutate(r, set, next[i])
+			}
+		}
+	}
+	return next
+}
+
+// topK returns the indices of the k best individuals under better.
+func topK(fit []float64, k int, better func(i, j int) bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(fit))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: k is tiny (elitism).
+	for sel := 0; sel < k && sel < len(idx); sel++ {
+		best := sel
+		for i := sel + 1; i < len(idx); i++ {
+			if better(idx[i], idx[best]) {
+				best = i
+			}
+		}
+		idx[sel], idx[best] = idx[best], idx[sel]
+	}
+	return idx[:min(k, len(idx))]
+}
+
+func priceKey(p []float64) string {
+	// Cheap stable key for archive dedup of price vectors.
+	b := make([]byte, 0, len(p)*8)
+	for _, v := range p {
+		u := uint64(v * 1e6)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(u>>s))
+		}
+	}
+	return string(b)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/gp"
+)
+
+// Checkpoint is a serializable snapshot of an Engine between
+// generations. Resuming from a checkpoint continues the run *exactly* as
+// if it had never stopped: populations, archives, budget counters,
+// curves and the PRNG stream are all restored. Trees travel as
+// S-expressions, so checkpoints are human-inspectable JSON.
+//
+// What is NOT stored: the market (supply it again — instances are
+// regenerable from (class, index) or loadable from OR-library files) and
+// the warm-LP solver states (they are caches; the first generation after
+// resume re-warms them, which can produce different-but-equally-optimal
+// dual vectors than an uninterrupted run — the same caveat as changing
+// Workers).
+type Checkpoint struct {
+	Fingerprint string      `json:"fingerprint"`
+	RngState    [4]uint64   `json:"rng_state"`
+	Prey        [][]float64 `json:"prey"`
+	Predators   []string    `json:"predators"`
+	ULUsed      int         `json:"ul_used"`
+	LLUsed      int         `json:"ll_used"`
+	Gens        int         `json:"gens"`
+	ULArchP     [][]float64 `json:"ul_arch_prices"`
+	ULArchF     []float64   `json:"ul_arch_fitness"`
+	GPArchT     []string    `json:"gp_arch_trees"`
+	GPArchF     []float64   `json:"gp_arch_fitness"`
+	ULCurveX    []float64   `json:"ul_curve_x"`
+	ULCurveY    []float64   `json:"ul_curve_y"`
+	GapCurveX   []float64   `json:"gap_curve_x"`
+	GapCurveY   []float64   `json:"gap_curve_y"`
+}
+
+// fingerprint identifies the configuration a checkpoint belongs to; a
+// mismatch at resume time means the caller changed something that makes
+// the state meaningless (population sizes, operators, the market shape).
+// Budgets are deliberately NOT part of the fingerprint: extending the
+// budget and resuming is the intended way to continue a finished run.
+func (c *Config) fingerprint(mk *bcpop.Market) string {
+	return fmt.Sprintf("v1|pop=%d/%d|arch=%d/%d|probs=%.3f/%.3f/%.3f/%.3f/%.3f|sample=%d|market=%dx%dx%d|cost=%t|elim=%t|var=%s",
+		c.ULPopSize, c.LLPopSize, c.ULArchiveSize, c.LLArchiveSize,
+		c.ULCrossoverProb, c.ULMutationProb, c.LLCrossoverProb, c.LLMutationProb, c.LLReproProb,
+		c.PreySample, mk.Bundles(), mk.Services(), mk.Leaders(),
+		c.CostFitness, !c.NoElimination, c.ULVariation)
+}
+
+// Checkpoint snapshots the engine. Call it between Steps.
+func (e *Engine) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Fingerprint: e.cfg.fingerprint(e.mk),
+		RngState:    e.r.State(),
+		ULUsed:      e.ulUsed,
+		LLUsed:      e.llUsed,
+		Gens:        e.res.Gens,
+	}
+	for _, x := range e.prey {
+		cp.Prey = append(cp.Prey, append([]float64(nil), x...))
+	}
+	for _, t := range e.predators {
+		cp.Predators = append(cp.Predators, t.String(e.set))
+	}
+	for _, en := range e.ulArch.Entries() {
+		cp.ULArchP = append(cp.ULArchP, append([]float64(nil), en.Item...))
+		cp.ULArchF = append(cp.ULArchF, en.Fitness)
+	}
+	for _, en := range e.gpArch.Entries() {
+		cp.GPArchT = append(cp.GPArchT, en.Item.String(e.set))
+		cp.GPArchF = append(cp.GPArchF, en.Fitness)
+	}
+	cp.ULCurveX = append([]float64(nil), e.res.ULCurve.X...)
+	cp.ULCurveY = append([]float64(nil), e.res.ULCurve.Y...)
+	cp.GapCurveX = append([]float64(nil), e.res.GapCurve.X...)
+	cp.GapCurveY = append([]float64(nil), e.res.GapCurve.Y...)
+	return cp
+}
+
+// Write emits the checkpoint as indented JSON.
+func (cp *Checkpoint) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(cp)
+}
+
+// LoadCheckpoint parses a checkpoint written by Write.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: parsing checkpoint: %w", err)
+	}
+	return &cp, nil
+}
+
+// ResumeEngine rebuilds an engine from a checkpoint taken under the same
+// market and configuration. The resumed run produces the same breeding
+// and sampling decisions as the uninterrupted one (the PRNG stream
+// continues exactly); evaluation results may differ within
+// alternative-LP-optima tolerance because warm-solver caches restart
+// cold (see the Checkpoint doc comment).
+func ResumeEngine(mk *bcpop.Market, cfg Config, cp *Checkpoint) (*Engine, error) {
+	if cp == nil {
+		return nil, errors.New("core: nil checkpoint")
+	}
+	if got := cfg.fingerprint(mk); got != cp.Fingerprint {
+		return nil, fmt.Errorf("core: checkpoint fingerprint mismatch:\n  have %s\n  want %s",
+			got, cp.Fingerprint)
+	}
+	e, err := NewEngine(mk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(cp.Prey) != cfg.ULPopSize || len(cp.Predators) != cfg.LLPopSize {
+		return nil, errors.New("core: checkpoint population sizes disagree with config")
+	}
+	if err := e.r.Restore(cp.RngState); err != nil {
+		return nil, err
+	}
+	for i, x := range cp.Prey {
+		if len(x) != mk.Leaders() {
+			return nil, fmt.Errorf("core: checkpoint prey %d has %d genes, want %d",
+				i, len(x), mk.Leaders())
+		}
+		e.prey[i] = append([]float64(nil), x...)
+	}
+	for i, src := range cp.Predators {
+		t, err := gp.Parse(e.set, src)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint predator %d: %w", i, err)
+		}
+		e.predators[i] = t
+	}
+	if len(cp.ULArchP) != len(cp.ULArchF) || len(cp.GPArchT) != len(cp.GPArchF) {
+		return nil, errors.New("core: checkpoint archive arrays disagree")
+	}
+	// Re-add archive entries worst-first so insertion order cannot evict
+	// better entries.
+	for i := len(cp.ULArchP) - 1; i >= 0; i-- {
+		e.ulArch.Add(append([]float64(nil), cp.ULArchP[i]...), cp.ULArchF[i])
+	}
+	for i := len(cp.GPArchT) - 1; i >= 0; i-- {
+		t, err := gp.Parse(e.set, cp.GPArchT[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint archive tree %d: %w", i, err)
+		}
+		e.gpArch.Add(t, cp.GPArchF[i])
+	}
+	e.ulUsed, e.llUsed = cp.ULUsed, cp.LLUsed
+	e.res.Gens = cp.Gens
+	e.res.ULCurve.X = append([]float64(nil), cp.ULCurveX...)
+	e.res.ULCurve.Y = append([]float64(nil), cp.ULCurveY...)
+	e.res.GapCurve.X = append([]float64(nil), cp.GapCurveX...)
+	e.res.GapCurve.Y = append([]float64(nil), cp.GapCurveY...)
+	return e, nil
+}

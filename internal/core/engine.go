@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"carbon/internal/archive"
+	"carbon/internal/bcpop"
+	"carbon/internal/covering"
+	"carbon/internal/ga"
+	"carbon/internal/gp"
+	"carbon/internal/par"
+	"carbon/internal/rng"
+)
+
+// Engine is a steppable CARBON run: one Step is one co-evolutionary
+// generation (predator evaluation → prey evaluation → archive updates →
+// breeding). Run wraps it in the usual budget loop; the island model
+// (RunIslands) steps several engines side by side and migrates elites
+// between them; user code can step an engine directly for custom
+// stopping rules or live monitoring.
+type Engine struct {
+	mk      *bcpop.Market
+	cfg     Config
+	set     *gp.Set
+	evs     []*bcpop.Evaluator
+	workers int
+	r       *rng.Rand
+	bounds  ga.Bounds
+
+	prey      [][]float64
+	predators []gp.Tree
+	preyFit   []float64
+	predFit   []float64
+	preyGap   []float64
+
+	ulArch *archive.Archive[[]float64]
+	gpArch *archive.Archive[gp.Tree]
+
+	res            *Result
+	ulUsed, llUsed int
+}
+
+// NewEngine validates the configuration and initializes populations,
+// archives and per-worker evaluators.
+func NewEngine(mk *bcpop.Market, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	set := cfg.PrimitiveSet
+	if set == nil {
+		set = covering.TableISet()
+	}
+	workers := par.Workers(cfg.Workers)
+	evs := make([]*bcpop.Evaluator, workers)
+	for i := range evs {
+		ev, err := bcpop.NewEvaluator(mk, set)
+		if err != nil {
+			return nil, err
+		}
+		ev.Eliminate = !cfg.NoElimination
+		evs[i] = ev
+	}
+	e := &Engine{
+		mk: mk, cfg: cfg, set: set, evs: evs, workers: workers,
+		r:      rng.New(cfg.Seed),
+		bounds: mk.PriceBounds(),
+		res:    &Result{},
+	}
+	e.prey = make([][]float64, cfg.ULPopSize)
+	for i := range e.prey {
+		e.prey[i] = e.bounds.RandomVector(e.r)
+	}
+	e.predators = make([]gp.Tree, cfg.LLPopSize)
+	for i := range e.predators {
+		e.predators[i] = set.Ramped(e.r, cfg.InitDepthMin, cfg.InitDepthMax)
+	}
+	e.preyFit = make([]float64, cfg.ULPopSize)
+	e.predFit = make([]float64, cfg.LLPopSize)
+	e.preyGap = make([]float64, cfg.ULPopSize)
+	e.ulArch = archive.New[[]float64](cfg.ULArchiveSize, false, priceKey)
+	e.gpArch = archive.New[gp.Tree](cfg.LLArchiveSize, true,
+		func(t gp.Tree) string { return t.String(set) })
+	return e, nil
+}
+
+// CanStep reports whether another generation fits in both budgets.
+func (e *Engine) CanStep() bool {
+	return e.ulUsed+e.cfg.ULPopSize <= e.cfg.ULEvalBudget &&
+		e.llUsed+e.cfg.LLPopSize*e.cfg.PreySample <= e.cfg.LLEvalBudget
+}
+
+// Gens returns the number of completed generations.
+func (e *Engine) Gens() int { return e.res.Gens }
+
+// Step runs one generation. It returns false (and does nothing) when
+// the budgets are exhausted.
+func (e *Engine) Step() bool {
+	if !e.CanStep() {
+		return false
+	}
+	cfg := e.cfg
+
+	// --- Predator evaluation: mean gap over a fresh prey sample ---
+	sample := e.r.SampleDistinct(min(cfg.PreySample, len(e.prey)), len(e.prey))
+	evalStriped(len(e.predators), e.workers, func(i, worker int) {
+		ev := e.evs[worker]
+		total := 0.0
+		for _, s := range sample {
+			out, _, err := ev.EvalTree(e.prey[s], e.predators[i])
+			if err != nil {
+				panic(fmt.Sprintf("core: predator evaluation: %v", err))
+			}
+			if cfg.CostFitness {
+				total += out.LLCost // ablation: COBRA-style objective
+			} else {
+				total += out.GapPct // paper: Eq. 1
+			}
+		}
+		e.predFit[i] = total / float64(len(sample))
+	})
+	e.llUsed += len(e.predators) * len(sample)
+
+	bestPred := 0
+	for i := 1; i < len(e.predators); i++ {
+		if e.predFit[i] < e.predFit[bestPred] {
+			bestPred = i
+		}
+	}
+	for i, t := range e.predators {
+		e.gpArch.Add(t.Clone(), e.predFit[i])
+	}
+
+	// --- Prey evaluation: revenue under the best current forecast ---
+	hunter := e.predators[bestPred]
+	evalStriped(len(e.prey), e.workers, func(i, worker int) {
+		out, _, err := e.evs[worker].EvalTree(e.prey[i], hunter)
+		if err != nil {
+			panic(fmt.Sprintf("core: prey evaluation: %v", err))
+		}
+		if out.Feasible {
+			e.preyFit[i] = out.Revenue
+		} else {
+			e.preyFit[i] = 0
+		}
+		e.preyGap[i] = out.GapPct
+	})
+	e.ulUsed += len(e.prey)
+
+	for i, x := range e.prey {
+		e.ulArch.Add(append([]float64(nil), x...), e.preyFit[i])
+	}
+
+	// --- Record convergence ---
+	e.res.Gens++
+	x := float64(e.ulUsed + e.llUsed)
+	if be, ok := e.ulArch.Best(); ok {
+		e.res.ULCurve.X = append(e.res.ULCurve.X, x)
+		e.res.ULCurve.Y = append(e.res.ULCurve.Y, be.Fitness)
+	}
+	if be, ok := e.gpArch.Best(); ok {
+		e.res.GapCurve.X = append(e.res.GapCurve.X, x)
+		e.res.GapCurve.Y = append(e.res.GapCurve.Y, be.Fitness)
+	}
+
+	// --- Breed next generations ---
+	e.prey = breedPrey(e.r, e.prey, e.preyFit, e.bounds, cfg)
+	e.predators = breedPredators(e.r, e.set, e.predators, e.predFit, cfg)
+	return true
+}
+
+// BestPrey returns a copy of the best archived pricing and its revenue.
+func (e *Engine) BestPrey() ([]float64, float64, bool) {
+	be, ok := e.ulArch.Best()
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]float64(nil), be.Item...), be.Fitness, true
+}
+
+// BestPredator returns a copy of the best archived heuristic and its
+// fitness.
+func (e *Engine) BestPredator() (gp.Tree, float64, bool) {
+	be, ok := e.gpArch.Best()
+	if !ok {
+		return gp.Tree{}, 0, false
+	}
+	return be.Item.Clone(), be.Fitness, true
+}
+
+// InjectPrey replaces a random non-elite slot of the prey population
+// with a copy of x (island-model migration). The archive is untouched —
+// the migrant must earn its place at the next evaluation.
+func (e *Engine) InjectPrey(x []float64) error {
+	if len(x) != e.mk.Leaders() {
+		return errors.New("core: migrant prey has wrong dimension")
+	}
+	slot := e.cfg.Elites
+	if len(e.prey) > e.cfg.Elites+1 {
+		slot = e.cfg.Elites + e.r.Intn(len(e.prey)-e.cfg.Elites)
+	}
+	e.prey[slot] = append([]float64(nil), x...)
+	return nil
+}
+
+// InjectPredator replaces a random non-elite slot of the predator
+// population with a copy of t.
+func (e *Engine) InjectPredator(t gp.Tree) error {
+	if err := t.Check(e.set); err != nil {
+		return err
+	}
+	slot := e.cfg.Elites
+	if len(e.predators) > e.cfg.Elites+1 {
+		slot = e.cfg.Elites + e.r.Intn(len(e.predators)-e.cfg.Elites)
+	}
+	e.predators[slot] = t.Clone()
+	return nil
+}
+
+// Result finalizes and returns the run summary. The engine may continue
+// stepping afterwards; each call snapshots the current state.
+func (e *Engine) Result() (*Result, error) {
+	res := &Result{
+		Gens:     e.res.Gens,
+		ULEvals:  e.ulUsed,
+		LLEvals:  e.llUsed,
+		ULCurve:  e.res.ULCurve,
+		GapCurve: e.res.GapCurve,
+	}
+	res.ULArchive = e.ulArch.Entries()
+	res.GPArchive = e.gpArch.Entries()
+	if be, ok := e.ulArch.Best(); ok {
+		res.Best.Price = be.Item
+		res.Best.Revenue = be.Fitness
+	}
+	if be, ok := e.gpArch.Best(); ok {
+		res.Best.Tree = be.Item
+		res.Best.TreeStr = be.Item.String(e.set)
+		res.Best.Simplified = gp.Simplify(e.set, be.Item).String(e.set)
+		res.Best.GapPct = be.Fitness
+		if e.cfg.CostFitness {
+			// Under the ablation the archive fitness is a raw cost, so
+			// re-measure the actual gap of the selected tree on a fresh
+			// prey sample (reporting only — budgets are spent).
+			sample := e.r.SampleDistinct(min(e.cfg.PreySample, len(e.prey)), len(e.prey))
+			total := 0.0
+			for _, s := range sample {
+				out, _, err := e.evs[0].EvalTree(e.prey[s], be.Item)
+				if err != nil {
+					return nil, err
+				}
+				total += out.GapPct
+			}
+			res.Best.GapPct = total / float64(len(sample))
+		}
+	}
+	return res, nil
+}
+
+// Run executes CARBON on the market until either evaluation budget is
+// exhausted.
+func Run(mk *bcpop.Market, cfg Config) (*Result, error) {
+	e, err := NewEngine(mk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for e.Step() {
+	}
+	return e.Result()
+}

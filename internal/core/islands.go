@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/par"
+)
+
+// IslandConfig parameterizes the island-model variant of CARBON: K
+// independent engines evolve in parallel and periodically migrate their
+// archived elites along a ring. Islands are the classic coarse-grained
+// parallelization of evolutionary algorithms — each island is internally
+// sequential (deterministic per seed), and the only synchronization is
+// the migration barrier, so the model scales to one core per island.
+type IslandConfig struct {
+	Islands      int // number of islands (≥ 2)
+	MigrateEvery int // generations between migrations (≥ 1)
+	Migrants     int // elites of each kind sent per migration (≥ 1)
+	Workers      int // islands stepped concurrently (0 = GOMAXPROCS)
+}
+
+// DefaultIslandConfig returns a 4-island ring migrating its best prey
+// and predator every 5 generations.
+func DefaultIslandConfig() IslandConfig {
+	return IslandConfig{Islands: 4, MigrateEvery: 5, Migrants: 1}
+}
+
+// Validate rejects unusable island configurations.
+func (ic *IslandConfig) Validate() error {
+	switch {
+	case ic.Islands < 2:
+		return errors.New("core: island model needs at least 2 islands")
+	case ic.MigrateEvery < 1:
+		return errors.New("core: MigrateEvery must be at least 1")
+	case ic.Migrants < 1:
+		return errors.New("core: Migrants must be at least 1")
+	}
+	return nil
+}
+
+// IslandResult is the outcome of an island-model run.
+type IslandResult struct {
+	Best       BestPair  // best pairing across all islands
+	BestIsland int       // which island produced it
+	PerIsland  []*Result // each island's own summary
+	Migrations int
+}
+
+// RunIslands executes the island model. The per-level evaluation budgets
+// of cfg are split evenly across the islands, so an island run is
+// budget-comparable to a single Run with the same cfg. Each island gets
+// a distinct seed derived from cfg.Seed; reproducibility follows the
+// usual per-(seed, workers) contract with Workers pinned to 1 inside
+// each island (parallelism comes from stepping islands concurrently).
+func RunIslands(mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, error) {
+	if err := ic.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	islandCfg := cfg
+	islandCfg.ULEvalBudget = cfg.ULEvalBudget / ic.Islands
+	islandCfg.LLEvalBudget = cfg.LLEvalBudget / ic.Islands
+	islandCfg.Workers = 1
+	if err := islandCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: budgets too small for %d islands: %w", ic.Islands, err)
+	}
+
+	engines := make([]*Engine, ic.Islands)
+	for i := range engines {
+		c := islandCfg
+		c.Seed = cfg.Seed + uint64(i)*1_000_003 + 17
+		e, err := NewEngine(mk, c)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+
+	res := &IslandResult{}
+	gen := 0
+	for {
+		// Step every live island concurrently; the engines share no
+		// state, so the only synchronization is this barrier.
+		progressed := make([]bool, len(engines))
+		par.ForEach(len(engines), ic.Workers, func(i int) {
+			progressed[i] = engines[i].Step()
+		})
+		any := false
+		for _, p := range progressed {
+			any = any || p
+		}
+		if !any {
+			break
+		}
+		gen++
+		if gen%ic.MigrateEvery != 0 {
+			continue
+		}
+		// Ring migration: island i sends its archived elites to island
+		// (i+1) mod K. Migration runs on the coordinating goroutine, so
+		// the whole run stays deterministic.
+		for i, e := range engines {
+			dst := engines[(i+1)%len(engines)]
+			for m := 0; m < ic.Migrants; m++ {
+				if x, _, ok := e.BestPrey(); ok {
+					if err := dst.InjectPrey(x); err != nil {
+						return nil, err
+					}
+				}
+				if t, _, ok := e.BestPredator(); ok {
+					if err := dst.InjectPredator(t); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		res.Migrations++
+	}
+
+	res.PerIsland = make([]*Result, len(engines))
+	bestRevenue := -1.0
+	bestGap := -1.0
+	for i, e := range engines {
+		r, err := e.Result()
+		if err != nil {
+			return nil, err
+		}
+		res.PerIsland[i] = r
+		if r.Best.Revenue > bestRevenue {
+			bestRevenue = r.Best.Revenue
+			res.Best.Price = r.Best.Price
+			res.Best.Revenue = r.Best.Revenue
+			res.BestIsland = i
+		}
+		if bestGap < 0 || r.Best.GapPct < bestGap {
+			bestGap = r.Best.GapPct
+			res.Best.Tree = r.Best.Tree
+			res.Best.TreeStr = r.Best.TreeStr
+			res.Best.Simplified = r.Best.Simplified
+			res.Best.GapPct = r.Best.GapPct
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+)
+
+func islandConfig() (Config, IslandConfig) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.ULPopSize, cfg.LLPopSize = 10, 10
+	cfg.ULArchiveSize, cfg.LLArchiveSize = 10, 10
+	cfg.ULEvalBudget, cfg.LLEvalBudget = 800, 1600
+	cfg.PreySample = 2
+	ic := IslandConfig{Islands: 4, MigrateEvery: 3, Migrants: 1}
+	return cfg, ic
+}
+
+func TestIslandConfigValidation(t *testing.T) {
+	mutate := []func(*IslandConfig){
+		func(c *IslandConfig) { c.Islands = 1 },
+		func(c *IslandConfig) { c.MigrateEvery = 0 },
+		func(c *IslandConfig) { c.Migrants = 0 },
+	}
+	for i, m := range mutate {
+		ic := DefaultIslandConfig()
+		m(&ic)
+		if err := ic.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+	def := DefaultIslandConfig()
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIslands(t *testing.T) {
+	mk := smallMarket(t)
+	cfg, ic := islandConfig()
+	res, err := RunIslands(mk, cfg, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerIsland) != 4 {
+		t.Fatalf("%d island results", len(res.PerIsland))
+	}
+	totalUL, totalLL := 0, 0
+	for i, r := range res.PerIsland {
+		if r.Gens == 0 {
+			t.Fatalf("island %d did no work", i)
+		}
+		totalUL += r.ULEvals
+		totalLL += r.LLEvals
+	}
+	// The combined spend must respect the original budgets.
+	if totalUL > cfg.ULEvalBudget || totalLL > cfg.LLEvalBudget {
+		t.Fatalf("islands overspent: UL %d/%d, LL %d/%d",
+			totalUL, cfg.ULEvalBudget, totalLL, cfg.LLEvalBudget)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("no migrations happened")
+	}
+	if res.Best.GapPct < 0 || len(res.Best.Price) != mk.Leaders() {
+		t.Fatalf("bad merged best: %+v", res.Best)
+	}
+	if res.BestIsland < 0 || res.BestIsland >= 4 {
+		t.Fatalf("BestIsland = %d", res.BestIsland)
+	}
+}
+
+func TestRunIslandsDeterministic(t *testing.T) {
+	mk := smallMarket(t)
+	cfg, ic := islandConfig()
+	a, err := RunIslands(mk, cfg, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIslands(mk, cfg, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Revenue != b.Best.Revenue || a.Best.GapPct != b.Best.GapPct ||
+		a.Migrations != b.Migrations {
+		t.Fatal("island run not reproducible")
+	}
+}
+
+func TestRunIslandsBudgetTooSmall(t *testing.T) {
+	mk := smallMarket(t)
+	cfg, ic := islandConfig()
+	cfg.ULEvalBudget = 30 // 30/4 < population size
+	if _, err := RunIslands(mk, cfg, ic); err == nil {
+		t.Fatal("undersized budgets accepted")
+	}
+}
+
+func TestEngineStepByStep(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(3)
+	e, err := NewEngine(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for e.Step() {
+		steps++
+		if steps > 10000 {
+			t.Fatal("runaway engine")
+		}
+	}
+	if e.Step() {
+		t.Fatal("Step after exhaustion should be a no-op returning false")
+	}
+	res, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gens != steps || e.Gens() != steps {
+		t.Fatalf("generation accounting: %d vs %d", res.Gens, steps)
+	}
+	// Engine-driven runs must equal Run with the same config.
+	direct, err := Run(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Best.Revenue != res.Best.Revenue || direct.Best.TreeStr != res.Best.TreeStr {
+		t.Fatal("Engine loop and Run diverged")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	mk := smallMarket(t)
+	e, err := NewEngine(mk, smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectPrey([]float64{1}); err == nil {
+		t.Fatal("wrong-dimension migrant accepted")
+	}
+	x, _, ok := func() ([]float64, float64, bool) {
+		e.Step()
+		return e.BestPrey()
+	}()
+	if !ok {
+		t.Fatal("no best prey after a step")
+	}
+	if err := e.InjectPrey(x); err != nil {
+		t.Fatal(err)
+	}
+	tr, _, ok := e.BestPredator()
+	if !ok {
+		t.Fatal("no best predator after a step")
+	}
+	if err := e.InjectPredator(tr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package covering
+
+import (
+	"math"
+
+	"carbon/internal/lp"
+)
+
+// ExactResult is the outcome of the branch-and-bound oracle.
+type ExactResult struct {
+	X        []bool
+	Cost     float64
+	Optimal  bool // proven optimal within the node budget
+	Feasible bool
+	Nodes    int
+}
+
+// SolveExact finds a provably optimal covering selection by LP-based
+// branch and bound. It exists as a test oracle and for small example
+// instances — covering is NP-hard, so the node budget caps the effort;
+// when exceeded, the incumbent is returned with Optimal=false.
+func (in *Instance) SolveExact(maxNodes int) ExactResult {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	m := in.M()
+
+	// Incumbent from the classic greedy.
+	inc := in.ChvatalGreedy()
+	res := ExactResult{Feasible: inc.Feasible}
+	bestCost := math.Inf(1)
+	var bestX []bool
+	if inc.Feasible {
+		bestCost = inc.Cost
+		bestX = append([]bool(nil), inc.X...)
+	}
+
+	base := in.lpProblem()
+	lo := make([]float64, m)
+	up := make([]float64, m)
+	for j := range up {
+		up[j] = 1
+	}
+	nodes := 0
+	proven := true
+
+	var dfs func()
+	dfs = func() {
+		if nodes >= maxNodes {
+			proven = false
+			return
+		}
+		nodes++
+		prob := *base
+		prob.Lo = lo
+		prob.Up = up
+		sol, err := lp.Solve(&prob)
+		if err != nil || sol.Status == lp.Infeasible {
+			return
+		}
+		if sol.Status != lp.Optimal {
+			proven = false
+			return
+		}
+		if sol.Obj >= bestCost-1e-9 {
+			return // bound prune
+		}
+		// Most fractional variable.
+		branch, frac := -1, 0.0
+		for j := 0; j < m; j++ {
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > 1e-6 && f > frac {
+				branch, frac = j, f
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			bestCost = sol.Obj
+			nx := make([]bool, m)
+			for j := 0; j < m; j++ {
+				nx[j] = sol.X[j] > 0.5
+			}
+			bestX = nx
+			return
+		}
+		// x_branch = 1 first: covering instances reach feasibility fast.
+		lo[branch], up[branch] = 1, 1
+		dfs()
+		lo[branch], up[branch] = 0, 0
+		dfs()
+		lo[branch], up[branch] = 0, 1
+	}
+	dfs()
+
+	res.Nodes = nodes
+	if bestX != nil {
+		res.Feasible = true
+		res.X = bestX
+		res.Cost = bestCost
+	}
+	res.Optimal = res.Feasible && proven
+	return res
+}

@@ -1,0 +1,113 @@
+package covering
+
+import (
+	"math"
+
+	"carbon/internal/rng"
+)
+
+// GRASP runs a greedy randomized adaptive search procedure for the
+// covering instance: `starts` randomized Chvátal constructions, each
+// picking uniformly from a restricted candidate list (the items whose
+// cost-effectiveness is within `alpha` of the best), followed by
+// redundancy elimination; the cheapest construction wins.
+//
+// GRASP is the standard "stochastic but fixed" lower-level solver the
+// hyper-heuristics literature compares generated heuristics against: it
+// spends evaluations per instance instead of learning across instances.
+// alpha = 0 reduces to the deterministic Chvátal greedy; alpha = 1 is a
+// uniform random constructive. One GRASP start costs about one greedy
+// application, so CARBON's accounting charges `starts` LL evaluations
+// for a call.
+func (in *Instance) GRASP(r *rng.Rand, starts int, alpha float64) GreedyResult {
+	if starts < 1 {
+		starts = 1
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	best := GreedyResult{Cost: math.Inf(1)}
+	for s := 0; s < starts; s++ {
+		res := in.graspConstruct(r, alpha)
+		if res.Feasible && res.Cost < best.Cost {
+			best = res
+		}
+	}
+	if math.IsInf(best.Cost, 1) {
+		// No start reached feasibility: the instance is uncoverable.
+		return GreedyResult{X: make([]bool, in.M()), Feasible: false}
+	}
+	return best
+}
+
+// graspConstruct is one randomized adaptive construction.
+func (in *Instance) graspConstruct(r *rng.Rand, alpha float64) GreedyResult {
+	m, n := in.M(), in.N()
+	resid := append([]float64(nil), in.B...)
+	remaining := 0
+	for _, v := range resid {
+		if v > 1e-9 {
+			remaining++
+		}
+	}
+	x := make([]bool, m)
+	cost := 0.0
+	added := 0
+	pickOrder := make([]int, 0, m)
+	ratios := make([]float64, m)
+	rcl := make([]int, 0, m)
+	for remaining > 0 {
+		// Score all unselected contributing items by gain/cost.
+		bestRatio := -1.0
+		for j := 0; j < m; j++ {
+			ratios[j] = -1
+			if x[j] {
+				continue
+			}
+			col := in.Cols[j]
+			gain := 0.0
+			for k := 0; k < n; k++ {
+				if resid[k] > 1e-9 {
+					gain += math.Min(col[k], resid[k])
+				}
+			}
+			if gain <= 0 {
+				continue
+			}
+			ratios[j] = gain / math.Max(in.C[j], 1e-12)
+			if ratios[j] > bestRatio {
+				bestRatio = ratios[j]
+			}
+		}
+		if bestRatio < 0 {
+			return GreedyResult{X: x, Cost: cost, Feasible: false, Added: added}
+		}
+		// Restricted candidate list: ratio ≥ (1−alpha)·best.
+		cutoff := (1 - alpha) * bestRatio
+		rcl = rcl[:0]
+		for j := 0; j < m; j++ {
+			if ratios[j] >= cutoff && ratios[j] >= 0 {
+				rcl = append(rcl, j)
+			}
+		}
+		j := rcl[r.Intn(len(rcl))]
+		x[j] = true
+		cost += in.C[j]
+		added++
+		pickOrder = append(pickOrder, j)
+		col := in.Cols[j]
+		for k := 0; k < n; k++ {
+			if resid[k] > 1e-9 {
+				resid[k] -= col[k]
+				if resid[k] <= 1e-9 {
+					remaining--
+				}
+			}
+		}
+	}
+	cost = in.eliminateRedundant(x, pickOrder, cost)
+	return GreedyResult{X: x, Cost: cost, Feasible: true, Added: added}
+}

@@ -1,0 +1,176 @@
+package covering
+
+import (
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func TestGRASPFeasibleAndBounded(t *testing.T) {
+	r := rng.New(151)
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(t, r, 30, 6)
+		rx, err := in.Relax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := in.GRASP(r, 10, 0.3)
+		if !res.Feasible || !in.SelectionFeasible(res.X) {
+			t.Fatal("GRASP infeasible on feasible instance")
+		}
+		if res.Cost < rx.LB-1e-6 {
+			t.Fatalf("GRASP cost %v below LP bound %v", res.Cost, rx.LB)
+		}
+		if res.Cost != in.SelectionCost(res.X) {
+			t.Fatal("cost accounting broke")
+		}
+	}
+}
+
+func TestGRASPAlphaZeroMatchesChvatal(t *testing.T) {
+	r := rng.New(153)
+	in := randomInstance(t, r, 25, 5)
+	g := in.GRASP(r, 1, 0)
+	c := in.ChvatalGreedy()
+	if g.Cost != c.Cost {
+		t.Fatalf("alpha=0 GRASP cost %v != Chvátal %v", g.Cost, c.Cost)
+	}
+}
+
+func TestGRASPMultistartHelps(t *testing.T) {
+	// More starts can only improve (the best construction is kept).
+	r1, r2 := rng.New(155), rng.New(155)
+	in := randomInstance(t, rng.New(154), 40, 8)
+	one := in.GRASP(r1, 1, 0.4)
+	many := in.GRASP(r2, 20, 0.4)
+	if many.Cost > one.Cost+1e-9 {
+		t.Fatalf("20 starts (%v) worse than 1 start (%v)", many.Cost, one.Cost)
+	}
+}
+
+func TestGRASPBeatsOrMatchesPureRandom(t *testing.T) {
+	// A small-alpha GRASP should beat a fully random constructive on
+	// average.
+	r := rng.New(157)
+	winsOrTies := 0
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(t, r, 30, 6)
+		guided := in.GRASP(r, 5, 0.1)
+		random := in.GRASP(r, 5, 1.0)
+		if guided.Cost <= random.Cost+1e-9 {
+			winsOrTies++
+		}
+	}
+	if winsOrTies < 11 {
+		t.Fatalf("guided GRASP won/tied only %d/15", winsOrTies)
+	}
+}
+
+func TestGRASPInfeasibleInstance(t *testing.T) {
+	in, err := New([]float64{1}, [][]float64{{0}}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := in.GRASP(rng.New(1), 3, 0.5)
+	if res.Feasible {
+		t.Fatal("GRASP claimed feasibility on an uncoverable instance")
+	}
+}
+
+func TestGRASPParameterClamping(t *testing.T) {
+	r := rng.New(159)
+	in := randomInstance(t, r, 15, 4)
+	// Out-of-range parameters must be clamped, not panic.
+	if res := in.GRASP(r, 0, -1); !res.Feasible {
+		t.Fatal("clamped GRASP failed")
+	}
+	if res := in.GRASP(r, 2, 7); !res.Feasible {
+		t.Fatal("clamped GRASP failed")
+	}
+}
+
+func BenchmarkGRASP100x10(b *testing.B) {
+	r := rng.New(161)
+	in := randomInstance(b, r, 100, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.GRASP(r, 5, 0.3)
+	}
+}
+
+func TestLocalSearchNeverWorsens(t *testing.T) {
+	r := rng.New(181)
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(t, r, 25, 6)
+		start := in.ChvatalGreedy()
+		polished := in.LocalSearch(start.X)
+		if !polished.Feasible || !in.SelectionFeasible(polished.X) {
+			t.Fatal("local search broke feasibility")
+		}
+		if polished.Cost > start.Cost+1e-9 {
+			t.Fatalf("local search worsened %v → %v", start.Cost, polished.Cost)
+		}
+		if polished.Cost != in.SelectionCost(polished.X) {
+			t.Fatal("cost accounting broke")
+		}
+	}
+}
+
+func TestLocalSearchInfeasibleInput(t *testing.T) {
+	in := tiny(t)
+	res := in.LocalSearch([]bool{false, false, false})
+	if res.Feasible {
+		t.Fatal("infeasible input reported feasible")
+	}
+}
+
+func TestLocalSearchFindsSwap(t *testing.T) {
+	// Item A (cost 5) and item B (cost 2) both cover everything:
+	// starting from {A}, the swap move must land on {B}.
+	in, err := New(
+		[]float64{5, 2},
+		[][]float64{{1, 1}, {1, 1}},
+		[]float64{1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := in.LocalSearch([]bool{true, false})
+	if !res.X[1] || res.X[0] || res.Cost != 2 {
+		t.Fatalf("swap not found: %v cost %v", res.X, res.Cost)
+	}
+}
+
+func TestLocalSearchIdempotent(t *testing.T) {
+	r := rng.New(191)
+	in := randomInstance(t, r, 20, 5)
+	a := in.LocalSearch(in.ChvatalGreedy().X)
+	b := in.LocalSearch(a.X)
+	if b.Cost != a.Cost {
+		t.Fatalf("not idempotent: %v → %v", a.Cost, b.Cost)
+	}
+}
+
+func TestGRASPWithLSAtLeastAsGoodAsGRASP(t *testing.T) {
+	r1, r2 := rng.New(193), rng.New(193)
+	better := 0
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(t, rng.New(uint64(300+trial)), 30, 6)
+		plain := in.GRASP(r1, 5, 0.3)
+		polished := in.GRASPWithLS(r2, 5, 0.3)
+		if !polished.Feasible {
+			t.Fatal("GRASP+LS infeasible")
+		}
+		// Same constructions (same rng stream), so polish can only help.
+		if polished.Cost > plain.Cost+1e-9 {
+			t.Fatalf("trial %d: LS worsened %v → %v", trial, plain.Cost, polished.Cost)
+		}
+		if polished.Cost < plain.Cost-1e-9 {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Log("note: local search never strictly improved on these instances")
+	}
+}

@@ -1,0 +1,108 @@
+package covering
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func TestLagrangianIsValidLowerBound(t *testing.T) {
+	r := rng.New(51)
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(t, r, 15, 5)
+		gr := in.ChvatalGreedy()
+		lag := in.LagrangianBound(gr.Cost, 300)
+		ex := in.SolveExact(0)
+		if !ex.Optimal {
+			t.Fatal("exact failed")
+		}
+		if lag.Bound > ex.Cost+1e-6 {
+			t.Fatalf("trial %d: Lagrangian bound %v exceeds optimum %v",
+				trial, lag.Bound, ex.Cost)
+		}
+		for _, l := range lag.Lambda {
+			if l < 0 {
+				t.Fatalf("negative multiplier %v", l)
+			}
+		}
+	}
+}
+
+func TestLagrangianApproachesLPBound(t *testing.T) {
+	// The per-item inner problem has the integrality property, so the
+	// Lagrangian dual optimum equals the LP relaxation value. Subgradient
+	// ascent should close most of the distance — an independent
+	// cross-check of the simplex solver.
+	r := rng.New(53)
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(t, r, 40, 8)
+		rx, err := in.Relax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr := in.ChvatalGreedy()
+		lag := in.LagrangianBound(gr.Cost, 500)
+		if lag.Bound > rx.LB+1e-6*(1+rx.LB) {
+			t.Fatalf("trial %d: Lagrangian %v above LP bound %v", trial, lag.Bound, rx.LB)
+		}
+		if lag.Bound < 0.90*rx.LB {
+			t.Fatalf("trial %d: Lagrangian %v too far below LP bound %v",
+				trial, lag.Bound, rx.LB)
+		}
+	}
+}
+
+func TestLagrangianGapUsable(t *testing.T) {
+	// Gaps computed against the Lagrangian bound must upper-bound gaps
+	// computed against the LP bound (smaller denominator & bound ⇒
+	// larger gap), staying finite and ordered.
+	r := rng.New(57)
+	in := randomInstance(t, r, 30, 6)
+	rx, err := in.Relax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := in.ChvatalGreedy()
+	lag := in.LagrangianBound(gr.Cost, 300)
+	gapLP := Gap(gr.Cost, rx.LB)
+	gapLag := Gap(gr.Cost, lag.Bound)
+	if gapLag < gapLP-1e-9 {
+		t.Fatalf("Lagrangian gap %v below LP gap %v", gapLag, gapLP)
+	}
+	if math.IsInf(gapLag, 0) || math.IsNaN(gapLag) {
+		t.Fatalf("unusable gap %v", gapLag)
+	}
+}
+
+func TestLagrangianTinyExact(t *testing.T) {
+	in := tiny(t)
+	lag := in.LagrangianBound(4, 500)
+	// LP bound of the tiny instance: min 3x0+2x1+2x2 with both services
+	// covered; optimum of the relaxation is 3 (x0=1).
+	if lag.Bound > 3+1e-6 {
+		t.Fatalf("bound %v above optimum 3", lag.Bound)
+	}
+	if lag.Bound < 2.4 {
+		t.Fatalf("bound %v too loose for a 3-item instance", lag.Bound)
+	}
+}
+
+func TestLagrangianDefaults(t *testing.T) {
+	in := tiny(t)
+	lag := in.LagrangianBound(4, 0) // iters <= 0 selects the default
+	if lag.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+}
+
+func BenchmarkLagrangian500x30(b *testing.B) {
+	r := rng.New(59)
+	in := randomInstance(b, r, 500, 30)
+	gr := in.ChvatalGreedy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.LagrangianBound(gr.Cost, 100)
+	}
+}

@@ -1,0 +1,127 @@
+package covering
+
+import (
+	"math"
+
+	"carbon/internal/rng"
+)
+
+// LocalSearch improves a feasible selection by first-improvement moves
+// until a local optimum:
+//
+//	drop:  remove a redundant item (feasibility kept by surplus);
+//	swap:  replace one selected item with one cheaper unselected item
+//	       when the swap keeps every requirement covered.
+//
+// The input is not mutated; the result is never worse and never
+// infeasible. LocalSearch is the canonical companion of GRASP (see
+// GRASPWithLS) and is also useful to polish heuristic answers before
+// reporting.
+func (in *Instance) LocalSearch(x []bool) GreedyResult {
+	m, n := in.M(), in.N()
+	cur := append([]bool(nil), x...)
+	if !in.SelectionFeasible(cur) {
+		return GreedyResult{X: cur, Cost: in.SelectionCost(cur), Feasible: false}
+	}
+	// Surplus per service: Σ q − b.
+	surplus := make([]float64, n)
+	for k, row := range in.Q {
+		got := 0.0
+		for j, sel := range cur {
+			if sel {
+				got += row[j]
+			}
+		}
+		surplus[k] = got - in.B[k]
+	}
+	cost := in.SelectionCost(cur)
+
+	improved := true
+	for improved {
+		improved = false
+		// Drop moves.
+		for j := 0; j < m; j++ {
+			if !cur[j] {
+				continue
+			}
+			col := in.Cols[j]
+			ok := true
+			for k := 0; k < n; k++ {
+				if col[k] > surplus[k]+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur[j] = false
+			cost -= in.C[j]
+			for k := 0; k < n; k++ {
+				surplus[k] -= col[k]
+			}
+			improved = true
+		}
+		// Swap moves: out ∈ selection, in ∉ selection, cheaper, feasible.
+		for out := 0; out < m && !improved; out++ {
+			if !cur[out] {
+				continue
+			}
+			outCol := in.Cols[out]
+			for inn := 0; inn < m; inn++ {
+				if cur[inn] || in.C[inn] >= in.C[out]-1e-12 {
+					continue
+				}
+				innCol := in.Cols[inn]
+				ok := true
+				for k := 0; k < n; k++ {
+					if surplus[k]-outCol[k]+innCol[k] < -1e-9 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				cur[out], cur[inn] = false, true
+				cost += in.C[inn] - in.C[out]
+				for k := 0; k < n; k++ {
+					surplus[k] += innCol[k] - outCol[k]
+				}
+				improved = true
+				break
+			}
+		}
+	}
+	return GreedyResult{X: cur, Cost: cost, Feasible: true}
+}
+
+// GRASPWithLS runs GRASP with a local-search polish after each
+// construction — the textbook GRASP shape. Costs roughly
+// starts × (one construction + one local search).
+func (in *Instance) GRASPWithLS(r *rng.Rand, starts int, alpha float64) GreedyResult {
+	if starts < 1 {
+		starts = 1
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	best := GreedyResult{Cost: math.Inf(1)}
+	for s := 0; s < starts; s++ {
+		res := in.graspConstruct(r, alpha)
+		if !res.Feasible {
+			continue
+		}
+		res = in.LocalSearch(res.X)
+		if res.Cost < best.Cost {
+			best = res
+		}
+	}
+	if math.IsInf(best.Cost, 1) {
+		return GreedyResult{X: make([]bool, in.M()), Feasible: false}
+	}
+	return best
+}

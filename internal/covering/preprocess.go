@@ -1,0 +1,93 @@
+package covering
+
+// RemoveDominatedRows returns an instance without redundant requirement
+// rows and the mapping from reduced row indices back to the originals.
+//
+// Row k is dominated by row k' when, for every item j,
+//
+//	q_jᵏ / bᵏ  ≥  q_jᵏ' / bᵏ',
+//
+// because then any selection satisfying k' satisfies k:
+// Σ q_jᵏ xⱼ ≥ (bᵏ/bᵏ')·Σ q_jᵏ' xⱼ ≥ bᵏ. Dropping k leaves the feasible
+// region — and hence the ILP optimum, the LP relaxation, every greedy
+// answer's feasibility — exactly unchanged, while shrinking the work per
+// greedy pass and LP solve.
+//
+// Note what this deliberately is NOT: column (item) dominance. In
+// *generalized* covering (numeric coefficients, b > 1), removing an item
+// whose column is pointwise worse than a cheaper item's is unsound — an
+// optimal basket may contain both, since coverage is additive rather
+// than union-based. The classic set-cover column rule only applies to
+// binary matrices with unit requirements.
+//
+// Ties (rows dominating each other, i.e. proportional rows) keep the
+// lowest index.
+func (in *Instance) RemoveDominatedRows() (*Instance, []int) {
+	m, n := in.M(), in.N()
+	removed := make([]bool, n)
+	// Precompute scaled rows q_j^k / b^k; b > 0 is guaranteed for
+	// generated instances, and a zero-b row is dominated by everything
+	// (it is vacuous) — handle it first.
+	scaled := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		if in.B[k] <= 0 {
+			removed[k] = true
+			continue
+		}
+		s := make([]float64, m)
+		for j := 0; j < m; j++ {
+			s[j] = in.Q[k][j] / in.B[k]
+		}
+		scaled[k] = s
+	}
+	for k := 0; k < n; k++ {
+		if removed[k] {
+			continue
+		}
+		for k2 := 0; k2 < n && !removed[k]; k2++ {
+			if k2 == k || removed[k2] {
+				continue
+			}
+			// Does k2 dominate k (k is implied by k2)?
+			dom := true
+			tie := true
+			for j := 0; j < m; j++ {
+				if scaled[k][j] < scaled[k2][j] {
+					dom = false
+					break
+				}
+				if scaled[k][j] != scaled[k2][j] {
+					tie = false
+				}
+			}
+			if !dom {
+				continue
+			}
+			if tie && k < k2 {
+				continue // proportional rows: keep the lower index
+			}
+			removed[k] = true
+		}
+	}
+	keep := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		if !removed[k] {
+			keep = append(keep, k)
+		}
+	}
+	if len(keep) == n {
+		return in, keep // nothing dominated: share the instance
+	}
+	q := make([][]float64, len(keep))
+	b := make([]float64, len(keep))
+	for r, k := range keep {
+		q[r] = in.Q[k]
+		b[r] = in.B[k]
+	}
+	out, err := New(in.C, q, b)
+	if err != nil {
+		// The reduction of a valid instance is always valid.
+		panic("covering: reduction produced invalid instance: " + err.Error())
+	}
+	return out, keep
+}

@@ -1,0 +1,134 @@
+package covering
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func TestRemoveDominatedRowsHandBuilt(t *testing.T) {
+	// Row 1 = 2× row 0 with b doubled: proportional (mutual domination,
+	// keep row 0). Row 2 is strictly implied by row 0 (same q, smaller
+	// relative requirement). Row 3 is independent.
+	in, err := New(
+		[]float64{3, 4, 5},
+		[][]float64{
+			{2, 2, 2},
+			{4, 4, 4},
+			{2, 2, 2},
+			{1, 0, 3},
+		},
+		[]float64{2, 4, 1, 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, keep := in.RemoveDominatedRows()
+	want := []int{0, 3}
+	if len(keep) != len(want) || keep[0] != 0 || keep[1] != 3 {
+		t.Fatalf("keep = %v, want %v", keep, want)
+	}
+	if red.N() != 2 || red.M() != 3 {
+		t.Fatalf("reduced dims %dx%d", red.M(), red.N())
+	}
+}
+
+func TestRemoveDominatedRowsVacuousRow(t *testing.T) {
+	in, err := New(
+		[]float64{1, 1},
+		[][]float64{
+			{1, 1},
+			{0, 0}, // b = 0: vacuous
+		},
+		[]float64{1, 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, keep := in.RemoveDominatedRows()
+	if len(keep) != 1 || keep[0] != 0 {
+		t.Fatalf("keep = %v", keep)
+	}
+}
+
+func TestRemoveDominatedRowsNothingToDo(t *testing.T) {
+	in := tiny(t)
+	red, keep := in.RemoveDominatedRows()
+	if red != in {
+		t.Fatal("untouched instance should be returned as-is")
+	}
+	if len(keep) != in.N() {
+		t.Fatalf("keep = %v", keep)
+	}
+}
+
+func TestRemoveDominatedRowsPreservesEverything(t *testing.T) {
+	// The reduction leaves the feasible region exactly unchanged, so the
+	// ILP optimum AND the LP bound must match to numerical noise.
+	r := rng.New(97)
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(t, r, 14, 6)
+		// Inject a dominated row: double a random row, halve its
+		// relative requirement.
+		k := r.Intn(in.N())
+		extraQ := make([]float64, in.M())
+		for j := range extraQ {
+			extraQ[j] = 2 * in.Q[k][j]
+		}
+		q := append(append([][]float64{}, in.Q...), extraQ)
+		b := append(append([]float64{}, in.B...), in.B[k]) // 2q vs b: dominated
+		aug, err := New(in.C, q, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, keep := aug.RemoveDominatedRows()
+		if len(keep) == aug.N() {
+			t.Fatal("injected dominated row not removed")
+		}
+		exA := aug.SolveExact(0)
+		exR := red.SolveExact(0)
+		if !exA.Optimal || !exR.Optimal {
+			t.Fatal("exact failed")
+		}
+		if math.Abs(exA.Cost-exR.Cost) > 1e-9 {
+			t.Fatalf("trial %d: optimum changed %v → %v", trial, exA.Cost, exR.Cost)
+		}
+		rxA, err := aug.Relax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rxR, err := red.Relax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rxA.LB-rxR.LB) > 1e-6*(1+rxA.LB) {
+			t.Fatalf("trial %d: LP bound changed %v → %v", trial, rxA.LB, rxR.LB)
+		}
+		// Feasibility equivalence on random selections.
+		for probe := 0; probe < 10; probe++ {
+			x := make([]bool, aug.M())
+			for j := range x {
+				x[j] = r.Bool(0.5)
+			}
+			if aug.SelectionFeasible(x) != red.SelectionFeasible(x) {
+				t.Fatal("feasible regions differ")
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+}
+
+func TestRemoveDominatedRowsIdempotent(t *testing.T) {
+	r := rng.New(101)
+	in := randomInstance(t, r, 10, 8)
+	red, _ := in.RemoveDominatedRows()
+	red2, keep2 := red.RemoveDominatedRows()
+	if red2 != red {
+		t.Fatalf("second pass removed more rows (kept %d of %d)", len(keep2), red.N())
+	}
+}

@@ -1,0 +1,287 @@
+package exp
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"carbon/internal/orlib"
+	"carbon/internal/stats"
+)
+
+// tinySettings is the smallest meaningful protocol for integration tests.
+func tinySettings() Settings {
+	return Settings{
+		Classes:    []orlib.Class{{N: 60, M: 5}},
+		Runs:       3,
+		PopSize:    12,
+		ULEvals:    400,
+		LLEvals:    800,
+		PreySample: 2,
+		BaseSeed:   99,
+		FigPoints:  20,
+	}
+}
+
+func TestSettingsValidate(t *testing.T) {
+	good := tinySettings()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutate := []func(*Settings){
+		func(s *Settings) { s.Classes = nil },
+		func(s *Settings) { s.Runs = 0 },
+		func(s *Settings) { s.PopSize = 1 },
+		func(s *Settings) { s.ULEvals = 5 },
+		func(s *Settings) { s.PreySample = 0 },
+		func(s *Settings) { s.FigPoints = 1 },
+	}
+	for i, m := range mutate {
+		s := tinySettings()
+		m(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFullMatchesPaperProtocol(t *testing.T) {
+	s := Full()
+	if s.Runs != 30 {
+		t.Fatalf("Runs = %d, want the paper's 30", s.Runs)
+	}
+	if s.PopSize != 100 || s.ULEvals != 50000 || s.LLEvals != 50000 {
+		t.Fatalf("Table II budgets: %+v", s)
+	}
+	if len(s.Classes) != 9 {
+		t.Fatalf("classes = %d, want 9", len(s.Classes))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableIIDefaults(t *testing.T) {
+	// The configs the harness hands the algorithms must carry Table II's
+	// operator parameters regardless of scaling.
+	s := Quick()
+	cc := s.carbonConfig(1)
+	if cc.ULCrossoverProb != 0.85 || cc.ULMutationProb != 0.01 {
+		t.Fatalf("CARBON UL operators: %+v", cc)
+	}
+	if cc.LLCrossoverProb != 0.85 || cc.LLMutationProb != 0.10 || cc.LLReproProb != 0.05 {
+		t.Fatalf("CARBON GP operators: %+v", cc)
+	}
+	bc := s.cobraConfig(1)
+	if bc.ULCrossoverProb != 0.85 || bc.ULMutationProb != 0.01 || bc.LLCrossoverProb != 0.85 {
+		t.Fatalf("COBRA operators: %+v", bc)
+	}
+}
+
+func TestRunCell(t *testing.T) {
+	cell, err := RunCell(orlib.Class{N: 60, M: 5}, tinySettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Carbon) != 3 || len(cell.Cobra) != 3 {
+		t.Fatalf("run counts %d/%d", len(cell.Carbon), len(cell.Cobra))
+	}
+	for i, r := range cell.Carbon {
+		if r.GapPct < 0 || len(r.ULCurve.X) == 0 {
+			t.Fatalf("carbon run %d incomplete: %+v", i, r)
+		}
+	}
+	for i, r := range cell.Cobra {
+		if r.GapPct < 0 || len(r.ULCurve.X) == 0 {
+			t.Fatalf("cobra run %d incomplete: %+v", i, r)
+		}
+	}
+	if cell.PGap < 0 || cell.PGap > 1 || cell.PF < 0 || cell.PF > 1 {
+		t.Fatalf("p-values out of range: %v %v", cell.PGap, cell.PF)
+	}
+	if cell.CarbonGap.N != 3 {
+		t.Fatal("summaries not computed")
+	}
+}
+
+func TestRunCellDeterministic(t *testing.T) {
+	s := tinySettings()
+	s.Workers = 2
+	a, err := RunCell(orlib.Class{N: 60, M: 5}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(orlib.Class{N: 60, M: 5}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CarbonGap.Mean != b.CarbonGap.Mean || a.CobraF.Mean != b.CobraF.Mean {
+		t.Fatal("cell results not reproducible")
+	}
+}
+
+func TestTablesRenderAndShape(t *testing.T) {
+	s := tinySettings()
+	s.Classes = []orlib.Class{{N: 60, M: 5}, {N: 80, M: 10}}
+	tabs, err := RunTables(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3 := tabs.TableIII()
+	if !strings.Contains(t3, "TABLE III") || !strings.Contains(t3, "Average") {
+		t.Fatalf("Table III rendering:\n%s", t3)
+	}
+	if !strings.Contains(t3, "60") || !strings.Contains(t3, "80") {
+		t.Fatalf("class rows missing:\n%s", t3)
+	}
+	t4 := tabs.TableIV()
+	if !strings.Contains(t4, "TABLE IV") {
+		t.Fatalf("Table IV rendering:\n%s", t4)
+	}
+	csv := tabs.CSV()
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Fatalf("CSV rows:\n%s", csv)
+	}
+	shape := tabs.ShapeReport()
+	if !strings.Contains(shape, "/2 classes") {
+		t.Fatalf("shape report:\n%s", shape)
+	}
+}
+
+func TestRelaxationOrdering(t *testing.T) {
+	// Eq. 3's empirical claim: CARBON's LL answers sit between the LP
+	// bound and COBRA's (gap_carbon ≤ gap_cobra, both ≥ 0) — here on a
+	// small class with modest budgets.
+	s := tinySettings()
+	s.Runs = 3
+	s.ULEvals, s.LLEvals = 800, 1600
+	cell, err := RunCell(orlib.Class{N: 60, M: 5}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.CarbonGap.Mean < 0 || cell.CobraGap.Mean < 0 {
+		t.Fatalf("negative mean gaps: %v %v", cell.CarbonGap.Mean, cell.CobraGap.Mean)
+	}
+	if cell.CarbonGap.Mean > cell.CobraGap.Mean {
+		t.Fatalf("ordering violated: CARBON %v%% > COBRA %v%%",
+			cell.CarbonGap.Mean, cell.CobraGap.Mean)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	cell, err := RunCell(orlib.Class{N: 60, M: 5}, tinySettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4, fig5 := cell.Figures(20)
+	if fig4.Algo != "CARBON" || fig5.Algo != "COBRA" {
+		t.Fatal("figure labels wrong")
+	}
+	if len(fig4.UL.X) != 20 || len(fig5.Gap.X) != 20 {
+		t.Fatalf("grid sizes %d/%d", len(fig4.UL.X), len(fig5.Gap.X))
+	}
+	// CARBON's averaged archive curves stay monotone.
+	if m := stats.Monotonicity(fig4.UL.Y, +1); m < 1 {
+		t.Fatalf("averaged CARBON UL curve monotonicity %v", m)
+	}
+	if m := stats.Monotonicity(fig4.Gap.Y, -1); m < 1 {
+		t.Fatalf("averaged CARBON gap curve monotonicity %v", m)
+	}
+	csv := fig4.CSV()
+	if !strings.Contains(csv, "evals,best_F,best_gap") {
+		t.Fatalf("figure CSV:\n%s", csv)
+	}
+	art := fig4.ASCII(40, 8)
+	if !strings.Contains(art, "*") {
+		t.Fatalf("ASCII plot empty:\n%s", art)
+	}
+}
+
+func TestPlotASCIIEdgeCases(t *testing.T) {
+	if got := plotASCII(stats.Series{}, 40, 8); !strings.Contains(got, "no data") {
+		t.Fatal("empty series should say no data")
+	}
+	flat := stats.Series{X: []float64{0, 1}, Y: []float64{5, 5}}
+	if got := plotASCII(flat, 40, 8); !strings.Contains(got, "*") {
+		t.Fatal("flat series should still plot")
+	}
+}
+
+func TestRunTaxonomy(t *testing.T) {
+	s := tinySettings()
+	s.Runs = 2
+	tx, err := RunTaxonomy(orlib.Class{N: 60, M: 5}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Algos) != 6 {
+		t.Fatalf("%d architectures", len(tx.Algos))
+	}
+	names := map[string]bool{}
+	for _, a := range tx.Algos {
+		names[a.Name] = true
+		if a.Gap.N != 2 || a.Gap.Mean < 0 {
+			t.Fatalf("%s: bad gap summary %+v", a.Name, a.Gap)
+		}
+		if a.ULEvals.Mean <= 0 {
+			t.Fatalf("%s: no UL candidates recorded", a.Name)
+		}
+	}
+	for _, want := range []string{"CARBON", "COBRA", "BIGA~", "NESTED", "NESTED-G", "CODBA"} {
+		if !names[want] {
+			t.Fatalf("missing architecture %s", want)
+		}
+	}
+	out := tx.Render()
+	if !strings.Contains(out, "CARBON") || !strings.Contains(out, "UL candidates") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRunMultiCustomer(t *testing.T) {
+	s := tinySettings()
+	s.Runs = 2
+	mc, err := RunMultiCustomer(orlib.Class{N: 60, M: 5}, []int{1, 2}, 0.2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Rows) != 2 {
+		t.Fatalf("%d rows", len(mc.Rows))
+	}
+	for _, row := range mc.Rows {
+		if row.Gap.Mean < 0 || row.Revenue.Mean < 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	// Aggregate revenue should not shrink with more customers.
+	if mc.Rows[1].Revenue.Mean < mc.Rows[0].Revenue.Mean {
+		t.Fatalf("revenue shrank with customers: %v → %v",
+			mc.Rows[0].Revenue.Mean, mc.Rows[1].Revenue.Mean)
+	}
+	if !strings.Contains(mc.Render(), "customers") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFigureSVGWellFormed(t *testing.T) {
+	cell, err := RunCell(orlib.Class{N: 60, M: 5}, tinySettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4, fig5 := cell.Figures(15)
+	for _, svg := range []string{fig4.SVG(), fig5.SVG()} {
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, derr := dec.Token()
+			if derr != nil {
+				if derr.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("figure SVG not well-formed: %v", derr)
+			}
+		}
+		if !strings.Contains(svg, "polyline") {
+			t.Fatal("figure SVG has no curves")
+		}
+	}
+}

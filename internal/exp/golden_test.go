@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"carbon/internal/orlib"
+	"carbon/internal/stats"
+)
+
+// syntheticTables builds a deterministic two-cell sweep without running
+// any algorithm, so rendering can be compared against exact golden text.
+func syntheticTables() *Tables {
+	mk := func(cl orlib.Class, cGaps, bGaps, cFs, bFs []float64) *Cell {
+		c := &Cell{Class: cl}
+		for i := range cGaps {
+			c.Carbon = append(c.Carbon, RunData{GapPct: cGaps[i], Revenue: cFs[i]})
+			c.Cobra = append(c.Cobra, RunData{GapPct: bGaps[i], Revenue: bFs[i]})
+		}
+		c.CarbonGap = stats.Summarize(cGaps)
+		c.CobraGap = stats.Summarize(bGaps)
+		c.CarbonF = stats.Summarize(cFs)
+		c.CobraF = stats.Summarize(bFs)
+		c.PGap, c.PF = 0.025, 0.5
+		return c
+	}
+	return &Tables{Cells: []*Cell{
+		mk(orlib.Class{N: 100, M: 5},
+			[]float64{1, 2}, []float64{10, 12}, []float64{1000, 1100}, []float64{1500, 1700}),
+		mk(orlib.Class{N: 250, M: 10},
+			[]float64{0.5, 0.7}, []float64{25, 27}, []float64{2000, 2200}, []float64{3000, 3200}),
+	}}
+}
+
+func TestTableIIIGolden(t *testing.T) {
+	got := syntheticTables().TableIII()
+	want := strings.Join([]string{
+		"TABLE III: %-gap to LL optimality",
+		"# Variables  # Constraints        CARBON        COBRA     p(gap)",
+		"100          5                      1.50        11.00      0.025",
+		"250          10                     0.60        26.00      0.025",
+		"Average                             1.05        18.50",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("Table III golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestTableIVGolden(t *testing.T) {
+	got := syntheticTables().TableIV()
+	want := strings.Join([]string{
+		"TABLE IV: UL objective values",
+		"# Variables  # Constraints        CARBON        COBRA       p(F)",
+		"100          5                   1050.00      1600.00        0.5",
+		"250          10                  2100.00      3100.00        0.5",
+		"Average                          1575.00      2350.00",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("Table IV golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestCSVGolden(t *testing.T) {
+	got := syntheticTables().CSV()
+	wantFirst := "n,m,carbon_gap_mean,carbon_gap_std,cobra_gap_mean,cobra_gap_std," +
+		"carbon_F_mean,carbon_F_std,cobra_F_mean,cobra_F_std,p_gap,p_F"
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if lines[0] != wantFirst {
+		t.Fatalf("CSV header: %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "100,5,1.5000,") {
+		t.Fatalf("CSV row 1: %q", lines[1])
+	}
+}
+
+func TestShapeReportGolden(t *testing.T) {
+	got := syntheticTables().ShapeReport()
+	want := "shape: CARBON gap < COBRA gap on 2/2 classes\n" +
+		"shape: COBRA UL objective > CARBON (Eq. 3 over-estimation) on 2/2 classes\n"
+	if got != want {
+		t.Fatalf("shape golden mismatch:\n%s", got)
+	}
+}

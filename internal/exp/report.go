@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"carbon/internal/orlib"
+	"carbon/internal/stats"
+)
+
+// Report is the JSON-serializable form of a sweep: everything needed to
+// re-render tables, figures and significance tests without re-running
+// the experiments. cmd/blbench writes it with -json; downstream tooling
+// (or a later blbench invocation) reads it back with LoadReport.
+type Report struct {
+	Protocol ProtocolInfo `json:"protocol"`
+	Cells    []CellReport `json:"cells"`
+}
+
+// ProtocolInfo records the settings a sweep ran under.
+type ProtocolInfo struct {
+	Runs       int    `json:"runs"`
+	PopSize    int    `json:"pop_size"`
+	ULEvals    int    `json:"ul_evals"`
+	LLEvals    int    `json:"ll_evals"`
+	PreySample int    `json:"prey_sample"`
+	BaseSeed   uint64 `json:"base_seed"`
+}
+
+// CellReport is one class's serialized results.
+type CellReport struct {
+	N      int         `json:"n"`
+	M      int         `json:"m"`
+	Carbon []RunReport `json:"carbon"`
+	Cobra  []RunReport `json:"cobra"`
+	PGap   float64     `json:"p_gap"`
+	PF     float64     `json:"p_f"`
+}
+
+// RunReport is one run's serialized outcome, curves included.
+type RunReport struct {
+	GapPct  float64   `json:"gap_pct"`
+	Revenue float64   `json:"revenue"`
+	ULX     []float64 `json:"ul_x"`
+	ULY     []float64 `json:"ul_y"`
+	GapX    []float64 `json:"gap_x"`
+	GapY    []float64 `json:"gap_y"`
+}
+
+// BuildReport serializes a sweep.
+func BuildReport(s Settings, t *Tables) *Report {
+	rep := &Report{Protocol: ProtocolInfo{
+		Runs: s.Runs, PopSize: s.PopSize,
+		ULEvals: s.ULEvals, LLEvals: s.LLEvals,
+		PreySample: s.PreySample, BaseSeed: s.BaseSeed,
+	}}
+	for _, c := range t.Cells {
+		cr := CellReport{N: c.Class.N, M: c.Class.M, PGap: c.PGap, PF: c.PF}
+		for _, r := range c.Carbon {
+			cr.Carbon = append(cr.Carbon, runReport(r))
+		}
+		for _, r := range c.Cobra {
+			cr.Cobra = append(cr.Cobra, runReport(r))
+		}
+		rep.Cells = append(rep.Cells, cr)
+	}
+	return rep
+}
+
+func runReport(r RunData) RunReport {
+	return RunReport{
+		GapPct: r.GapPct, Revenue: r.Revenue,
+		ULX: r.ULCurve.X, ULY: r.ULCurve.Y,
+		GapX: r.GapCurve.X, GapY: r.GapCurve.Y,
+	}
+}
+
+// Write emits the report as indented JSON.
+func (rep *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// LoadReport parses a report written by Write.
+func LoadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("exp: parsing report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Tables reconstructs the in-memory sweep from a report so every
+// renderer (TableIII, TableIV, Figures, ShapeReport) works on loaded
+// data exactly as on fresh runs.
+func (rep *Report) Tables() (*Tables, error) {
+	t := &Tables{}
+	for _, cr := range rep.Cells {
+		if len(cr.Carbon) == 0 || len(cr.Cobra) == 0 {
+			return nil, fmt.Errorf("exp: cell n=%d m=%d has empty run lists", cr.N, cr.M)
+		}
+		cell := &Cell{Class: orlib.Class{N: cr.N, M: cr.M}, PGap: cr.PGap, PF: cr.PF}
+		for _, r := range cr.Carbon {
+			cell.Carbon = append(cell.Carbon, runData(r))
+		}
+		for _, r := range cr.Cobra {
+			cell.Cobra = append(cell.Cobra, runData(r))
+		}
+		cgaps, cfs := extract(cell.Carbon)
+		bgaps, bfs := extract(cell.Cobra)
+		cell.CarbonGap = stats.Summarize(cgaps)
+		cell.CobraGap = stats.Summarize(bgaps)
+		cell.CarbonF = stats.Summarize(cfs)
+		cell.CobraF = stats.Summarize(bfs)
+		t.Cells = append(t.Cells, cell)
+	}
+	return t, nil
+}
+
+func runData(r RunReport) RunData {
+	return RunData{
+		GapPct: r.GapPct, Revenue: r.Revenue,
+		ULCurve:  stats.Series{X: r.ULX, Y: r.ULY},
+		GapCurve: stats.Series{X: r.GapX, Y: r.GapY},
+	}
+}

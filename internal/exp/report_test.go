@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"carbon/internal/orlib"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	s := tinySettings()
+	tabs, err := RunTables(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(s, tabs)
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Protocol.Runs != s.Runs || loaded.Protocol.BaseSeed != s.BaseSeed {
+		t.Fatalf("protocol changed: %+v", loaded.Protocol)
+	}
+	back, err := loaded.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(tabs.Cells) {
+		t.Fatalf("cell count %d", len(back.Cells))
+	}
+	for i, c := range tabs.Cells {
+		b := back.Cells[i]
+		if c.Class != b.Class {
+			t.Fatal("class changed")
+		}
+		if math.Abs(c.CarbonGap.Mean-b.CarbonGap.Mean) > 1e-12 {
+			t.Fatalf("carbon gap mean changed: %v vs %v", c.CarbonGap.Mean, b.CarbonGap.Mean)
+		}
+		if math.Abs(c.CobraF.Mean-b.CobraF.Mean) > 1e-12 {
+			t.Fatal("cobra F mean changed")
+		}
+		if c.PGap != b.PGap {
+			t.Fatal("p-value changed")
+		}
+	}
+	// Renderers must produce identical tables from loaded data.
+	if tabs.TableIII() != back.TableIII() {
+		t.Fatal("Table III differs after round trip")
+	}
+	if tabs.TableIV() != back.TableIV() {
+		t.Fatal("Table IV differs after round trip")
+	}
+	// Figures from loaded curves match too.
+	f4a, f5a := tabs.Cells[0].Figures(10)
+	f4b, f5b := back.Cells[0].Figures(10)
+	for i := range f4a.UL.Y {
+		if f4a.UL.Y[i] != f4b.UL.Y[i] || f5a.Gap.Y[i] != f5b.Gap.Y[i] {
+			t.Fatal("figure curves differ after round trip")
+		}
+	}
+}
+
+func TestLoadReportErrors(t *testing.T) {
+	if _, err := LoadReport(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	empty := &Report{Cells: []CellReport{{N: 10, M: 2}}}
+	if _, err := empty.Tables(); err == nil {
+		t.Fatal("empty cell accepted")
+	}
+}
+
+func TestReportClassesPreserved(t *testing.T) {
+	rep := &Report{Cells: []CellReport{{
+		N: 100, M: 5,
+		Carbon: []RunReport{{GapPct: 1, Revenue: 10}},
+		Cobra:  []RunReport{{GapPct: 9, Revenue: 20}},
+	}}}
+	tabs, err := rep.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabs.Cells[0].Class != (orlib.Class{N: 100, M: 5}) {
+		t.Fatalf("class %v", tabs.Cells[0].Class)
+	}
+	if tabs.Cells[0].CarbonGap.Mean != 1 || tabs.Cells[0].CobraGap.Mean != 9 {
+		t.Fatal("summaries wrong")
+	}
+}

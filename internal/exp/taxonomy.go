@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/cobra"
+	"carbon/internal/codba"
+	"carbon/internal/core"
+	"carbon/internal/nested"
+	"carbon/internal/orlib"
+	"carbon/internal/par"
+	"carbon/internal/stats"
+)
+
+// AlgoResult is one architecture's sample over the taxonomy runs.
+type AlgoResult struct {
+	Name    string
+	Gap     stats.Summary
+	F       stats.Summary
+	ULEvals stats.Summary // upper-level candidates afforded by the budget
+}
+
+// Taxonomy is the §III architecture comparison: the four implemented
+// bi-level strategies raced on one class under equal budgets, with a
+// Friedman omnibus test and Nemenyi critical distance over the per-run
+// gap rankings (the standard multi-algorithm comparison methodology,
+// Demšar 2006).
+type Taxonomy struct {
+	Class     orlib.Class
+	Algos     []AlgoResult
+	Chi2      float64   // Friedman statistic over gap ranks
+	PValue    float64   // omnibus p-value
+	MeanRanks []float64 // per-algorithm mean gap rank (1 = best)
+	NemenyiCD float64   // critical mean-rank distance at α = 0.05
+}
+
+// taxonomyAlgos enumerates the architectures; each run function returns
+// (gap%, F, ulEvals).
+func (s *Settings) taxonomyAlgos() []struct {
+	name string
+	run  func(cl orlib.Class, seed uint64) (float64, float64, int, error)
+} {
+	return []struct {
+		name string
+		run  func(cl orlib.Class, seed uint64) (float64, float64, int, error)
+	}{
+		{"CARBON", func(cl orlib.Class, seed uint64) (float64, float64, int, error) {
+			mk, err := marketFor(cl, s.InstanceIndex)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			res, err := core.Run(mk, s.carbonConfig(seed))
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.Best.GapPct, res.Best.Revenue, res.ULEvals, nil
+		}},
+		{"COBRA", func(cl orlib.Class, seed uint64) (float64, float64, int, error) {
+			mk, err := marketFor(cl, s.InstanceIndex)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			res, err := cobra.Run(mk, s.cobraConfig(seed))
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.BestGapPct, res.BestRevenue, res.ULEvals, nil
+		}},
+		{"NESTED", func(cl orlib.Class, seed uint64) (float64, float64, int, error) {
+			mk, err := marketFor(cl, s.InstanceIndex)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cfg := nested.DefaultConfig()
+			cfg.Seed = seed
+			cfg.PopSize, cfg.ArchiveSize = s.PopSize, s.PopSize
+			cfg.ULEvalBudget, cfg.LLEvalBudget = s.ULEvals, s.LLEvals
+			cfg.Workers = 1
+			res, err := nested.Run(mk, cfg)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.BestGapPct, res.BestRevenue, res.ULEvals, nil
+		}},
+		{"NESTED-G", func(cl orlib.Class, seed uint64) (float64, float64, int, error) {
+			// The nested GA with GRASP multistart at the lower level:
+			// better per-candidate answers than Chvátal, at 5 LL
+			// evaluations per UL candidate.
+			mk, err := marketFor(cl, s.InstanceIndex)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cfg := nested.DefaultConfig()
+			cfg.Seed = seed
+			cfg.PopSize, cfg.ArchiveSize = s.PopSize, s.PopSize
+			cfg.ULEvalBudget, cfg.LLEvalBudget = s.ULEvals, s.LLEvals
+			cfg.GraspStarts, cfg.GraspAlpha = 5, 0.2
+			cfg.Workers = 1
+			res, err := nested.Run(mk, cfg)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.BestGapPct, res.BestRevenue, res.ULEvals, nil
+		}},
+		{"BIGA~", func(cl orlib.Class, seed uint64) (float64, float64, int, error) {
+			// BIGA (Oduguwa & Roy 2002) is COBRA's ancestor; per the
+			// paper's §III, COBRA differs mainly by its independent
+			// improvement phases, so PhaseGens=1 approximates BIGA's
+			// per-generation alternation (hence the tilde).
+			mk, err := marketFor(cl, s.InstanceIndex)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cfg := s.cobraConfig(seed)
+			cfg.PhaseGens = 1
+			res, err := cobra.Run(mk, cfg)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.BestGapPct, res.BestRevenue, res.ULEvals, nil
+		}},
+		{"CODBA", func(cl orlib.Class, seed uint64) (float64, float64, int, error) {
+			mk, err := marketFor(cl, s.InstanceIndex)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cfg := codba.DefaultConfig()
+			cfg.Seed = seed
+			cfg.ULPopSize, cfg.ULArchiveSize = s.PopSize, s.PopSize
+			cfg.LLArchiveSize = s.PopSize
+			cfg.SubPopSize, cfg.SubGens = 5, 3
+			cfg.ULEvalBudget, cfg.LLEvalBudget = s.ULEvals, s.LLEvals
+			cfg.Workers = 1
+			res, err := codba.Run(mk, cfg)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.BestGapPct, res.BestRevenue, res.ULEvals, nil
+		}},
+	}
+}
+
+// marketFor builds the class market. Markets hold no mutable state
+// shared between runs (every run builds its own evaluators), so
+// rebuilding per run merely keeps the run functions self-contained.
+func marketFor(cl orlib.Class, index int) (*bcpop.Market, error) {
+	return bcpop.NewMarketFromClass(cl, index)
+}
+
+// RunTaxonomy races all four architectures on one class with Runs
+// repetitions each, in parallel.
+func RunTaxonomy(cl orlib.Class, s Settings) (*Taxonomy, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	algos := s.taxonomyAlgos()
+	nAlgo := len(algos)
+	gaps := make([][]float64, nAlgo)
+	fs := make([][]float64, nAlgo)
+	uls := make([][]float64, nAlgo)
+	for a := range algos {
+		gaps[a] = make([]float64, s.Runs)
+		fs[a] = make([]float64, s.Runs)
+		uls[a] = make([]float64, s.Runs)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	par.ForEach(nAlgo*s.Runs, s.Workers, func(i int) {
+		a, run := i/s.Runs, i%s.Runs
+		seed := s.BaseSeed + uint64(run)*7919 + uint64(a)*13
+		gap, f, ul, err := algos[a].run(cl, seed)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		gaps[a][run], fs[a][run], uls[a][run] = gap, f, float64(ul)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	tx := &Taxonomy{Class: cl}
+	for a, algo := range algos {
+		tx.Algos = append(tx.Algos, AlgoResult{
+			Name:    algo.name,
+			Gap:     stats.Summarize(gaps[a]),
+			F:       stats.Summarize(fs[a]),
+			ULEvals: stats.Summarize(uls[a]),
+		})
+	}
+	if s.Runs >= 2 {
+		// Blocks = runs, treatments = algorithms, measurement = gap.
+		blocks := make([][]float64, s.Runs)
+		for run := 0; run < s.Runs; run++ {
+			row := make([]float64, nAlgo)
+			for a := 0; a < nAlgo; a++ {
+				row[a] = gaps[a][run]
+			}
+			blocks[run] = row
+		}
+		chi2, p, ranks, err := stats.Friedman(blocks)
+		if err == nil {
+			tx.Chi2, tx.PValue, tx.MeanRanks = chi2, p, ranks
+			if cd, err := stats.NemenyiCD(nAlgo, s.Runs, 0.05); err == nil {
+				tx.NemenyiCD = cd
+			}
+		}
+	}
+	return tx, nil
+}
+
+// Render prints the taxonomy comparison as a text table.
+func (tx *Taxonomy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bi-level architecture comparison on %v (equal budgets)\n", tx.Class)
+	fmt.Fprintf(&b, "%-8s %12s %12s %14s %14s\n",
+		"algo", "gap% (mean)", "gap% (std)", "F (mean)", "UL candidates")
+	for i, a := range tx.Algos {
+		rank := ""
+		if i < len(tx.MeanRanks) {
+			rank = fmt.Sprintf("  rank %.2f", tx.MeanRanks[i])
+		}
+		fmt.Fprintf(&b, "%-8s %12.2f %12.2f %14.2f %14.0f%s\n",
+			a.Name, a.Gap.Mean, a.Gap.Std, a.F.Mean, a.ULEvals.Mean, rank)
+	}
+	if tx.MeanRanks != nil {
+		fmt.Fprintf(&b, "Friedman over gap ranks: chi2=%.2f, p=%.3g; Nemenyi CD(0.05)=%.2f\n",
+			tx.Chi2, tx.PValue, tx.NemenyiCD)
+	}
+	return b.String()
+}

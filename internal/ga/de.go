@@ -1,0 +1,45 @@
+package ga
+
+import "carbon/internal/rng"
+
+// DEBest1Bin produces one differential-evolution trial vector with the
+// DE/best/1/bin scheme: the population best perturbed by a scaled
+// difference of two distinct random members, crossed binomially with the
+// target at rate cr (one gene always comes from the mutant). The result
+// is clamped to the bounds.
+//
+// This is offered as an alternative upper-level *variation* operator
+// (core.Config.ULVariation = "de"): the related work the paper surveys
+// includes DE-based bi-level solvers (Koh's repairing approach), and the
+// ablation benchmark compares it against Table II's SBX suite under the
+// same generational loop.
+func DEBest1Bin(r *rng.Rand, pop [][]float64, bestIdx, targetIdx int,
+	f, cr float64, bounds Bounds) []float64 {
+
+	n := len(pop[targetIdx])
+	trial := append([]float64(nil), pop[targetIdx]...)
+	if len(pop) < 4 {
+		// Too few members for distinct difference vectors: return a
+		// clamped copy of the best.
+		copy(trial, pop[bestIdx])
+		bounds.Clamp(trial)
+		return trial
+	}
+	// Two distinct members different from target and best.
+	r1 := r.Intn(len(pop))
+	for r1 == targetIdx || r1 == bestIdx {
+		r1 = r.Intn(len(pop))
+	}
+	r2 := r.Intn(len(pop))
+	for r2 == targetIdx || r2 == bestIdx || r2 == r1 {
+		r2 = r.Intn(len(pop))
+	}
+	jrand := r.Intn(n)
+	for j := 0; j < n; j++ {
+		if j == jrand || r.Bool(cr) {
+			trial[j] = pop[bestIdx][j] + f*(pop[r1][j]-pop[r2][j])
+		}
+	}
+	bounds.Clamp(trial)
+	return trial
+}

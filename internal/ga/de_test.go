@@ -1,0 +1,137 @@
+package ga
+
+import (
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func dePop(r *rng.Rand, n, dim int, b Bounds) [][]float64 {
+	pop := make([][]float64, n)
+	for i := range pop {
+		pop[i] = b.RandomVector(r)
+	}
+	return pop
+}
+
+func TestDEBest1BinStaysInBounds(t *testing.T) {
+	r := rng.New(61)
+	b := unitBounds(12)
+	pop := dePop(r, 20, 12, b)
+	for trial := 0; trial < 500; trial++ {
+		trialVec := DEBest1Bin(r, pop, trial%20, (trial+3)%20, 0.8, 0.9, b)
+		for j, v := range trialVec {
+			if v < 0 || v > 1 {
+				t.Fatalf("gene %d = %v out of bounds", j, v)
+			}
+		}
+	}
+}
+
+func TestDEBest1BinAlwaysInheritsFromMutant(t *testing.T) {
+	// With cr=0 exactly one gene (jrand) still comes from the mutant, so
+	// the trial usually differs from the target.
+	r := rng.New(63)
+	b := unitBounds(8)
+	pop := dePop(r, 10, 8, b)
+	diffs := 0
+	for trial := 0; trial < 200; trial++ {
+		target := trial % 10
+		got := DEBest1Bin(r, pop, 0, target, 0.7, 0, b)
+		for j := range got {
+			if got[j] != pop[target][j] {
+				diffs++
+				break
+			}
+		}
+	}
+	if diffs < 150 {
+		t.Fatalf("trials identical to target too often: %d/200 differed", diffs)
+	}
+}
+
+func TestDEBest1BinDoesNotMutatePopulation(t *testing.T) {
+	r := rng.New(65)
+	b := unitBounds(6)
+	pop := dePop(r, 8, 6, b)
+	snap := make([][]float64, len(pop))
+	for i := range pop {
+		snap[i] = append([]float64(nil), pop[i]...)
+	}
+	for trial := 0; trial < 100; trial++ {
+		DEBest1Bin(r, pop, trial%8, (trial+1)%8, 0.5, 0.9, b)
+	}
+	for i := range pop {
+		for j := range pop[i] {
+			if pop[i][j] != snap[i][j] {
+				t.Fatal("DE mutated the population")
+			}
+		}
+	}
+}
+
+func TestDEBest1BinTinyPopulation(t *testing.T) {
+	r := rng.New(67)
+	b := unitBounds(4)
+	pop := dePop(r, 3, 4, b) // below the 4-member minimum
+	got := DEBest1Bin(r, pop, 0, 1, 0.5, 0.9, b)
+	for j := range got {
+		if got[j] != pop[0][j] {
+			t.Fatal("tiny population should fall back to the best member")
+		}
+	}
+}
+
+func TestDEConvergesOnSphere(t *testing.T) {
+	// A pure-DE loop must reliably descend the sphere function — sanity
+	// that the operator actually optimizes.
+	r := rng.New(69)
+	dim := 6
+	lo := make([]float64, dim)
+	up := make([]float64, dim)
+	for j := range lo {
+		lo[j], up[j] = -5, 5
+	}
+	b := Bounds{Lo: lo, Up: up}
+	pop := dePop(r, 24, dim, b)
+	cost := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x * x
+		}
+		return s
+	}
+	fit := make([]float64, len(pop))
+	for i := range pop {
+		fit[i] = cost(pop[i])
+	}
+	best := func() int {
+		b := 0
+		for i := range fit {
+			if fit[i] < fit[b] {
+				b = i
+			}
+		}
+		return b
+	}
+	start := fit[best()]
+	for gen := 0; gen < 200; gen++ {
+		bi := best()
+		for i := range pop {
+			trial := DEBest1Bin(r, pop, bi, i, 0.5, 0.9, b)
+			if c := cost(trial); c < fit[i] {
+				pop[i], fit[i] = trial, c
+			}
+		}
+	}
+	end := fit[best()]
+	// DE/best/1 collapses population diversity once everyone clusters
+	// around the incumbent (difference vectors shrink to zero), so a
+	// stand-alone loop stalls at a small residual rather than converging
+	// to machine precision; inside CARBON the polynomial-mutation path
+	// replenishes diversity. A 25× reduction demonstrates the operator
+	// optimizes.
+	if end > start/25 {
+		t.Fatalf("DE failed to optimize: %v → %v", start, end)
+	}
+}

@@ -1,0 +1,215 @@
+// Package ga provides the real-coded and binary genetic-algorithm
+// operators named in the paper's Table II: simulated binary crossover
+// (SBX) and polynomial mutation for the continuous upper-level encoding,
+// two-point crossover and swap mutation for COBRA's binary lower-level
+// encoding, and binary tournament selection for both.
+//
+// All operators take explicit bounds and an explicit *rng.Rand; they
+// never mutate their inputs unless the name says so (the *InPlace
+// variants), which keeps population bookkeeping in the evolutionary
+// loops easy to reason about.
+package ga
+
+import (
+	"fmt"
+	"math"
+
+	"carbon/internal/rng"
+)
+
+// Bounds are per-gene inclusive box constraints for real vectors.
+type Bounds struct {
+	Lo []float64
+	Up []float64
+}
+
+// Validate checks the bounds are well formed for dimension n.
+func (b Bounds) Validate(n int) error {
+	if len(b.Lo) != n || len(b.Up) != n {
+		return fmt.Errorf("ga: bounds dimension %d/%d, want %d", len(b.Lo), len(b.Up), n)
+	}
+	for i := range b.Lo {
+		if math.IsNaN(b.Lo[i]) || math.IsNaN(b.Up[i]) || b.Up[i] < b.Lo[i] {
+			return fmt.Errorf("ga: bad bounds [%v,%v] at gene %d", b.Lo[i], b.Up[i], i)
+		}
+	}
+	return nil
+}
+
+// Clamp projects v onto the bounds in place.
+func (b Bounds) Clamp(v []float64) {
+	for i := range v {
+		if v[i] < b.Lo[i] {
+			v[i] = b.Lo[i]
+		} else if v[i] > b.Up[i] {
+			v[i] = b.Up[i]
+		}
+	}
+}
+
+// RandomVector samples a uniform vector inside the bounds.
+func (b Bounds) RandomVector(r *rng.Rand) []float64 {
+	v := make([]float64, len(b.Lo))
+	for i := range v {
+		v[i] = r.Range(b.Lo[i], b.Up[i])
+		if b.Lo[i] == b.Up[i] {
+			v[i] = b.Lo[i]
+		}
+	}
+	return v
+}
+
+// SBX performs simulated binary crossover (Deb & Agrawal) with
+// distribution index eta, returning two fresh children. Genes cross with
+// probability 0.5 each, the conventional per-variable rate; bounds are
+// respected by the bounded-SBX spread calculation.
+func SBX(r *rng.Rand, a, b []float64, bounds Bounds, eta float64) ([]float64, []float64) {
+	n := len(a)
+	c1 := append([]float64(nil), a...)
+	c2 := append([]float64(nil), b...)
+	for i := 0; i < n; i++ {
+		if !r.Bool(0.5) {
+			continue
+		}
+		x1, x2 := a[i], b[i]
+		if math.Abs(x1-x2) < 1e-14 {
+			continue
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		lo, up := bounds.Lo[i], bounds.Up[i]
+		u := r.Float64()
+
+		// Bounded SBX: the spread factor is truncated so children stay
+		// inside [lo, up].
+		spread := func(bound float64) float64 {
+			alpha := 2 - math.Pow(bound, -(eta+1))
+			if u <= 1/alpha {
+				return math.Pow(u*alpha, 1/(eta+1))
+			}
+			return math.Pow(1/(2-u*alpha), 1/(eta+1))
+		}
+		delta := x2 - x1
+		beta1 := 1 + 2*(x1-lo)/delta
+		beta2 := 1 + 2*(up-x2)/delta
+		bq1 := spread(beta1)
+		bq2 := spread(beta2)
+		y1 := 0.5 * ((x1 + x2) - bq1*delta)
+		y2 := 0.5 * ((x1 + x2) + bq2*delta)
+		if y1 < lo {
+			y1 = lo
+		}
+		if y2 > up {
+			y2 = up
+		}
+		if r.Bool(0.5) {
+			y1, y2 = y2, y1
+		}
+		c1[i], c2[i] = y1, y2
+	}
+	return c1, c2
+}
+
+// PolynomialMutateInPlace applies Deb's polynomial mutation with
+// distribution index eta; each gene mutates with probability pm.
+func PolynomialMutateInPlace(r *rng.Rand, v []float64, bounds Bounds, eta, pm float64) {
+	for i := range v {
+		if !r.Bool(pm) {
+			continue
+		}
+		lo, up := bounds.Lo[i], bounds.Up[i]
+		span := up - lo
+		if span <= 0 {
+			continue
+		}
+		x := v[i]
+		d1 := (x - lo) / span
+		d2 := (up - x) / span
+		u := r.Float64()
+		var deltaq float64
+		if u < 0.5 {
+			bl := 2*u + (1-2*u)*math.Pow(1-d1, eta+1)
+			deltaq = math.Pow(bl, 1/(eta+1)) - 1
+		} else {
+			bu := 2*(1-u) + 2*(u-0.5)*math.Pow(1-d2, eta+1)
+			deltaq = 1 - math.Pow(bu, 1/(eta+1))
+		}
+		x += deltaq * span
+		if x < lo {
+			x = lo
+		} else if x > up {
+			x = up
+		}
+		v[i] = x
+	}
+}
+
+// BinaryTournament returns the index of the winner of a size-2
+// tournament: two distinct uniform candidates compared by better(i, j)
+// (true when i beats j). With a single candidate it returns 0.
+func BinaryTournament(r *rng.Rand, n int, better func(i, j int) bool) int {
+	if n <= 0 {
+		panic("ga: tournament over empty population")
+	}
+	if n == 1 {
+		return 0
+	}
+	i := r.Intn(n)
+	j := r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	if better(i, j) {
+		return i
+	}
+	return j
+}
+
+// Tournament returns the winner of a size-k tournament with replacement.
+func Tournament(r *rng.Rand, n, k int, better func(i, j int) bool) int {
+	if n <= 0 {
+		panic("ga: tournament over empty population")
+	}
+	if k < 1 {
+		k = 1
+	}
+	best := r.Intn(n)
+	for t := 1; t < k; t++ {
+		c := r.Intn(n)
+		if better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// TwoPointCrossover performs classic two-point crossover on binary
+// strings (COBRA's LL crossover), returning fresh children.
+func TwoPointCrossover(r *rng.Rand, a, b []bool) ([]bool, []bool) {
+	n := len(a)
+	c1 := append([]bool(nil), a...)
+	c2 := append([]bool(nil), b...)
+	if n < 2 {
+		return c1, c2
+	}
+	p1 := r.Intn(n)
+	p2 := r.Intn(n)
+	if p1 > p2 {
+		p1, p2 = p2, p1
+	}
+	for i := p1; i < p2; i++ {
+		c1[i], c2[i] = c2[i], c1[i]
+	}
+	return c1, c2
+}
+
+// SwapMutateInPlace flips each bit with probability pm (the paper's
+// "(GA) swap" LL mutation at rate 1/#variables).
+func SwapMutateInPlace(r *rng.Rand, v []bool, pm float64) {
+	for i := range v {
+		if r.Bool(pm) {
+			v[i] = !v[i]
+		}
+	}
+}

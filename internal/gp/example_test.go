@@ -1,0 +1,37 @@
+package gp_test
+
+import (
+	"fmt"
+
+	"carbon/internal/gp"
+)
+
+// Build the paper's Table I language, parse a hand-written scoring
+// function, evaluate it against one (item, service) feature vector and
+// simplify a redundant expression.
+func Example() {
+	set := &gp.Set{
+		Ops:   gp.TableIOps(),
+		Terms: []string{"c", "q", "b", "d", "xbar"},
+	}
+	// The LP-guided ordering: dual-weighted coverage per unit cost.
+	tree := gp.MustParse(set, "(% (* q d) c)")
+	env := []float64{4, 2, 10, 3, 0.5} // c=4, q=2, b=10, d=3, x̄=0.5
+	fmt.Printf("score contribution: %.2f\n", tree.Eval(set, env))
+
+	messy := gp.MustParse(set, "(+ (- c c) (* q (% d d)))")
+	fmt.Printf("simplified: %s\n", gp.Simplify(set, messy).String(set))
+	// Output:
+	// score contribution: 1.50
+	// simplified: q
+}
+
+// Protected operators keep every expression total: division and modulo
+// by (near-)zero return 1 instead of NaN/Inf.
+func Example_protectedDivision() {
+	set := &gp.Set{Ops: gp.TableIOps(), Terms: []string{"x", "y"}}
+	tree := gp.MustParse(set, "(% x y)")
+	fmt.Println(tree.Eval(set, []float64{7, 0}))
+	// Output:
+	// 1
+}

@@ -1,0 +1,52 @@
+package gp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the S-expression parser: arbitrary input must never
+// panic, and whenever it parses, the tree must Check, print, and
+// re-parse to an equal tree.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"c", "(+ c q)", "(% b (- c c))", "(mod x d)",
+		"(+ (* c q) (% d x))", "((", "))", "(+ c", "2.5", "(- a -3)",
+		"(+ 1e308 1e308)", "(", "", "()", "(+ () c)", "(unknown c q)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	set := &Set{Ops: TableIOps(), Terms: []string{"c", "q", "b", "d", "x"},
+		ConstProb: 0.2, ConstMin: -5, ConstMax: 5}
+	env := []float64{1, 2, 3, 4, 5}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse(set, src)
+		if err != nil {
+			return
+		}
+		if err := tr.Check(set); err != nil {
+			t.Fatalf("parsed tree fails Check: %v (input %q)", err, src)
+		}
+		if tr.Size() > evalStackSize {
+			return
+		}
+		_ = tr.Eval(set, env)
+		printed := tr.String(set)
+		again, err := Parse(set, printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", printed, err)
+		}
+		if !again.Equal(tr) {
+			t.Fatalf("round trip changed %q → %q", src, printed)
+		}
+		// Simplification must keep validity on anything parseable.
+		simp := Simplify(set, tr)
+		if err := simp.Check(set); err != nil {
+			t.Fatalf("Simplify broke tree from %q: %v", src, err)
+		}
+		if strings.Contains(printed, "NaN") {
+			t.Fatalf("printed NaN constant from %q", src)
+		}
+	})
+}

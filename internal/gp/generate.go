@@ -1,0 +1,181 @@
+package gp
+
+import (
+	"fmt"
+
+	"carbon/internal/rng"
+)
+
+// Limits bound tree growth during generation and breeding. The defaults
+// follow Koza's conventions (max depth 17) with a size cap that keeps
+// evaluation stack-allocated.
+type Limits struct {
+	MaxDepth int // maximum height after any operator
+	MaxSize  int // maximum node count after any operator
+}
+
+const maxDepthHard = 17
+
+// DefaultLimits are the limits used throughout the paper reproduction.
+func DefaultLimits() Limits { return Limits{MaxDepth: maxDepthHard, MaxSize: 256} }
+
+func (l Limits) normalized() Limits {
+	if l.MaxDepth <= 0 {
+		l.MaxDepth = maxDepthHard
+	}
+	if l.MaxSize <= 0 {
+		l.MaxSize = 256
+	}
+	if l.MaxSize > evalStackSize {
+		l.MaxSize = evalStackSize
+	}
+	return l
+}
+
+// Full generates a tree where every leaf sits at exactly depth `depth`
+// (Koza's "full" method).
+func (s *Set) Full(r *rng.Rand, depth int) Tree {
+	var t Tree
+	s.generate(r, &t, depth, true)
+	return t
+}
+
+// Grow generates a tree where branches may terminate early (Koza's
+// "grow" method): at interior depths a node is a terminal with
+// probability proportional to the terminal share of the primitive set.
+func (s *Set) Grow(r *rng.Rand, depth int) Tree {
+	var t Tree
+	s.generate(r, &t, depth, false)
+	return t
+}
+
+// randomLeaf draws a leaf: an ERC with probability ConstProb, otherwise
+// a uniform named terminal.
+func (s *Set) randomLeaf(r *rng.Rand) node {
+	if s.ConstProb > 0 && r.Bool(s.ConstProb) {
+		return node{kind: kConst, val: r.Range(s.ConstMin, s.ConstMax)}
+	}
+	return node{kind: kTerm, idx: uint8(r.Intn(len(s.Terms)))}
+}
+
+func (s *Set) generate(r *rng.Rand, t *Tree, depth int, full bool) {
+	if depth <= 0 {
+		t.nodes = append(t.nodes, s.randomLeaf(r))
+		return
+	}
+	pickOp := true
+	if !full {
+		// Grow: terminal probability = |T| / (|T| + |O|), DEAP's rule.
+		total := len(s.Terms) + len(s.Ops)
+		pickOp = r.Intn(total) >= len(s.Terms)
+	}
+	if !pickOp {
+		t.nodes = append(t.nodes, s.randomLeaf(r))
+		return
+	}
+	opIdx := r.Intn(len(s.Ops))
+	t.nodes = append(t.nodes, node{idx: uint8(opIdx)})
+	for k := 0; k < s.Ops[opIdx].Arity; k++ {
+		s.generate(r, t, depth-1, full)
+	}
+}
+
+// Ramped generates a tree by ramped half-and-half: a uniform depth in
+// [minDepth, maxDepth] and a coin flip between Full and Grow. It is the
+// standard GP initialization (used for the paper's LL population).
+func (s *Set) Ramped(r *rng.Rand, minDepth, maxDepth int) Tree {
+	if minDepth < 0 || maxDepth < minDepth {
+		panic(fmt.Sprintf("gp: bad ramp [%d,%d]", minDepth, maxDepth))
+	}
+	d := r.IntRange(minDepth, maxDepth)
+	if r.Bool(0.5) {
+		return s.Full(r, d)
+	}
+	return s.Grow(r, d)
+}
+
+// RandomSubtreeIndex picks a uniform node index; with probability 0.9 it
+// restricts the choice to interior nodes when any exist (Koza's 90/10
+// node-selection bias, which avoids degenerate leaf-only crossover).
+func (t Tree) RandomSubtreeIndex(r *rng.Rand, s *Set) int {
+	if len(t.nodes) == 1 {
+		return 0
+	}
+	if r.Bool(0.9) {
+		interior := 0
+		for _, n := range t.nodes {
+			if !n.leaf() {
+				interior++
+			}
+		}
+		if interior > 0 {
+			k := r.Intn(interior)
+			for i, n := range t.nodes {
+				if !n.leaf() {
+					if k == 0 {
+						return i
+					}
+					k--
+				}
+			}
+		}
+	}
+	return r.Intn(len(t.nodes))
+}
+
+// OnePointCrossover swaps a random subtree of a with a random subtree of
+// b (the paper's "(GP) One-point" crossover, GP subtree exchange). If an
+// offspring would exceed the limits, the corresponding parent is
+// returned unchanged instead — the standard static-limit policy.
+func OnePointCrossover(r *rng.Rand, s *Set, a, b Tree, lim Limits) (Tree, Tree) {
+	lim = lim.normalized()
+	ia := a.RandomSubtreeIndex(r, s)
+	ib := b.RandomSubtreeIndex(r, s)
+	ea := a.spanEnd(s, ia)
+	eb := b.spanEnd(s, ib)
+
+	childA := spliceTree(a, ia, ea, b.nodes[ib:eb])
+	childB := spliceTree(b, ib, eb, a.nodes[ia:ea])
+	if childA.Size() > lim.MaxSize || childA.Depth(s) > lim.MaxDepth {
+		childA = a.Clone()
+	}
+	if childB.Size() > lim.MaxSize || childB.Depth(s) > lim.MaxDepth {
+		childB = b.Clone()
+	}
+	return childA, childB
+}
+
+// spliceTree returns base with base[lo:hi] replaced by repl.
+func spliceTree(base Tree, lo, hi int, repl []node) Tree {
+	out := make([]node, 0, len(base.nodes)-(hi-lo)+len(repl))
+	out = append(out, base.nodes[:lo]...)
+	out = append(out, repl...)
+	out = append(out, base.nodes[hi:]...)
+	return Tree{nodes: out}
+}
+
+// UniformMutate replaces a uniformly chosen subtree with a fresh Grow
+// tree of depth up to `growDepth` (the paper's "(GP) uniform" mutation).
+// The limit policy matches crossover: an oversized child collapses back
+// to a copy of the parent.
+func UniformMutate(r *rng.Rand, s *Set, t Tree, growDepth int, lim Limits) Tree {
+	lim = lim.normalized()
+	i := r.Intn(t.Size())
+	e := t.spanEnd(s, i)
+	var repl Tree
+	s.generate(r, &repl, r.IntRange(0, growDepth), false)
+	child := spliceTree(t, i, e, repl.nodes)
+	if child.Size() > lim.MaxSize || child.Depth(s) > lim.MaxDepth {
+		return t.Clone()
+	}
+	return child
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(s *Set, src string) Tree {
+	t, err := Parse(s, src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,391 @@
+package gp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"carbon/internal/rng"
+)
+
+func testSet() *Set {
+	return &Set{Ops: TableIOps(), Terms: []string{"c", "q", "b", "d", "x"}}
+}
+
+func TestTableIOperatorSet(t *testing.T) {
+	// The paper's Table I operator set, by name and arity.
+	ops := TableIOps()
+	want := []string{"+", "-", "*", "%", "mod"}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	for i, op := range ops {
+		if op.Name != want[i] {
+			t.Fatalf("op %d = %q, want %q", i, op.Name, want[i])
+		}
+		if op.Arity != 2 {
+			t.Fatalf("op %q arity %d", op.Name, op.Arity)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testSet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Set{
+		{Ops: TableIOps()},     // no terminals
+		{Terms: []string{"a"}}, // no ops
+		{Ops: []Op{{Name: "h", Arity: 3}}, Terms: []string{"a"}},    // bad arity
+		{Ops: []Op{{Name: "h", Arity: 2}}, Terms: []string{"a"}},    // missing F2
+		{Ops: []Op{{Name: "h", Arity: 1}}, Terms: []string{"a"}},    // missing F1
+		{Ops: []Op{{Arity: 2, F2: math.Max}}, Terms: []string{"a"}}, // empty name
+		{Ops: TableIOps(), Terms: []string{""}},                     // empty terminal
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: invalid set accepted", i)
+		}
+	}
+}
+
+func TestProtectedOperators(t *testing.T) {
+	if got := Div.F2(5, 0); got != 1 {
+		t.Fatalf("5 %% 0 = %v, want 1", got)
+	}
+	if got := Div.F2(6, 2); got != 3 {
+		t.Fatalf("6 %% 2 = %v", got)
+	}
+	if got := Mod.F2(7, 0); got != 1 {
+		t.Fatalf("mod(7,0) = %v, want 1", got)
+	}
+	if got := Mod.F2(7, 3); got != 1 {
+		t.Fatalf("mod(7,3) = %v, want 1", got)
+	}
+}
+
+func TestParseEvalRoundTrip(t *testing.T) {
+	s := testSet()
+	env := []float64{2, 3, 5, 7, 11}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"c", 2},
+		{"x", 11},
+		{"(+ c q)", 5},
+		{"(- b d)", -2},
+		{"(* q b)", 15},
+		{"(% b q)", 5.0 / 3.0},
+		{"(% b (- c c))", 1}, // protected: denominator 0
+		{"(mod x d)", 4},
+		{"(+ (* c q) (% d x))", 6 + 7.0/11.0},
+	}
+	for _, c := range cases {
+		tree := MustParse(s, c.src)
+		if err := tree.Check(s); err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := tree.Eval(s, env); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", c.src, got, c.want)
+		}
+		// String → Parse → String must be stable.
+		str := tree.String(s)
+		again := MustParse(s, str)
+		if !again.Equal(tree) {
+			t.Fatalf("%s: round trip changed tree to %s", c.src, again.String(s))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := testSet()
+	bad := []string{
+		"", "(", ")", "(+ c)", "(+ c q b)", "(unknown c q)", "zzz",
+		"(+ c q) extra", "(+ c", "((+ c q))",
+	}
+	for _, src := range bad {
+		if _, err := Parse(s, src); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestUnaryOperator(t *testing.T) {
+	s := &Set{Ops: []Op{Add, Neg}, Terms: []string{"a", "b"}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree := MustParse(s, "(+ (neg a) b)")
+	if got := tree.Eval(s, []float64{3, 10}); got != 7 {
+		t.Fatalf("(+ (neg 3) 10) = %v", got)
+	}
+	if d := tree.Depth(s); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+}
+
+func TestDepthAndSize(t *testing.T) {
+	s := testSet()
+	cases := []struct {
+		src         string
+		size, depth int
+	}{
+		{"c", 1, 0},
+		{"(+ c q)", 3, 1},
+		{"(+ (+ c q) b)", 5, 2},
+		{"(+ c (+ q (+ b d)))", 7, 3},
+	}
+	for _, c := range cases {
+		tree := MustParse(s, c.src)
+		if tree.Size() != c.size {
+			t.Fatalf("%s: size %d, want %d", c.src, tree.Size(), c.size)
+		}
+		if d := tree.Depth(s); d != c.depth {
+			t.Fatalf("%s: depth %d, want %d", c.src, d, c.depth)
+		}
+	}
+}
+
+func TestFullGeneratesExactDepth(t *testing.T) {
+	s := testSet()
+	r := rng.New(1)
+	for d := 0; d <= 6; d++ {
+		for trial := 0; trial < 20; trial++ {
+			tree := s.Full(r, d)
+			if err := tree.Check(s); err != nil {
+				t.Fatal(err)
+			}
+			if got := tree.Depth(s); got != d {
+				t.Fatalf("Full(%d) depth = %d", d, got)
+			}
+		}
+	}
+}
+
+func TestGrowRespectsDepthBound(t *testing.T) {
+	s := testSet()
+	r := rng.New(2)
+	for d := 0; d <= 8; d++ {
+		for trial := 0; trial < 20; trial++ {
+			tree := s.Grow(r, d)
+			if err := tree.Check(s); err != nil {
+				t.Fatal(err)
+			}
+			if got := tree.Depth(s); got > d {
+				t.Fatalf("Grow(%d) depth = %d", d, got)
+			}
+		}
+	}
+}
+
+func TestRampedValidAndVaried(t *testing.T) {
+	s := testSet()
+	r := rng.New(3)
+	depths := map[int]int{}
+	for i := 0; i < 300; i++ {
+		tree := s.Ramped(r, 1, 4)
+		if err := tree.Check(s); err != nil {
+			t.Fatal(err)
+		}
+		d := tree.Depth(s)
+		if d > 4 {
+			t.Fatalf("ramped depth %d > 4", d)
+		}
+		depths[d]++
+	}
+	if len(depths) < 3 {
+		t.Fatalf("ramped initialization lacks depth diversity: %v", depths)
+	}
+}
+
+func TestRampedPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	testSet().Ramped(rng.New(1), 3, 1)
+}
+
+func TestCrossoverProducesValidChildren(t *testing.T) {
+	s := testSet()
+	r := rng.New(4)
+	lim := DefaultLimits()
+	for trial := 0; trial < 500; trial++ {
+		a := s.Ramped(r, 1, 5)
+		b := s.Ramped(r, 1, 5)
+		ca, cb := OnePointCrossover(r, s, a, b, lim)
+		for _, c := range []Tree{ca, cb} {
+			if err := c.Check(s); err != nil {
+				t.Fatalf("trial %d: invalid child: %v", trial, err)
+			}
+			if c.Depth(s) > lim.MaxDepth || c.Size() > lim.MaxSize {
+				t.Fatalf("trial %d: child exceeds limits", trial)
+			}
+		}
+	}
+}
+
+func TestCrossoverDoesNotMutateParents(t *testing.T) {
+	s := testSet()
+	r := rng.New(5)
+	a := s.Ramped(r, 2, 4)
+	b := s.Ramped(r, 2, 4)
+	ac, bc := a.Clone(), b.Clone()
+	for i := 0; i < 50; i++ {
+		OnePointCrossover(r, s, a, b, DefaultLimits())
+	}
+	if !a.Equal(ac) || !b.Equal(bc) {
+		t.Fatal("crossover mutated a parent")
+	}
+}
+
+func TestCrossoverTightLimitFallsBackToParents(t *testing.T) {
+	s := testSet()
+	r := rng.New(6)
+	// Both parents sit within the tight limits, so every child (spliced
+	// or fallen back to a parent copy) must too.
+	lim := Limits{MaxDepth: 2, MaxSize: 5}
+	a := MustParse(s, "(+ (+ c q) b)") // size 5, depth 2: at the limit
+	b := MustParse(s, "(+ q d)")
+	for i := 0; i < 100; i++ {
+		ca, cb := OnePointCrossover(r, s, a, b, lim)
+		if ca.Depth(s) > 2 || ca.Size() > 5 {
+			t.Fatal("child a exceeds tight limits")
+		}
+		if cb.Depth(s) > 2 || cb.Size() > 5 {
+			t.Fatal("child b exceeds tight limits")
+		}
+	}
+}
+
+func TestUniformMutateValid(t *testing.T) {
+	s := testSet()
+	r := rng.New(7)
+	lim := DefaultLimits()
+	changed := 0
+	for trial := 0; trial < 300; trial++ {
+		tr := s.Ramped(r, 1, 5)
+		mu := UniformMutate(r, s, tr, 3, lim)
+		if err := mu.Check(s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if mu.Depth(s) > lim.MaxDepth || mu.Size() > lim.MaxSize {
+			t.Fatal("mutant exceeds limits")
+		}
+		if !mu.Equal(tr) {
+			changed++
+		}
+	}
+	if changed < 150 {
+		t.Fatalf("mutation changed only %d/300 trees", changed)
+	}
+}
+
+func TestEvalNaNSanitized(t *testing.T) {
+	// mod(inf-producing, x) can yield NaN; Eval must return 0, never NaN.
+	s := &Set{Ops: []Op{Mul, Mod}, Terms: []string{"big"}}
+	tree := MustParse(s, "(mod (* big big) big)")
+	big := math.MaxFloat64
+	got := tree.Eval(s, []float64{big})
+	if math.IsNaN(got) {
+		t.Fatal("Eval returned NaN")
+	}
+}
+
+func TestEvalPanicsOnOversizedTree(t *testing.T) {
+	s := &Set{Ops: []Op{Add}, Terms: []string{"a"}}
+	// Build a pathological tree larger than the eval stack.
+	var tr Tree
+	for i := 0; i < evalStackSize; i++ {
+		tr.nodes = append(tr.nodes, node{idx: 0})
+	}
+	for i := 0; i < evalStackSize+1; i++ {
+		tr.nodes = append(tr.nodes, node{kind: kTerm, idx: 0})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized tree")
+		}
+	}()
+	tr.Eval(s, []float64{1})
+}
+
+func TestGeneticOpsPropertyValidity(t *testing.T) {
+	s := testSet()
+	r := rng.New(8)
+	// Parents from Ramped(0,6) have at most 2^7-1 = 127 nodes and depth
+	// 6, within these limits, so every offspring must satisfy them too
+	// (either by splice or by the fallback-to-parent policy).
+	lim := Limits{MaxDepth: 8, MaxSize: 128}
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		a := s.Ramped(rr, 0, 6)
+		b := s.Ramped(rr, 0, 6)
+		ca, cb := OnePointCrossover(rr, s, a, b, lim)
+		m := UniformMutate(rr, s, ca, 4, lim)
+		return a.Check(s) == nil && b.Check(s) == nil &&
+			ca.Check(s) == nil && cb.Check(s) == nil && m.Check(s) == nil &&
+			m.Depth(s) <= lim.MaxDepth && m.Size() <= lim.MaxSize &&
+			ca.Depth(s) <= lim.MaxDepth && ca.Size() <= lim.MaxSize &&
+			cb.Depth(s) <= lim.MaxDepth && cb.Size() <= lim.MaxSize
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringContainsOnlyKnownSymbols(t *testing.T) {
+	s := testSet()
+	r := rng.New(9)
+	for i := 0; i < 50; i++ {
+		tr := s.Ramped(r, 1, 5)
+		str := tr.String(s)
+		for _, f := range strings.Fields(strings.ReplaceAll(strings.ReplaceAll(str, "(", " "), ")", " ")) {
+			known := false
+			for _, op := range s.Ops {
+				if op.Name == f {
+					known = true
+				}
+			}
+			for _, term := range s.Terms {
+				if term == f {
+					known = true
+				}
+			}
+			if !known {
+				t.Fatalf("unknown symbol %q in %q", f, str)
+			}
+		}
+	}
+}
+
+func BenchmarkEvalDepth5(b *testing.B) {
+	s := testSet()
+	r := rng.New(10)
+	tr := s.Full(r, 5)
+	env := []float64{1, 2, 3, 4, 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tr.Eval(s, env)
+	}
+	_ = sink
+}
+
+func BenchmarkCrossover(b *testing.B) {
+	s := testSet()
+	r := rng.New(11)
+	t1 := s.Ramped(r, 2, 6)
+	t2 := s.Ramped(r, 2, 6)
+	lim := DefaultLimits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1, t2 = OnePointCrossover(r, s, t1, t2, lim)
+	}
+}

@@ -1,0 +1,134 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func TestPointMutatePreservesShape(t *testing.T) {
+	s := ercSet()
+	r := rng.New(71)
+	for trial := 0; trial < 300; trial++ {
+		tr := s.Ramped(r, 1, 5)
+		mu := PointMutate(r, s, tr)
+		if err := mu.Check(s); err != nil {
+			t.Fatalf("invalid mutant: %v", err)
+		}
+		if mu.Size() != tr.Size() {
+			t.Fatalf("point mutation changed size %d → %d", tr.Size(), mu.Size())
+		}
+		if mu.Depth(s) != tr.Depth(s) {
+			t.Fatal("point mutation changed depth")
+		}
+		// At most one position differs.
+		diffs := 0
+		for i := range tr.nodes {
+			if tr.nodes[i] != mu.nodes[i] {
+				diffs++
+			}
+		}
+		if diffs > 1 {
+			t.Fatalf("%d positions changed", diffs)
+		}
+	}
+}
+
+func TestPointMutateDoesNotMutateInput(t *testing.T) {
+	s := ercSet()
+	r := rng.New(73)
+	tr := s.Ramped(r, 2, 4)
+	cp := tr.Clone()
+	for i := 0; i < 50; i++ {
+		PointMutate(r, s, tr)
+	}
+	if !tr.Equal(cp) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPointMutateOperatorKeepsArity(t *testing.T) {
+	s := &Set{Ops: []Op{Add, Sub, Neg}, Terms: []string{"a"}}
+	r := rng.New(75)
+	tr := MustParse(s, "(+ (neg a) a)")
+	for trial := 0; trial < 200; trial++ {
+		mu := PointMutate(r, s, tr)
+		if err := mu.Check(s); err != nil {
+			t.Fatalf("arity broke: %v (%s)", err, mu.String(s))
+		}
+	}
+}
+
+func TestPointMutateConstWithoutERC(t *testing.T) {
+	// A constant in a set without ERCs (e.g. parsed) must mutate into a
+	// named terminal, not a fresh constant.
+	s := &Set{Ops: TableIOps(), Terms: []string{"a", "b"}}
+	tr := MustParse(s, "2.5")
+	r := rng.New(77)
+	mutatedToTerm := false
+	for trial := 0; trial < 50; trial++ {
+		mu := PointMutate(r, s, tr)
+		if mu.ConstCount() == 0 {
+			mutatedToTerm = true
+		}
+	}
+	if !mutatedToTerm {
+		t.Fatal("constant never became a terminal")
+	}
+}
+
+func TestJitterConsts(t *testing.T) {
+	s := ercSet()
+	r := rng.New(79)
+	tr := MustParse(s, "(+ (* a 2) 3)")
+	if tr.ConstCount() != 2 {
+		t.Fatalf("ConstCount = %d", tr.ConstCount())
+	}
+	jit := JitterConsts(r, s, tr, 0.5)
+	if err := jit.Check(s); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range tr.nodes {
+		if tr.nodes[i] != jit.nodes[i] {
+			if jit.nodes[i].kind != kConst {
+				t.Fatal("jitter touched a non-constant")
+			}
+			if jit.nodes[i].val < s.ConstMin || jit.nodes[i].val > s.ConstMax {
+				t.Fatalf("jittered constant %v outside ERC range", jit.nodes[i].val)
+			}
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("jitter changed nothing")
+	}
+	// Structure preserved.
+	if jit.Size() != tr.Size() || jit.Depth(s) != tr.Depth(s) {
+		t.Fatal("jitter changed tree shape")
+	}
+}
+
+func TestJitterConstsNoConstants(t *testing.T) {
+	s := ercSet()
+	r := rng.New(81)
+	tr := MustParse(s, "(+ a b)")
+	jit := JitterConsts(r, s, tr, 1.0)
+	if !jit.Equal(tr) {
+		t.Fatal("constant-free tree changed")
+	}
+}
+
+func TestJitterZeroSigma(t *testing.T) {
+	s := ercSet()
+	r := rng.New(83)
+	tr := MustParse(s, "(+ a 1.5)")
+	jit := JitterConsts(r, s, tr, 0)
+	for i := range tr.nodes {
+		if tr.nodes[i].kind == kConst &&
+			math.Abs(tr.nodes[i].val-jit.nodes[i].val) > 1e-12 {
+			t.Fatal("sigma 0 moved a constant")
+		}
+	}
+}

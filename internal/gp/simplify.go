@@ -1,0 +1,179 @@
+package gp
+
+import "math"
+
+// Simplify rewrites the tree into an equivalent, usually smaller form.
+// Evolved trees accumulate dead code (introns); simplification makes the
+// reported heuristics readable without changing what they compute.
+//
+// Only rewrites that are exact under the *protected* operator semantics
+// are applied:
+//
+//	constant folding     (op k₁ k₂)  →  k          (using the op itself)
+//	(- X X)              →  0                      (always)
+//	(%  X X)             →  1                      (x/x, and 0/0 → 1 by protection)
+//	(+ X 0), (+ 0 X)     →  X
+//	(- X 0)              →  X
+//	(* X 1), (* 1 X)     →  X
+//	(* X 0), (* 0 X)     →  0
+//	(% X 1)              →  X
+//	(min X X), (max X X) →  X                      (and neg(neg X) → X)
+//
+// Notably absent: (% 0 X) → 0 is wrong when X ≈ 0 (protection yields 1),
+// and (mod X 1) ≠ X. Rewrites run to a fixed point. Operators are
+// recognized by name ("+", "-", "*", "%", "mod", "neg", "min", "max"),
+// so custom sets keep their own exotic operators unsimplified.
+func Simplify(s *Set, t Tree) Tree {
+	cur := t.Clone()
+	for {
+		next, changed := simplifyOnce(s, cur)
+		if !changed {
+			return next
+		}
+		cur = next
+	}
+}
+
+// simplifyOnce applies one bottom-up rewrite pass.
+func simplifyOnce(s *Set, t Tree) (Tree, bool) {
+	var out Tree
+	changed := false
+	var walk func(i int) int // returns index past the subtree, appends rewritten form
+	walk = func(i int) int {
+		n := t.nodes[i]
+		if n.leaf() {
+			out.nodes = append(out.nodes, n)
+			return i + 1
+		}
+		op := s.Ops[n.idx]
+		// Rewrite children first (into out), remembering where each
+		// child's rewritten span starts.
+		opPos := len(out.nodes)
+		out.nodes = append(out.nodes, n)
+		starts := make([]int, op.Arity+1)
+		j := i + 1
+		for k := 0; k < op.Arity; k++ {
+			starts[k] = len(out.nodes)
+			j = walk(j)
+		}
+		starts[op.Arity] = len(out.nodes)
+
+		replace := func(repl []node) {
+			// Copy before truncating: repl may alias out.nodes.
+			cp := append([]node(nil), repl...)
+			out.nodes = append(out.nodes[:opPos], cp...)
+			changed = true
+		}
+		constAt := func(k int) (float64, bool) {
+			if starts[k+1]-starts[k] == 1 && out.nodes[starts[k]].kind == kConst {
+				return out.nodes[starts[k]].val, true
+			}
+			return 0, false
+		}
+		child := func(k int) []node { return out.nodes[starts[k]:starts[k+1]] }
+		sameChildren := func() bool {
+			a, b := child(0), child(1)
+			if len(a) != len(b) {
+				return false
+			}
+			for x := range a {
+				if a[x] != b[x] {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Constant folding for any operator.
+		switch op.Arity {
+		case 1:
+			if v, ok := constAt(0); ok {
+				if f := sanitize(op.F1(v)); f == f { // not NaN
+					replace([]node{{kind: kConst, val: f}})
+					return j
+				}
+			}
+		case 2:
+			va, aok := constAt(0)
+			vb, bok := constAt(1)
+			if aok && bok {
+				if f := sanitize(op.F2(va, vb)); f == f {
+					replace([]node{{kind: kConst, val: f}})
+					return j
+				}
+			}
+		}
+		if op.Arity != 2 {
+			if op.Name == "neg" && starts[1]-starts[0] >= 1 {
+				c := child(0)
+				if c[0].kind == kOp && s.Ops[c[0].idx].Name == "neg" {
+					replace(c[1:]) // neg(neg X) → X
+					return j
+				}
+			}
+			return j
+		}
+
+		va, aok := constAt(0)
+		vb, bok := constAt(1)
+		switch op.Name {
+		case "-":
+			if sameChildren() {
+				replace([]node{{kind: kConst, val: 0}})
+				return j
+			}
+			if bok && vb == 0 {
+				replace(child(0))
+				return j
+			}
+		case "%":
+			if sameChildren() {
+				replace([]node{{kind: kConst, val: 1}})
+				return j
+			}
+			if bok && vb == 1 {
+				replace(child(0))
+				return j
+			}
+		case "+":
+			if aok && va == 0 {
+				replace(child(1))
+				return j
+			}
+			if bok && vb == 0 {
+				replace(child(0))
+				return j
+			}
+		case "*":
+			if aok && va == 1 {
+				replace(child(1))
+				return j
+			}
+			if bok && vb == 1 {
+				replace(child(0))
+				return j
+			}
+			if (aok && va == 0) || (bok && vb == 0) {
+				replace([]node{{kind: kConst, val: 0}})
+				return j
+			}
+		case "min", "max":
+			if sameChildren() {
+				replace(child(0))
+				return j
+			}
+		}
+		return j
+	}
+	walk(0)
+	return out, changed
+}
+
+// sanitize maps Inf to NaN so folding never bakes an Inf constant in
+// (Check rejects them); NaN results block the rewrite.
+func sanitize(v float64) float64 {
+	if math.IsInf(v, 0) {
+		return math.NaN()
+	}
+	return v
+}

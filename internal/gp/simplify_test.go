@@ -1,0 +1,200 @@
+package gp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbon/internal/rng"
+)
+
+func ercSet() *Set {
+	return &Set{
+		Ops:       append(TableIOps(), Neg, Min, Max),
+		Terms:     []string{"a", "b"},
+		ConstProb: 0.3, ConstMin: -5, ConstMax: 5,
+	}
+}
+
+func TestERCGeneration(t *testing.T) {
+	s := ercSet()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	consts, terms := 0, 0
+	for i := 0; i < 200; i++ {
+		tr := s.Ramped(r, 1, 4)
+		if err := tr.Check(s); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range tr.nodes {
+			switch n.kind {
+			case kConst:
+				consts++
+				if n.val < -5 || n.val > 5 {
+					t.Fatalf("ERC %v outside range", n.val)
+				}
+			case kTerm:
+				terms++
+			}
+		}
+	}
+	if consts == 0 {
+		t.Fatal("no constants generated with ConstProb 0.3")
+	}
+	if terms == 0 {
+		t.Fatal("no named terminals generated")
+	}
+}
+
+func TestERCValidation(t *testing.T) {
+	s := ercSet()
+	s.ConstProb = 1.5
+	if err := s.Validate(); err == nil {
+		t.Fatal("ConstProb > 1 accepted")
+	}
+	s = ercSet()
+	s.ConstMin, s.ConstMax = 5, -5
+	if err := s.Validate(); err == nil {
+		t.Fatal("inverted ERC range accepted")
+	}
+	s = ercSet()
+	s.ConstMax = math.Inf(1)
+	if err := s.Validate(); err == nil {
+		t.Fatal("infinite ERC range accepted")
+	}
+}
+
+func TestConstParsePrintRoundTrip(t *testing.T) {
+	s := ercSet()
+	tr := MustParse(s, "(+ a 2.5)")
+	if got := tr.Eval(s, []float64{1, 0}); got != 3.5 {
+		t.Fatalf("(+ 1 2.5) = %v", got)
+	}
+	str := tr.String(s)
+	if str != "(+ a 2.5)" {
+		t.Fatalf("String = %q", str)
+	}
+	again := MustParse(s, str)
+	if !again.Equal(tr) {
+		t.Fatal("round trip changed tree")
+	}
+	neg := MustParse(s, "(- a -3)")
+	if got := neg.Eval(s, []float64{0, 0}); got != 3 {
+		t.Fatalf("(- 0 -3) = %v", got)
+	}
+}
+
+func TestSimplifyCases(t *testing.T) {
+	s := ercSet()
+	cases := []struct{ in, want string }{
+		{"(+ a 0)", "a"},
+		{"(+ 0 a)", "a"},
+		{"(- a 0)", "a"},
+		{"(- a a)", "0"},
+		{"(- (+ a b) (+ a b))", "0"},
+		{"(* a 1)", "a"},
+		{"(* 1 a)", "a"},
+		{"(* a 0)", "0"},
+		{"(* 0 a)", "0"},
+		{"(% a a)", "1"},
+		{"(% a 1)", "a"},
+		{"(+ 2 3)", "5"},
+		{"(* 4 -2)", "-8"},
+		{"(% 7 0)", "1"}, // protected division folds through the op
+		{"(mod 7 3)", "1"},
+		{"(min a a)", "a"},
+		{"(max (+ a b) (+ a b))", "(+ a b)"},
+		{"(neg (neg a))", "a"},
+		{"(neg 2)", "-2"},
+		{"(+ (- a a) (* b 1))", "b"},       // cascading rewrites
+		{"(* (+ 1 1) (% b b))", "2"},       // fold after identity
+		{"(+ (* a 0) (+ 0 (- b 0)))", "b"}, // deep cleanup
+		{"(mod a b)", "(mod a b)"},         // nothing safe to do
+		{"(% 0 a)", "(% 0 a)"},             // unsafe: a may be ~0
+		{"(+ a b)", "(+ a b)"},
+	}
+	for _, c := range cases {
+		tr := MustParse(s, c.in)
+		got := Simplify(s, tr)
+		if err := got.Check(s); err != nil {
+			t.Fatalf("%s: simplified tree invalid: %v", c.in, err)
+		}
+		if got.String(s) != c.want {
+			t.Fatalf("Simplify(%s) = %s, want %s", c.in, got.String(s), c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	s := ercSet()
+	r := rng.New(9)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		tr := s.Ramped(rr, 0, 5)
+		simp := Simplify(s, tr)
+		if simp.Check(s) != nil {
+			return false
+		}
+		if simp.Size() > tr.Size() {
+			return false // simplification must never grow the tree
+		}
+		for trial := 0; trial < 20; trial++ {
+			env := []float64{r.Range(-10, 10), r.Range(-10, 10)}
+			a := tr.Eval(s, env)
+			b := simp.Eval(s, env)
+			if math.IsNaN(a) && math.IsNaN(b) {
+				continue
+			}
+			if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyDoesNotMutateInput(t *testing.T) {
+	s := ercSet()
+	tr := MustParse(s, "(+ (- a a) b)")
+	cp := tr.Clone()
+	Simplify(s, tr)
+	if !tr.Equal(cp) {
+		t.Fatal("Simplify mutated its input")
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	s := ercSet()
+	r := rng.New(11)
+	for i := 0; i < 100; i++ {
+		tr := s.Ramped(r, 0, 5)
+		once := Simplify(s, tr)
+		twice := Simplify(s, once)
+		if !once.Equal(twice) {
+			t.Fatalf("not idempotent: %s → %s", once.String(s), twice.String(s))
+		}
+	}
+}
+
+func TestCrossoverWithConstants(t *testing.T) {
+	s := ercSet()
+	r := rng.New(13)
+	lim := DefaultLimits()
+	for i := 0; i < 200; i++ {
+		a := s.Ramped(r, 1, 4)
+		b := s.Ramped(r, 1, 4)
+		ca, cb := OnePointCrossover(r, s, a, b, lim)
+		if ca.Check(s) != nil || cb.Check(s) != nil {
+			t.Fatal("invalid child with constants")
+		}
+		m := UniformMutate(r, s, ca, 3, lim)
+		if m.Check(s) != nil {
+			t.Fatal("invalid mutant with constants")
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package knapsack is the covering substrate's mirror image: the
+// *unflipped* Multidimensional Knapsack Problem the paper's instances
+// were derived from (§V-A takes OR-library MKP files and turns every ≤
+// into ≥). It exists to demonstrate that the GP hyper-heuristic
+// machinery generalizes beyond the paper's lower level: the same Table I
+// operator set and terminal shape drive a packing greedy instead of a
+// covering greedy, with the %-gap measured against the LP relaxation's
+// *upper* bound
+//
+//	gap%(x) = 100 · (UB(x) − A(x)) / UB(x)
+//
+// (maximization flips Eq. 1's direction). The Burke et al. GP
+// hyper-heuristics line the paper builds on (§IV-A) reports exactly this
+// cutting/packing use case.
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"carbon/internal/gp"
+	"carbon/internal/lp"
+	"carbon/internal/orlib"
+)
+
+// Instance is one MKP: max p·x s.t. W·x ≤ cap, x binary.
+type Instance struct {
+	P    []float64   // profits, length M
+	W    [][]float64 // N×M weights (row per resource)
+	Cap  []float64   // capacities, length N
+	Cols [][]float64 // M×N column view (derived)
+}
+
+// New validates and builds the column cache.
+func New(p []float64, w [][]float64, cap []float64) (*Instance, error) {
+	in := &Instance{P: p, W: w, Cap: cap}
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	in.buildCols()
+	return in, nil
+}
+
+// FromMKP adapts a parsed/generated OR-library instance.
+func FromMKP(m *orlib.MKP) (*Instance, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return New(m.Profit, m.W, m.Cap)
+}
+
+// M returns the item count; N the resource count.
+func (in *Instance) M() int { return len(in.P) }
+
+// N returns the number of resource constraints.
+func (in *Instance) N() int { return len(in.Cap) }
+
+func (in *Instance) validate() error {
+	m, n := len(in.P), len(in.Cap)
+	if m == 0 || n == 0 {
+		return errors.New("knapsack: empty instance")
+	}
+	if len(in.W) != n {
+		return fmt.Errorf("knapsack: %d weight rows, want %d", len(in.W), n)
+	}
+	for k, row := range in.W {
+		if len(row) != m {
+			return fmt.Errorf("knapsack: row %d has %d entries, want %d", k, len(row), m)
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("knapsack: bad weight w[%d][%d] = %v", k, j, v)
+			}
+		}
+	}
+	for j, p := range in.P {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("knapsack: bad profit p[%d] = %v", j, p)
+		}
+	}
+	for k, c := range in.Cap {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("knapsack: bad capacity cap[%d] = %v", k, c)
+		}
+	}
+	return nil
+}
+
+func (in *Instance) buildCols() {
+	m, n := in.M(), in.N()
+	flat := make([]float64, m*n)
+	in.Cols = make([][]float64, m)
+	for j := 0; j < m; j++ {
+		col := flat[j*n : (j+1)*n]
+		for k := 0; k < n; k++ {
+			col[k] = in.W[k][j]
+		}
+		in.Cols[j] = col
+	}
+}
+
+// SelectionFeasible reports whether the packing respects every capacity.
+func (in *Instance) SelectionFeasible(x []bool) bool {
+	for k, row := range in.W {
+		used := 0.0
+		for j, sel := range x {
+			if sel {
+				used += row[j]
+			}
+		}
+		if used > in.Cap[k]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectionProfit returns the packed profit.
+func (in *Instance) SelectionProfit(x []bool) float64 {
+	total := 0.0
+	for j, sel := range x {
+		if sel {
+			total += in.P[j]
+		}
+	}
+	return total
+}
+
+// Relaxation carries the LP data: the upper bound and the Table-I-style
+// terminals (duals per resource, relaxed solution per item).
+type Relaxation struct {
+	UB     float64
+	Dual   []float64
+	XBar   []float64
+	Status lp.Status
+}
+
+// Relax solves the LP relaxation max p·x, W·x ≤ cap, 0 ≤ x ≤ 1.
+func (in *Instance) Relax() (*Relaxation, error) {
+	m, n := in.M(), in.N()
+	c := make([]float64, m)
+	for j := range c {
+		c[j] = -in.P[j] // maximize via negated minimization
+	}
+	rel := make([]lp.Relation, n)
+	for k := range rel {
+		rel[k] = lp.LE
+	}
+	up := make([]float64, m)
+	for j := range up {
+		up[j] = 1
+	}
+	sol, err := lp.Solve(&lp.Problem{C: c, A: in.W, Rel: rel, B: in.Cap,
+		Lo: make([]float64, m), Up: up})
+	if err != nil {
+		return nil, err
+	}
+	duals := make([]float64, n)
+	for k, y := range sol.Dual {
+		duals[k] = -y // flip back to the maximization convention (≥ 0)
+	}
+	return &Relaxation{UB: -sol.Obj, Dual: duals, XBar: sol.X, Status: sol.Status}, nil
+}
+
+// Gap returns the maximization gap 100·(UB − value)/UB, the packing
+// analogue of the paper's Eq. 1.
+func Gap(value, ub float64) float64 {
+	if ub <= 1e-12 {
+		if value <= 1e-12 {
+			return 0
+		}
+		return 100 * value
+	}
+	return 100 * (ub - value) / ub
+}
+
+// GreedyResult is one packing run.
+type GreedyResult struct {
+	X      []bool
+	Profit float64
+	Added  int
+}
+
+// GreedyByScore packs items in descending score order, skipping any item
+// that would violate a capacity — the packing mirror of the covering
+// sweep. It always terminates feasible (the empty packing is feasible).
+func (in *Instance) GreedyByScore(scores []float64) GreedyResult {
+	m, n := in.M(), in.N()
+	order := make([]int, m)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	slack := append([]float64(nil), in.Cap...)
+	x := make([]bool, m)
+	res := GreedyResult{X: x}
+	for _, j := range order {
+		col := in.Cols[j]
+		fits := true
+		for k := 0; k < n; k++ {
+			if col[k] > slack[k]+1e-9 {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		x[j] = true
+		res.Profit += in.P[j]
+		res.Added++
+		for k := 0; k < n; k++ {
+			slack[k] -= col[k]
+		}
+	}
+	return res
+}
+
+// Terms is the packing terminal set, mirroring covering.TableITerms:
+// profit, weight, capacity, dual, relaxed value.
+var Terms = []string{"p", "w", "cap", "d", "xbar"}
+
+// Set returns the GP primitive set for packing heuristics.
+func Set() *gp.Set {
+	return &gp.Set{Ops: gp.TableIOps(), Terms: append([]string(nil), Terms...)}
+}
+
+// TreeScorer evaluates a GP tree into per-item packing scores,
+// aggregating over resources exactly like the covering scorer:
+// score(j) = Σₖ tree(pⱼ, wⱼᵏ, capᵏ, d_k, x̄ⱼ).
+type TreeScorer struct {
+	Set *gp.Set
+	in  *Instance
+	rx  *Relaxation
+	env [5]float64
+}
+
+// NewTreeScorer binds a scorer to an instance and its relaxation.
+func NewTreeScorer(set *gp.Set, in *Instance, rx *Relaxation) *TreeScorer {
+	return &TreeScorer{Set: set, in: in, rx: rx}
+}
+
+// Score fills scores[j] for every item.
+func (ts *TreeScorer) Score(tree gp.Tree, scores []float64) {
+	in, rx := ts.in, ts.rx
+	n := in.N()
+	for j := range scores {
+		col := in.Cols[j]
+		ts.env[0] = in.P[j]
+		ts.env[4] = rx.XBar[j]
+		total := 0.0
+		for k := 0; k < n; k++ {
+			ts.env[1] = col[k]
+			ts.env[2] = in.Cap[k]
+			ts.env[3] = rx.Dual[k]
+			total += tree.Eval(ts.Set, ts.env[:])
+		}
+		scores[j] = total
+	}
+}
+
+// ApplyHeuristic scores with the tree and packs greedily.
+func (ts *TreeScorer) ApplyHeuristic(tree gp.Tree) GreedyResult {
+	scores := make([]float64, ts.in.M())
+	ts.Score(tree, scores)
+	return ts.in.GreedyByScore(scores)
+}
+
+// SolveExact finds a provably optimal packing by LP-based branch and
+// bound (test oracle for small instances). maxNodes caps the search;
+// Optimal reports whether the proof completed.
+func (in *Instance) SolveExact(maxNodes int) (x []bool, profit float64, optimal bool) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	m, n := in.M(), in.N()
+	c := make([]float64, m)
+	for j := range c {
+		c[j] = -in.P[j]
+	}
+	rel := make([]lp.Relation, n)
+	for k := range rel {
+		rel[k] = lp.LE
+	}
+	lo := make([]float64, m)
+	up := make([]float64, m)
+	for j := range up {
+		up[j] = 1
+	}
+	// Incumbent: density greedy.
+	scores := make([]float64, m)
+	for j := 0; j < m; j++ {
+		wsum := 0.0
+		for k := 0; k < n; k++ {
+			wsum += in.Cols[j][k] / math.Max(in.Cap[k], 1)
+		}
+		scores[j] = in.P[j] / math.Max(wsum, 1e-9)
+	}
+	inc := in.GreedyByScore(scores)
+	bestX := append([]bool(nil), inc.X...)
+	bestP := inc.Profit
+
+	nodes := 0
+	proven := true
+	var dfs func()
+	dfs = func() {
+		if nodes >= maxNodes {
+			proven = false
+			return
+		}
+		nodes++
+		sol, err := lp.Solve(&lp.Problem{C: c, A: in.W, Rel: rel, B: in.Cap, Lo: lo, Up: up})
+		if err != nil || sol.Status == lp.Infeasible {
+			return
+		}
+		if sol.Status != lp.Optimal {
+			proven = false
+			return
+		}
+		ub := -sol.Obj
+		if ub <= bestP+1e-9 {
+			return
+		}
+		branch, frac := -1, 0.0
+		for j := 0; j < m; j++ {
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > 1e-6 && f > frac {
+				branch, frac = j, f
+			}
+		}
+		if branch < 0 {
+			bestP = ub
+			for j := 0; j < m; j++ {
+				bestX[j] = sol.X[j] > 0.5
+			}
+			return
+		}
+		lo[branch], up[branch] = 1, 1
+		dfs()
+		lo[branch], up[branch] = 0, 0
+		dfs()
+		lo[branch], up[branch] = 0, 1
+	}
+	dfs()
+	return bestX, bestP, proven
+}

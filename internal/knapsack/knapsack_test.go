@@ -1,0 +1,243 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/gp"
+	"carbon/internal/orlib"
+	"carbon/internal/rng"
+)
+
+// tinyKnap: item 0 (p=10, w=5), item 1 (p=6, w=3), item 2 (p=5, w=3),
+// capacity 6: optimum picks items 1+2 (p=11) over item 0 (p=10).
+func tinyKnap(t *testing.T) *Instance {
+	t.Helper()
+	in, err := New(
+		[]float64{10, 6, 5},
+		[][]float64{{5, 3, 3}},
+		[]float64{6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func randomKnap(t testing.TB, r *rng.Rand, m, n int) *Instance {
+	t.Helper()
+	mkp, err := orlib.GenerateMKP(r, m, n, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := FromMKP(&mkp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := New([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, err := New([]float64{-1}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("negative profit accepted")
+	}
+}
+
+func TestFeasibilityAndProfit(t *testing.T) {
+	in := tinyKnap(t)
+	if !in.SelectionFeasible([]bool{false, true, true}) {
+		t.Fatal("items 1+2 fit in capacity 6")
+	}
+	if in.SelectionFeasible([]bool{true, true, false}) {
+		t.Fatal("items 0+1 weigh 8 > 6")
+	}
+	if got := in.SelectionProfit([]bool{false, true, true}); got != 11 {
+		t.Fatalf("profit %v", got)
+	}
+}
+
+func TestExactTiny(t *testing.T) {
+	in := tinyKnap(t)
+	x, p, optimal := in.SolveExact(0)
+	if !optimal || p != 11 {
+		t.Fatalf("exact = %v profit %v", x, p)
+	}
+	if x[0] || !x[1] || !x[2] {
+		t.Fatalf("exact packing %v", x)
+	}
+}
+
+func TestRelaxUpperBounds(t *testing.T) {
+	r := rng.New(141)
+	for trial := 0; trial < 15; trial++ {
+		in := randomKnap(t, r, 12, 3)
+		rx, err := in.Relax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, p, optimal := in.SolveExact(0)
+		if !optimal {
+			t.Fatal("exact failed")
+		}
+		if rx.UB < p-1e-6 {
+			t.Fatalf("trial %d: LP upper bound %v below optimum %v", trial, rx.UB, p)
+		}
+		for k, d := range rx.Dual {
+			if d < -1e-9 {
+				t.Fatalf("dual %d = %v should be ≥ 0 in max convention", k, d)
+			}
+		}
+		for _, xb := range rx.XBar {
+			if xb < -1e-9 || xb > 1+1e-9 {
+				t.Fatalf("x̄ = %v", xb)
+			}
+		}
+	}
+}
+
+func TestGreedyAlwaysFeasible(t *testing.T) {
+	r := rng.New(143)
+	for trial := 0; trial < 30; trial++ {
+		in := randomKnap(t, r, 30, 5)
+		scores := make([]float64, in.M())
+		for j := range scores {
+			scores[j] = r.Range(-5, 5)
+		}
+		res := in.GreedyByScore(scores)
+		if !in.SelectionFeasible(res.X) {
+			t.Fatal("greedy packed an infeasible selection")
+		}
+		if math.Abs(res.Profit-in.SelectionProfit(res.X)) > 1e-9 {
+			t.Fatal("profit accounting broke")
+		}
+	}
+}
+
+func TestGapDirection(t *testing.T) {
+	if g := Gap(90, 100); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("Gap(90,100) = %v", g)
+	}
+	if g := Gap(100, 100); g != 0 {
+		t.Fatalf("Gap(100,100) = %v", g)
+	}
+	if g := Gap(0, 0); g != 0 {
+		t.Fatalf("Gap(0,0) = %v", g)
+	}
+}
+
+func TestDensityTreeBeatsAntiTree(t *testing.T) {
+	// The profit-per-dual-weighted-load tree should pack far better than
+	// a constant-score tree (index order).
+	r := rng.New(147)
+	set := Set()
+	density := gp.MustParse(set, "(% p (* w d))")
+	flat := gp.MustParse(set, "(- cap cap)")
+	wins := 0
+	for trial := 0; trial < 15; trial++ {
+		in := randomKnap(t, r, 40, 5)
+		rx, err := in.Relax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := NewTreeScorer(set, in, rx)
+		d := ts.ApplyHeuristic(density)
+		f := ts.ApplyHeuristic(flat)
+		if d.Profit > f.Profit {
+			wins++
+		}
+	}
+	if wins < 10 {
+		t.Fatalf("density tree won only %d/15", wins)
+	}
+}
+
+func TestEvolvePackingHeuristic(t *testing.T) {
+	// A short GP run must find a heuristic whose mean gap on held-out
+	// instances is small — the machinery generalizes to packing.
+	r := rng.New(149)
+	set := Set()
+	type data struct {
+		in *Instance
+		rx *Relaxation
+	}
+	load := func(indices []int) []data {
+		var out []data
+		for _, i := range indices {
+			mkp, err := orlib.GenerateMKP(rng.New(uint64(1000+i)), 30, 5, 0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := FromMKP(&mkp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx, err := in.Relax()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, data{in, rx})
+		}
+		return out
+	}
+	train := load([]int{0, 1})
+	test := load([]int{5, 6, 7})
+	meanGap := func(tree gp.Tree, ds []data) float64 {
+		total := 0.0
+		for _, d := range ds {
+			ts := NewTreeScorer(set, d.in, d.rx)
+			res := ts.ApplyHeuristic(tree)
+			total += Gap(res.Profit, d.rx.UB)
+		}
+		return total / float64(len(ds))
+	}
+
+	const popSize, gens = 24, 12
+	lim := gp.DefaultLimits()
+	pop := make([]gp.Tree, popSize)
+	for i := range pop {
+		pop[i] = set.Ramped(r, 1, 4)
+	}
+	best := pop[0]
+	bestFit := math.Inf(1)
+	fit := make([]float64, popSize)
+	for g := 0; g < gens; g++ {
+		for i := range pop {
+			fit[i] = meanGap(pop[i], train)
+			if fit[i] < bestFit {
+				bestFit, best = fit[i], pop[i].Clone()
+			}
+		}
+		better := func(i, j int) bool { return fit[i] < fit[j] }
+		next := []gp.Tree{best.Clone()}
+		pick := func() gp.Tree {
+			bi := r.Intn(popSize)
+			c := r.Intn(popSize)
+			if better(c, bi) {
+				bi = c
+			}
+			return pop[bi]
+		}
+		for len(next) < popSize {
+			if r.Bool(0.85) {
+				c1, c2 := gp.OnePointCrossover(r, set, pick(), pick(), lim)
+				next = append(next, c1)
+				if len(next) < popSize {
+					next = append(next, c2)
+				}
+			} else {
+				next = append(next, gp.UniformMutate(r, set, pick(), 3, lim))
+			}
+		}
+		pop = next
+	}
+	testGap := meanGap(best, test)
+	if testGap > 20 {
+		t.Fatalf("evolved packing heuristic test gap %v%% not credible", testGap)
+	}
+}

@@ -1,0 +1,359 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	return sol
+}
+
+func requireOptimal(t *testing.T, p *Problem, wantObj float64) *Solution {
+	t.Helper()
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Obj-wantObj) > 1e-7*(1+math.Abs(wantObj)) {
+		t.Fatalf("obj = %v, want %v", sol.Obj, wantObj)
+	}
+	if err := CheckKKT(p, sol, 1e-6); err != nil {
+		t.Fatalf("KKT: %v", err)
+	}
+	return sol
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max x1+x2 s.t. x1+x2 <= 1  ≡  min -x1-x2.
+	p := &Problem{
+		C:   []float64{-1, -1},
+		A:   [][]float64{{1, 1}},
+		Rel: []Relation{LE},
+		B:   []float64{1},
+	}
+	requireOptimal(t, p, -1)
+}
+
+func TestSingleGERow(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}},
+		Rel: []Relation{GE},
+		B:   []float64{2},
+	}
+	sol := requireOptimal(t, p, 2)
+	if math.Abs(sol.Dual[0]-1) > 1e-7 {
+		t.Fatalf("dual = %v, want 1", sol.Dual[0])
+	}
+}
+
+func TestDiagonalCoveringDuals(t *testing.T) {
+	// min Σ c_i x_i s.t. x_i >= b_i: duals must equal c_i.
+	c := []float64{3, 5, 7}
+	b := []float64{1, 2, 4}
+	p := &Problem{
+		C:   c,
+		A:   [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		Rel: []Relation{GE, GE, GE},
+		B:   b,
+	}
+	sol := requireOptimal(t, p, 3*1+5*2+7*4)
+	for i := range c {
+		if math.Abs(sol.Dual[i]-c[i]) > 1e-7 {
+			t.Fatalf("dual[%d] = %v, want %v", i, sol.Dual[i], c[i])
+		}
+	}
+}
+
+func TestEqualityRows(t *testing.T) {
+	// x1+2x2 = 4, x1-x2 = 1 → x = (2,1), obj 3.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 2}, {1, -1}},
+		Rel: []Relation{EQ, EQ},
+		B:   []float64{4, 1},
+	}
+	sol := requireOptimal(t, p, 3)
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-1) > 1e-7 {
+		t.Fatalf("x = %v, want (2,1)", sol.X)
+	}
+}
+
+func TestNoRowsBoundedByUpperBound(t *testing.T) {
+	// min -x with x in [0,5] and no rows: solved purely by a bound flip.
+	p := &Problem{
+		C:  []float64{-1},
+		A:  [][]float64{},
+		B:  []float64{},
+		Lo: []float64{0}, Up: []float64{5},
+		Rel: []Relation{},
+	}
+	sol := requireOptimal(t, p, -5)
+	if sol.X[0] != 5 {
+		t.Fatalf("x = %v, want 5", sol.X[0])
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{0}},
+		Rel: []Relation{GE},
+		B:   []float64{0},
+	}
+	if sol := mustSolve(t, p); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		Rel: []Relation{GE, LE},
+		B:   []float64{2, 1},
+	}
+	if sol := mustSolve(t, p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleBoundsVsRow(t *testing.T) {
+	// Row requires x1+x2 >= 10 but upper bounds cap at 2.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}},
+		Rel: []Relation{GE},
+		B:   []float64{10},
+		Lo:  []float64{0, 0}, Up: []float64{1, 1},
+	}
+	if sol := mustSolve(t, p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestNonZeroLowerBounds(t *testing.T) {
+	// min x1+x2, x1 >= 3 (bound), x1+x2 >= 5.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}},
+		Rel: []Relation{GE},
+		B:   []float64{5},
+		Lo:  []float64{3, 0}, Up: []float64{math.Inf(1), math.Inf(1)},
+	}
+	sol := requireOptimal(t, p, 5)
+	if sol.X[0] < 3-1e-9 {
+		t.Fatalf("x1 = %v violates lower bound 3", sol.X[0])
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	// x2 fixed at 2 by bounds; min x1 s.t. x1 + x2 >= 5 → x1 = 3.
+	p := &Problem{
+		C:   []float64{1, 0},
+		A:   [][]float64{{1, 1}},
+		Rel: []Relation{GE},
+		B:   []float64{5},
+		Lo:  []float64{0, 2}, Up: []float64{math.Inf(1), 2},
+	}
+	sol := requireOptimal(t, p, 3)
+	if math.Abs(sol.X[1]-2) > 1e-9 {
+		t.Fatalf("fixed variable moved: %v", sol.X[1])
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Multiple constraints active at the optimum (degenerate vertex).
+	p := &Problem{
+		C:   []float64{-1, -1},
+		A:   [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		Rel: []Relation{LE, LE, LE},
+		B:   []float64{1, 1, 2},
+	}
+	requireOptimal(t, p, -2)
+}
+
+func TestKleeMintyLike(t *testing.T) {
+	// A 4-D Klee–Minty cube variant stresses pivoting rules.
+	n := 4
+	c := make([]float64, n)
+	A := make([][]float64, n)
+	b := make([]float64, n)
+	rel := make([]Relation, n)
+	for i := 0; i < n; i++ {
+		c[i] = -math.Pow(2, float64(n-1-i))
+		A[i] = make([]float64, n)
+		for j := 0; j < i; j++ {
+			A[i][j] = math.Pow(2, float64(i-j+1))
+		}
+		A[i][i] = 1
+		b[i] = math.Pow(5, float64(i+1))
+		rel[i] = LE
+	}
+	p := &Problem{C: c, A: A, Rel: rel, B: b}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if err := CheckKKT(p, sol, 1e-6); err != nil {
+		t.Fatalf("KKT: %v", err)
+	}
+	// Known optimum: x_n = 5^n, everything else 0 → obj = -5^n.
+	want := -math.Pow(5, float64(n))
+	if math.Abs(sol.Obj-want) > 1e-6*math.Abs(want) {
+		t.Fatalf("obj = %v, want %v", sol.Obj, want)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	bad := []*Problem{
+		{C: []float64{1}, A: [][]float64{{1, 2}}, Rel: []Relation{GE}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Relation{GE}, B: []float64{1, 2}},
+		{C: []float64{math.NaN()}, A: [][]float64{{1}}, Rel: []Relation{GE}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{math.Inf(1)}}, Rel: []Relation{GE}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Relation{GE}, B: []float64{math.NaN()}},
+		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Relation{GE}, B: []float64{1},
+			Lo: []float64{2}, Up: []float64{1}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// randomCoveringLP builds a feasible covering relaxation
+// min c·x, Qx >= b, 0 <= x <= 1 with integer-ish data like the BCPOP
+// lower level.
+func randomCoveringLP(r *rng.Rand, n, m int) *Problem {
+	p := &Problem{
+		C:   make([]float64, n),
+		A:   make([][]float64, m),
+		Rel: make([]Relation, m),
+		B:   make([]float64, m),
+		Lo:  make([]float64, n),
+		Up:  make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = r.Range(1, 100)
+		p.Up[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if r.Bool(0.6) {
+				p.A[i][j] = float64(r.IntRange(1, 10))
+				rowSum += p.A[i][j]
+			}
+		}
+		p.Rel[i] = GE
+		// Guarantee feasibility: x = 1 satisfies every row.
+		p.B[i] = math.Max(1, math.Floor(rowSum*r.Range(0.2, 0.8)))
+	}
+	return p
+}
+
+func TestRandomCoveringKKT(t *testing.T) {
+	r := rng.New(99)
+	sizes := []struct{ n, m int }{{5, 2}, {10, 5}, {30, 10}, {60, 30}, {100, 5}}
+	for _, sz := range sizes {
+		for trial := 0; trial < 20; trial++ {
+			p := randomCoveringLP(r, sz.n, sz.m)
+			sol := mustSolve(t, p)
+			if sol.Status != Optimal {
+				t.Fatalf("n=%d m=%d trial=%d: status %v", sz.n, sz.m, trial, sol.Status)
+			}
+			if err := CheckKKT(p, sol, 1e-6); err != nil {
+				t.Fatalf("n=%d m=%d trial=%d: %v", sz.n, sz.m, trial, err)
+			}
+			// The all-ones point is feasible, so its cost upper-bounds
+			// the LP optimum.
+			allOnes := 0.0
+			for _, c := range p.C {
+				allOnes += c
+			}
+			if sol.Obj > allOnes+1e-6 {
+				t.Fatalf("LP obj %v exceeds all-ones cost %v", sol.Obj, allOnes)
+			}
+			if sol.Obj < -1e-9 {
+				t.Fatalf("covering LP with positive costs has negative obj %v", sol.Obj)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	r := rng.New(7)
+	p := randomCoveringLP(r, 40, 10)
+	a := mustSolve(t, p)
+	b := mustSolve(t, p)
+	if a.Obj != b.Obj || a.Iterations != b.Iterations {
+		t.Fatal("solver is not deterministic")
+	}
+	for j := range a.X {
+		if a.X[j] != b.X[j] {
+			t.Fatal("solutions differ between identical solves")
+		}
+	}
+}
+
+func TestLargeCovering(t *testing.T) {
+	r := rng.New(1234)
+	p := randomCoveringLP(r, 500, 30)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if err := CheckKKT(p, sol, 1e-6); err != nil {
+		t.Fatalf("KKT: %v", err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if GE.String() != ">=" || LE.String() != "<=" || EQ.String() != "=" {
+		t.Fatal("Relation.String broken")
+	}
+	if Relation(9).String() != "?" {
+		t.Fatal("unknown relation should print ?")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if s.String() != want {
+			t.Fatalf("Status(%d).String() = %q", s, s.String())
+		}
+	}
+	if Status(9).String() != "unknown" {
+		t.Fatal("unknown status should print unknown")
+	}
+}
+
+func BenchmarkSolveCovering100x5(b *testing.B)  { benchCovering(b, 100, 5) }
+func BenchmarkSolveCovering250x10(b *testing.B) { benchCovering(b, 250, 10) }
+func BenchmarkSolveCovering500x30(b *testing.B) { benchCovering(b, 500, 30) }
+
+func benchCovering(b *testing.B, n, m int) {
+	r := rng.New(5)
+	p := randomCoveringLP(r, n, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("solve failed: %v %v", err, sol.Status)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+// randomMixedLP generates a bounded LP with mixed row senses and signed
+// coefficients. Boundedness is forced by finite variable bounds, so
+// every generated problem is either optimal or infeasible — never
+// unbounded — which lets the property check run KKT on all solved cases.
+func randomMixedLP(r *rng.Rand) *Problem {
+	n := r.IntRange(2, 8)
+	m := r.IntRange(1, 6)
+	p := &Problem{
+		C:   make([]float64, n),
+		A:   make([][]float64, m),
+		Rel: make([]Relation, m),
+		B:   make([]float64, m),
+		Lo:  make([]float64, n),
+		Up:  make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = r.Range(-5, 5)
+		p.Lo[j] = r.Range(-3, 0)
+		p.Up[j] = p.Lo[j] + r.Range(0.5, 6)
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if r.Bool(0.7) {
+				p.A[i][j] = r.Range(-4, 4)
+			}
+		}
+		p.Rel[i] = []Relation{GE, LE, EQ}[r.Intn(3)]
+		p.B[i] = r.Range(-6, 6)
+	}
+	return p
+}
+
+func TestMixedRelationLPsSatisfyKKT(t *testing.T) {
+	r := rng.New(163)
+	solved, infeasible := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		p := randomMixedLP(r)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		switch sol.Status {
+		case Optimal:
+			if err := CheckKKT(p, sol, 1e-6); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			solved++
+		case Infeasible:
+			infeasible++
+		case Unbounded:
+			t.Fatalf("trial %d: bounded variables cannot yield unbounded LP", trial)
+		case IterLimit:
+			t.Fatalf("trial %d: iteration limit on a tiny LP", trial)
+		}
+	}
+	if solved < 50 {
+		t.Fatalf("only %d/400 solvable — generator too restrictive to be meaningful", solved)
+	}
+	if infeasible == 0 {
+		t.Fatal("generator never produced infeasible programs; EQ handling untested")
+	}
+}
+
+func TestObjectiveMonotoneInCosts(t *testing.T) {
+	// Raising one cost coefficient can only raise (or keep) the optimal
+	// value of a minimization LP when that variable's lower bound is
+	// nonnegative.
+	r := rng.New(167)
+	for trial := 0; trial < 60; trial++ {
+		p := randomCoveringLP(r, 20, 5)
+		base, err := Solve(p)
+		if err != nil || base.Status != Optimal {
+			t.Fatal("base solve failed")
+		}
+		j := r.Intn(len(p.C))
+		bumped := &Problem{C: append([]float64(nil), p.C...), A: p.A, Rel: p.Rel, B: p.B, Lo: p.Lo, Up: p.Up}
+		bumped.C[j] += r.Range(0.1, 10)
+		after, err := Solve(bumped)
+		if err != nil || after.Status != Optimal {
+			t.Fatal("bumped solve failed")
+		}
+		if after.Obj < base.Obj-1e-7*(1+math.Abs(base.Obj)) {
+			t.Fatalf("trial %d: raising c[%d] lowered the optimum %v → %v",
+				trial, j, base.Obj, after.Obj)
+		}
+	}
+}
+
+func TestObjectiveMonotoneInRHS(t *testing.T) {
+	// Tightening a covering requirement (raising b) can only raise the
+	// optimal cost.
+	r := rng.New(173)
+	for trial := 0; trial < 60; trial++ {
+		p := randomCoveringLP(r, 20, 5)
+		base, err := Solve(p)
+		if err != nil || base.Status != Optimal {
+			t.Fatal("base solve failed")
+		}
+		k := r.Intn(len(p.B))
+		tightened := &Problem{C: p.C, A: p.A, Rel: p.Rel, B: append([]float64(nil), p.B...), Lo: p.Lo, Up: p.Up}
+		tightened.B[k] += r.Range(0.1, 2)
+		after, err := Solve(tightened)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Status == Infeasible {
+			continue // pushed past coverability: fine
+		}
+		if after.Obj < base.Obj-1e-7*(1+math.Abs(base.Obj)) {
+			t.Fatalf("trial %d: tightening b[%d] lowered the optimum %v → %v",
+				trial, k, base.Obj, after.Obj)
+		}
+	}
+}
+
+func TestDualsPriceRHSPerturbations(t *testing.T) {
+	// Local sensitivity: for a small db on row k, the optimum moves by
+	// approximately y_k·db (exact while the basis stays optimal).
+	r := rng.New(179)
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		p := randomCoveringLP(r, 25, 4)
+		base, err := Solve(p)
+		if err != nil || base.Status != Optimal {
+			t.Fatal("base solve failed")
+		}
+		k := r.Intn(len(p.B))
+		const db = 1e-4
+		pert := &Problem{C: p.C, A: p.A, Rel: p.Rel, B: append([]float64(nil), p.B...), Lo: p.Lo, Up: p.Up}
+		pert.B[k] += db
+		after, err := Solve(pert)
+		if err != nil || after.Status != Optimal {
+			continue
+		}
+		predicted := base.Obj + base.Dual[k]*db
+		if math.Abs(after.Obj-predicted) > 1e-6*(1+math.Abs(base.Obj)) {
+			t.Fatalf("trial %d: dual prediction %v vs actual %v (y=%v)",
+				trial, predicted, after.Obj, base.Dual[k])
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d sensitivity checks ran", checked)
+	}
+}

@@ -1,0 +1,367 @@
+package multilevel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"carbon/internal/archive"
+	"carbon/internal/covering"
+	"carbon/internal/ga"
+	"carbon/internal/gp"
+	"carbon/internal/rng"
+	"carbon/internal/stats"
+)
+
+// ChainMarket generalizes TriMarket to an arbitrary pricing chain: the
+// leader owns the first group of bundles, then D middle players price
+// their groups in sequence (each observing everything upstream), and a
+// rational customer covers from the whole market. TriMarket is the
+// D = 1 case; the paper's BCPOP is D = 0.
+//
+// Each middle player's reaction is a GP pricing policy over per-bundle
+// features (PolicyTerms); the "abar" slot carries the mean of all
+// *upstream* prices (leader plus earlier middles), so deeper levels see
+// the accumulated pricing climate they react to.
+type ChainMarket struct {
+	template *covering.Instance
+	groups   []int // groups[0] = leader bundles, groups[1..] = middles
+	offsets  []int // column offset of each group
+	boundsA  ga.Bounds
+	capB     float64
+	feat     [][]feature // per middle level, per bundle in that group
+}
+
+// NewChainMarket slices the instance into leader, D middle groups and
+// competitors. groups must leave at least one competitor column.
+func NewChainMarket(in *covering.Instance, groups []int) (*ChainMarket, error) {
+	if in == nil {
+		return nil, errors.New("multilevel: nil instance")
+	}
+	if len(groups) < 1 {
+		return nil, errors.New("multilevel: need at least the leader group")
+	}
+	total := 0
+	for i, g := range groups {
+		if g <= 0 {
+			return nil, fmt.Errorf("multilevel: group %d has size %d", i, g)
+		}
+		total += g
+	}
+	if total >= in.M() {
+		return nil, fmt.Errorf("multilevel: groups cover %d of %d columns; no competitors left", total, in.M())
+	}
+	if !in.FullSelectionFeasible() {
+		return nil, errors.New("multilevel: market cannot cover the requirements")
+	}
+	meanComp := 0.0
+	for j := total; j < in.M(); j++ {
+		meanComp += in.C[j]
+	}
+	meanComp /= float64(in.M() - total)
+	meanReq := 0.0
+	for _, b := range in.B {
+		meanReq += b
+	}
+	meanReq /= float64(in.N())
+
+	cm := &ChainMarket{
+		template: in,
+		groups:   append([]int(nil), groups...),
+		capB:     2 * meanComp,
+	}
+	cm.offsets = make([]int, len(groups))
+	off := 0
+	for i, g := range groups {
+		cm.offsets[i] = off
+		off += g
+	}
+	lo := make([]float64, groups[0])
+	up := make([]float64, groups[0])
+	for j := range up {
+		up[j] = cm.capB
+	}
+	cm.boundsA = ga.Bounds{Lo: lo, Up: up}
+
+	cm.feat = make([][]feature, len(groups)-1)
+	for lvl := 1; lvl < len(groups); lvl++ {
+		fs := make([]feature, groups[lvl])
+		for j := 0; j < groups[lvl]; j++ {
+			col := in.Cols[cm.offsets[lvl]+j]
+			qbar := 0.0
+			for _, v := range col {
+				qbar += v
+			}
+			qbar /= float64(in.N())
+			fs[j] = feature{in.C[cm.offsets[lvl]+j], qbar, meanReq, meanComp, 0}
+		}
+		cm.feat[lvl-1] = fs
+	}
+	return cm, nil
+}
+
+// Depth returns the number of middle levels D.
+func (cm *ChainMarket) Depth() int { return len(cm.groups) - 1 }
+
+// LeaderSize returns the leader's price-vector length.
+func (cm *ChainMarket) LeaderSize() int { return cm.groups[0] }
+
+// BoundsA returns the leader's price box.
+func (cm *ChainMarket) BoundsA() ga.Bounds { return cm.boundsA }
+
+// ChainOutcome is one full chain evaluation: the customer data plus one
+// revenue per player (index 0 = leader, 1..D = middles).
+type ChainOutcome struct {
+	Revenues []float64
+	LLCost   float64
+	GapPct   float64
+	Feasible bool
+}
+
+// ChainEvaluator runs full chain evaluations against one market.
+// Not safe for concurrent use.
+type ChainEvaluator struct {
+	cm        *ChainMarket
+	relaxer   *covering.Relaxer
+	policySet *gp.Set
+	custSet   *gp.Set
+	costs     []float64
+	scores    []float64
+	// Evals counts bottom-level evaluations (the chain's unit of work).
+	Evals int
+}
+
+// NewChainEvaluator prepares an evaluator with the default sets.
+func NewChainEvaluator(cm *ChainMarket) (*ChainEvaluator, error) {
+	relaxer, err := covering.NewRelaxer(cm.template)
+	if err != nil {
+		return nil, err
+	}
+	return &ChainEvaluator{
+		cm:        cm,
+		relaxer:   relaxer,
+		policySet: PolicySet(),
+		custSet:   covering.TableISet(),
+		costs:     make([]float64, cm.template.M()),
+		scores:    make([]float64, cm.template.M()),
+	}, nil
+}
+
+// Eval cascades the chain: leader prices, then each middle policy in
+// order (seeing the mean of all upstream prices), then the customer's
+// tree-driven greedy.
+func (ce *ChainEvaluator) Eval(priceA []float64, policies []gp.Tree, cust gp.Tree) (ChainOutcome, error) {
+	cm := ce.cm
+	if len(priceA) != cm.groups[0] {
+		return ChainOutcome{}, fmt.Errorf("multilevel: got %d leader prices, want %d", len(priceA), cm.groups[0])
+	}
+	if len(policies) != cm.Depth() {
+		return ChainOutcome{}, fmt.Errorf("multilevel: got %d policies, want %d", len(policies), cm.Depth())
+	}
+	copy(ce.costs[:cm.groups[0]], priceA)
+	upstreamSum := 0.0
+	for _, p := range priceA {
+		upstreamSum += p
+	}
+	upstreamN := len(priceA)
+	var env [5]float64
+	for lvl := 1; lvl <= cm.Depth(); lvl++ {
+		abar := upstreamSum / float64(upstreamN)
+		off := cm.offsets[lvl]
+		for j := 0; j < cm.groups[lvl]; j++ {
+			env = cm.feat[lvl-1][j]
+			env[4] = abar
+			v := math.Abs(policies[lvl-1].Eval(ce.policySet, env[:]))
+			if v > cm.capB {
+				v = cm.capB
+			}
+			ce.costs[off+j] = v
+			upstreamSum += v
+			upstreamN++
+		}
+	}
+	total := cm.offsets[cm.Depth()] + cm.groups[cm.Depth()]
+	copy(ce.costs[total:], cm.template.C[total:])
+
+	rx, err := ce.relaxer.Relax(ce.costs)
+	if err != nil {
+		return ChainOutcome{}, err
+	}
+	work, err := cm.template.WithCosts(ce.costs)
+	if err != nil {
+		return ChainOutcome{}, err
+	}
+	ts := covering.NewTreeScorer(ce.custSet, work, rx)
+	ts.Score(cust, ce.scores)
+	res := work.GreedyByScore(ce.scores, true)
+	ce.Evals++
+
+	out := ChainOutcome{
+		Revenues: make([]float64, len(cm.groups)),
+		LLCost:   res.Cost,
+		Feasible: res.Feasible,
+	}
+	if !res.Feasible {
+		out.GapPct = covering.Gap(res.Cost+1e9, rx.LB)
+		return out, nil
+	}
+	out.GapPct = covering.Gap(res.Cost, rx.LB)
+	for lvl := 0; lvl < len(cm.groups); lvl++ {
+		off := cm.offsets[lvl]
+		for j := 0; j < cm.groups[lvl]; j++ {
+			if res.X[off+j] {
+				out.Revenues[lvl] += ce.costs[off+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChainResult summarizes one chain co-evolution run.
+type ChainResult struct {
+	BestPriceA   []float64
+	BestRevenues []float64 // revenue per level under the final elites
+	BestGapPct   float64
+	BestPolicies []string
+	BestCust     string
+	Gens         int
+	Evals        int
+	GapCurve     stats.Series
+	LeaderCurve  stats.Series
+}
+
+// RunChain co-evolves 2+D populations: the leader's prices, one policy
+// population per middle level, and the customer heuristics. Per
+// generation every reactive population is scored against a fresh sample
+// of leader decisions with the other levels pinned to their current
+// elites (the tri-level scheme applied level by level, deepest first so
+// forecasts improve bottom-up within a generation).
+func RunChain(cm *ChainMarket, cfg Config) (*ChainResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ce, err := NewChainEvaluator(cm)
+	if err != nil {
+		return nil, err
+	}
+	d := cm.Depth()
+	r := rng.New(cfg.Seed)
+	bounds := cm.BoundsA()
+
+	popA := make([][]float64, cfg.PopSize)
+	for i := range popA {
+		popA[i] = bounds.RandomVector(r)
+	}
+	popP := make([][]gp.Tree, d)
+	bestP := make([]gp.Tree, d)
+	for lvl := 0; lvl < d; lvl++ {
+		popP[lvl] = make([]gp.Tree, cfg.PopSize)
+		for i := range popP[lvl] {
+			popP[lvl][i] = ce.policySet.Ramped(r, 1, cfg.InitDepth)
+		}
+		bestP[lvl] = popP[lvl][0].Clone()
+	}
+	popC := make([]gp.Tree, cfg.PopSize)
+	for i := range popC {
+		popC[i] = ce.custSet.Ramped(r, 1, cfg.InitDepth)
+	}
+	bestC := popC[0].Clone()
+
+	fit := make([]float64, cfg.PopSize)
+	archA := archive.New[[]float64](cfg.PopSize, false, nil)
+	res := &ChainResult{BestRevenues: make([]float64, d+1)}
+	bestGapSeen := math.Inf(1)
+
+	perGen := cfg.PopSize * ((d+1)*cfg.Sample + 1)
+	for ce.Evals+perGen <= cfg.Budget {
+		sample := r.SampleDistinct(minInt(cfg.Sample, len(popA)), len(popA))
+
+		// Customer heuristics first (deepest level).
+		for i, tr := range popC {
+			total := 0.0
+			for _, s := range sample {
+				out, err := ce.Eval(popA[s], bestP, tr)
+				if err != nil {
+					return nil, err
+				}
+				total += out.GapPct
+			}
+			fit[i] = total / float64(len(sample))
+		}
+		bc := argbest(fit, func(a, b float64) bool { return a < b })
+		bestC = popC[bc].Clone()
+		if fit[bc] < bestGapSeen {
+			bestGapSeen = fit[bc]
+		}
+		popC = breedGP(r, ce.custSet, popC, fit, func(a, b float64) bool { return a < b }, cfg)
+
+		// Middle policies, deepest first.
+		for lvl := d - 1; lvl >= 0; lvl-- {
+			for i, tr := range popP[lvl] {
+				cand := append([]gp.Tree(nil), bestP...)
+				cand[lvl] = tr
+				total := 0.0
+				for _, s := range sample {
+					out, err := ce.Eval(popA[s], cand, bestC)
+					if err != nil {
+						return nil, err
+					}
+					total += out.Revenues[lvl+1]
+				}
+				fit[i] = total / float64(len(sample))
+			}
+			bb := argbest(fit, func(a, b float64) bool { return a > b })
+			bestP[lvl] = popP[lvl][bb].Clone()
+			popP[lvl] = breedGP(r, ce.policySet, popP[lvl], fit, func(a, b float64) bool { return a > b }, cfg)
+		}
+
+		// Leader.
+		for i, x := range popA {
+			out, err := ce.Eval(x, bestP, bestC)
+			if err != nil {
+				return nil, err
+			}
+			if out.Feasible {
+				fit[i] = out.Revenues[0]
+			} else {
+				fit[i] = 0
+			}
+		}
+		for i, x := range popA {
+			archA.Add(append([]float64(nil), x...), fit[i])
+		}
+		popA = breedA(r, popA, fit, bounds, cfg)
+
+		res.Gens++
+		xAxis := float64(ce.Evals)
+		if be, ok := archA.Best(); ok {
+			res.LeaderCurve.X = append(res.LeaderCurve.X, xAxis)
+			res.LeaderCurve.Y = append(res.LeaderCurve.Y, be.Fitness)
+		}
+		res.GapCurve.X = append(res.GapCurve.X, xAxis)
+		res.GapCurve.Y = append(res.GapCurve.Y, bestGapSeen)
+	}
+
+	res.Evals = ce.Evals
+	res.BestGapPct = bestGapSeen
+	if be, ok := archA.Best(); ok {
+		res.BestPriceA = be.Item
+		out, err := ce.Eval(be.Item, bestP, bestC)
+		if err != nil {
+			return nil, err
+		}
+		copy(res.BestRevenues, out.Revenues)
+	}
+	for _, p := range bestP {
+		res.BestPolicies = append(res.BestPolicies, gp.Simplify(ce.policySet, p).String(ce.policySet))
+	}
+	res.BestCust = gp.Simplify(ce.custSet, bestC).String(ce.custSet)
+	return res, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package multilevel
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/gp"
+	"carbon/internal/orlib"
+	"carbon/internal/rng"
+	"carbon/internal/stats"
+)
+
+func chainInstance(t testing.TB) *ChainMarket {
+	t.Helper()
+	in, err := orlib.GenerateCovering(orlib.Class{N: 80, M: 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewChainMarket(in, []int{6, 6, 6}) // leader + 2 middles
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestNewChainMarketValidation(t *testing.T) {
+	in, err := orlib.GenerateCovering(orlib.Class{N: 30, M: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChainMarket(nil, []int{3}); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	if _, err := NewChainMarket(in, nil); err == nil {
+		t.Fatal("no groups accepted")
+	}
+	if _, err := NewChainMarket(in, []int{3, 0}); err == nil {
+		t.Fatal("zero-size group accepted")
+	}
+	if _, err := NewChainMarket(in, []int{15, 15}); err == nil {
+		t.Fatal("no-competitor split accepted")
+	}
+	cm, err := NewChainMarket(in, []int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Depth() != 2 || cm.LeaderSize() != 3 {
+		t.Fatalf("geometry: depth %d leader %d", cm.Depth(), cm.LeaderSize())
+	}
+}
+
+func TestChainEvalCascade(t *testing.T) {
+	cm := chainInstance(t)
+	ce, err := NewChainEvaluator(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	priceA := cm.BoundsA().RandomVector(r)
+	policies := []gp.Tree{
+		gp.MustParse(ce.policySet, "cbar"),
+		gp.MustParse(ce.policySet, "(% cbar (+ 1 1))"),
+	}
+	cust := gp.MustParse(ce.custSet, "(% (* q d) c)")
+	out, err := ce.Eval(priceA, policies, cust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible {
+		t.Fatal("chain infeasible on feasible market")
+	}
+	if len(out.Revenues) != 3 {
+		t.Fatalf("revenues per level: %v", out.Revenues)
+	}
+	for lvl, rev := range out.Revenues {
+		if rev < 0 {
+			t.Fatalf("level %d negative revenue %v", lvl, rev)
+		}
+	}
+	if out.GapPct < -1e-9 || out.GapPct > 100 {
+		t.Fatalf("gap %v", out.GapPct)
+	}
+}
+
+func TestChainEvalValidation(t *testing.T) {
+	cm := chainInstance(t)
+	ce, err := NewChainEvaluator(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust := gp.MustParse(ce.custSet, "c")
+	pol := gp.MustParse(ce.policySet, "cbar")
+	if _, err := ce.Eval([]float64{1}, []gp.Tree{pol, pol}, cust); err == nil {
+		t.Fatal("wrong leader size accepted")
+	}
+	priceA := make([]float64, cm.LeaderSize())
+	if _, err := ce.Eval(priceA, []gp.Tree{pol}, cust); err == nil {
+		t.Fatal("wrong policy count accepted")
+	}
+}
+
+func TestChainAbarSeesUpstream(t *testing.T) {
+	// The second middle level's "abar" must include the first middle's
+	// prices: with an echo policy at both levels and constant leader
+	// prices, level 2's output equals the mean of (leader + level-1).
+	in, err := orlib.GenerateCovering(orlib.Class{N: 40, M: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewChainMarket(in, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewChainEvaluator(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := gp.MustParse(ce.policySet, "abar")
+	cust := gp.MustParse(ce.custSet, "c")
+	priceA := []float64{4, 4}
+	out, err := ce.Eval(priceA, []gp.Tree{echo, echo}, cust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+	// Level 1 echoes abar = 4 → prices (4,4). Level 2's abar over
+	// (4,4,4,4) = 4 again. Verify through the cost vector side effects:
+	// re-run and inspect ce.costs (white-box but stable).
+	for j := 2; j < 6; j++ {
+		if math.Abs(ce.costs[j]-4) > 1e-9 {
+			t.Fatalf("cascaded cost[%d] = %v, want 4", j, ce.costs[j])
+		}
+	}
+}
+
+func TestRunChain(t *testing.T) {
+	cm := chainInstance(t)
+	cfg := DefaultConfig()
+	cfg.PopSize = 6
+	cfg.Budget = 700
+	res, err := RunChain(cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gens == 0 {
+		t.Fatal("no generations")
+	}
+	if res.Evals > cfg.Budget {
+		t.Fatalf("budget exceeded: %d", res.Evals)
+	}
+	if len(res.BestPolicies) != 2 || res.BestCust == "" {
+		t.Fatalf("programs missing: %v / %q", res.BestPolicies, res.BestCust)
+	}
+	if len(res.BestRevenues) != 3 {
+		t.Fatalf("revenues: %v", res.BestRevenues)
+	}
+	if m := stats.Monotonicity(res.LeaderCurve.Y, +1); m != 1 {
+		t.Fatalf("leader archive curve not monotone: %v", m)
+	}
+	if m := stats.Monotonicity(res.GapCurve.Y, -1); m != 1 {
+		t.Fatalf("gap curve not monotone: %v", m)
+	}
+}
+
+func TestRunChainDeterministic(t *testing.T) {
+	cm := chainInstance(t)
+	cfg := DefaultConfig()
+	cfg.PopSize = 6
+	cfg.Budget = 500
+	cfg.Seed = 23
+	a, err := RunChain(cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChain(cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestGapPct != b.BestGapPct || a.BestCust != b.BestCust {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestChainDepthZeroIsBilevel(t *testing.T) {
+	// D = 0: just a leader and the customer — the BCPOP shape through
+	// the chain machinery.
+	in, err := orlib.GenerateCovering(orlib.Class{N: 40, M: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewChainMarket(in, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := NewChainEvaluator(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust := gp.MustParse(ce.custSet, "(% (* q d) c)")
+	priceA := make([]float64, 4)
+	for j := range priceA {
+		priceA[j] = 5
+	}
+	out, err := ce.Eval(priceA, nil, cust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible || len(out.Revenues) != 1 {
+		t.Fatalf("depth-0 chain: %+v", out)
+	}
+}

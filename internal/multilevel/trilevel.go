@@ -1,0 +1,526 @@
+// Package multilevel prototypes the paper's stated future work:
+// "multiple-level problems with deeper nested structure in order to
+// analyze the limitations of CARBON in terms of co-evolution."
+//
+// The model is a tri-level pricing chain (TLPOP):
+//
+//	level A (leader):  CSP-A prices its L_A bundles first
+//	level B (middle):  CSP-B observes A's prices and prices its L_B
+//	                   bundles
+//	level C (bottom):  a rational customer buys the cheapest basket
+//	                   covering all service requirements from the full
+//	                   market (A's, B's and the competitors' bundles)
+//
+// CARBON's decoupling trick is applied twice. The bottom level keeps the
+// paper's GP *scoring heuristics* scored by the Eq. 1 %-gap. The middle
+// level cannot be a population of price vectors (each A decision induces
+// a different B instance — the same epistasis one level up), so it
+// becomes a population of GP *pricing policies*: trees mapping per-bundle
+// features to a price, applicable to any induced middle-level instance.
+// Three populations co-evolve:
+//
+//	A: price vectors (GA, Table II operators), fitness = A's revenue
+//	   under the best B policy and the best C heuristic;
+//	B: pricing policies (GP), fitness = mean B revenue across a fresh
+//	   sample of A's current decisions;
+//	C: scoring heuristics (GP), fitness = mean %-gap across the same
+//	   sample (with the best B policy fixing the middle prices).
+//
+// The known limitation this prototype makes measurable: B's fitness has
+// no per-instance normalizer as good as the LP bound (revenue upper
+// bounds are loose), so the middle population's selection is noisier
+// than the bottom one's — exactly the "limitation in terms of
+// co-evolution" the paper wants analyzed. See the package tests and
+// BenchmarkTriLevel.
+package multilevel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"carbon/internal/archive"
+	"carbon/internal/covering"
+	"carbon/internal/ga"
+	"carbon/internal/gp"
+	"carbon/internal/orlib"
+	"carbon/internal/rng"
+	"carbon/internal/stats"
+)
+
+// TriMarket is a tri-level pricing market over one covering template:
+// columns [0, LA) belong to leader A, [LA, LA+LB) to middle player B,
+// the rest are fixed competitors.
+type TriMarket struct {
+	template *covering.Instance
+	LA, LB   int
+	boundsA  ga.Bounds
+	capB     float64   // price cap for B's policy output
+	feat     []feature // per-B-bundle policy features (precomputed)
+}
+
+// feature is the policy environment for one B bundle, layout PolicyTerms.
+type feature [5]float64
+
+// PolicyTerms names the middle-level policy terminal set, in env order:
+// the bundle's template cost, its mean coverage per service, the mean
+// service requirement, the mean competitor price, and the mean of A's
+// current prices (the only context-dependent slot).
+var PolicyTerms = []string{"c0", "qbar", "bbar", "cbar", "abar"}
+
+// PolicySet returns the GP primitive set for pricing policies: Table I
+// operators over PolicyTerms, with ERCs enabled so policies can express
+// absolute price levels.
+func PolicySet() *gp.Set {
+	return &gp.Set{
+		Ops:       gp.TableIOps(),
+		Terms:     append([]string(nil), PolicyTerms...),
+		ConstProb: 0.2, ConstMin: 0, ConstMax: 2,
+	}
+}
+
+// NewTriMarket slices a covering instance into the three ownership
+// groups and precomputes policy features.
+func NewTriMarket(in *covering.Instance, la, lb int) (*TriMarket, error) {
+	if in == nil {
+		return nil, errors.New("multilevel: nil instance")
+	}
+	if la <= 0 || lb <= 0 || la+lb >= in.M() {
+		return nil, fmt.Errorf("multilevel: bad split LA=%d LB=%d of M=%d", la, lb, in.M())
+	}
+	if !in.FullSelectionFeasible() {
+		return nil, errors.New("multilevel: market cannot cover the requirements")
+	}
+	comp := in.M() - la - lb
+	meanComp := 0.0
+	for j := la + lb; j < in.M(); j++ {
+		meanComp += in.C[j]
+	}
+	meanComp /= float64(comp)
+	meanReq := 0.0
+	for _, b := range in.B {
+		meanReq += b
+	}
+	meanReq /= float64(in.N())
+
+	cap := 2 * meanComp
+	loA := make([]float64, la)
+	upA := make([]float64, la)
+	for j := range upA {
+		upA[j] = cap
+	}
+	tm := &TriMarket{
+		template: in, LA: la, LB: lb,
+		boundsA: ga.Bounds{Lo: loA, Up: upA},
+		capB:    cap,
+		feat:    make([]feature, lb),
+	}
+	for j := 0; j < lb; j++ {
+		col := in.Cols[la+j]
+		qbar := 0.0
+		for _, v := range col {
+			qbar += v
+		}
+		qbar /= float64(in.N())
+		tm.feat[j] = feature{in.C[la+j], qbar, meanReq, meanComp, 0 /* abar filled per context */}
+	}
+	return tm, nil
+}
+
+// NewTriMarketFromClass builds the tri-market for a paper class with
+// A and B each owning LeaderShare of the bundles.
+func NewTriMarketFromClass(cl orlib.Class, index int) (*TriMarket, error) {
+	in, err := orlib.GenerateCovering(cl, index)
+	if err != nil {
+		return nil, err
+	}
+	l := cl.N / 10
+	if l < 1 {
+		l = 1
+	}
+	return NewTriMarket(in, l, l)
+}
+
+// BoundsA returns the leader's price box.
+func (tm *TriMarket) BoundsA() ga.Bounds { return tm.boundsA }
+
+// CapB returns the cap applied to policy-produced middle prices.
+func (tm *TriMarket) CapB() float64 { return tm.capB }
+
+// ApplyPolicy computes B's prices for the given leader prices: the
+// policy tree evaluated per B bundle, folded through |·| and clamped to
+// [0, CapB]. dst must have length LB.
+func (tm *TriMarket) ApplyPolicy(set *gp.Set, policy gp.Tree, priceA []float64, dst []float64) {
+	abar := 0.0
+	for _, p := range priceA {
+		abar += p
+	}
+	abar /= float64(len(priceA))
+	var env [5]float64
+	for j := 0; j < tm.LB; j++ {
+		env = tm.feat[j]
+		env[4] = abar
+		v := math.Abs(policy.Eval(set, env[:]))
+		if v > tm.capB {
+			v = tm.capB
+		}
+		dst[j] = v
+	}
+}
+
+// Outcome is one full tri-level evaluation.
+type Outcome struct {
+	RevenueA float64
+	RevenueB float64
+	LLCost   float64
+	GapPct   float64
+	Feasible bool
+	PriceB   []float64
+}
+
+// Evaluator owns the warm relaxer and scratch for tri-level evaluations.
+// Not safe for concurrent use; create one per worker.
+type Evaluator struct {
+	tm        *TriMarket
+	relaxer   *covering.Relaxer
+	policySet *gp.Set
+	custSet   *gp.Set
+	costs     []float64
+	scores    []float64
+	priceB    []float64
+	// Evals counts full bottom-level evaluations.
+	Evals int
+}
+
+// NewEvaluator prepares an evaluator with the default primitive sets.
+func NewEvaluator(tm *TriMarket) (*Evaluator, error) {
+	relaxer, err := covering.NewRelaxer(tm.template)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{
+		tm:        tm,
+		relaxer:   relaxer,
+		policySet: PolicySet(),
+		custSet:   covering.TableISet(),
+		costs:     make([]float64, tm.template.M()),
+		scores:    make([]float64, tm.template.M()),
+		priceB:    make([]float64, tm.LB),
+	}, nil
+}
+
+// PolicySetRef returns the evaluator's policy primitive set.
+func (ev *Evaluator) PolicySetRef() *gp.Set { return ev.policySet }
+
+// CustomerSetRef returns the evaluator's customer primitive set.
+func (ev *Evaluator) CustomerSetRef() *gp.Set { return ev.custSet }
+
+// Eval runs the full chain: apply B's policy to A's prices, induce the
+// customer instance, relax, score with the customer heuristic, run the
+// greedy, and account revenues along the chain.
+func (ev *Evaluator) Eval(priceA []float64, policy gp.Tree, cust gp.Tree) (Outcome, error) {
+	tm := ev.tm
+	if len(priceA) != tm.LA {
+		return Outcome{}, fmt.Errorf("multilevel: got %d A prices, want %d", len(priceA), tm.LA)
+	}
+	tm.ApplyPolicy(ev.policySet, policy, priceA, ev.priceB)
+	copy(ev.costs[:tm.LA], priceA)
+	copy(ev.costs[tm.LA:tm.LA+tm.LB], ev.priceB)
+	copy(ev.costs[tm.LA+tm.LB:], tm.template.C[tm.LA+tm.LB:])
+
+	rx, err := ev.relaxer.Relax(ev.costs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	work, err := ev.tm.template.WithCosts(ev.costs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	ts := covering.NewTreeScorer(ev.custSet, work, rx)
+	ts.Score(cust, ev.scores)
+	res := work.GreedyByScore(ev.scores, true)
+	ev.Evals++
+
+	out := Outcome{LLCost: res.Cost, Feasible: res.Feasible,
+		PriceB: append([]float64(nil), ev.priceB...)}
+	if !res.Feasible {
+		out.GapPct = covering.Gap(res.Cost+1e9, rx.LB)
+		return out, nil
+	}
+	out.GapPct = covering.Gap(res.Cost, rx.LB)
+	for j := 0; j < tm.LA; j++ {
+		if res.X[j] {
+			out.RevenueA += priceA[j]
+		}
+	}
+	for j := 0; j < tm.LB; j++ {
+		if res.X[tm.LA+j] {
+			out.RevenueB += ev.priceB[j]
+		}
+	}
+	return out, nil
+}
+
+// Config parameterizes the tri-level co-evolution. The three populations
+// share a size and per-level budgets; GP operators reuse Table II's
+// probabilities.
+type Config struct {
+	Seed      uint64
+	PopSize   int
+	Budget    int // bottom-level evaluations (the chain's unit of work)
+	Sample    int // A-decisions sampled per policy/heuristic evaluation
+	Elites    int
+	Limits    gp.Limits
+	InitDepth int
+	TournK    int
+	CrossProb float64
+	MutProb   float64
+	ReproProb float64
+	SBXEta    float64
+	PolyEta   float64
+	ULMutProb float64
+}
+
+// DefaultConfig returns Table II-aligned parameters at prototype scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      1,
+		PopSize:   24,
+		Budget:    6000,
+		Sample:    2,
+		Elites:    1,
+		Limits:    gp.DefaultLimits(),
+		InitDepth: 4,
+		TournK:    3,
+		CrossProb: 0.85,
+		MutProb:   0.10,
+		ReproProb: 0.05,
+		SBXEta:    15,
+		PolyEta:   20,
+		ULMutProb: 0.05,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c *Config) Validate() error {
+	switch {
+	case c.PopSize < 2:
+		return errors.New("multilevel: PopSize must be at least 2")
+	case c.Sample < 1:
+		return errors.New("multilevel: Sample must be at least 1")
+	case c.Budget < c.PopSize*(2*c.Sample+1):
+		return errors.New("multilevel: budget below one generation")
+	case c.Elites < 0 || c.Elites >= c.PopSize:
+		return errors.New("multilevel: bad elite count")
+	case c.CrossProb+c.MutProb+c.ReproProb > 1+1e-9:
+		return errors.New("multilevel: GP probabilities exceed 1")
+	}
+	return nil
+}
+
+// Result summarizes one tri-level co-evolution run.
+type Result struct {
+	BestPriceA   []float64
+	BestRevenueA float64
+	BestRevenueB float64
+	BestPolicy   string
+	BestCust     string
+	BestGapPct   float64
+	Gens         int
+	Evals        int
+	ACurve       stats.Series // best archived A revenue
+	GapCurve     stats.Series // best customer-heuristic gap
+}
+
+// Run executes the three-population co-evolution until the bottom-level
+// budget is exhausted.
+func Run(tm *TriMarket, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ev, err := NewEvaluator(tm)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	boundsA := tm.BoundsA()
+
+	popA := make([][]float64, cfg.PopSize)
+	for i := range popA {
+		popA[i] = boundsA.RandomVector(r)
+	}
+	popB := make([]gp.Tree, cfg.PopSize)
+	popC := make([]gp.Tree, cfg.PopSize)
+	for i := range popB {
+		popB[i] = ev.policySet.Ramped(r, 1, cfg.InitDepth)
+		popC[i] = ev.custSet.Ramped(r, 1, cfg.InitDepth)
+	}
+	fitA := make([]float64, cfg.PopSize)
+	fitB := make([]float64, cfg.PopSize)
+	fitC := make([]float64, cfg.PopSize)
+
+	archA := archive.New[[]float64](cfg.PopSize, false, nil)
+	bestPolicy := popB[0].Clone()
+	bestCust := popC[0].Clone()
+	res := &Result{}
+	bestGapSeen := math.Inf(1)
+	bestRevB := 0.0
+
+	perGen := cfg.PopSize * (2*cfg.Sample + 1)
+	for ev.Evals+perGen <= cfg.Budget {
+		sample := r.SampleDistinct(min(cfg.Sample, len(popA)), len(popA))
+
+		// Bottom level: heuristics chase low gaps across the sampled
+		// contexts, middle prices fixed by the best policy.
+		for i, tr := range popC {
+			total := 0.0
+			for _, s := range sample {
+				out, err := ev.Eval(popA[s], bestPolicy, tr)
+				if err != nil {
+					return nil, err
+				}
+				total += out.GapPct
+			}
+			fitC[i] = total / float64(len(sample))
+		}
+		bc := argbest(fitC, func(a, b float64) bool { return a < b })
+		bestCust = popC[bc].Clone()
+		if fitC[bc] < bestGapSeen {
+			bestGapSeen = fitC[bc]
+		}
+
+		// Middle level: policies chase revenue across the same contexts,
+		// customer fixed to the freshly selected best heuristic.
+		for i, tr := range popB {
+			total := 0.0
+			for _, s := range sample {
+				out, err := ev.Eval(popA[s], tr, bestCust)
+				if err != nil {
+					return nil, err
+				}
+				total += out.RevenueB
+			}
+			fitB[i] = total / float64(len(sample))
+		}
+		bb := argbest(fitB, func(a, b float64) bool { return a > b })
+		bestPolicy = popB[bb].Clone()
+		if fitB[bb] > bestRevB {
+			bestRevB = fitB[bb]
+		}
+
+		// Top level: A's prices against the reactive chain.
+		for i, x := range popA {
+			out, err := ev.Eval(x, bestPolicy, bestCust)
+			if err != nil {
+				return nil, err
+			}
+			if out.Feasible {
+				fitA[i] = out.RevenueA
+			} else {
+				fitA[i] = 0
+			}
+		}
+		for i, x := range popA {
+			archA.Add(append([]float64(nil), x...), fitA[i])
+		}
+
+		res.Gens++
+		xAxis := float64(ev.Evals)
+		if be, ok := archA.Best(); ok {
+			res.ACurve.X = append(res.ACurve.X, xAxis)
+			res.ACurve.Y = append(res.ACurve.Y, be.Fitness)
+		}
+		res.GapCurve.X = append(res.GapCurve.X, xAxis)
+		res.GapCurve.Y = append(res.GapCurve.Y, bestGapSeen)
+
+		popA = breedA(r, popA, fitA, boundsA, cfg)
+		popB = breedGP(r, ev.policySet, popB, fitB, func(a, b float64) bool { return a > b }, cfg)
+		popC = breedGP(r, ev.custSet, popC, fitC, func(a, b float64) bool { return a < b }, cfg)
+	}
+
+	res.Evals = ev.Evals
+	if be, ok := archA.Best(); ok {
+		res.BestPriceA = be.Item
+		res.BestRevenueA = be.Fitness
+	}
+	res.BestRevenueB = bestRevB
+	res.BestPolicy = gp.Simplify(ev.policySet, bestPolicy).String(ev.policySet)
+	res.BestCust = gp.Simplify(ev.custSet, bestCust).String(ev.custSet)
+	res.BestGapPct = bestGapSeen
+	return res, nil
+}
+
+func argbest(fit []float64, better func(a, b float64) bool) int {
+	b := 0
+	for i := range fit {
+		if better(fit[i], fit[b]) {
+			b = i
+		}
+	}
+	return b
+}
+
+func breedA(r *rng.Rand, pop [][]float64, fit []float64, bounds ga.Bounds, cfg Config) [][]float64 {
+	better := func(i, j int) bool { return fit[i] > fit[j] }
+	next := make([][]float64, 0, len(pop))
+	bi := argbest(fit, func(a, b float64) bool { return a > b })
+	for e := 0; e < cfg.Elites; e++ {
+		next = append(next, append([]float64(nil), pop[bi]...))
+	}
+	for len(next) < len(pop) {
+		p1 := pop[ga.BinaryTournament(r, len(pop), better)]
+		p2 := pop[ga.BinaryTournament(r, len(pop), better)]
+		var c1, c2 []float64
+		if r.Bool(cfg.CrossProb) {
+			c1, c2 = ga.SBX(r, p1, p2, bounds, cfg.SBXEta)
+		} else {
+			c1 = append([]float64(nil), p1...)
+			c2 = append([]float64(nil), p2...)
+		}
+		ga.PolynomialMutateInPlace(r, c1, bounds, cfg.PolyEta, cfg.ULMutProb)
+		ga.PolynomialMutateInPlace(r, c2, bounds, cfg.PolyEta, cfg.ULMutProb)
+		next = append(next, c1)
+		if len(next) < len(pop) {
+			next = append(next, c2)
+		}
+	}
+	return next
+}
+
+func breedGP(r *rng.Rand, set *gp.Set, pop []gp.Tree, fit []float64,
+	betterVal func(a, b float64) bool, cfg Config) []gp.Tree {
+
+	better := func(i, j int) bool { return betterVal(fit[i], fit[j]) }
+	next := make([]gp.Tree, 0, len(pop))
+	bi := argbest(fit, betterVal)
+	for e := 0; e < cfg.Elites; e++ {
+		next = append(next, pop[bi].Clone())
+	}
+	for len(next) < len(pop) {
+		u := r.Float64()
+		switch {
+		case u < cfg.CrossProb:
+			p1 := pop[ga.Tournament(r, len(pop), cfg.TournK, better)]
+			p2 := pop[ga.Tournament(r, len(pop), cfg.TournK, better)]
+			c1, c2 := gp.OnePointCrossover(r, set, p1, p2, cfg.Limits)
+			next = append(next, c1)
+			if len(next) < len(pop) {
+				next = append(next, c2)
+			}
+		case u < cfg.CrossProb+cfg.MutProb:
+			p := pop[ga.Tournament(r, len(pop), cfg.TournK, better)]
+			next = append(next, gp.UniformMutate(r, set, p, 3, cfg.Limits))
+		default:
+			p := pop[ga.Tournament(r, len(pop), cfg.TournK, better)]
+			next = append(next, p.Clone())
+		}
+	}
+	return next
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

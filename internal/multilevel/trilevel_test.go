@@ -1,0 +1,230 @@
+package multilevel
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/gp"
+	"carbon/internal/orlib"
+	"carbon/internal/rng"
+	"carbon/internal/stats"
+)
+
+func testTriMarket(t testing.TB) *TriMarket {
+	t.Helper()
+	tm, err := NewTriMarketFromClass(orlib.Class{N: 60, M: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestNewTriMarketValidation(t *testing.T) {
+	in, err := orlib.GenerateCovering(orlib.Class{N: 30, M: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTriMarket(nil, 2, 2); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	if _, err := NewTriMarket(in, 0, 2); err == nil {
+		t.Fatal("LA=0 accepted")
+	}
+	if _, err := NewTriMarket(in, 15, 15); err == nil {
+		t.Fatal("LA+LB=M accepted")
+	}
+	if _, err := NewTriMarket(in, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicySetValid(t *testing.T) {
+	s := PolicySet()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Terms) != 5 {
+		t.Fatalf("policy terminals: %v", s.Terms)
+	}
+}
+
+func TestApplyPolicyClampsAndResponds(t *testing.T) {
+	tm := testTriMarket(t)
+	set := PolicySet()
+	// A constant policy prices every bundle the same; a c0 policy tracks
+	// the template cost.
+	constPolicy := gp.MustParse(set, "(+ 1 1)") // price 2 everywhere
+	prices := make([]float64, tm.LB)
+	priceA := make([]float64, tm.LA)
+	tm.ApplyPolicy(set, constPolicy, priceA, prices)
+	for _, p := range prices {
+		if p != 2 {
+			t.Fatalf("constant policy gave %v", p)
+		}
+	}
+	// A huge policy output must clamp to CapB.
+	big := gp.MustParse(set, "(* (* cbar cbar) cbar)")
+	tm.ApplyPolicy(set, big, priceA, prices)
+	for _, p := range prices {
+		if p > tm.CapB()+1e-9 {
+			t.Fatalf("policy output %v above cap %v", p, tm.CapB())
+		}
+		if p < 0 {
+			t.Fatalf("negative price %v", p)
+		}
+	}
+	// The abar terminal must see A's mean price.
+	echo := gp.MustParse(set, "abar")
+	for j := range priceA {
+		priceA[j] = 3
+	}
+	tm.ApplyPolicy(set, echo, priceA, prices)
+	for _, p := range prices {
+		if math.Abs(p-3) > 1e-9 {
+			t.Fatalf("abar policy gave %v, want 3", p)
+		}
+	}
+}
+
+func TestEvaluatorChain(t *testing.T) {
+	tm := testTriMarket(t)
+	ev, err := NewEvaluator(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	priceA := tm.BoundsA().RandomVector(r)
+	policy := gp.MustParse(ev.PolicySetRef(), "cbar") // price at competitor mean
+	cust := gp.MustParse(ev.CustomerSetRef(), "(% (* q d) c)")
+	out, err := ev.Eval(priceA, policy, cust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible {
+		t.Fatal("chain produced infeasible basket")
+	}
+	if out.GapPct < -1e-9 || out.GapPct > 100 {
+		t.Fatalf("gap %v", out.GapPct)
+	}
+	if out.RevenueA < 0 || out.RevenueB < 0 {
+		t.Fatalf("negative revenue: %v %v", out.RevenueA, out.RevenueB)
+	}
+	if len(out.PriceB) != tm.LB {
+		t.Fatalf("PriceB length %d", len(out.PriceB))
+	}
+	if ev.Evals != 1 {
+		t.Fatalf("eval count %d", ev.Evals)
+	}
+}
+
+func TestEvalRejectsWrongLengths(t *testing.T) {
+	tm := testTriMarket(t)
+	ev, err := NewEvaluator(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := gp.MustParse(ev.PolicySetRef(), "cbar")
+	cust := gp.MustParse(ev.CustomerSetRef(), "c")
+	if _, err := ev.Eval([]float64{1}, policy, cust); err == nil {
+		t.Fatal("wrong-length priceA accepted")
+	}
+}
+
+func TestCheaperMiddlePolicyGetsBought(t *testing.T) {
+	// A policy that undercuts the competitor mean should put more B
+	// bundles into the basket than one pricing at the cap.
+	tm := testTriMarket(t)
+	ev, err := NewEvaluator(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	priceA := tm.BoundsA().RandomVector(r)
+	cust := gp.MustParse(ev.CustomerSetRef(), "(% (* q d) c)")
+	cheap := gp.MustParse(ev.PolicySetRef(), "(% cbar (+ 1 1))")  // half the mean
+	expensive := gp.MustParse(ev.PolicySetRef(), "(+ cbar cbar)") // the cap
+	oc, err := ev.Eval(priceA, cheap, cust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe, err := ev.Eval(priceA, expensive, cust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.RevenueB == 0 && oe.RevenueB > 0 {
+		t.Fatalf("undercutting earned 0 while cap pricing earned %v", oe.RevenueB)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutate := []func(*Config){
+		func(c *Config) { c.PopSize = 1 },
+		func(c *Config) { c.Sample = 0 },
+		func(c *Config) { c.Budget = 10 },
+		func(c *Config) { c.Elites = 99 },
+		func(c *Config) { c.CrossProb, c.MutProb = 0.9, 0.2 },
+	}
+	for i, m := range mutate {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRunTriLevel(t *testing.T) {
+	tm := testTriMarket(t)
+	cfg := DefaultConfig()
+	cfg.PopSize = 8
+	cfg.Budget = 800
+	res, err := Run(tm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gens == 0 {
+		t.Fatal("no generations")
+	}
+	if res.Evals > cfg.Budget {
+		t.Fatalf("budget exceeded: %d", res.Evals)
+	}
+	if len(res.BestPriceA) != tm.LA {
+		t.Fatalf("priceA length %d", len(res.BestPriceA))
+	}
+	if res.BestPolicy == "" || res.BestCust == "" {
+		t.Fatal("missing evolved programs")
+	}
+	if res.BestGapPct < 0 || math.IsInf(res.BestGapPct, 0) {
+		t.Fatalf("gap %v", res.BestGapPct)
+	}
+	if m := stats.Monotonicity(res.ACurve.Y, +1); m != 1 {
+		t.Fatalf("A archive curve not monotone: %v", m)
+	}
+	if m := stats.Monotonicity(res.GapCurve.Y, -1); m != 1 {
+		t.Fatalf("best-gap-seen curve not monotone: %v", m)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tm := testTriMarket(t)
+	cfg := DefaultConfig()
+	cfg.PopSize = 8
+	cfg.Budget = 500
+	cfg.Seed = 11
+	a, err := Run(tm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestRevenueA != b.BestRevenueA || a.BestPolicy != b.BestPolicy ||
+		a.BestGapPct != b.BestGapPct {
+		t.Fatal("same seed diverged")
+	}
+}

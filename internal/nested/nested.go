@@ -1,0 +1,251 @@
+// Package nested implements the legacy "nested sequential" baseline
+// (category NSQ/CST in the paper's §III taxonomy, Fig 2): a single
+// genetic algorithm over upper-level decisions where *every* fitness
+// evaluation solves the induced lower-level instance from scratch with a
+// fixed hand-written heuristic (Chvátal's ratio greedy).
+//
+// This is the scheme the paper calls "very time consuming": accuracy at
+// the lower level is bought per-evaluation instead of being learned once
+// and amortized, so under an equal lower-level evaluation budget the
+// upper-level search sees far fewer candidate pricings than CARBON. The
+// package exists as the third comparison point for the taxonomy
+// benchmarks (see bench_test.go and EXPERIMENTS.md).
+package nested
+
+import (
+	"errors"
+	"fmt"
+
+	"carbon/internal/archive"
+	"carbon/internal/bcpop"
+	"carbon/internal/covering"
+	"carbon/internal/ga"
+	"carbon/internal/par"
+	"carbon/internal/rng"
+	"carbon/internal/stats"
+)
+
+// Config parameterizes the nested GA. The upper level reuses the
+// Table II GA operator suite so comparisons isolate the *architecture*
+// (nested vs co-evolutionary), not the operators.
+type Config struct {
+	Seed            uint64
+	PopSize         int
+	ArchiveSize     int
+	ULEvalBudget    int     // upper-level evaluations
+	LLEvalBudget    int     // lower-level solves (one per UL evaluation)
+	CrossoverProb   float64 // SBX
+	MutationProb    float64 // polynomial, per gene
+	SBXEta, PolyEta float64
+	Elites          int
+	Workers         int
+
+	// GraspStarts switches the fixed lower-level solver from the
+	// deterministic Chvátal greedy to GRASP with this many randomized
+	// starts (GraspAlpha is the restricted-candidate-list looseness).
+	// Each start is charged as one lower-level evaluation, so GRASP buys
+	// better per-candidate answers at the price of proportionally fewer
+	// upper-level candidates — the nested trade-off dial.
+	GraspStarts int
+	GraspAlpha  float64
+}
+
+// DefaultConfig mirrors the Table II upper-level column.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		PopSize:       100,
+		ArchiveSize:   100,
+		ULEvalBudget:  50000,
+		LLEvalBudget:  50000,
+		CrossoverProb: 0.85,
+		MutationProb:  0.01,
+		SBXEta:        15,
+		PolyEta:       20,
+		Elites:        1,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c *Config) Validate() error {
+	switch {
+	case c.PopSize < 2:
+		return errors.New("nested: population size must be at least 2")
+	case c.ArchiveSize < 1:
+		return errors.New("nested: archive size must be positive")
+	case c.ULEvalBudget < c.PopSize || c.LLEvalBudget < c.PopSize:
+		return errors.New("nested: budgets must cover one generation")
+	case c.Elites < 0 || c.Elites >= c.PopSize:
+		return errors.New("nested: bad elite count")
+	}
+	return nil
+}
+
+// Result summarizes one nested-GA run.
+type Result struct {
+	BestPrice   []float64
+	BestRevenue float64
+	BestGapPct  float64 // gap of the Chvátal answer on the best pricing
+	ULEvals     int
+	LLEvals     int
+	Gens        int
+	ULCurve     stats.Series
+	GapCurve    stats.Series
+}
+
+// Run executes the nested GA: each upper-level fitness evaluation costs
+// one lower-level solve (Chvátal greedy on the induced instance), so
+// both budgets drain in lockstep.
+func Run(mk *bcpop.Market, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := par.Workers(cfg.Workers)
+	evs := make([]*bcpop.Evaluator, workers)
+	for i := range evs {
+		ev, err := bcpop.NewEvaluator(mk, covering.TableISet())
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = ev
+	}
+	r := rng.New(cfg.Seed)
+	bounds := mk.PriceBounds()
+
+	pop := make([][]float64, cfg.PopSize)
+	for i := range pop {
+		pop[i] = bounds.RandomVector(r)
+	}
+	fit := make([]float64, cfg.PopSize)
+	gaps := make([]float64, cfg.PopSize)
+	arch := archive.New[[]float64](cfg.ArchiveSize, false, nil)
+
+	res := &Result{}
+	ulUsed, llUsed := 0, 0
+	bestGap := 0.0
+	llPerCand := 1
+	if cfg.GraspStarts > 0 {
+		llPerCand = cfg.GraspStarts
+	}
+	for ulUsed+cfg.PopSize <= cfg.ULEvalBudget && llUsed+cfg.PopSize*llPerCand <= cfg.LLEvalBudget {
+		// Pre-draw per-candidate seeds on the main goroutine so the
+		// GRASP path stays deterministic under striped evaluation.
+		var seeds []uint64
+		if cfg.GraspStarts > 0 {
+			seeds = make([]uint64, len(pop))
+			for i := range seeds {
+				seeds[i] = r.Uint64()
+			}
+		}
+		evalStriped(len(pop), workers, func(i, w int) {
+			var out bcpop.Result
+			var err error
+			if cfg.GraspStarts > 0 {
+				out, _, err = evs[w].EvalGRASP(pop[i], rng.New(seeds[i]), cfg.GraspStarts, cfg.GraspAlpha)
+			} else {
+				out, err = evalChvatal(evs[w], pop[i])
+			}
+			if err != nil {
+				panic(fmt.Sprintf("nested: %v", err))
+			}
+			if out.Feasible {
+				fit[i] = out.Revenue
+			} else {
+				fit[i] = 0
+			}
+			gaps[i] = out.GapPct
+		})
+		ulUsed += len(pop)
+		llUsed += len(pop) * llPerCand
+
+		bestI := 0
+		for i := range fit {
+			if fit[i] > fit[bestI] {
+				bestI = i
+			}
+		}
+		for i, x := range pop {
+			if arch.Add(append([]float64(nil), x...), fit[i]) && i == bestI {
+				bestGap = gaps[i]
+			}
+		}
+		res.Gens++
+		x := float64(ulUsed + llUsed)
+		if be, ok := arch.Best(); ok {
+			res.ULCurve.X = append(res.ULCurve.X, x)
+			res.ULCurve.Y = append(res.ULCurve.Y, be.Fitness)
+		}
+		res.GapCurve.X = append(res.GapCurve.X, x)
+		res.GapCurve.Y = append(res.GapCurve.Y, gaps[bestI])
+
+		pop = breed(r, pop, fit, bounds, cfg)
+	}
+	res.ULEvals, res.LLEvals = ulUsed, llUsed
+	if be, ok := arch.Best(); ok {
+		res.BestPrice = be.Item
+		res.BestRevenue = be.Fitness
+		res.BestGapPct = bestGap
+	}
+	return res, nil
+}
+
+// evalChvatal prices the market and answers with the fixed ratio greedy.
+func evalChvatal(ev *bcpop.Evaluator, price []float64) (bcpop.Result, error) {
+	// An empty selection repaired by Chvátal completion IS the Chvátal
+	// greedy, so reuse the selection path.
+	empty := make([]bool, ev.Market().Bundles())
+	out, _, err := ev.EvalSelection(price, empty)
+	return out, err
+}
+
+func breed(r *rng.Rand, pop [][]float64, fit []float64, bounds ga.Bounds, cfg Config) [][]float64 {
+	better := func(i, j int) bool { return fit[i] > fit[j] }
+	next := make([][]float64, 0, len(pop))
+	// Elitism by partial selection.
+	order := make([]int, len(pop))
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < cfg.Elites; e++ {
+		best := e
+		for i := e + 1; i < len(order); i++ {
+			if better(order[i], order[best]) {
+				best = i
+			}
+		}
+		order[e], order[best] = order[best], order[e]
+		next = append(next, append([]float64(nil), pop[order[e]]...))
+	}
+	for len(next) < len(pop) {
+		p1 := pop[ga.BinaryTournament(r, len(pop), better)]
+		p2 := pop[ga.BinaryTournament(r, len(pop), better)]
+		var c1, c2 []float64
+		if r.Bool(cfg.CrossoverProb) {
+			c1, c2 = ga.SBX(r, p1, p2, bounds, cfg.SBXEta)
+		} else {
+			c1 = append([]float64(nil), p1...)
+			c2 = append([]float64(nil), p2...)
+		}
+		ga.PolynomialMutateInPlace(r, c1, bounds, cfg.PolyEta, cfg.MutationProb)
+		ga.PolynomialMutateInPlace(r, c2, bounds, cfg.PolyEta, cfg.MutationProb)
+		next = append(next, c1)
+		if len(next) < len(pop) {
+			next = append(next, c2)
+		}
+	}
+	return next
+}
+
+// evalStriped mirrors core.evalStriped.
+func evalStriped(n, workers int, fn func(i, worker int)) {
+	if workers > n {
+		workers = n
+	}
+	par.ForEach(workers, workers, func(w int) {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		for i := lo; i < hi; i++ {
+			fn(i, w)
+		}
+	})
+}

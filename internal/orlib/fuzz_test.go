@@ -1,0 +1,42 @@
+package orlib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseMKP: arbitrary bytes must never panic the parser; any input
+// that parses must validate and survive a write/parse round trip.
+func FuzzParseMKP(f *testing.F) {
+	f.Add(sampleFile)
+	f.Add("1\n2 1 0\n5 6\n1 2\n3\n")
+	f.Add("")
+	f.Add("1")
+	f.Add("0")
+	f.Add("-1")
+	f.Add("1 1000000000 1000000000 0")
+	f.Add("2\n1 1 0\n1\n1\n1\n1 1 0\n1\n1\n1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		ps, err := ParseMKP(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for i := range ps {
+			if err := ps[i].Validate(); err != nil {
+				t.Fatalf("parsed problem %d invalid: %v", i, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteMKP(&buf, ps); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ParseMKP(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if len(back) != len(ps) {
+			t.Fatalf("round trip count %d != %d", len(back), len(ps))
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package orlib
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+const sampleFile = `2
+3 2 41
+10 20 30
+1 2 3
+4 5 6
+4 10
+2 1 0
+7 8
+9 9
+15
+`
+
+func TestParseMKP(t *testing.T) {
+	ps, err := ParseMKP(strings.NewReader(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("parsed %d problems", len(ps))
+	}
+	p := ps[0]
+	if p.N != 3 || p.M != 2 || p.Opt != 41 {
+		t.Fatalf("header: %+v", p)
+	}
+	if p.Profit[2] != 30 {
+		t.Fatalf("profit: %v", p.Profit)
+	}
+	if p.W[1][0] != 4 || p.W[1][2] != 6 {
+		t.Fatalf("weights: %v", p.W)
+	}
+	if p.Cap[1] != 10 {
+		t.Fatalf("capacities: %v", p.Cap)
+	}
+	q := ps[1]
+	if q.N != 2 || q.M != 1 || q.Opt != 0 {
+		t.Fatalf("second header: %+v", q)
+	}
+	if q.W[0][1] != 9 || q.Cap[0] != 15 {
+		t.Fatalf("second problem: %+v", q)
+	}
+}
+
+func TestParseMKPErrors(t *testing.T) {
+	bad := []string{
+		"",                   // no count
+		"1",                  // truncated header
+		"1 3 2",              // truncated opt
+		"1 3 2 41 10 20",     // truncated profits
+		"0",                  // zero problems
+		"-3",                 // negative count
+		"1 3 2 41 10 20 x 1", // non-numeric
+		"1 2.5 2 41",         // fractional dimension
+	}
+	for _, src := range bad {
+		if _, err := ParseMKP(strings.NewReader(src)); err == nil {
+			t.Fatalf("ParseMKP(%q) succeeded", src)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	var problems []MKP
+	for _, sz := range []struct{ n, m int }{{5, 2}, {30, 7}} {
+		p, err := GenerateMKP(r, sz.n, sz.m, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		problems = append(problems, p)
+	}
+	var buf bytes.Buffer
+	if err := WriteMKP(&buf, problems); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMKP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(problems) {
+		t.Fatalf("round trip count %d", len(back))
+	}
+	for pi := range problems {
+		a, b := problems[pi], back[pi]
+		if a.N != b.N || a.M != b.M || a.Opt != b.Opt {
+			t.Fatalf("problem %d header changed", pi)
+		}
+		for j := range a.Profit {
+			if a.Profit[j] != b.Profit[j] {
+				t.Fatalf("profit %d changed", j)
+			}
+		}
+		for i := range a.W {
+			for j := range a.W[i] {
+				if a.W[i][j] != b.W[i][j] {
+					t.Fatalf("weight (%d,%d) changed", i, j)
+				}
+			}
+		}
+		for i := range a.Cap {
+			if a.Cap[i] != b.Cap[i] {
+				t.Fatalf("capacity %d changed", i)
+			}
+		}
+	}
+}
+
+func TestGenerateMKPConventions(t *testing.T) {
+	r := rng.New(2)
+	p, err := GenerateMKP(r, 100, 10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range p.W {
+		sum := 0.0
+		for _, w := range row {
+			if w < 1 || w > 1000 || w != math.Trunc(w) {
+				t.Fatalf("weight %v out of Chu–Beasley range", w)
+			}
+			sum += w
+		}
+		want := math.Floor(0.25 * sum)
+		if p.Cap[i] != want {
+			t.Fatalf("capacity %d = %v, want %v", i, p.Cap[i], want)
+		}
+	}
+	for _, pr := range p.Profit {
+		if pr < 1 || pr != math.Trunc(pr) {
+			t.Fatalf("profit %v not a positive integer", pr)
+		}
+	}
+}
+
+func TestGenerateMKPValidation(t *testing.T) {
+	r := rng.New(3)
+	if _, err := GenerateMKP(r, 0, 5, 0.25); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := GenerateMKP(r, 5, 5, 0); err == nil {
+		t.Fatal("tightness 0 accepted")
+	}
+	if _, err := GenerateMKP(r, 5, 5, 1); err == nil {
+		t.Fatal("tightness 1 accepted")
+	}
+}
+
+func TestToCovering(t *testing.T) {
+	r := rng.New(4)
+	p, err := GenerateMKP(r, 50, 5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := p.ToCovering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M() != 50 || in.N() != 5 {
+		t.Fatalf("covering dims %dx%d", in.M(), in.N())
+	}
+	// The flip preserves the data: costs = profits, Q = W, B = Cap.
+	for j := range p.Profit {
+		if in.C[j] != p.Profit[j] {
+			t.Fatal("costs differ from profits")
+		}
+	}
+	for i := range p.Cap {
+		if in.B[i] != p.Cap[i] {
+			t.Fatal("requirements differ from capacities")
+		}
+	}
+	if !in.FullSelectionFeasible() {
+		t.Fatal("generated covering instance infeasible")
+	}
+}
+
+func TestToCoveringRejectsEmptySearchSpace(t *testing.T) {
+	p := MKP{
+		N: 2, M: 1,
+		Profit: []float64{1, 1},
+		W:      [][]float64{{1, 1}},
+		Cap:    []float64{5}, // Σw = 2 < 5: even buying all is infeasible
+	}
+	if _, err := p.ToCovering(); err == nil {
+		t.Fatal("empty search space accepted")
+	}
+}
+
+func TestPaperClasses(t *testing.T) {
+	if len(PaperClasses) != 9 {
+		t.Fatalf("%d classes", len(PaperClasses))
+	}
+	seen := map[string]bool{}
+	for _, cl := range PaperClasses {
+		if cl.N != 100 && cl.N != 250 && cl.N != 500 {
+			t.Fatalf("bad N %d", cl.N)
+		}
+		if cl.M != 5 && cl.M != 10 && cl.M != 30 {
+			t.Fatalf("bad M %d", cl.M)
+		}
+		if seen[cl.String()] {
+			t.Fatalf("duplicate class %v", cl)
+		}
+		seen[cl.String()] = true
+	}
+	if PaperClasses[0].String() != "n100_m5" {
+		t.Fatalf("class naming: %s", PaperClasses[0])
+	}
+}
+
+func TestGenerateCoveringDeterministic(t *testing.T) {
+	a, err := GenerateCovering(Class{100, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCovering(Class{100, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.C {
+		if a.C[j] != b.C[j] {
+			t.Fatal("same (class,index) produced different instances")
+		}
+	}
+	c, err := GenerateCovering(Class{100, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a.C {
+		if a.C[j] != c.C[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different indices produced identical instances")
+	}
+}
+
+func TestGenerateCoveringAllClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full class sweep in -short mode")
+	}
+	for _, cl := range PaperClasses {
+		in, err := GenerateCovering(cl, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", cl, err)
+		}
+		if in.M() != cl.N || in.N() != cl.M {
+			t.Fatalf("%v: got %dx%d", cl, in.M(), in.N())
+		}
+		rx, err := in.Relax()
+		if err != nil {
+			t.Fatalf("%v: relax: %v", cl, err)
+		}
+		if rx.LB <= 0 {
+			t.Fatalf("%v: non-positive LP bound %v", cl, rx.LB)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package par provides the parallel-execution primitives used across the
+// repository: bounded worker pools, deterministic parallel map/for over
+// index ranges, and chunked scheduling.
+//
+// The evolutionary loops in internal/core and internal/cobra evaluate
+// whole populations per generation, and the experiment harness in
+// internal/exp fans out independent runs; both express their parallelism
+// through this package so that concurrency policy (worker count, chunk
+// size, panic propagation) lives in one place.
+//
+// Determinism contract: callers must not share rng state across work
+// items. ForEach guarantees that item i is processed exactly once and
+// that all writes made by workers happen-before ForEach returns, but the
+// *order* of processing is unspecified. Deterministic algorithms
+// therefore pre-split their generators per item (see rng.Rand.Split).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the effective worker count for a requested value:
+// n <= 0 selects GOMAXPROCS, anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// goroutines (Workers(workers) resolves the count). It blocks until all
+// items complete. A panic in any fn is captured and re-raised on the
+// calling goroutine, wrapped with the item index, after all other
+// workers drain.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		perr *panicErr
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if !safeCall(i, fn, &mu, &perr) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if perr != nil {
+		panic(perr)
+	}
+}
+
+// panicErr carries a worker panic back to the caller.
+type panicErr struct {
+	item  int
+	value any
+}
+
+func (p *panicErr) Error() string {
+	return fmt.Sprintf("par: panic processing item %d: %v", p.item, p.value)
+}
+
+// safeCall runs fn(i), converting a panic into a stored panicErr.
+// It returns false when a panic (from this or another worker) means the
+// worker should stop early.
+func safeCall(i int, fn func(int), mu *sync.Mutex, perr **panicErr) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			mu.Lock()
+			if *perr == nil {
+				*perr = &panicErr{item: i, value: r}
+			}
+			mu.Unlock()
+			ok = false
+		}
+	}()
+	mu.Lock()
+	stop := *perr != nil
+	mu.Unlock()
+	if stop {
+		return false
+	}
+	fn(i)
+	return true
+}
+
+// Map applies fn to every index in [0, n) in parallel and returns the
+// results in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapSlice applies fn to every element of in, in parallel, preserving
+// order.
+func MapSlice[S, T any](in []S, workers int, fn func(S) T) []T {
+	return Map(len(in), workers, func(i int) T { return fn(in[i]) })
+}
+
+// Chunks invokes fn(lo, hi) over contiguous half-open chunks covering
+// [0, n), in parallel. Chunked scheduling amortizes per-item dispatch
+// for cheap loop bodies. chunk <= 0 selects ceil(n/ (4*workers)) with a
+// floor of 1.
+func Chunks(n, workers, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if chunk <= 0 {
+		chunk = (n + 4*w - 1) / (4 * w)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	nChunks := (n + chunk - 1) / chunk
+	ForEach(nChunks, w, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Reduce computes a parallel reduction: fn maps each index to a partial
+// value, merge folds partials pairwise. merge must be associative;
+// identity is the zero of the reduction. Partials are merged in
+// deterministic index order, so non-commutative merges are safe as long
+// as they are associative.
+func Reduce[T any](n, workers int, identity T, fn func(i int) T, merge func(a, b T) T) T {
+	parts := Map(n, workers, fn)
+	acc := identity
+	for _, p := range parts {
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
+// Pool is a reusable fixed-size worker pool for repeated waves of tasks
+// (e.g. one wave per evolutionary generation). Submit enqueues work;
+// Wait blocks until every task submitted since the last Wait has
+// finished. A Pool is cheaper than spawning goroutines per generation
+// when generations are short.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool with Workers(workers) goroutines.
+func NewPool(workers int) *Pool {
+	w := Workers(workers)
+	p := &Pool{tasks: make(chan func(), 4*w)}
+	for i := 0; i < w; i++ {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues fn for execution. It must not be called concurrently
+// with Close.
+func (p *Pool) Submit(fn func()) {
+	p.wg.Add(1)
+	p.tasks <- func() {
+		defer p.wg.Done()
+		fn()
+	}
+}
+
+// Wait blocks until all submitted tasks have completed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close shuts the pool down after draining outstanding tasks. The pool
+// must not be used afterwards.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		p.wg.Wait()
+		close(p.tasks)
+	})
+}

@@ -1,0 +1,245 @@
+// Package plot renders line charts as standalone SVG documents using
+// only the standard library. It exists so cmd/blbench can write the
+// paper's Figures 4 and 5 (convergence curves) as real graphics next to
+// the CSV and ASCII outputs.
+//
+// The feature set is deliberately small — axes with nice ticks, multiple
+// polyline series with a legend, optional dashing — but the output is
+// well-formed XML (tests parse it back) and renders in any browser.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Label string
+	X, Y  []float64
+	Color string // CSS color; defaults cycle through a palette
+	Dash  bool   // dashed stroke
+}
+
+// Chart is a single XY line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   int // pixel size; defaults 640×360
+	Series []Series
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginL = 64
+	marginR = 16
+	marginT = 32
+	marginB = 44
+)
+
+// SVG renders the chart. Charts with no drawable points render an empty
+// frame with the title, never invalid output.
+func (c *Chart) SVG() string {
+	w, h := c.W, c.H
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 360
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	c.render(&b, 0, 0, w, h)
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// render draws the chart into the rectangle (x0,y0,w,h) of an open SVG.
+func (c *Chart) render(b *strings.Builder, x0, y0, w, h int) {
+	plotX0 := x0 + marginL
+	plotY0 := y0 + marginT
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+
+	xmin, xmax, ymin, ymax := c.dataRange()
+	haveData := !math.IsInf(xmin, 1)
+	if !haveData {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 {
+		return float64(plotX0) + (x-xmin)/(xmax-xmin)*float64(plotW)
+	}
+	py := func(y float64) float64 {
+		return float64(plotY0) + (ymax-y)/(ymax-ymin)*float64(plotH)
+	}
+
+	// Title and axis labels.
+	if c.Title != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`,
+			plotX0, y0+18, escape(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`,
+			plotX0+plotW/2, y0+h-8, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		cx, cy := x0+14, plotY0+plotH/2
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 %d %d)">%s</text>`,
+			cx, cy, cx, cy, escape(c.YLabel))
+	}
+
+	// Frame.
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333" stroke-width="1"/>`,
+		plotX0, plotY0, plotW, plotH)
+
+	// Ticks and grid lines.
+	for _, tx := range Ticks(xmin, xmax, 6) {
+		X := px(tx)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`,
+			X, plotY0, X, plotY0+plotH)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			X, plotY0+plotH+14, formatTick(tx))
+	}
+	for _, ty := range Ticks(ymin, ymax, 5) {
+		Y := py(ty)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			plotX0, Y, plotX0+plotW, Y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			plotX0-6, Y+3, formatTick(ty))
+	}
+
+	// Series polylines.
+	for si, s := range c.Series {
+		if len(s.X) == 0 {
+			continue
+		}
+		color := s.Color
+		if color == "" {
+			color = palette[si%len(palette)]
+		}
+		dash := ""
+		if s.Dash {
+			dash = ` stroke-dasharray="6 3"`
+		}
+		var pts strings.Builder
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f ", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"%s/>`,
+			strings.TrimSpace(pts.String()), color, dash)
+		// Legend.
+		lx, ly := plotX0+plotW-150, plotY0+14+16*si
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`,
+			lx, ly-4, lx+22, ly-4, color, dash)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`,
+			lx+28, ly, escape(s.Label))
+	}
+}
+
+func (c *Chart) dataRange() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	return
+}
+
+// Stack renders several charts stacked vertically into one SVG document.
+func Stack(w, hEach int, charts ...*Chart) string {
+	if w <= 0 {
+		w = 640
+	}
+	if hEach <= 0 {
+		hEach = 300
+	}
+	var b strings.Builder
+	total := hEach * len(charts)
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, total, w, total)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	for i, c := range charts {
+		c.render(&b, 0, i*hEach, w, hEach)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// Ticks returns ~n "nice" tick positions covering [lo, hi].
+func Ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	if span <= 0 || math.IsNaN(span) || math.IsInf(span, 0) {
+		return []float64{lo}
+	}
+	step := niceStep(span / float64(n))
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for v := start; v <= hi+step*1e-9; v += step {
+		// Snap near-zero ticks produced by float drift.
+		if math.Abs(v) < step*1e-9 {
+			v = 0
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// niceStep rounds a raw step to 1, 2 or 5 times a power of ten.
+func niceStep(raw float64) float64 {
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch frac := raw / mag; {
+	case frac <= 1:
+		return mag
+	case frac <= 2:
+		return 2 * mag
+	case frac <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

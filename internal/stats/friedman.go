@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Friedman performs the Friedman rank test for k related samples
+// (algorithms) over n blocks (runs/instances): data[i][j] is algorithm
+// j's measurement in block i, lower = better. It returns the Friedman
+// chi-squared statistic, its p-value (chi-squared approximation with
+// k−1 degrees of freedom), and the mean rank of each algorithm.
+//
+// This is the standard omnibus test for comparing multiple evolutionary
+// algorithms across runs (Demšar 2006); the taxonomy comparison uses it
+// before pairwise Nemenyi distances.
+func Friedman(data [][]float64) (chi2, p float64, meanRanks []float64, err error) {
+	n := len(data)
+	if n < 2 {
+		return 0, 0, nil, fmt.Errorf("stats: Friedman needs at least 2 blocks, got %d", n)
+	}
+	k := len(data[0])
+	if k < 2 {
+		return 0, 0, nil, fmt.Errorf("stats: Friedman needs at least 2 treatments, got %d", k)
+	}
+	for i, row := range data {
+		if len(row) != k {
+			return 0, 0, nil, fmt.Errorf("stats: block %d has %d entries, want %d", i, len(row), k)
+		}
+	}
+	meanRanks = make([]float64, k)
+	type obs struct {
+		v float64
+		j int
+	}
+	row := make([]obs, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			row[j] = obs{data[i][j], j}
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a].v < row[b].v })
+		// Midranks for ties.
+		for a := 0; a < k; {
+			b := a
+			for b < k && row[b].v == row[a].v {
+				b++
+			}
+			mid := float64(a+b+1) / 2
+			for c := a; c < b; c++ {
+				meanRanks[row[c].j] += mid
+			}
+			a = b
+		}
+	}
+	for j := range meanRanks {
+		meanRanks[j] /= float64(n)
+	}
+	sum := 0.0
+	for _, r := range meanRanks {
+		d := r - float64(k+1)/2
+		sum += d * d
+	}
+	chi2 = 12 * float64(n) / float64(k*(k+1)) * sum
+	p = chiSquaredSurvival(chi2, k-1)
+	return chi2, p, meanRanks, nil
+}
+
+// NemenyiCD returns the critical difference of mean ranks at the given
+// significance for k treatments over n blocks: pairs of algorithms whose
+// mean-rank distance exceeds the CD differ significantly. Supported
+// alphas: 0.05 and 0.10 for k in [2, 10].
+func NemenyiCD(k, n int, alpha float64) (float64, error) {
+	// Studentized-range derived q_alpha values (Demšar 2006, Table 5):
+	// q_alpha / sqrt(2) already folded in the CD formula below uses raw
+	// q_alpha values.
+	q05 := []float64{0, 0, 1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164}
+	q10 := []float64{0, 0, 1.645, 2.052, 2.291, 2.459, 2.589, 2.693, 2.780, 2.855, 2.920}
+	if k < 2 || k > 10 {
+		return 0, fmt.Errorf("stats: NemenyiCD supports k in [2,10], got %d", k)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("stats: NemenyiCD needs n >= 2, got %d", n)
+	}
+	var q float64
+	switch alpha {
+	case 0.05:
+		q = q05[k]
+	case 0.10:
+		q = q10[k]
+	default:
+		return 0, fmt.Errorf("stats: NemenyiCD supports alpha 0.05 or 0.10, got %v", alpha)
+	}
+	return q * math.Sqrt(float64(k*(k+1))/(6*float64(n))), nil
+}
+
+// chiSquaredSurvival returns P(X > x) for a chi-squared variable with
+// df degrees of freedom, via the regularized upper incomplete gamma
+// function Q(df/2, x/2).
+func chiSquaredSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(float64(df)/2, x/2)
+}
+
+// upperGammaRegularized computes Q(a, x) = Γ(a,x)/Γ(a) using the series
+// for x < a+1 and the continued fraction otherwise (Numerical Recipes
+// style), accurate to ~1e-12 for the small df used here.
+func upperGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// P(a,x) by series, Q = 1 - P.
+		sum := 1 / a
+		term := sum
+		for n := 1; n < 500; n++ {
+			term *= x / (a + float64(n))
+			sum += term
+			if math.Abs(term) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		p := sum * math.Exp(-x+a*math.Log(x)-lg)
+		return 1 - p
+	}
+	// Q(a,x) by continued fraction (modified Lentz).
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func TestFriedmanKnownExample(t *testing.T) {
+	// Classic textbook data (Conover): 3 treatments, 4 blocks.
+	data := [][]float64{
+		{9.5, 11.4, 12.8},
+		{9.8, 11.2, 12.4},
+		{9.1, 10.9, 12.9},
+		{9.4, 11.0, 12.5},
+	}
+	chi2, p, ranks, err := Friedman(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect ordering in every block: ranks 1, 2, 3; chi2 = 12·n/(k(k+1))·Σ(r−2)² = 8.
+	if math.Abs(chi2-8) > 1e-9 {
+		t.Fatalf("chi2 = %v, want 8", chi2)
+	}
+	want := []float64{1, 2, 3}
+	for j := range ranks {
+		if math.Abs(ranks[j]-want[j]) > 1e-12 {
+			t.Fatalf("ranks = %v", ranks)
+		}
+	}
+	if p > 0.02 || p < 0.01 {
+		t.Fatalf("p = %v, want ≈ 0.018 (chi2=8, df=2)", p)
+	}
+}
+
+func TestFriedmanNoDifference(t *testing.T) {
+	// Identical treatments: all ranks tie at (k+1)/2, chi2 = 0, p = 1.
+	data := [][]float64{
+		{5, 5, 5}, {7, 7, 7}, {2, 2, 2},
+	}
+	chi2, p, ranks, err := Friedman(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 != 0 || p != 1 {
+		t.Fatalf("chi2=%v p=%v", chi2, p)
+	}
+	for _, r := range ranks {
+		if r != 2 {
+			t.Fatalf("ranks = %v", ranks)
+		}
+	}
+}
+
+func TestFriedmanFalsePositiveRate(t *testing.T) {
+	r := rng.New(113)
+	rejections := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		data := make([][]float64, 12)
+		for i := range data {
+			data[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		}
+		_, p, _, err := Friedman(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.05 {
+			rejections++
+		}
+	}
+	if rate := float64(rejections) / trials; rate > 0.10 {
+		t.Fatalf("false positive rate %v", rate)
+	}
+}
+
+func TestFriedmanDetectsRealDifference(t *testing.T) {
+	r := rng.New(127)
+	data := make([][]float64, 20)
+	for i := range data {
+		data[i] = []float64{
+			r.NormFloat64(),     // algo 0: baseline
+			r.NormFloat64() + 2, // algo 1: clearly worse
+			r.NormFloat64() + 4, // algo 2: much worse
+		}
+	}
+	_, p, ranks, err := Friedman(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-4 {
+		t.Fatalf("p = %v for clearly separated algorithms", p)
+	}
+	if !(ranks[0] < ranks[1] && ranks[1] < ranks[2]) {
+		t.Fatalf("ranks not ordered: %v", ranks)
+	}
+}
+
+func TestFriedmanValidation(t *testing.T) {
+	if _, _, _, err := Friedman(nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, _, _, err := Friedman([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("single treatment accepted")
+	}
+	if _, _, _, err := Friedman([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+}
+
+func TestNemenyiCD(t *testing.T) {
+	// Demšar's canonical setup: k=4, n=30, alpha=0.05 → CD ≈ 0.857·q…
+	cd, err := NemenyiCD(4, 30, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.569 * math.Sqrt(float64(4*5)/(6*30))
+	if math.Abs(cd-want) > 1e-9 {
+		t.Fatalf("CD = %v, want %v", cd, want)
+	}
+	if _, err := NemenyiCD(15, 30, 0.05); err == nil {
+		t.Fatal("k out of range accepted")
+	}
+	if _, err := NemenyiCD(4, 1, 0.05); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NemenyiCD(4, 30, 0.01); err == nil {
+		t.Fatal("unsupported alpha accepted")
+	}
+	cd10, err := NemenyiCD(4, 30, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd10 >= cd {
+		t.Fatal("CD at alpha 0.10 should be smaller than at 0.05")
+	}
+}
+
+func TestChiSquaredSurvival(t *testing.T) {
+	// Reference values: P(X > 3.841; df=1) = 0.05, P(X > 5.991; df=2) = 0.05,
+	// P(X > 7.815; df=3) = 0.05.
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{7.815, 3, 0.05},
+		{0, 5, 1},
+		{2.366, 3, 0.50},
+	}
+	for _, c := range cases {
+		if got := chiSquaredSurvival(c.x, c.df); math.Abs(got-c.want) > 2e-3 {
+			t.Fatalf("chi2 survival(%v, %d) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+}

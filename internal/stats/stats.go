@@ -1,0 +1,262 @@
+// Package stats implements the descriptive and inferential statistics
+// used by the experiment harness: per-cell summaries for Tables III/IV
+// (mean, stddev, median, best), the Mann–Whitney/Wilcoxon rank-sum test
+// used to claim that CARBON's gaps dominate COBRA's, and alignment and
+// averaging of convergence series for Figures 4/5.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. It panics on an empty
+// sample: every experiment cell must contain at least one run.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// RankSum performs a two-sided Mann–Whitney U test (normal approximation
+// with tie correction and continuity correction) for samples a and b.
+// It returns the U statistic for a and the two-sided p-value. Suitable
+// for the 30-run samples the paper uses; the normal approximation is
+// standard for n >= 8 per group.
+func RankSum(a, b []float64) (u float64, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		panic("stats: RankSum with empty sample")
+	}
+	type obs struct {
+		v    float64
+		from int // 0 = a, 1 = b
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie groups; accumulate tie correction term Σ(t³-t).
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u = r1 - float64(n1*(n1+1))/2
+	mu := float64(n1) * float64(n2) / 2
+	nTot := float64(n1 + n2)
+	sigma2 := float64(n1) * float64(n2) / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if sigma2 <= 0 {
+		// All observations tied: no evidence of difference.
+		return u, 1
+	}
+	// Continuity correction toward the mean.
+	diff := u - mu
+	switch {
+	case diff > 0.5:
+		diff -= 0.5
+	case diff < -0.5:
+		diff += 0.5
+	default:
+		diff = 0
+	}
+	z := diff / math.Sqrt(sigma2)
+	p = 2 * normalSurvival(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// normalSurvival returns P(Z > z) for a standard normal Z.
+func normalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// Series is a convergence curve: Y[i] is the tracked quantity after
+// X[i] fitness evaluations.
+type Series struct {
+	X []float64
+	Y []float64
+}
+
+// SampleAt returns the series value at evaluation count x using
+// step-function (last-observation-carried-forward) interpolation; before
+// the first point it returns the first Y.
+func (s Series) SampleAt(x float64) float64 {
+	if len(s.X) == 0 {
+		return math.NaN()
+	}
+	// Binary search for the last index with X[i] <= x.
+	lo, hi := 0, len(s.X)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.X[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return s.Y[0]
+	}
+	return s.Y[lo-1]
+}
+
+// AverageSeries resamples every input series onto a common grid of
+// `points` evaluation counts spanning [0, maxX] and returns the mean
+// curve. It is how Figures 4/5 average 30 runs whose archive-improvement
+// events happen at different evaluation counts.
+func AverageSeries(runs []Series, points int) Series {
+	if len(runs) == 0 || points <= 0 {
+		return Series{}
+	}
+	maxX := 0.0
+	for _, r := range runs {
+		if n := len(r.X); n > 0 && r.X[n-1] > maxX {
+			maxX = r.X[n-1]
+		}
+	}
+	out := Series{X: make([]float64, points), Y: make([]float64, points)}
+	for i := 0; i < points; i++ {
+		x := maxX * float64(i) / float64(points-1)
+		if points == 1 {
+			x = maxX
+		}
+		sum, n := 0.0, 0
+		for _, r := range runs {
+			v := r.SampleAt(x)
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		out.X[i] = x
+		if n > 0 {
+			out.Y[i] = sum / float64(n)
+		} else {
+			out.Y[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// Monotonicity quantifies how monotone a curve is in the given
+// direction (+1 increasing, -1 decreasing): the fraction of consecutive
+// steps that move in that direction or stay equal, in [0,1]. A smooth
+// CARBON curve scores near 1; COBRA's see-saw scores visibly lower.
+func Monotonicity(y []float64, direction int) float64 {
+	if len(y) < 2 {
+		return 1
+	}
+	good := 0
+	for i := 1; i < len(y); i++ {
+		d := y[i] - y[i-1]
+		if (direction >= 0 && d >= 0) || (direction < 0 && d <= 0) {
+			good++
+		}
+	}
+	return float64(good) / float64(len(y)-1)
+}
+
+// SeeSaw counts direction reversals (sign changes of consecutive
+// differences, ignoring zero steps). Higher means more oscillation —
+// the signature shape of COBRA's curves in Fig. 5.
+func SeeSaw(y []float64) int {
+	prev := 0
+	reversals := 0
+	for i := 1; i < len(y); i++ {
+		d := y[i] - y[i-1]
+		s := 0
+		if d > 0 {
+			s = 1
+		} else if d < 0 {
+			s = -1
+		}
+		if s != 0 {
+			if prev != 0 && s != prev {
+				reversals++
+			}
+			prev = s
+		}
+	}
+	return reversals
+}

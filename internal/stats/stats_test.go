@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carbon/internal/rng"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.Std != 0 || s.Median != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("bad single-element summary: %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	if got := Summarize([]float64{9, 1, 5}).Median; got != 5 {
+		t.Fatalf("odd median = %v", got)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	r := rng.New(1)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Range(-100, 100)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestRankSumIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	_, p := RankSum(a, a)
+	if p < 0.9 {
+		t.Fatalf("identical samples: p = %v, want ~1", p)
+	}
+}
+
+func TestRankSumClearlySeparated(t *testing.T) {
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = float64(i)        // 0..29
+		b[i] = float64(i) + 1000 // 1000..1029
+	}
+	u, p := RankSum(a, b)
+	if u != 0 {
+		t.Fatalf("U = %v, want 0 when a entirely below b", u)
+	}
+	if p > 1e-6 {
+		t.Fatalf("separated samples: p = %v, want tiny", p)
+	}
+}
+
+func TestRankSumSymmetry(t *testing.T) {
+	r := rng.New(2)
+	a := make([]float64, 20)
+	b := make([]float64, 25)
+	for i := range a {
+		a[i] = r.NormFloat64()
+	}
+	for i := range b {
+		b[i] = r.NormFloat64() + 0.5
+	}
+	ua, pa := RankSum(a, b)
+	ub, pb := RankSum(b, a)
+	if math.Abs(pa-pb) > 1e-9 {
+		t.Fatalf("p not symmetric: %v vs %v", pa, pb)
+	}
+	if math.Abs(ua+ub-float64(len(a)*len(b))) > 1e-9 {
+		t.Fatalf("U_a + U_b = %v, want n1*n2 = %d", ua+ub, len(a)*len(b))
+	}
+}
+
+func TestRankSumAllTied(t *testing.T) {
+	a := []float64{5, 5, 5}
+	b := []float64{5, 5, 5, 5}
+	_, p := RankSum(a, b)
+	if p != 1 {
+		t.Fatalf("all-tied p = %v, want 1", p)
+	}
+}
+
+func TestRankSumFalsePositiveRate(t *testing.T) {
+	// Under H0, p < 0.05 should occur ~5% of the time.
+	r := rng.New(3)
+	const trials = 400
+	rejections := 0
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 15)
+		b := make([]float64, 15)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		if _, p := RankSum(a, b); p < 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate > 0.10 {
+		t.Fatalf("false positive rate %v too high", rate)
+	}
+}
+
+func TestSeriesSampleAt(t *testing.T) {
+	s := Series{X: []float64{10, 20, 30}, Y: []float64{1, 2, 3}}
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {10, 1}, {15, 1}, {20, 2}, {29.9, 2}, {30, 3}, {1000, 3},
+	}
+	for _, c := range cases {
+		if got := s.SampleAt(c.x); got != c.want {
+			t.Fatalf("SampleAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSeriesSampleAtEmpty(t *testing.T) {
+	if !math.IsNaN((Series{}).SampleAt(5)) {
+		t.Fatal("empty series should sample NaN")
+	}
+}
+
+func TestAverageSeries(t *testing.T) {
+	runs := []Series{
+		{X: []float64{0, 100}, Y: []float64{0, 10}},
+		{X: []float64{0, 100}, Y: []float64{0, 20}},
+	}
+	avg := AverageSeries(runs, 11)
+	if len(avg.X) != 11 {
+		t.Fatalf("len = %d", len(avg.X))
+	}
+	if avg.Y[10] != 15 {
+		t.Fatalf("final average = %v, want 15", avg.Y[10])
+	}
+	if avg.X[0] != 0 || avg.X[10] != 100 {
+		t.Fatalf("grid endpoints = %v..%v", avg.X[0], avg.X[10])
+	}
+}
+
+func TestAverageSeriesEmpty(t *testing.T) {
+	if got := AverageSeries(nil, 10); len(got.X) != 0 {
+		t.Fatal("empty input should give empty series")
+	}
+	if got := AverageSeries([]Series{{X: []float64{1}, Y: []float64{1}}}, 0); len(got.X) != 0 {
+		t.Fatal("zero points should give empty series")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	inc := []float64{1, 2, 3, 4, 5}
+	if m := Monotonicity(inc, +1); m != 1 {
+		t.Fatalf("increasing curve: %v", m)
+	}
+	if m := Monotonicity(inc, -1); m != 0 {
+		t.Fatalf("increasing curve judged decreasing: %v", m)
+	}
+	saw := []float64{1, 3, 2, 4, 3, 5}
+	if m := Monotonicity(saw, +1); m != 0.6 {
+		t.Fatalf("see-saw monotonicity = %v, want 0.6", m)
+	}
+	if m := Monotonicity([]float64{7}, +1); m != 1 {
+		t.Fatalf("singleton monotonicity = %v", m)
+	}
+}
+
+func TestSeeSaw(t *testing.T) {
+	if s := SeeSaw([]float64{1, 2, 3, 4}); s != 0 {
+		t.Fatalf("monotone SeeSaw = %d", s)
+	}
+	if s := SeeSaw([]float64{1, 3, 2, 4, 3, 5}); s != 4 {
+		t.Fatalf("oscillating SeeSaw = %d, want 4", s)
+	}
+	if s := SeeSaw([]float64{1, 1, 1}); s != 0 {
+		t.Fatalf("flat SeeSaw = %d", s)
+	}
+	// Zero steps must not reset direction tracking.
+	if s := SeeSaw([]float64{1, 2, 2, 1}); s != 1 {
+		t.Fatalf("plateau SeeSaw = %d, want 1", s)
+	}
+}

@@ -1,0 +1,141 @@
+// Taxonomy benchmark: the four bi-level architectures implemented in
+// this repository, run head-to-head on one mid-size class under equal
+// budgets. It operationalizes the paper's §III taxonomy discussion:
+//
+//	CARBON — competitive co-evolution over heuristics (this paper)
+//	COBRA  — co-evolution over raw decision vectors (Legillon et al.)
+//	NESTED — legacy nested-sequential GA (NSQ/CST category)
+//	CODBA  — decomposition-based "co-evolution" (Chaabani et al.), which
+//	         the paper argues is nested in disguise
+//
+// Each reports the achieved %-gap and the upper-level objective; the UL
+// candidate count ("ulEvals") exposes how much upper-level search each
+// architecture affords under the same lower-level budget.
+package carbon_test
+
+import (
+	"testing"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/cobra"
+	"carbon/internal/codba"
+	"carbon/internal/core"
+	"carbon/internal/nested"
+	"carbon/internal/orlib"
+)
+
+var taxonomyClass = orlib.Class{N: 250, M: 10}
+
+func taxonomyMarket(b *testing.B) *bcpop.Market {
+	b.Helper()
+	mk, err := bcpop.NewMarketFromClass(taxonomyClass, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mk
+}
+
+const (
+	taxULBudget = 400
+	taxLLBudget = 800
+)
+
+func BenchmarkTaxonomy(b *testing.B) {
+	b.Run("CARBON", func(b *testing.B) {
+		mk := taxonomyMarket(b)
+		gap, rev, ul := 0.0, 0.0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig()
+			cfg.Seed = uint64(i + 1)
+			cfg.ULPopSize, cfg.LLPopSize = 16, 16
+			cfg.ULArchiveSize, cfg.LLArchiveSize = 16, 16
+			cfg.ULEvalBudget, cfg.LLEvalBudget = taxULBudget, taxLLBudget
+			cfg.PreySample = 2
+			cfg.Workers = 1
+			res, err := core.Run(mk, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap += res.Best.GapPct
+			rev += res.Best.Revenue
+			ul += res.ULEvals
+		}
+		report(b, gap, rev, ul)
+	})
+	b.Run("COBRA", func(b *testing.B) {
+		mk := taxonomyMarket(b)
+		gap, rev, ul := 0.0, 0.0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := cobra.DefaultConfig()
+			cfg.Seed = uint64(i + 1)
+			cfg.ULPopSize, cfg.LLPopSize = 16, 16
+			cfg.ULArchiveSize, cfg.LLArchiveSize = 16, 16
+			cfg.ULEvalBudget, cfg.LLEvalBudget = taxULBudget, taxLLBudget
+			cfg.CoevPairs = 4
+			cfg.ArchiveInject = 2
+			cfg.Workers = 1
+			res, err := cobra.Run(mk, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap += res.BestGapPct
+			rev += res.BestRevenue
+			ul += res.ULEvals
+		}
+		report(b, gap, rev, ul)
+	})
+	b.Run("NESTED", func(b *testing.B) {
+		mk := taxonomyMarket(b)
+		gap, rev, ul := 0.0, 0.0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := nested.DefaultConfig()
+			cfg.Seed = uint64(i + 1)
+			cfg.PopSize = 16
+			cfg.ArchiveSize = 16
+			cfg.ULEvalBudget, cfg.LLEvalBudget = taxULBudget, taxLLBudget
+			cfg.Workers = 1
+			res, err := nested.Run(mk, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap += res.BestGapPct
+			rev += res.BestRevenue
+			ul += res.ULEvals
+		}
+		report(b, gap, rev, ul)
+	})
+	b.Run("CODBA", func(b *testing.B) {
+		mk := taxonomyMarket(b)
+		gap, rev, ul := 0.0, 0.0, 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := codba.DefaultConfig()
+			cfg.Seed = uint64(i + 1)
+			cfg.ULPopSize = 16
+			cfg.ULArchiveSize = 16
+			cfg.SubPopSize, cfg.SubGens = 5, 3
+			cfg.LLArchiveSize = 16
+			cfg.ULEvalBudget, cfg.LLEvalBudget = taxULBudget, taxLLBudget
+			cfg.Workers = 1
+			res, err := codba.Run(mk, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap += res.BestGapPct
+			rev += res.BestRevenue
+			ul += res.ULEvals
+		}
+		report(b, gap, rev, ul)
+	})
+}
+
+func report(b *testing.B, gap, rev float64, ul int) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(gap/n, "gap%")
+	b.ReportMetric(rev/n, "F")
+	b.ReportMetric(float64(ul)/n, "ulEvals")
+}

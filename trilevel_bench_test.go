@@ -1,0 +1,40 @@
+// Benchmark for the tri-level future-work prototype: one co-evolution
+// run of the A→B→customer pricing chain on a mid-size market. Reported
+// metrics make the paper's anticipated limitation measurable: the
+// bottom level's gap ("gap%") converges CARBON-steadily, while the
+// middle level's best revenue ("revB") carries the noisier, unnormalized
+// selection signal.
+package carbon_test
+
+import (
+	"testing"
+
+	"carbon/internal/multilevel"
+	"carbon/internal/orlib"
+)
+
+func BenchmarkTriLevel(b *testing.B) {
+	tm, err := multilevel.NewTriMarketFromClass(orlib.Class{N: 100, M: 5}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gap, revA, revB := 0.0, 0.0, 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := multilevel.DefaultConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.PopSize = 12
+		cfg.Budget = 1500
+		res, err := multilevel.Run(tm, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap += res.BestGapPct
+		revA += res.BestRevenueA
+		revB += res.BestRevenueB
+	}
+	n := float64(b.N)
+	b.ReportMetric(gap/n, "gap%")
+	b.ReportMetric(revA/n, "revA")
+	b.ReportMetric(revB/n, "revB")
+}
