@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench quick full taxonomy examples clean
+.PHONY: all build vet test race check cover bench quick full taxonomy examples clean
 
 all: build vet test
+
+# The full pre-commit gate: compile, static checks, tests, race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...

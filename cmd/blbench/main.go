@@ -25,8 +25,10 @@ import (
 	"path/filepath"
 	"time"
 
+	"carbon/internal/core"
 	"carbon/internal/exp"
 	"carbon/internal/orlib"
+	"carbon/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +46,9 @@ func main() {
 		taxo    = flag.Bool("taxonomy", false, "race the five bi-level architectures on one class")
 		multiC  = flag.Bool("multicustomer", false, "sweep CARBON over 1/2/4 customers on one class")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
+
+		trace       = flag.String("trace", "", "write a JSONL trace of every CARBON run to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, expvar and pprof on this address while the sweep runs")
 	)
 	flag.Parse()
 
@@ -63,6 +68,25 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)
 		}
+	}
+
+	// Live introspection: a JSONL trace of every CARBON run (events are
+	// labeled carbon/<class>/run<i>) and an expvar+pprof endpoint with
+	// evaluator hot-path metrics aggregated over the whole sweep.
+	var traceObs *core.JSONLObserver
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		die(err)
+		traceObs = core.NewJSONLObserver(f)
+		s.Observer = traceObs
+		defer func() { die(traceObs.Close()) }()
+	}
+	if *metricsAddr != "" {
+		s.Metrics = telemetry.NewRegistry()
+		addr, stop, err := telemetry.Serve(*metricsAddr, map[string]*telemetry.Registry{"blbench": s.Metrics})
+		die(err)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 	}
 
 	if *taxo {

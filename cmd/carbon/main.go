@@ -7,17 +7,25 @@
 //	carbon [-n 100] [-m 5] [-runsidx 0] [-seed 1] [-pop 100]
 //	       [-ulevals 50000] [-llevals 50000] [-sample 4] [-workers 0]
 //	       [-curves]
+//
+// Observability (all optional, none perturbs the seeded result):
+//
+//	-trace run.jsonl     write one JSON event per generation (see README)
+//	-metrics-addr :8080  serve /metrics, /debug/vars and /debug/pprof live
+//	-progress 2s         print a progress line to stderr every interval
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"carbon/internal/bcpop"
 	"carbon/internal/core"
 	"carbon/internal/orlib"
+	"carbon/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +47,10 @@ func main() {
 		saveEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N generations (0 = off)")
 		ckptPath  = flag.String("checkpoint", "carbon.ckpt.json", "checkpoint file path")
 		resume    = flag.Bool("resume", false, "resume from the checkpoint file")
+
+		trace       = flag.String("trace", "", "write a per-generation JSONL trace to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, expvar and pprof on this address (e.g. :8080)")
+		progrEvery  = flag.Duration("progress", 0, "print a progress line to stderr every interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -59,6 +71,37 @@ func main() {
 	cfg.PreySample = *sample
 	cfg.Workers = *workers
 
+	// Telemetry wiring: everything here is read-only with respect to
+	// the run, so the seeded result is identical with or without it.
+	var observers []core.Observer
+	var traceObs *core.JSONLObserver
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carbon:", err)
+			os.Exit(1)
+		}
+		traceObs = core.NewJSONLObserver(f)
+		observers = append(observers, traceObs)
+	}
+	if *progrEvery > 0 {
+		observers = append(observers, newProgressPrinter(*progrEvery))
+	}
+	if len(observers) > 0 {
+		cfg.Observer = core.MultiObserver(observers...)
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Metrics = reg
+		addr, stop, err := telemetry.Serve(*metricsAddr, map[string]*telemetry.Registry{"carbon": reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carbon:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+	}
+
 	fmt.Printf("CARBON on class n=%d m=%d (instance %d, L=%d leader bundles, %d customer(s))\n",
 		*n, *m, *idx, mk.Leaders(), mk.Customers())
 	t0 := time.Now()
@@ -66,6 +109,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbon:", err)
 		os.Exit(1)
+	}
+	if traceObs != nil {
+		if err := traceObs.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "carbon: closing trace:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("finished: %d generations, %d UL evals, %d LL evals in %v\n",
 		res.Gens, res.ULEvals, res.LLEvals, time.Since(t0).Round(time.Millisecond))
@@ -124,7 +173,57 @@ func runWithCheckpoints(mk *bcpop.Market, cfg core.Config, every int, path strin
 			}
 		}
 	}
-	return e.Result()
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	res, err := e.Result()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Observer != nil {
+		cfg.Observer.OnDone(res)
+	}
+	return res, nil
+}
+
+// progressPrinter is the -progress observer: a rate-limited one-line
+// status to stderr (generation, evals used, best revenue, best gap,
+// evals/sec).
+type progressPrinter struct {
+	every time.Duration
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+}
+
+func newProgressPrinter(every time.Duration) *progressPrinter {
+	now := time.Now()
+	return &progressPrinter{every: every, start: now, last: now}
+}
+
+func (p *progressPrinter) OnGeneration(gs core.GenStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if now.Sub(p.last) < p.every {
+		return
+	}
+	p.last = now
+	evals := gs.ULEvals + gs.LLEvals
+	rate := float64(evals) / now.Sub(p.start).Seconds()
+	fmt.Fprintf(os.Stderr,
+		"gen %-5d evals %d/%d  best F %.2f  best gap %.3f%%  %.0f evals/s\n",
+		gs.Gen, evals, gs.ULBudget+gs.LLBudget, gs.BestRevenue, gs.BestGap, rate)
+}
+
+func (p *progressPrinter) OnMigration(ms core.MigrationStats) {}
+
+func (p *progressPrinter) OnDone(res *core.Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rate := float64(res.ULEvals+res.LLEvals) / time.Since(p.start).Seconds()
+	fmt.Fprintf(os.Stderr, "done: %d generations, best F %.2f, best gap %.3f%%, %.0f evals/s\n",
+		res.Gens, res.Best.Revenue, res.Best.GapPct, rate)
 }
 
 func writeCheckpoint(e *core.Engine, path string) error {

@@ -18,6 +18,7 @@ import (
 	"carbon/internal/bcpop"
 	"carbon/internal/cobra"
 	"carbon/internal/orlib"
+	"carbon/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +33,22 @@ func main() {
 		phaseGens = flag.Int("phasegens", 5, "generations per improvement phase")
 		workers   = flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
 		curves    = flag.Bool("curves", false, "print convergence curves as CSV")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar and pprof on this address while the run is live")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		// The COBRA baseline is not instrumented with counters, but the
+		// process-level endpoint (pprof profiles, expvar) still applies.
+		addr, stop, err := telemetry.Serve(*metricsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cobra:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/debug/pprof (also /debug/vars)\n", addr)
+	}
 
 	mk, err := bcpop.NewMarketFromClass(orlib.Class{N: *n, M: *m}, *idx)
 	if err != nil {

@@ -23,12 +23,14 @@ package bcpop
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"carbon/internal/covering"
 	"carbon/internal/ga"
 	"carbon/internal/gp"
 	"carbon/internal/orlib"
 	"carbon/internal/rng"
+	"carbon/internal/telemetry"
 )
 
 // Market is a BCPOP instance: a covering template in which some columns
@@ -264,6 +266,54 @@ type Result struct {
 	Feasible bool    // the follower answer covers all requirements
 }
 
+// EvalMetrics aggregates evaluator hot-path telemetry. All fields are
+// atomic, so one EvalMetrics is deliberately shared by every per-worker
+// evaluator of a run — the counters report whole-run totals. A nil
+// *EvalMetrics disables instrumentation (no clock reads on the hot
+// path).
+type EvalMetrics struct {
+	TreeEvals   *telemetry.Counter   // EvalTree calls (GP tree walks + greedy)
+	GraspEvals  *telemetry.Counter   // GRASP starts charged as LL evals
+	SelEvals    *telemetry.Counter   // raw-selection (COBRA-style) evaluations
+	LPSolves    *telemetry.Counter   // warm LP relaxations of induced instances
+	Elims       *telemetry.Counter   // redundancy-elimination passes run
+	Infeasible  *telemetry.Counter   // follower answers that failed to cover
+	EvalTime    *telemetry.Timer     // latency of one paired evaluation
+	EvalLatency *telemetry.Histogram // same latency, µs buckets
+	GapPct      *telemetry.Histogram // %-gap distribution of feasible answers
+}
+
+// NewEvalMetrics registers the evaluator instruments in reg under the
+// "bcpop." prefix. A nil registry yields nil (telemetry off).
+func NewEvalMetrics(reg *telemetry.Registry) *EvalMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &EvalMetrics{
+		TreeEvals:   reg.Counter("bcpop.tree_evals"),
+		GraspEvals:  reg.Counter("bcpop.grasp_evals"),
+		SelEvals:    reg.Counter("bcpop.selection_evals"),
+		LPSolves:    reg.Counter("bcpop.lp_solves"),
+		Elims:       reg.Counter("bcpop.eliminations"),
+		Infeasible:  reg.Counter("bcpop.infeasible"),
+		EvalTime:    reg.Timer("bcpop.eval_time"),
+		EvalLatency: reg.Histogram("bcpop.eval_latency_us", telemetry.ExpBuckets(10, 2, 16)...),
+		GapPct:      reg.Histogram("bcpop.gap_pct", 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500),
+	}
+}
+
+// observe records one finished paired evaluation.
+func (m *EvalMetrics) observe(t0 time.Time, out Result) {
+	d := time.Since(t0)
+	m.EvalTime.Observe(d)
+	m.EvalLatency.Observe(float64(d) / float64(time.Microsecond))
+	if out.Feasible {
+		m.GapPct.Observe(out.GapPct)
+	} else {
+		m.Infeasible.Inc()
+	}
+}
+
 // Evaluator performs paired evaluations against one market. It owns a
 // warm LP relaxer and scratch buffers, so it is not safe for concurrent
 // use — create one per worker (NewEvaluator is cheap relative to a run).
@@ -281,6 +331,10 @@ type Evaluator struct {
 	// Evals counts lower-level heuristic applications (the paper's LL
 	// fitness evaluation unit).
 	Evals int
+
+	// Metrics, when non-nil, receives hot-path telemetry. It may be
+	// shared with other evaluators (all updates are atomic).
+	Metrics *EvalMetrics
 }
 
 // NewEvaluator builds an evaluator for the market using the Table I
@@ -314,6 +368,9 @@ func (ev *Evaluator) Relax(price []float64) (*covering.Relaxation, error) {
 	if _, err := ev.mk.Costs(price, ev.costs); err != nil {
 		return nil, err
 	}
+	if ev.Metrics != nil {
+		ev.Metrics.LPSolves.Inc()
+	}
 	return ev.relaxer.Relax(ev.costs)
 }
 
@@ -321,6 +378,10 @@ func (ev *Evaluator) Relax(price []float64) (*covering.Relaxation, error) {
 // relaxes the induced instance, scores items with the tree, runs the
 // greedy and reports the paired Result plus the follower basket.
 func (ev *Evaluator) EvalTree(price []float64, tree gp.Tree) (Result, []bool, error) {
+	var t0 time.Time
+	if ev.Metrics != nil {
+		t0 = time.Now()
+	}
 	rx, err := ev.Relax(price)
 	if err != nil {
 		return Result{}, nil, err
@@ -333,13 +394,25 @@ func (ev *Evaluator) EvalTree(price []float64, tree gp.Tree) (Result, []bool, er
 	ts.Score(tree, ev.scores)
 	res := work.GreedyByScore(ev.scores, ev.Eliminate)
 	ev.Evals++
-	return ev.result(price, rx, res), res.X, nil
+	out := ev.result(price, rx, res)
+	if m := ev.Metrics; m != nil {
+		m.TreeEvals.Inc()
+		if ev.Eliminate {
+			m.Elims.Inc()
+		}
+		m.observe(t0, out)
+	}
+	return out, res.X, nil
 }
 
 // EvalGRASP pairs a pricing decision with a GRASP answer: `starts`
 // randomized adaptive constructions (plus local search) on the induced
 // instance, best kept. Each start is charged as one LL evaluation.
 func (ev *Evaluator) EvalGRASP(price []float64, r *rng.Rand, starts int, alpha float64) (Result, []bool, error) {
+	var t0 time.Time
+	if ev.Metrics != nil {
+		t0 = time.Now()
+	}
 	rx, err := ev.Relax(price)
 	if err != nil {
 		return Result{}, nil, err
@@ -353,13 +426,22 @@ func (ev *Evaluator) EvalGRASP(price []float64, r *rng.Rand, starts int, alpha f
 	}
 	res := work.GRASPWithLS(r, starts, alpha)
 	ev.Evals += starts
-	return ev.result(price, rx, res), res.X, nil
+	out := ev.result(price, rx, res)
+	if m := ev.Metrics; m != nil {
+		m.GraspEvals.Add(int64(starts))
+		m.observe(t0, out)
+	}
+	return out, res.X, nil
 }
 
 // EvalSelection pairs a pricing decision with an explicit follower
 // selection (COBRA's raw binary vectors), repairing it to feasibility
 // first. It returns the result and the (repaired) basket.
 func (ev *Evaluator) EvalSelection(price []float64, x []bool) (Result, []bool, error) {
+	var t0 time.Time
+	if ev.Metrics != nil {
+		t0 = time.Now()
+	}
 	rx, err := ev.Relax(price)
 	if err != nil {
 		return Result{}, nil, err
@@ -370,7 +452,12 @@ func (ev *Evaluator) EvalSelection(price []float64, x []bool) (Result, []bool, e
 	}
 	res := work.Repair(x)
 	ev.Evals++
-	return ev.result(price, rx, res), res.X, nil
+	out := ev.result(price, rx, res)
+	if m := ev.Metrics; m != nil {
+		m.SelEvals.Inc()
+		m.observe(t0, out)
+	}
+	return out, res.X, nil
 }
 
 func (ev *Evaluator) result(price []float64, rx *covering.Relaxation, res covering.GreedyResult) Result {

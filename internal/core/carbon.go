@@ -39,6 +39,7 @@ import (
 	"carbon/internal/par"
 	"carbon/internal/rng"
 	"carbon/internal/stats"
+	"carbon/internal/telemetry"
 )
 
 // Config carries the Table II parameters for CARBON plus the
@@ -111,6 +112,23 @@ type Config struct {
 	// mutation to each bred predator with this probability (0 = off,
 	// the paper's configuration).
 	LLPointMutProb float64
+
+	// --- Telemetry (all optional; zero-cost and determinism-neutral
+	// when unset — same seed, same result, with or without them). ---
+
+	// Observer receives per-generation snapshots, migration events and
+	// the final result (nil = off). With islands it is called from
+	// several goroutines and must be safe for concurrent use.
+	Observer Observer
+
+	// Metrics, when non-nil, registers hot-path counters, timers and
+	// histograms (evaluator costs, worker occupancy, breeding time)
+	// into the registry. Shared registries aggregate across engines.
+	Metrics *telemetry.Registry
+
+	// RunLabel tags this run's trace events (GenStats.Label) so
+	// interleaved multi-run traces can be demultiplexed.
+	RunLabel string
 }
 
 // DefaultConfig returns the paper's Table II parameter column for CARBON.
@@ -190,12 +208,13 @@ type Result struct {
 
 // evalStriped splits [0,n) into one contiguous stripe per worker so each
 // stripe can own per-worker scratch (warm LP solvers). Results land by
-// index, so the outcome is deterministic regardless of scheduling.
-func evalStriped(n, workers int, fn func(i, worker int)) {
+// index, so the outcome is deterministic regardless of scheduling. wm
+// (nil = off) records per-stripe busy time and wave wall time.
+func evalStriped(n, workers int, wm *par.WaveMetrics, fn func(i, worker int)) {
 	if workers > n {
 		workers = n
 	}
-	par.ForEach(workers, workers, func(w int) {
+	par.ForEachTimed(workers, workers, wm, func(w int) {
 		lo := n * w / workers
 		hi := n * (w + 1) / workers
 		for i := lo; i < hi; i++ {

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"carbon/internal/archive"
 	"carbon/internal/bcpop"
@@ -11,6 +13,8 @@ import (
 	"carbon/internal/gp"
 	"carbon/internal/par"
 	"carbon/internal/rng"
+	"carbon/internal/stats"
+	"carbon/internal/telemetry"
 )
 
 // Engine is a steppable CARBON run: one Step is one co-evolutionary
@@ -39,6 +43,44 @@ type Engine struct {
 
 	res            *Result
 	ulUsed, llUsed int
+
+	// Telemetry and failure state. obs/met are nil when telemetry is
+	// off — the hot path then takes the uninstrumented branch with no
+	// clock reads and no allocations. err is the terminal error of a
+	// failed Step (see Err).
+	obs      Observer
+	met      *engineMetrics
+	island   int
+	stepErrs []error // per-worker scratch, reused every generation
+	err      error
+}
+
+// engineMetrics holds the engine's registered instruments. All handles
+// come from one telemetry.Registry, so islands sharing a registry
+// aggregate into the same counters.
+type engineMetrics struct {
+	gens     *telemetry.Counter
+	ulEvals  *telemetry.Counter
+	llEvals  *telemetry.Counter
+	predEval *telemetry.Timer
+	preyEval *telemetry.Timer
+	breed    *telemetry.Timer
+	wave     *par.WaveMetrics
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		gens:     reg.Counter("core.generations"),
+		ulEvals:  reg.Counter("core.ul_evals"),
+		llEvals:  reg.Counter("core.ll_evals"),
+		predEval: reg.Timer("core.predator_eval"),
+		preyEval: reg.Timer("core.prey_eval"),
+		breed:    reg.Timer("core.breed"),
+		wave:     par.NewWaveMetrics(reg, "par.eval"),
+	}
 }
 
 // NewEngine validates the configuration and initializes populations,
@@ -63,9 +105,17 @@ func NewEngine(mk *bcpop.Market, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		mk: mk, cfg: cfg, set: set, evs: evs, workers: workers,
-		r:      rng.New(cfg.Seed),
-		bounds: mk.PriceBounds(),
-		res:    &Result{},
+		r:        rng.New(cfg.Seed),
+		bounds:   mk.PriceBounds(),
+		res:      &Result{},
+		obs:      cfg.Observer,
+		met:      newEngineMetrics(cfg.Metrics),
+		stepErrs: make([]error, workers),
+	}
+	if em := bcpop.NewEvalMetrics(cfg.Metrics); em != nil {
+		for _, ev := range evs {
+			ev.Metrics = em
+		}
 	}
 	e.prey = make([][]float64, cfg.ULPopSize)
 	for i := range e.prey {
@@ -93,23 +143,61 @@ func (e *Engine) CanStep() bool {
 // Gens returns the number of completed generations.
 func (e *Engine) Gens() int { return e.res.Gens }
 
+// SetObserver installs (or, with nil, removes) the per-generation hook
+// after construction. Prefer Config.Observer; this exists so callers
+// stepping an engine directly can attach monitoring mid-run.
+func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
+
+// Err returns the terminal error of a failed Step, or nil. Once set the
+// engine refuses to step further — a bad primitive set or corrupted
+// population surfaces here instead of crossing goroutines as a panic.
+func (e *Engine) Err() error { return e.err }
+
+// firstStepErr scans the per-worker error slots in worker order (so the
+// reported error is deterministic) and clears them for the next wave.
+func (e *Engine) firstStepErr() error {
+	var first error
+	for w, err := range e.stepErrs {
+		if err != nil && first == nil {
+			first = err
+		}
+		e.stepErrs[w] = nil
+	}
+	return first
+}
+
 // Step runs one generation. It returns false (and does nothing) when
-// the budgets are exhausted.
+// the budgets are exhausted or a previous Step failed terminally; in
+// the failure case Err reports the cause.
 func (e *Engine) Step() bool {
-	if !e.CanStep() {
+	if e.err != nil || !e.CanStep() {
 		return false
 	}
 	cfg := e.cfg
+	observing := e.obs != nil || e.met != nil
+	var wave *par.WaveMetrics
+	if e.met != nil {
+		wave = e.met.wave
+	}
+	var evalNanos, breedNanos int64
+	var t0 time.Time
+	if observing {
+		t0 = time.Now()
+	}
 
 	// --- Predator evaluation: mean gap over a fresh prey sample ---
 	sample := e.r.SampleDistinct(min(cfg.PreySample, len(e.prey)), len(e.prey))
-	evalStriped(len(e.predators), e.workers, func(i, worker int) {
+	evalStriped(len(e.predators), e.workers, wave, func(i, worker int) {
+		if e.stepErrs[worker] != nil {
+			return
+		}
 		ev := e.evs[worker]
 		total := 0.0
 		for _, s := range sample {
 			out, _, err := ev.EvalTree(e.prey[s], e.predators[i])
 			if err != nil {
-				panic(fmt.Sprintf("core: predator evaluation: %v", err))
+				e.stepErrs[worker] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
+				return
 			}
 			if cfg.CostFitness {
 				total += out.LLCost // ablation: COBRA-style objective
@@ -119,7 +207,18 @@ func (e *Engine) Step() bool {
 		}
 		e.predFit[i] = total / float64(len(sample))
 	})
+	if err := e.firstStepErr(); err != nil {
+		e.err = err
+		return false
+	}
 	e.llUsed += len(e.predators) * len(sample)
+	if observing {
+		d := time.Since(t0)
+		evalNanos += int64(d)
+		if e.met != nil {
+			e.met.predEval.Observe(d)
+		}
+	}
 
 	bestPred := 0
 	for i := 1; i < len(e.predators); i++ {
@@ -132,11 +231,18 @@ func (e *Engine) Step() bool {
 	}
 
 	// --- Prey evaluation: revenue under the best current forecast ---
+	if observing {
+		t0 = time.Now()
+	}
 	hunter := e.predators[bestPred]
-	evalStriped(len(e.prey), e.workers, func(i, worker int) {
+	evalStriped(len(e.prey), e.workers, wave, func(i, worker int) {
+		if e.stepErrs[worker] != nil {
+			return
+		}
 		out, _, err := e.evs[worker].EvalTree(e.prey[i], hunter)
 		if err != nil {
-			panic(fmt.Sprintf("core: prey evaluation: %v", err))
+			e.stepErrs[worker] = fmt.Errorf("core: prey %d evaluation: %w", i, err)
+			return
 		}
 		if out.Feasible {
 			e.preyFit[i] = out.Revenue
@@ -145,7 +251,18 @@ func (e *Engine) Step() bool {
 		}
 		e.preyGap[i] = out.GapPct
 	})
+	if err := e.firstStepErr(); err != nil {
+		e.err = err
+		return false
+	}
 	e.ulUsed += len(e.prey)
+	if observing {
+		d := time.Since(t0)
+		evalNanos += int64(d)
+		if e.met != nil {
+			e.met.preyEval.Observe(d)
+		}
+	}
 
 	for i, x := range e.prey {
 		e.ulArch.Add(append([]float64(nil), x...), e.preyFit[i])
@@ -164,9 +281,74 @@ func (e *Engine) Step() bool {
 	}
 
 	// --- Breed next generations ---
+	if observing {
+		t0 = time.Now()
+	}
 	e.prey = breedPrey(e.r, e.prey, e.preyFit, e.bounds, cfg)
 	e.predators = breedPredators(e.r, e.set, e.predators, e.predFit, cfg)
+	if observing {
+		d := time.Since(t0)
+		breedNanos = int64(d)
+		if e.met != nil {
+			e.met.breed.Observe(d)
+			e.met.gens.Inc()
+			e.met.ulEvals.Add(int64(cfg.ULPopSize))
+			e.met.llEvals.Add(int64(cfg.LLPopSize * len(sample)))
+		}
+	}
+	if e.obs != nil {
+		e.obs.OnGeneration(e.genStats(evalNanos, breedNanos))
+	}
 	return true
+}
+
+// genStats snapshots the generation that just finished. The fitness
+// arrays still describe the pre-breeding populations at this point
+// (breeding builds fresh slices and never writes the fitness arrays).
+func (e *Engine) genStats(evalNanos, breedNanos int64) GenStats {
+	gs := GenStats{
+		Label:      e.cfg.RunLabel,
+		Island:     e.island,
+		Gen:        e.res.Gens,
+		ULEvals:    e.ulUsed,
+		LLEvals:    e.llUsed,
+		ULBudget:   e.cfg.ULEvalBudget,
+		LLBudget:   e.cfg.LLEvalBudget,
+		ULArchive:  e.ulArch.Len(),
+		GPArchive:  e.gpArch.Len(),
+		EvalNanos:  evalNanos,
+		BreedNanos: breedNanos,
+	}
+	if be, ok := e.ulArch.Best(); ok {
+		gs.BestRevenue = be.Fitness
+	}
+	if be, ok := e.gpArch.Best(); ok {
+		gs.BestGap = be.Fitness
+	}
+	sum, sq := 0.0, 0.0
+	gs.PreyBest = e.preyFit[0]
+	for _, f := range e.preyFit {
+		sum += f
+		sq += f * f
+		if f > gs.PreyBest {
+			gs.PreyBest = f
+		}
+	}
+	n := float64(len(e.preyFit))
+	gs.PreyMean = sum / n
+	if v := sq/n - gs.PreyMean*gs.PreyMean; v > 0 {
+		gs.PreyStd = math.Sqrt(v)
+	}
+	sum = 0.0
+	gs.PredBest = e.predFit[0]
+	for _, f := range e.predFit {
+		sum += f
+		if f < gs.PredBest {
+			gs.PredBest = f
+		}
+	}
+	gs.PredMean = sum / float64(len(e.predFit))
+	return gs
 }
 
 // BestPrey returns a copy of the best archived pricing and its revenue.
@@ -218,23 +400,37 @@ func (e *Engine) InjectPredator(t gp.Tree) error {
 }
 
 // Result finalizes and returns the run summary. The engine may continue
-// stepping afterwards; each call snapshots the current state.
+// stepping afterwards; each call snapshots the current state. Every
+// slice in the result is a defensive copy — mutating a returned Result
+// can never corrupt the live archives (see TestResultDoesNotAliasArchive).
 func (e *Engine) Result() (*Result, error) {
 	res := &Result{
-		Gens:     e.res.Gens,
-		ULEvals:  e.ulUsed,
-		LLEvals:  e.llUsed,
-		ULCurve:  e.res.ULCurve,
-		GapCurve: e.res.GapCurve,
+		Gens:    e.res.Gens,
+		ULEvals: e.ulUsed,
+		LLEvals: e.llUsed,
+		ULCurve: stats.Series{
+			X: append([]float64(nil), e.res.ULCurve.X...),
+			Y: append([]float64(nil), e.res.ULCurve.Y...),
+		},
+		GapCurve: stats.Series{
+			X: append([]float64(nil), e.res.GapCurve.X...),
+			Y: append([]float64(nil), e.res.GapCurve.Y...),
+		},
 	}
 	res.ULArchive = e.ulArch.Entries()
+	for i := range res.ULArchive {
+		res.ULArchive[i].Item = append([]float64(nil), res.ULArchive[i].Item...)
+	}
 	res.GPArchive = e.gpArch.Entries()
+	for i := range res.GPArchive {
+		res.GPArchive[i].Item = res.GPArchive[i].Item.Clone()
+	}
 	if be, ok := e.ulArch.Best(); ok {
-		res.Best.Price = be.Item
+		res.Best.Price = append([]float64(nil), be.Item...)
 		res.Best.Revenue = be.Fitness
 	}
 	if be, ok := e.gpArch.Best(); ok {
-		res.Best.Tree = be.Item
+		res.Best.Tree = be.Item.Clone()
 		res.Best.TreeStr = be.Item.String(e.set)
 		res.Best.Simplified = gp.Simplify(e.set, be.Item).String(e.set)
 		res.Best.GapPct = be.Fitness
@@ -258,7 +454,9 @@ func (e *Engine) Result() (*Result, error) {
 }
 
 // Run executes CARBON on the market until either evaluation budget is
-// exhausted.
+// exhausted. A mid-run evaluation failure (Engine.Err) is returned as
+// an error instead of panicking, so long batch sweeps survive one bad
+// configuration.
 func Run(mk *bcpop.Market, cfg Config) (*Result, error) {
 	e, err := NewEngine(mk, cfg)
 	if err != nil {
@@ -266,5 +464,15 @@ func Run(mk *bcpop.Market, cfg Config) (*Result, error) {
 	}
 	for e.Step() {
 	}
-	return e.Result()
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	res, err := e.Result()
+	if err != nil {
+		return nil, err
+	}
+	if e.obs != nil {
+		e.obs.OnDone(res)
+	}
+	return res, nil
 }

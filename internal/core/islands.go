@@ -77,6 +77,7 @@ func RunIslands(mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, e
 		if err != nil {
 			return nil, err
 		}
+		e.island = i // tags this engine's GenStats for the shared observer
 		engines[i] = e
 	}
 
@@ -84,11 +85,18 @@ func RunIslands(mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, e
 	gen := 0
 	for {
 		// Step every live island concurrently; the engines share no
-		// state, so the only synchronization is this barrier.
+		// state, so the only synchronization is this barrier. The
+		// shared observer (cfg.Observer) is called from these
+		// goroutines and must be safe for concurrent use.
 		progressed := make([]bool, len(engines))
 		par.ForEach(len(engines), ic.Workers, func(i int) {
 			progressed[i] = engines[i].Step()
 		})
+		for i, e := range engines {
+			if err := e.Err(); err != nil {
+				return nil, fmt.Errorf("core: island %d: %w", i, err)
+			}
+		}
 		any := false
 		for _, p := range progressed {
 			any = any || p
@@ -117,6 +125,11 @@ func RunIslands(mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, e
 					}
 				}
 			}
+			if cfg.Observer != nil {
+				cfg.Observer.OnMigration(MigrationStats{
+					Gen: gen, From: i, To: (i + 1) % len(engines), Migrants: ic.Migrants,
+				})
+			}
 		}
 		res.Migrations++
 	}
@@ -143,6 +156,12 @@ func RunIslands(mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, e
 			res.Best.Simplified = r.Best.Simplified
 			res.Best.GapPct = r.Best.GapPct
 		}
+	}
+	if cfg.Observer != nil {
+		// The completion event reports the winning island's summary
+		// (the cross-island Best may mix islands; per-island results
+		// are in PerIsland).
+		cfg.Observer.OnDone(res.PerIsland[res.BestIsland])
 	}
 	return res, nil
 }

@@ -17,6 +17,7 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 
@@ -27,6 +28,7 @@ import (
 	"carbon/internal/par"
 	"carbon/internal/plot"
 	"carbon/internal/stats"
+	"carbon/internal/telemetry"
 )
 
 // Settings scale the §V protocol.
@@ -41,6 +43,16 @@ type Settings struct {
 	BaseSeed      uint64
 	Workers       int // parallel runs (0 = GOMAXPROCS)
 	FigPoints     int // resampling grid for averaged curves
+
+	// Observer, when non-nil, is attached to every CARBON run of the
+	// sweep. Runs execute concurrently, so it must be safe for
+	// concurrent use (core.JSONLObserver is); events carry a
+	// "carbon/<class>/run<i>" label for demultiplexing.
+	Observer core.Observer
+
+	// Metrics, when non-nil, aggregates hot-path telemetry across the
+	// whole sweep into one registry.
+	Metrics *telemetry.Registry
 }
 
 // Full returns the paper-faithful §V protocol (Table II budgets).
@@ -167,7 +179,11 @@ func RunCell(cl orlib.Class, s Settings) (*Cell, error) {
 		run := i / 2
 		seed := s.BaseSeed + classSalt + uint64(run)*7919
 		if i%2 == 0 {
-			res, err := core.Run(mk, s.carbonConfig(seed))
+			cfg := s.carbonConfig(seed)
+			cfg.Observer = s.Observer
+			cfg.Metrics = s.Metrics
+			cfg.RunLabel = fmt.Sprintf("carbon/%dx%d/run%d", cl.N, cl.M, run)
+			res, err := core.Run(mk, cfg)
 			if err != nil {
 				setErr(err)
 				return
@@ -367,19 +383,59 @@ func (f Figure) CSV() string {
 // curve stacked above the gap curve, the layout of the paper's Figs 4/5.
 func (f Figure) SVG() string {
 	title := fmt.Sprintf("%s on %v", f.Algo, f.Class)
-	ul := &plot.Chart{
-		Title:  title + " — best UL fitness (F)",
-		XLabel: "fitness evaluations",
-		YLabel: "F",
-		Series: []plot.Series{{Label: "best F", X: f.UL.X, Y: f.UL.Y}},
-	}
-	gap := &plot.Chart{
-		Title:  title + " — best %-gap to LL optimality",
-		XLabel: "fitness evaluations",
-		YLabel: "gap (%)",
-		Series: []plot.Series{{Label: "best gap", X: f.Gap.X, Y: f.Gap.Y, Color: "#d62728"}},
-	}
+	ul := plot.Line(title+" — best UL fitness (F)", "fitness evaluations", "F",
+		"best F", f.UL.X, f.UL.Y)
+	gap := plot.Line(title+" — best %-gap to LL optimality", "fitness evaluations", "gap (%)",
+		"best gap", f.Gap.X, f.Gap.Y)
+	gap.Series[0].Color = "#d62728"
 	return plot.Stack(720, 300, ul, gap)
+}
+
+// TraceFigure rebuilds a Figure from a JSONL run log (the
+// core.JSONLObserver format): generation events are grouped into
+// per-run curves by their label (falling back to island index), then
+// averaged onto a points-sized grid exactly like Figures — so a trace
+// captured with `carbon -trace` or `blbench -trace` replays into the
+// same SVG/CSV/ASCII pipeline without re-running anything.
+func TraceFigure(r io.Reader, points int) (Figure, error) {
+	events, err := core.ReadTrace(r)
+	if err != nil {
+		return Figure{}, err
+	}
+	keys := []string{}
+	uls := map[string]*stats.Series{}
+	gaps := map[string]*stats.Series{}
+	for _, ev := range events {
+		if ev.Event != "generation" {
+			continue
+		}
+		gs := ev.Gen
+		key := fmt.Sprintf("%s#%d", gs.Label, gs.Island)
+		if _, ok := uls[key]; !ok {
+			keys = append(keys, key)
+			uls[key] = &stats.Series{}
+			gaps[key] = &stats.Series{}
+		}
+		x := float64(gs.ULEvals + gs.LLEvals)
+		uls[key].X = append(uls[key].X, x)
+		uls[key].Y = append(uls[key].Y, gs.BestRevenue)
+		gaps[key].X = append(gaps[key].X, x)
+		gaps[key].Y = append(gaps[key].Y, gs.BestGap)
+	}
+	if len(keys) == 0 {
+		return Figure{}, fmt.Errorf("exp: trace holds no generation events")
+	}
+	ulRuns := make([]stats.Series, len(keys))
+	gapRuns := make([]stats.Series, len(keys))
+	for i, key := range keys {
+		ulRuns[i] = *uls[key]
+		gapRuns[i] = *gaps[key]
+	}
+	return Figure{
+		Algo: "trace",
+		UL:   stats.AverageSeries(ulRuns, points),
+		Gap:  stats.AverageSeries(gapRuns, points),
+	}, nil
 }
 
 // ASCII renders both curves as terminal plots.

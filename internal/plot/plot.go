@@ -33,6 +33,17 @@ type Chart struct {
 
 var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
 
+// Line builds a single-series chart — the common case for quick looks
+// at a telemetry trace or any other (x, y) series.
+func Line(title, xlabel, ylabel, label string, x, y []float64) *Chart {
+	return &Chart{
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: ylabel,
+		Series: []Series{{Label: label, X: x, Y: y}},
+	}
+}
+
 const (
 	marginL = 64
 	marginR = 16

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL writes one JSON document per line — the run-log format emitted
+// by core's trace observer and consumed by internal/exp and the CLIs.
+// Emit is safe for concurrent use (island engines log from several
+// goroutines); output is buffered, so call Flush (or Close) before
+// reading the underlying file.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewJSONL wraps w in a line-oriented JSON emitter. If w is also an
+// io.Closer, Close will close it.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit appends v as one JSON line. A nil emitter ignores the event.
+func (j *JSONL) Emit(v any) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(v)
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *JSONL) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *JSONL) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if j.c != nil {
+		return j.c.Close()
+	}
+	return nil
+}
+
+// DecodeLines parses a JSONL stream, invoking fn on every non-empty
+// line's raw JSON. It stops at the first error.
+func DecodeLines(r io.Reader, fn func(json.RawMessage) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		raw := make(json.RawMessage, len(line))
+		copy(raw, line)
+		if err := fn(raw); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

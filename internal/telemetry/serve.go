@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler exposes live introspection over HTTP:
+//
+//	/metrics       JSON snapshot of every passed registry
+//	/debug/vars    expvar (includes registries published via PublishExpvar)
+//	/debug/pprof/  the full pprof suite (profile, heap, trace, ...)
+//
+// The pprof handlers are wired explicitly onto a private mux, so
+// importing this package never mutates http.DefaultServeMux.
+func Handler(regs map[string]*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := make(map[string]map[string]any, len(regs))
+		for name, r := range regs {
+			snap[name] = r.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(snap)
+	})
+	return mux
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":8080") in a
+// background goroutine, publishing every registry to expvar under its
+// map key first. It returns the bound address (useful with ":0") and a
+// stop function.
+func Serve(addr string, regs map[string]*Registry) (string, func() error, error) {
+	for name, r := range regs {
+		r.PublishExpvar(name)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(regs)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
