@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench quick full taxonomy examples clean
+.PHONY: all build vet test race check cover bench quick full taxonomy examples serve-smoke clean
 
 all: build vet test
 
-# The full pre-commit gate: compile, static checks, tests, race detector.
-check: build vet test race
+# The full pre-commit gate: compile, static checks, tests, race detector,
+# and the carbond crash-recovery smoke test.
+check: build vet test race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +40,12 @@ full:
 # Race the five bi-level architectures under equal budgets.
 taxonomy:
 	$(GO) run carbon/cmd/blbench -taxonomy
+
+# End-to-end crash recovery gate: builds carbond, submits a job, SIGKILLs
+# the server mid-run, restarts, and asserts the resumed job finishes with
+# the exact bits of an uninterrupted run (then the same for SIGTERM drain).
+serve-smoke:
+	$(GO) run carbon/cmd/servesmoke
 
 examples:
 	$(GO) run carbon/examples/quickstart

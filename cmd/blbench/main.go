@@ -19,10 +19,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"carbon/internal/core"
@@ -56,6 +60,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Ctrl-C (or SIGTERM) cancels the sweep at the next run/generation
+	// boundary instead of leaving budgets to burn.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	s := exp.Quick()
 	if *full {
 		s = exp.Full()
@@ -122,7 +131,7 @@ func main() {
 	}
 	if needTables {
 		if tabs == nil {
-			tabs, err = exp.RunTables(s, progress)
+			tabs, err = exp.RunTablesContext(ctx, s, progress)
 			die(err)
 		}
 		if *all || *table == 3 {
@@ -158,7 +167,7 @@ func main() {
 		}
 		if cell == nil {
 			progress(fmt.Sprintf("figures: running class %v", figClass))
-			cell, err = exp.RunCell(figClass, s)
+			cell, err = exp.RunCellContext(ctx, figClass, s)
 			die(err)
 		}
 		fig4, fig5 := cell.Figures(s.FigPoints)
@@ -184,6 +193,9 @@ func main() {
 func die(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blbench:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }

@@ -16,13 +16,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"carbon/internal/bcpop"
+	"carbon/internal/checkpoint"
 	"carbon/internal/core"
 	"carbon/internal/orlib"
 	"carbon/internal/telemetry"
@@ -104,10 +109,15 @@ func main() {
 
 	fmt.Printf("CARBON on class n=%d m=%d (instance %d, L=%d leader bundles, %d customer(s))\n",
 		*n, *m, *idx, mk.Leaders(), mk.Customers())
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	t0 := time.Now()
-	res, err := runWithCheckpoints(mk, cfg, *saveEvery, *ckptPath, *resume)
+	res, err := runWithCheckpoints(ctx, mk, cfg, *saveEvery, *ckptPath, *resume)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbon:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if traceObs != nil {
@@ -140,23 +150,20 @@ func main() {
 }
 
 // runWithCheckpoints drives the engine directly so long runs can be
-// snapshotted and resumed.
-func runWithCheckpoints(mk *bcpop.Market, cfg core.Config, every int, path string, resume bool) (*core.Result, error) {
+// snapshotted, interrupted and resumed. On Ctrl-C/SIGTERM the current
+// state is checkpointed to path before returning, so an interrupted run
+// continues later with -resume.
+func runWithCheckpoints(ctx context.Context, mk *bcpop.Market, cfg core.Config, every int, path string, resume bool) (*core.Result, error) {
 	var (
 		e   *core.Engine
 		err error
 	)
 	if resume {
-		f, ferr := os.Open(path)
-		if ferr != nil {
-			return nil, ferr
-		}
-		cp, lerr := core.LoadCheckpoint(f)
-		f.Close()
+		st, lerr := checkpoint.LoadFile(path)
 		if lerr != nil {
 			return nil, lerr
 		}
-		e, err = core.ResumeEngine(mk, cfg, cp)
+		e, err = core.Restore(mk, cfg, st)
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "resumed from %s at generation %d\n", path, e.Gens())
 		}
@@ -167,6 +174,14 @@ func runWithCheckpoints(mk *bcpop.Market, cfg core.Config, every int, path strin
 		return nil, err
 	}
 	for e.Step() {
+		if cerr := ctx.Err(); cerr != nil {
+			if werr := writeCheckpoint(e, path); werr != nil {
+				return nil, fmt.Errorf("interrupted, and checkpointing failed: %w", werr)
+			}
+			fmt.Fprintf(os.Stderr, "interrupted at generation %d; checkpoint saved to %s (resume with -resume)\n",
+				e.Gens(), path)
+			return nil, fmt.Errorf("run interrupted: %w", cerr)
+		}
 		if every > 0 && e.Gens()%every == 0 {
 			if werr := writeCheckpoint(e, path); werr != nil {
 				return nil, werr
@@ -227,17 +242,9 @@ func (p *progressPrinter) OnDone(res *core.Result) {
 }
 
 func writeCheckpoint(e *core.Engine, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	st, err := e.Snapshot()
 	if err != nil {
 		return err
 	}
-	if err := e.Checkpoint().Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return st.WriteFile(path)
 }

@@ -1,0 +1,113 @@
+// Command carbond serves CARBON optimizations as crash-safe jobs over
+// HTTP. Jobs are spooled to disk, checkpointed periodically while they
+// run, and resumed automatically after a crash or restart; a graceful
+// shutdown (SIGTERM/SIGINT) checkpoints every running job before exit.
+//
+// Usage:
+//
+//	carbond [-addr :8321] [-spool spool] [-jobs 1] [-queue 16]
+//	        [-checkpoint-every 25] [-metrics-addr :8080]
+//
+// API (see README "Serving" for examples):
+//
+//	POST   /v1/jobs             submit a job spec
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + live per-generation stats
+//	GET    /v1/jobs/{id}/result final result (409 until finished)
+//	DELETE /v1/jobs/{id}        cancel or delete
+//	GET    /metrics             aggregated engine metrics (also /debug/*)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"carbon/internal/serve"
+	"carbon/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8321", "HTTP listen address for the job API")
+		spool    = flag.String("spool", "spool", "spool directory for specs, checkpoints and results")
+		jobs     = flag.Int("jobs", 1, "jobs run concurrently (each job's eval parallelism is per-spec)")
+		queue    = flag.Int("queue", 16, "queued jobs beyond which submissions are rejected (429)")
+		ckEvery  = flag.Int("checkpoint-every", 25, "checkpoint running jobs every N generations")
+		metricsA = flag.String("metrics-addr", "", "also serve the telemetry mux on this separate address")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to checkpoint running jobs on shutdown")
+	)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	mgr, err := serve.NewManager(serve.Options{
+		Workers:         *jobs,
+		QueueDepth:      *queue,
+		SpoolDir:        *spool,
+		CheckpointEvery: *ckEvery,
+		Metrics:         reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbond:", err)
+		os.Exit(1)
+	}
+
+	// One mux serves both the job API and the telemetry endpoints, so a
+	// single port gives /v1/*, /metrics and /debug/*. -metrics-addr
+	// additionally exposes the telemetry mux on its own listener (for
+	// firewalling the API separately from introspection).
+	regs := map[string]*telemetry.Registry{"carbond": reg}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", serve.APIHandler(mgr))
+	mux.Handle("/", telemetry.Handler(regs))
+	if *metricsA != "" {
+		maddr, stop, err := telemetry.Serve(*metricsA, regs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carbond:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "carbond: metrics on http://%s/metrics\n", maddr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbond:", err)
+		os.Exit(1)
+	}
+	// The bound address goes to stdout so wrappers (the serve-smoke
+	// driver, scripts using -addr :0) can discover the port.
+	fmt.Printf("carbond: serving on %s (spool %s)\n", ln.Addr(), *spool)
+
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "carbond:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stopSignals()
+
+	// Graceful drain: stop accepting HTTP, checkpoint and park every
+	// running job, leave the spool ready for the next start.
+	fmt.Fprintln(os.Stderr, "carbond: draining (checkpointing running jobs)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+	if err := mgr.Close(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "carbond:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "carbond: drained")
+}

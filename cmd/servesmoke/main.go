@@ -1,0 +1,287 @@
+// Command servesmoke is the end-to-end crash-recovery gate for carbond
+// (run via `make serve-smoke`). It drives the real binary through the
+// two interruption modes a production server meets:
+//
+//  1. SIGKILL mid-run — the process dies with no warning; on restart the
+//     job must resume from its last spooled checkpoint and finish with
+//     exactly the result of an uninterrupted run (computed in-process as
+//     the reference).
+//  2. SIGTERM mid-run — graceful drain; the server must checkpoint the
+//     running job, exit 0, and the next start must resume and finish,
+//     again bit-identically.
+//
+// Any divergence, hang or lost job exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"time"
+
+	"carbon/internal/core"
+	"carbon/internal/serve"
+)
+
+// smokeSpec is fully explicit (no server-side defaulting) so the
+// in-process reference below is guaranteed to run the same config:
+// 100 generations on the 60x5 class, a couple of seconds of work —
+// enough room to interrupt twice.
+func smokeSpec(seed uint64) serve.JobSpec {
+	return serve.JobSpec{
+		N: 60, M: 5, Instance: 3, Customers: 1,
+		Seed: seed, Pop: 16, ULEvals: 1600, LLEvals: 4800,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+func main() {
+	carbond := flag.String("carbond", "", "prebuilt carbond binary (default: go build it)")
+	flag.Parse()
+
+	work, err := os.MkdirTemp("", "carbon-smoke-*")
+	die(err)
+	defer os.RemoveAll(work)
+	spool := filepath.Join(work, "spool")
+
+	bin := *carbond
+	if bin == "" {
+		bin = filepath.Join(work, "carbond")
+		step("building carbond")
+		out, err := exec.Command("go", "build", "-o", bin, "carbon/cmd/carbond").CombinedOutput()
+		if err != nil {
+			fatalf("go build carbond: %v\n%s", err, out)
+		}
+	}
+
+	step("computing uninterrupted reference runs (in-process)")
+	refA := reference(smokeSpec(7))
+	refB := reference(smokeSpec(8))
+
+	// --- Scenario 1: SIGKILL mid-run, restart, resume ---
+	step("scenario 1: SIGKILL mid-run")
+	srv := start(bin, spool)
+	idA := submit(srv.addr, smokeSpec(7))
+	waitGens(srv.addr, idA, 4)
+	step("SIGKILL at >=4 generations")
+	die(srv.cmd.Process.Kill())
+	_ = srv.cmd.Wait() // non-zero exit expected: it was murdered
+	mustExist(filepath.Join(spool, idA+".job.json"))
+	mustExist(filepath.Join(spool, idA+".ckpt.json"))
+
+	step("restarting after crash")
+	srv = start(bin, spool)
+	stA := waitDone(srv.addr, idA)
+	if !stA.Resumed {
+		fatalf("job %s finished without resuming from the checkpoint", idA)
+	}
+	compare("crash-resumed", result(srv.addr, idA), refA)
+	fmt.Println("scenario 1 OK: resumed after SIGKILL, result bit-identical")
+
+	// --- Scenario 2: graceful SIGTERM drain, restart, resume ---
+	step("scenario 2: SIGTERM drain mid-run")
+	idB := submit(srv.addr, smokeSpec(8))
+	waitGens(srv.addr, idB, 2)
+	die(srv.cmd.Process.Signal(syscall.SIGTERM))
+	if err := srv.cmd.Wait(); err != nil {
+		fatalf("drain exit: %v (want clean exit 0)", err)
+	}
+	mustExist(filepath.Join(spool, idB+".job.json"))
+	mustExist(filepath.Join(spool, idB+".ckpt.json"))
+
+	step("restarting after drain")
+	srv = start(bin, spool)
+	stB := waitDone(srv.addr, idB)
+	if !stB.Resumed {
+		fatalf("drained job %s did not resume from its checkpoint", idB)
+	}
+	compare("drain-resumed", result(srv.addr, idB), refB)
+	fmt.Println("scenario 2 OK: drained on SIGTERM, resumed, result bit-identical")
+
+	// Idle shutdown must also be clean.
+	die(srv.cmd.Process.Signal(syscall.SIGTERM))
+	if err := srv.cmd.Wait(); err != nil {
+		fatalf("final shutdown: %v", err)
+	}
+	fmt.Println("serve-smoke PASS")
+}
+
+// reference runs the spec uninterrupted in this process.
+func reference(spec serve.JobSpec) *core.Result {
+	mk, err := spec.Market()
+	die(err)
+	res, err := core.Run(mk, spec.Config())
+	die(err)
+	return res
+}
+
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// start launches carbond on an ephemeral port and parses the bound
+// address from its stdout banner.
+func start(bin, spool string) *server {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-spool", spool, "-jobs", "1", "-checkpoint-every", "1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	die(err)
+	die(cmd.Start())
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, after, ok := strings.Cut(line, "serving on "); ok {
+			addr := strings.Fields(after)[0]
+			go func() { // drain the rest so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			waitHealthy(addr)
+			return &server{cmd: cmd, addr: addr}
+		}
+	}
+	fatalf("carbond exited before announcing its address")
+	return nil
+}
+
+func waitHealthy(addr string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/jobs")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("carbond on %s never became healthy", addr)
+}
+
+func submit(addr string, spec serve.JobSpec) string {
+	var buf bytes.Buffer
+	die(json.NewEncoder(&buf).Encode(spec))
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", &buf)
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st serve.Status
+	die(json.NewDecoder(resp.Body).Decode(&st))
+	fmt.Printf("submitted %s (seed %d)\n", st.ID, spec.Seed)
+	return st.ID
+}
+
+func getStatus(addr, id string) (serve.Status, error) {
+	var st serve.Status
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// waitGens blocks until the job has completed at least n generations,
+// failing loudly if it finishes first (the smoke budgets are sized so
+// that cannot happen on any plausible machine).
+func waitGens(addr, id string, n int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		if st.State == serve.StateDone {
+			fatalf("job %s finished before reaching %d generations — budgets too small to interrupt", id, n)
+		}
+		if st.Gens >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fatalf("job %s never reached generation %d", id, n)
+}
+
+func waitDone(addr, id string) serve.Status {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		switch st.State {
+		case serve.StateDone:
+			return st
+		case serve.StateFailed, serve.StateCanceled:
+			fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("job %s never finished", id)
+	return serve.Status{}
+}
+
+func result(addr, id string) *serve.ResultRecord {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id + "/result")
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("result: HTTP %d", resp.StatusCode)
+	}
+	var rec serve.ResultRecord
+	die(json.NewDecoder(resp.Body).Decode(&rec))
+	return &rec
+}
+
+// compare asserts the served result is bit-identical to the reference.
+func compare(label string, rec *serve.ResultRecord, want *core.Result) {
+	if rec.Gens != want.Gens || rec.ULEvals != want.ULEvals || rec.LLEvals != want.LLEvals {
+		fatalf("%s: budget trace diverged: got %d gens %d/%d, want %d gens %d/%d",
+			label, rec.Gens, rec.ULEvals, rec.LLEvals, want.Gens, want.ULEvals, want.LLEvals)
+	}
+	if rec.BestRevenue != want.Best.Revenue || rec.BestGapPct != want.Best.GapPct ||
+		rec.BestTree != want.Best.TreeStr {
+		fatalf("%s: best pairing diverged:\n got  (%v, %q, %v)\n want (%v, %q, %v)",
+			label, rec.BestRevenue, rec.BestTree, rec.BestGapPct,
+			want.Best.Revenue, want.Best.TreeStr, want.Best.GapPct)
+	}
+	if !reflect.DeepEqual(rec.BestPrice, want.Best.Price) {
+		fatalf("%s: best price vector diverged", label)
+	}
+	if !reflect.DeepEqual(rec.ULCurveX, want.ULCurve.X) || !reflect.DeepEqual(rec.ULCurveY, want.ULCurve.Y) ||
+		!reflect.DeepEqual(rec.GapCurveX, want.GapCurve.X) || !reflect.DeepEqual(rec.GapCurveY, want.GapCurve.Y) {
+		fatalf("%s: convergence curves diverged", label)
+	}
+	fmt.Printf("%s: %d gens, best F %.4f, gap %.4f%% — exact match\n",
+		label, rec.Gens, rec.BestRevenue, rec.BestGapPct)
+}
+
+func mustExist(path string) {
+	if _, err := os.Stat(path); err != nil {
+		fatalf("expected spool file: %v", err)
+	}
+}
+
+func step(msg string) { fmt.Println("== " + msg) }
+
+func die(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -361,6 +361,12 @@ func NewEvaluator(mk *Market, set *gp.Set) (*Evaluator, error) {
 // Market returns the evaluator's market.
 func (ev *Evaluator) Market() *Market { return ev.mk }
 
+// ResetWarm discards the warm-start LP basis so the next evaluation
+// solves cold. Called by the engine at generation boundaries to keep
+// evaluation results independent of earlier generations' solver history
+// (the checkpoint/resume determinism contract).
+func (ev *Evaluator) ResetWarm() { ev.relaxer.Reset() }
+
 // Relax computes the LP relaxation of the induced instance for a pricing
 // decision. The returned Relaxation aliases solver state that is
 // overwritten by the next Relax call.

@@ -1,0 +1,49 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the snapshot decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must be internally consistent and
+// re-encodable to an equivalent snapshot. This is the crash-recovery
+// guarantee of the serve spool — a torn or garbage file is an error, not
+// a half-restored engine.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := sample().Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schema":"carbon.checkpoint/v2","crc32":0,"state":{}}`))
+	f.Add(good[:len(good)/2])
+	f.Add(append(append([]byte(nil), good...), '0'))
+	f.Add(bytes.Replace(good, []byte(`"gens"`), []byte(`"gexs"`), 1))
+	f.Add(bytes.ToUpper(good))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		if verr := st.Validate(); verr != nil {
+			t.Fatalf("decoded state fails Validate: %v", verr)
+		}
+		var out bytes.Buffer
+		if eerr := st.Encode(&out); eerr != nil {
+			t.Fatalf("decoded state fails to re-encode: %v", eerr)
+		}
+		again, rerr := Decode(&out)
+		if rerr != nil {
+			t.Fatalf("re-encoded state fails to decode: %v", rerr)
+		}
+		if again.Fingerprint != st.Fingerprint || again.Gens != st.Gens ||
+			len(again.Prey) != len(st.Prey) || len(again.Predators) != len(st.Predators) {
+			t.Fatal("re-encode round trip changed the state")
+		}
+	})
+}

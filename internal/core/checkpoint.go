@@ -1,47 +1,16 @@
 package core
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 
 	"carbon/internal/bcpop"
+	"carbon/internal/checkpoint"
 	"carbon/internal/gp"
 )
 
-// Checkpoint is a serializable snapshot of an Engine between
-// generations. Resuming from a checkpoint continues the run *exactly* as
-// if it had never stopped: populations, archives, budget counters,
-// curves and the PRNG stream are all restored. Trees travel as
-// S-expressions, so checkpoints are human-inspectable JSON.
-//
-// What is NOT stored: the market (supply it again — instances are
-// regenerable from (class, index) or loadable from OR-library files) and
-// the warm-LP solver states (they are caches; the first generation after
-// resume re-warms them, which can produce different-but-equally-optimal
-// dual vectors than an uninterrupted run — the same caveat as changing
-// Workers).
-type Checkpoint struct {
-	Fingerprint string      `json:"fingerprint"`
-	RngState    [4]uint64   `json:"rng_state"`
-	Prey        [][]float64 `json:"prey"`
-	Predators   []string    `json:"predators"`
-	ULUsed      int         `json:"ul_used"`
-	LLUsed      int         `json:"ll_used"`
-	Gens        int         `json:"gens"`
-	ULArchP     [][]float64 `json:"ul_arch_prices"`
-	ULArchF     []float64   `json:"ul_arch_fitness"`
-	GPArchT     []string    `json:"gp_arch_trees"`
-	GPArchF     []float64   `json:"gp_arch_fitness"`
-	ULCurveX    []float64   `json:"ul_curve_x"`
-	ULCurveY    []float64   `json:"ul_curve_y"`
-	GapCurveX   []float64   `json:"gap_curve_x"`
-	GapCurveY   []float64   `json:"gap_curve_y"`
-}
-
-// fingerprint identifies the configuration a checkpoint belongs to; a
-// mismatch at resume time means the caller changed something that makes
+// fingerprint identifies the configuration a snapshot belongs to; a
+// mismatch at restore time means the caller changed something that makes
 // the state meaningless (population sizes, operators, the market shape).
 // Budgets are deliberately NOT part of the fingerprint: extending the
 // budget and resuming is the intended way to continue a finished run.
@@ -53,9 +22,17 @@ func (c *Config) fingerprint(mk *bcpop.Market) string {
 		c.CostFitness, !c.NoElimination, c.ULVariation)
 }
 
-// Checkpoint snapshots the engine. Call it between Steps.
-func (e *Engine) Checkpoint() *Checkpoint {
-	cp := &Checkpoint{
+// Snapshot captures the engine between Steps as a serializable
+// checkpoint.State. Restoring the state continues the run *exactly* as
+// if it had never stopped: populations, archives, budget counters,
+// curves and the PRNG stream all resume in place. A failed engine
+// (Err() != nil) refuses to snapshot — its state is whatever the failing
+// generation left behind, not a resumable frontier.
+func (e *Engine) Snapshot() (*checkpoint.State, error) {
+	if e.err != nil {
+		return nil, fmt.Errorf("core: snapshot of failed engine: %w", e.err)
+	}
+	st := &checkpoint.State{
 		Fingerprint: e.cfg.fingerprint(e.mk),
 		RngState:    e.r.State(),
 		ULUsed:      e.ulUsed,
@@ -63,100 +40,93 @@ func (e *Engine) Checkpoint() *Checkpoint {
 		Gens:        e.res.Gens,
 	}
 	for _, x := range e.prey {
-		cp.Prey = append(cp.Prey, append([]float64(nil), x...))
+		st.Prey = append(st.Prey, append([]float64(nil), x...))
 	}
 	for _, t := range e.predators {
-		cp.Predators = append(cp.Predators, t.String(e.set))
+		st.Predators = append(st.Predators, t.String(e.set))
 	}
 	for _, en := range e.ulArch.Entries() {
-		cp.ULArchP = append(cp.ULArchP, append([]float64(nil), en.Item...))
-		cp.ULArchF = append(cp.ULArchF, en.Fitness)
+		st.ULArchP = append(st.ULArchP, append([]float64(nil), en.Item...))
+		st.ULArchF = append(st.ULArchF, en.Fitness)
 	}
 	for _, en := range e.gpArch.Entries() {
-		cp.GPArchT = append(cp.GPArchT, en.Item.String(e.set))
-		cp.GPArchF = append(cp.GPArchF, en.Fitness)
+		st.GPArchT = append(st.GPArchT, en.Item.String(e.set))
+		st.GPArchF = append(st.GPArchF, en.Fitness)
 	}
-	cp.ULCurveX = append([]float64(nil), e.res.ULCurve.X...)
-	cp.ULCurveY = append([]float64(nil), e.res.ULCurve.Y...)
-	cp.GapCurveX = append([]float64(nil), e.res.GapCurve.X...)
-	cp.GapCurveY = append([]float64(nil), e.res.GapCurve.Y...)
-	return cp
+	st.ULCurveX = append([]float64(nil), e.res.ULCurve.X...)
+	st.ULCurveY = append([]float64(nil), e.res.ULCurve.Y...)
+	st.GapCurveX = append([]float64(nil), e.res.GapCurve.X...)
+	st.GapCurveY = append([]float64(nil), e.res.GapCurve.Y...)
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
-// Write emits the checkpoint as indented JSON.
-func (cp *Checkpoint) Write(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(cp)
-}
-
-// LoadCheckpoint parses a checkpoint written by Write.
-func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var cp Checkpoint
-	if err := json.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("core: parsing checkpoint: %w", err)
+// Restore rebuilds an engine from a snapshot taken under the same market
+// and configuration. For a fixed (Config.Seed, Config.Workers) pair the
+// restored run is bit-identical to the uninterrupted one: the PRNG
+// stream continues exactly, and Step resets the warm-LP bases at every
+// generation boundary, so no solver history leaks across the snapshot
+// (see TestSnapshotRestoreGolden). Changing Workers between snapshot and
+// restore re-stripes evaluation and voids the guarantee, exactly as it
+// does for a fresh run.
+//
+// Restore lives in core rather than package checkpoint because it needs
+// the whole engine; checkpoint stays pure data so spool tooling can link
+// it without the evolutionary machinery.
+func Restore(mk *bcpop.Market, cfg Config, st *checkpoint.State) (*Engine, error) {
+	if st == nil {
+		return nil, errors.New("core: nil checkpoint state")
 	}
-	return &cp, nil
-}
-
-// ResumeEngine rebuilds an engine from a checkpoint taken under the same
-// market and configuration. The resumed run produces the same breeding
-// and sampling decisions as the uninterrupted one (the PRNG stream
-// continues exactly); evaluation results may differ within
-// alternative-LP-optima tolerance because warm-solver caches restart
-// cold (see the Checkpoint doc comment).
-func ResumeEngine(mk *bcpop.Market, cfg Config, cp *Checkpoint) (*Engine, error) {
-	if cp == nil {
-		return nil, errors.New("core: nil checkpoint")
+	if err := st.Validate(); err != nil {
+		return nil, err
 	}
-	if got := cfg.fingerprint(mk); got != cp.Fingerprint {
+	if got := cfg.fingerprint(mk); got != st.Fingerprint {
 		return nil, fmt.Errorf("core: checkpoint fingerprint mismatch:\n  have %s\n  want %s",
-			got, cp.Fingerprint)
+			got, st.Fingerprint)
 	}
 	e, err := NewEngine(mk, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(cp.Prey) != cfg.ULPopSize || len(cp.Predators) != cfg.LLPopSize {
+	if len(st.Prey) != cfg.ULPopSize || len(st.Predators) != cfg.LLPopSize {
 		return nil, errors.New("core: checkpoint population sizes disagree with config")
 	}
-	if err := e.r.Restore(cp.RngState); err != nil {
+	if err := e.r.Restore(st.RngState); err != nil {
 		return nil, err
 	}
-	for i, x := range cp.Prey {
+	for i, x := range st.Prey {
 		if len(x) != mk.Leaders() {
 			return nil, fmt.Errorf("core: checkpoint prey %d has %d genes, want %d",
 				i, len(x), mk.Leaders())
 		}
 		e.prey[i] = append([]float64(nil), x...)
 	}
-	for i, src := range cp.Predators {
+	for i, src := range st.Predators {
 		t, err := gp.Parse(e.set, src)
 		if err != nil {
 			return nil, fmt.Errorf("core: checkpoint predator %d: %w", i, err)
 		}
 		e.predators[i] = t
 	}
-	if len(cp.ULArchP) != len(cp.ULArchF) || len(cp.GPArchT) != len(cp.GPArchF) {
-		return nil, errors.New("core: checkpoint archive arrays disagree")
-	}
 	// Re-add archive entries worst-first so insertion order cannot evict
 	// better entries.
-	for i := len(cp.ULArchP) - 1; i >= 0; i-- {
-		e.ulArch.Add(append([]float64(nil), cp.ULArchP[i]...), cp.ULArchF[i])
+	for i := len(st.ULArchP) - 1; i >= 0; i-- {
+		e.ulArch.Add(append([]float64(nil), st.ULArchP[i]...), st.ULArchF[i])
 	}
-	for i := len(cp.GPArchT) - 1; i >= 0; i-- {
-		t, err := gp.Parse(e.set, cp.GPArchT[i])
+	for i := len(st.GPArchT) - 1; i >= 0; i-- {
+		t, err := gp.Parse(e.set, st.GPArchT[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: checkpoint archive tree %d: %w", i, err)
 		}
-		e.gpArch.Add(t, cp.GPArchF[i])
+		e.gpArch.Add(t, st.GPArchF[i])
 	}
-	e.ulUsed, e.llUsed = cp.ULUsed, cp.LLUsed
-	e.res.Gens = cp.Gens
-	e.res.ULCurve.X = append([]float64(nil), cp.ULCurveX...)
-	e.res.ULCurve.Y = append([]float64(nil), cp.ULCurveY...)
-	e.res.GapCurve.X = append([]float64(nil), cp.GapCurveX...)
-	e.res.GapCurve.Y = append([]float64(nil), cp.GapCurveY...)
+	e.ulUsed, e.llUsed = st.ULUsed, st.LLUsed
+	e.res.Gens = st.Gens
+	e.res.ULCurve.X = append([]float64(nil), st.ULCurveX...)
+	e.res.ULCurve.Y = append([]float64(nil), st.ULCurveY...)
+	e.res.GapCurve.X = append([]float64(nil), st.GapCurveX...)
+	e.res.GapCurve.Y = append([]float64(nil), st.GapCurveY...)
 	return e, nil
 }

@@ -2,8 +2,11 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"reflect"
 	"testing"
 
+	"carbon/internal/checkpoint"
 	"carbon/internal/rng"
 )
 
@@ -31,7 +34,12 @@ func TestRngStateRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+// TestSnapshotRestoreGolden is the determinism-under-interruption
+// contract: for a fixed seed, {run to generation k, snapshot through the
+// full serialized format, restore, run to completion} must yield a
+// Result identical to the uninterrupted run — same best pairing, same
+// fitnesses, same convergence curves, same budget accounting.
+func TestSnapshotRestoreGolden(t *testing.T) {
 	mk := smallMarket(t)
 	cfg := smallConfig(77)
 	cfg.Workers = 1
@@ -42,52 +50,63 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Interrupted: step half, checkpoint through JSON, resume, finish.
-	e, err := NewEngine(mk, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	half := 0
-	for e.CanStep() && half < ref.Gens/2 {
-		e.Step()
-		half++
-	}
-	var buf bytes.Buffer
-	if err := e.Checkpoint().Write(&buf); err != nil {
-		t.Fatal(err)
-	}
-	cp, err := LoadCheckpoint(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	e2, err := ResumeEngine(mk, cfg, cp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for e2.Step() {
-	}
-	res, err := e2.Result()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Gens != ref.Gens {
-		t.Fatalf("generations %d vs %d", res.Gens, ref.Gens)
-	}
-	if res.ULEvals != ref.ULEvals || res.LLEvals != ref.LLEvals {
-		t.Fatalf("budget accounting differs: %d/%d vs %d/%d",
-			res.ULEvals, res.LLEvals, ref.ULEvals, ref.LLEvals)
-	}
-	// The PRNG stream continues exactly; evaluation results are
-	// identical here because the resumed warm solvers see the same
-	// first-solve-per-cost behavior on this small market. Allow exact
-	// equality to flag any real state leak.
-	if res.Best.Revenue != ref.Best.Revenue || res.Best.TreeStr != ref.Best.TreeStr {
-		t.Fatalf("resume diverged: (%v, %s) vs (%v, %s)",
-			res.Best.Revenue, res.Best.TreeStr, ref.Best.Revenue, ref.Best.TreeStr)
+	// Interrupted at every quarter of the run: snapshot through the
+	// on-disk envelope, restore, finish, compare.
+	for _, k := range []int{1, ref.Gens / 4, ref.Gens / 2, 3 * ref.Gens / 4} {
+		if k < 1 {
+			continue
+		}
+		e, err := NewEngine(mk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e.Gens() < k && e.Step() {
+		}
+		st, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := st.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := checkpoint.Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := Restore(mk, cfg, loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2.Gens() != k {
+			t.Fatalf("k=%d: restored at generation %d", k, e2.Gens())
+		}
+		for e2.Step() {
+		}
+		res, err := e2.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Gens != ref.Gens || res.ULEvals != ref.ULEvals || res.LLEvals != ref.LLEvals {
+			t.Fatalf("k=%d: accounting differs: gens %d/%d evals %d+%d vs %d+%d",
+				k, res.Gens, ref.Gens, res.ULEvals, res.LLEvals, ref.ULEvals, ref.LLEvals)
+		}
+		if res.Best.Revenue != ref.Best.Revenue || res.Best.TreeStr != ref.Best.TreeStr ||
+			res.Best.GapPct != ref.Best.GapPct {
+			t.Fatalf("k=%d: best pairing diverged: (%v, %q, %v) vs (%v, %q, %v)",
+				k, res.Best.Revenue, res.Best.TreeStr, res.Best.GapPct,
+				ref.Best.Revenue, ref.Best.TreeStr, ref.Best.GapPct)
+		}
+		if !reflect.DeepEqual(res.Best.Price, ref.Best.Price) {
+			t.Fatalf("k=%d: best price diverged", k)
+		}
+		if !reflect.DeepEqual(res.ULCurve, ref.ULCurve) || !reflect.DeepEqual(res.GapCurve, ref.GapCurve) {
+			t.Fatalf("k=%d: convergence curves diverged", k)
+		}
 	}
 }
 
-func TestResumeRejectsMismatchedConfig(t *testing.T) {
+func TestRestoreRejectsMismatchedConfig(t *testing.T) {
 	mk := smallMarket(t)
 	cfg := smallConfig(5)
 	e, err := NewEngine(mk, cfg)
@@ -95,20 +114,23 @@ func TestResumeRejectsMismatchedConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Step()
-	cp := e.Checkpoint()
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	other := cfg
 	other.ULPopSize = cfg.ULPopSize * 2
 	other.ULEvalBudget = cfg.ULEvalBudget * 2
-	if _, err := ResumeEngine(mk, other, cp); err == nil {
+	if _, err := Restore(mk, other, st); err == nil {
 		t.Fatal("mismatched config accepted")
 	}
-	if _, err := ResumeEngine(mk, cfg, nil); err == nil {
-		t.Fatal("nil checkpoint accepted")
+	if _, err := Restore(mk, cfg, nil); err == nil {
+		t.Fatal("nil state accepted")
 	}
 }
 
-func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+func TestRestoreRejectsCorruptState(t *testing.T) {
 	mk := smallMarket(t)
 	cfg := smallConfig(6)
 	e, err := NewEngine(mk, cfg)
@@ -116,35 +138,42 @@ func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Step()
+	snap := func() *checkpoint.State {
+		st, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
 
-	cp := e.Checkpoint()
-	cp.Predators[0] = "(+ broken"
-	if _, err := ResumeEngine(mk, cfg, cp); err == nil {
+	st := snap()
+	st.Predators[0] = "(+ broken"
+	if _, err := Restore(mk, cfg, st); err == nil {
 		t.Fatal("corrupt predator accepted")
 	}
 
-	cp = e.Checkpoint()
-	cp.Prey[0] = []float64{1}
-	if _, err := ResumeEngine(mk, cfg, cp); err == nil {
+	st = snap()
+	st.Prey[0] = []float64{1}
+	if _, err := Restore(mk, cfg, st); err == nil {
 		t.Fatal("corrupt prey accepted")
 	}
 
-	cp = e.Checkpoint()
-	cp.ULArchF = cp.ULArchF[:1]
-	if len(cp.ULArchP) > 1 {
-		if _, err := ResumeEngine(mk, cfg, cp); err == nil {
+	st = snap()
+	st.ULArchF = st.ULArchF[:1]
+	if len(st.ULArchP) > 1 {
+		if _, err := Restore(mk, cfg, st); err == nil {
 			t.Fatal("ragged archive accepted")
 		}
 	}
-}
 
-func TestLoadCheckpointBadJSON(t *testing.T) {
-	if _, err := LoadCheckpoint(bytes.NewBufferString("{oops")); err == nil {
-		t.Fatal("bad JSON accepted")
+	st = snap()
+	st.GPArchT[0] = "(mod q"
+	if _, err := Restore(mk, cfg, st); err == nil {
+		t.Fatal("corrupt archive tree accepted")
 	}
 }
 
-func TestCheckpointArchivePreserved(t *testing.T) {
+func TestSnapshotArchivePreserved(t *testing.T) {
 	mk := smallMarket(t)
 	cfg := smallConfig(9)
 	e, err := NewEngine(mk, cfg)
@@ -154,13 +183,15 @@ func TestCheckpointArchivePreserved(t *testing.T) {
 	for i := 0; i < 3 && e.CanStep(); i++ {
 		e.Step()
 	}
-	before, _, _ := e.BestPrey()
-	beforeRev := 0.0
-	if _, rev, ok := e.BestPrey(); ok {
-		beforeRev = rev
+	before, beforeRev, ok := e.BestPrey()
+	if !ok {
+		t.Fatal("no archive before snapshot")
 	}
-	cp := e.Checkpoint()
-	e2, err := ResumeEngine(mk, cfg, cp)
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(mk, cfg, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +204,108 @@ func TestCheckpointArchivePreserved(t *testing.T) {
 	}
 	for i := range before {
 		if before[i] != after[i] {
-			t.Fatal("best item changed across checkpoint")
+			t.Fatal("best item changed across snapshot")
 		}
 	}
+}
+
+// failEngine returns an engine whose next Step fails terminally: one
+// prey vector is corrupted to the wrong dimension, which every
+// generation evaluates, so the evaluator reports an error that Step
+// records as Engine.Err.
+func failEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(smallMarket(t), smallConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Step() {
+		t.Fatal("healthy engine refused to step")
+	}
+	e.prey[0] = []float64{0.5} // wrong dimension → evaluator error
+	if e.Step() {
+		t.Fatal("corrupted engine stepped successfully")
+	}
+	if e.Err() == nil {
+		t.Fatal("corrupted step recorded no error")
+	}
+	return e
+}
+
+// TestStepAfterErrIsNoOp pins the failure semantics: once Err() is
+// non-nil, Step is a no-op returning false (no budget consumed, no
+// generation counted) and Snapshot refuses to serialize the wreck.
+func TestStepAfterErrIsNoOp(t *testing.T) {
+	e := failEngine(t)
+	firstErr := e.Err()
+	gens, ul, ll := e.Gens(), e.ulUsed, e.llUsed
+	for i := 0; i < 3; i++ {
+		if e.Step() {
+			t.Fatalf("Step %d after Err returned true", i)
+		}
+	}
+	if e.Gens() != gens || e.ulUsed != ul || e.llUsed != ll {
+		t.Fatalf("no-op Step mutated counters: gens %d→%d evals %d+%d→%d+%d",
+			gens, e.Gens(), ul, ll, e.ulUsed, e.llUsed)
+	}
+	if e.Err() != firstErr {
+		t.Fatalf("terminal error changed: %v → %v", firstErr, e.Err())
+	}
+}
+
+func TestSnapshotOnFailedEngineErrors(t *testing.T) {
+	e := failEngine(t)
+	st, err := e.Snapshot()
+	if err == nil {
+		t.Fatal("failed engine produced a snapshot")
+	}
+	if st != nil {
+		t.Fatal("failed snapshot returned non-nil state")
+	}
+	if !errors.Is(err, e.Err()) {
+		t.Fatalf("snapshot error %v does not wrap engine error %v", err, e.Err())
+	}
+}
+
+// FuzzRestore feeds arbitrary bytes through the full decode → Restore
+// pipeline: corruption must surface as an error, never a panic and
+// never a half-restored engine.
+func FuzzRestore(f *testing.F) {
+	mk := smallMarket(f)
+	cfg := smallConfig(13)
+	e, err := NewEngine(mk, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	e.Step()
+	st, err := e.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte("{}"))
+	f.Add(good[:len(good)*2/3])
+	f.Add(bytes.Replace(good, []byte("(+"), []byte("(?"), 1))
+	f.Add(bytes.Replace(good, []byte(`"prey"`), []byte(`"pray"`), 1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := checkpoint.DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		e, err := Restore(mk, cfg, st)
+		if err != nil {
+			return
+		}
+		// A state that restores must leave a steppable engine.
+		if e.Err() != nil {
+			t.Fatalf("restored engine born failed: %v", e.Err())
+		}
+		e.Step()
+	})
 }

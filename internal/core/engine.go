@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -172,6 +173,15 @@ func (e *Engine) firstStepErr() error {
 func (e *Engine) Step() bool {
 	if e.err != nil || !e.CanStep() {
 		return false
+	}
+	// Generation boundaries are warm-start boundaries: discarding the LP
+	// bases here makes every generation's evaluations a pure function of
+	// the populations and RNG state at its start, so a run restored from
+	// a Snapshot replays the remaining generations bit-identically. The
+	// cost is one cold solve per worker per wave, amortized over the
+	// whole population's solves.
+	for _, ev := range e.evs {
+		ev.ResetWarm()
 	}
 	cfg := e.cfg
 	observing := e.obs != nil || e.met != nil
@@ -458,11 +468,24 @@ func (e *Engine) Result() (*Result, error) {
 // an error instead of panicking, so long batch sweeps survive one bad
 // configuration.
 func Run(mk *bcpop.Market, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), mk, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked between generations, so cancellation (Ctrl-C, a job deadline,
+// a server drain) stops the run at the next generation boundary with an
+// error satisfying errors.Is(err, ctx.Err()). Cancellation does not
+// perturb determinism — a run that is not canceled is bit-identical to
+// one launched without a context.
+func RunContext(ctx context.Context, mk *bcpop.Market, cfg Config) (*Result, error) {
 	e, err := NewEngine(mk, cfg)
 	if err != nil {
 		return nil, err
 	}
 	for e.Step() {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: run canceled after generation %d: %w", e.Gens(), cerr)
+		}
 	}
 	if err := e.Err(); err != nil {
 		return nil, err

@@ -54,8 +54,11 @@ func Example_engine() {
 	}
 	for i := 0; i < 5 && e.Step(); i++ {
 	}
-	cp := e.Checkpoint()
-	resumed, err := core.ResumeEngine(mk, cfg, cp)
+	st, err := e.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	resumed, err := core.Restore(mk, cfg, st)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -55,6 +56,13 @@ type IslandResult struct {
 // usual per-(seed, workers) contract with Workers pinned to 1 inside
 // each island (parallelism comes from stepping islands concurrently).
 func RunIslands(mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, error) {
+	return RunIslandsContext(context.Background(), mk, cfg, ic)
+}
+
+// RunIslandsContext is RunIslands with cooperative cancellation, checked
+// at the per-generation migration barrier (the only point where all
+// islands are quiescent). See RunContext for the cancellation contract.
+func RunIslandsContext(ctx context.Context, mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, error) {
 	if err := ic.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,6 +92,9 @@ func RunIslands(mk *bcpop.Market, cfg Config, ic IslandConfig) (*IslandResult, e
 	res := &IslandResult{}
 	gen := 0
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: island run canceled after generation %d: %w", gen, cerr)
+		}
 		// Step every live island concurrently; the engines share no
 		// state, so the only synchronization is this barrier. The
 		// shared observer (cfg.Observer) is called from these

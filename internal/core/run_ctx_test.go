@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextCancel cancels mid-run (from the generation observer, so
+// the test is schedule-independent) and checks the loop stops at the
+// next generation boundary with a context error.
+func TestRunContextCancel(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(21)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Observer = FuncObserver{Generation: func(gs GenStats) {
+		if gs.Gen == 2 {
+			cancel()
+		}
+	}}
+	res, err := RunContext(ctx, mk, cfg)
+	if err == nil {
+		t.Fatalf("canceled run returned result: %+v", res.Best)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestRunContextUncanceledMatchesRun(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(22)
+	ref, err := Run(mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunContext(context.Background(), mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Revenue != ref.Best.Revenue || res.Best.TreeStr != ref.Best.TreeStr {
+		t.Fatal("context plumbing perturbed the seeded result")
+	}
+}
+
+func TestRunIslandsContextCancel(t *testing.T) {
+	mk := smallMarket(t)
+	cfg := smallConfig(23)
+	cfg.ULEvalBudget *= 2
+	cfg.LLEvalBudget *= 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunIslandsContext(ctx, mk, cfg, DefaultIslandConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -65,6 +65,13 @@ func NewRelaxer(in *Instance) (*Relaxer, error) {
 	return &Relaxer{ws: ws, m: in.M()}, nil
 }
 
+// Reset discards the warm basis so the next Relax solves cold (see
+// lp.WarmSolver.Reset). CARBON resets its relaxers at every generation
+// boundary, making each generation's relaxation results a pure function
+// of that generation's costs — the property that lets a restored
+// checkpoint replay the remaining generations bit-identically.
+func (r *Relaxer) Reset() { r.ws.Reset() }
+
 // Relax solves the relaxation with the given item costs.
 func (r *Relaxer) Relax(costs []float64) (*Relaxation, error) {
 	if len(costs) != r.m {

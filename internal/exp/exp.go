@@ -16,6 +16,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -151,6 +152,15 @@ type Cell struct {
 // dispatched in parallel; seeds are derived deterministically from
 // BaseSeed, the class and the run index.
 func RunCell(cl orlib.Class, s Settings) (*Cell, error) {
+	return RunCellContext(context.Background(), cl, s)
+}
+
+// RunCellContext is RunCell with cooperative cancellation: no new run
+// starts after the context is canceled, CARBON runs additionally stop at
+// their next generation boundary, and the first context error is
+// returned. Sweeps driven from a CLI cancel cleanly on Ctrl-C instead of
+// running their budgets to completion.
+func RunCellContext(ctx context.Context, cl orlib.Class, s Settings) (*Cell, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,6 +186,10 @@ func RunCell(cl orlib.Class, s Settings) (*Cell, error) {
 		mu.Unlock()
 	}
 	par.ForEach(2*s.Runs, s.Workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			setErr(err)
+			return
+		}
 		run := i / 2
 		seed := s.BaseSeed + classSalt + uint64(run)*7919
 		if i%2 == 0 {
@@ -183,7 +197,7 @@ func RunCell(cl orlib.Class, s Settings) (*Cell, error) {
 			cfg.Observer = s.Observer
 			cfg.Metrics = s.Metrics
 			cfg.RunLabel = fmt.Sprintf("carbon/%dx%d/run%d", cl.N, cl.M, run)
-			res, err := core.Run(mk, cfg)
+			res, err := core.RunContext(ctx, mk, cfg)
 			if err != nil {
 				setErr(err)
 				return
@@ -239,15 +253,24 @@ type Tables struct {
 
 // RunTables executes the sweep over every class in the settings.
 func RunTables(s Settings, progress func(string)) (*Tables, error) {
+	return RunTablesContext(context.Background(), s, progress)
+}
+
+// RunTablesContext is RunTables with cooperative cancellation (see
+// RunCellContext).
+func RunTablesContext(ctx context.Context, s Settings, progress func(string)) (*Tables, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	t := &Tables{}
 	for _, cl := range s.Classes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if progress != nil {
 			progress(fmt.Sprintf("class %v: %d runs × 2 algorithms", cl, s.Runs))
 		}
-		cell, err := RunCell(cl, s)
+		cell, err := RunCellContext(ctx, cl, s)
 		if err != nil {
 			return nil, err
 		}

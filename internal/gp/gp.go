@@ -90,6 +90,7 @@ func (s *Set) Validate() error {
 	if len(s.Ops) > 120 || len(s.Terms) > 120 {
 		return errors.New("gp: set too large for compact node encoding")
 	}
+	opNames := make(map[string]int, len(s.Ops))
 	for i, op := range s.Ops {
 		switch op.Arity {
 		case 1:
@@ -103,13 +104,27 @@ func (s *Set) Validate() error {
 		default:
 			return fmt.Errorf("gp: op %d (%s) has unsupported arity %d", i, op.Name, op.Arity)
 		}
-		if op.Name == "" {
-			return fmt.Errorf("gp: op %d has empty name", i)
+		if err := checkName("op", i, op.Name); err != nil {
+			return err
 		}
+		if j, dup := opNames[op.Name]; dup {
+			return fmt.Errorf("gp: ops %d and %d share the name %q", j, i, op.Name)
+		}
+		opNames[op.Name] = i
 	}
+	termNames := make(map[string]int, len(s.Terms))
 	for i, t := range s.Terms {
-		if t == "" {
-			return fmt.Errorf("gp: terminal %d has empty name", i)
+		if err := checkName("terminal", i, t); err != nil {
+			return err
+		}
+		if j, dup := termNames[t]; dup {
+			return fmt.Errorf("gp: terminals %d and %d share the name %q", j, i, t)
+		}
+		termNames[t] = i
+		// A terminal that tokenizes as a number would shadow constants
+		// of that value in Parse, breaking Decode(Encode(t)) == t.
+		if _, err := strconv.ParseFloat(t, 64); err == nil {
+			return fmt.Errorf("gp: terminal %d (%s) is ambiguous with a numeric constant", i, t)
 		}
 	}
 	if s.ConstProb < 0 || s.ConstProb > 1 || math.IsNaN(s.ConstProb) {
@@ -121,6 +136,19 @@ func (s *Set) Validate() error {
 			s.ConstMax < s.ConstMin {
 			return fmt.Errorf("gp: bad ERC range [%v,%v]", s.ConstMin, s.ConstMax)
 		}
+	}
+	return nil
+}
+
+// checkName rejects primitive names the S-expression codec cannot
+// round-trip: empty names and names containing the tokenizer's
+// separator characters (whitespace and parentheses).
+func checkName(kind string, i int, name string) error {
+	if name == "" {
+		return fmt.Errorf("gp: %s %d has empty name", kind, i)
+	}
+	if strings.ContainsAny(name, "() \t\n\r") {
+		return fmt.Errorf("gp: %s %d (%q) contains S-expression separator characters", kind, i, name)
 	}
 	return nil
 }
@@ -318,6 +346,19 @@ func (t Tree) write(b *strings.Builder, s *Set, i int) int {
 	b.WriteByte(')')
 	return j
 }
+
+// Encode renders the tree in the canonical text encoding: the
+// S-expression produced by String. For every well-formed tree t over a
+// valid set s, Decode(s, Encode(s, t)) reproduces t exactly — Set.
+// Validate rejects primitive names that would break that property
+// (separator characters, duplicates, number-like terminals), and
+// constants print with strconv's shortest exact float64 representation.
+// This is the wire format used by checkpoints and trace files.
+func Encode(s *Set, t Tree) string { return t.String(s) }
+
+// Decode is the inverse of Encode: it parses the canonical text
+// encoding back into a Tree over set s, rejecting anything malformed.
+func Decode(s *Set, src string) (Tree, error) { return Parse(s, src) }
 
 // Parse reads an S-expression produced by String (or hand-written) back
 // into a Tree over set s.

@@ -720,3 +720,15 @@ func (ws *WarmSolver) SolveWithCosts(c []float64) (*Solution, error) {
 
 // Iterations returns the cumulative simplex iterations across all solves.
 func (ws *WarmSolver) Iterations() int { return ws.s.iters }
+
+// Reset discards the installed warm basis, so the next SolveWithCosts
+// runs cold, exactly like the first solve of a fresh WarmSolver. The
+// infeasibility latch is kept — an empty feasible region is a property
+// of the matrix, not the costs.
+//
+// Solvers accumulate basis state (and its floating-point history) across
+// solves; callers that need solve results to depend only on the current
+// cost vector and not on which solves came before — e.g. checkpointed
+// runs that must replay bit-identically after a restore — call Reset at
+// their replay boundaries.
+func (ws *WarmSolver) Reset() { ws.solved = false }

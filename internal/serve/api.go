@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// APIHandler exposes the manager over HTTP:
+//
+//	POST   /v1/jobs            submit a JobSpec, returns 201 + Status
+//	GET    /v1/jobs            list every job
+//	GET    /v1/jobs/{id}       status (live GenStats while running)
+//	GET    /v1/jobs/{id}/result final ResultRecord (409 until finished)
+//	DELETE /v1/jobs/{id}       cancel / withdraw / delete the record
+//
+// Typed manager errors map onto status codes: ErrQueueFull → 429,
+// ErrNotFound → 404, ErrClosed → 503, ErrNotFinished → 409, a spec
+// validation failure → 400.
+func APIHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := m.Submit(spec)
+		if err != nil {
+			httpError(w, submitCode(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		rec, err := m.Result(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			httpError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNotFinished):
+			httpError(w, http.StatusConflict, err)
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, rec)
+		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := m.Cancel(id); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "canceled"})
+	})
+	return mux
+}
+
+func submitCode(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func apiDo(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr, rr.Body.Bytes()
+}
+
+func TestAPIEndToEnd(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 2})
+	h := APIHandler(m)
+
+	// Bad JSON and bad specs are 400s.
+	req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewBufferString("{nope"))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: got %d", rr.Code)
+	}
+	bad := tinySpec(1)
+	bad.N = -1
+	if rr, _ := apiDo(t, h, "POST", "/v1/jobs", bad); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad spec: got %d", rr.Code)
+	}
+
+	// Submit, then follow the job through the API only.
+	rr, body := apiDo(t, h, "POST", "/v1/jobs", tinySpec(41))
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("submit: got %d: %s", rr.Code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("bad created status: %+v", st)
+	}
+
+	if rr, _ := apiDo(t, h, "GET", "/v1/jobs/"+st.ID+"/result", nil); rr.Code != http.StatusConflict &&
+		rr.Code != http.StatusOK {
+		t.Fatalf("early result: got %d", rr.Code)
+	}
+
+	waitFor(t, "job to finish over HTTP", func() bool {
+		rr, body := apiDo(t, h, "GET", "/v1/jobs/"+st.ID, nil)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("status: got %d", rr.Code)
+		}
+		var cur Status
+		if err := json.Unmarshal(body, &cur); err != nil {
+			t.Fatal(err)
+		}
+		return cur.State == StateDone
+	})
+
+	rr, body = apiDo(t, h, "GET", "/v1/jobs/"+st.ID+"/result", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("result: got %d: %s", rr.Code, body)
+	}
+	var rec ResultRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != st.ID || rec.Gens == 0 || rec.BestTree == "" {
+		t.Fatalf("hollow result: %+v", rec)
+	}
+	assertMatchesReference(t, &rec, reference(t, tinySpec(41)))
+
+	if rr, _ := apiDo(t, h, "GET", "/v1/jobs", nil); rr.Code != http.StatusOK {
+		t.Fatalf("list: got %d", rr.Code)
+	}
+	if rr, _ := apiDo(t, h, "DELETE", "/v1/jobs/"+st.ID, nil); rr.Code != http.StatusOK {
+		t.Fatalf("delete: got %d", rr.Code)
+	}
+	if rr, _ := apiDo(t, h, "GET", "/v1/jobs/"+st.ID, nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("deleted job still visible: got %d", rr.Code)
+	}
+	if rr, _ := apiDo(t, h, "DELETE", "/v1/jobs/"+st.ID, nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("double delete: got %d", rr.Code)
+	}
+}
+
+func TestAPIQueueFullIs429(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 1, QueueDepth: 1})
+	h := APIHandler(m)
+	var ids []string
+	got429 := false
+	for i := 0; i < 6; i++ {
+		rr, body := apiDo(t, h, "POST", "/v1/jobs", longSpec(uint64(50+i)))
+		switch rr.Code {
+		case http.StatusCreated:
+			var st Status
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, st.ID)
+		case http.StatusTooManyRequests:
+			got429 = true
+		default:
+			t.Fatalf("submit %d: got %d: %s", i, rr.Code, body)
+		}
+	}
+	if !got429 {
+		t.Fatal("never saw 429 with a single worker and QueueDepth 1")
+	}
+	for _, id := range ids {
+		if rr, _ := apiDo(t, h, "DELETE", "/v1/jobs/"+id, nil); rr.Code != http.StatusOK {
+			t.Fatalf("cleanup cancel %s failed", id)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"carbon/internal/core"
+)
+
+// State is a job's position in the lifecycle state machine:
+//
+//	queued ──▶ running ──▶ done
+//	   ▲          │ ├────▶ failed
+//	   │  drain   │ └────▶ canceled
+//	   └──────────┘
+//
+// Drain (Manager.Close) checkpoints running jobs and parks them back in
+// queued; on the next manager start the spool scan re-enqueues them and
+// they resume from the checkpoint. done, failed and canceled are
+// terminal.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state can never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Status is a point-in-time snapshot of one job, safe to serialize.
+type Status struct {
+	ID    string  `json:"id"`
+	State State   `json:"state"`
+	Spec  JobSpec `json:"spec"`
+
+	// Resumed is set when this manager restored the job from a spooled
+	// checkpoint rather than starting it fresh.
+	Resumed bool `json:"resumed,omitempty"`
+
+	Gens  int    `json:"gens"`
+	Error string `json:"error,omitempty"`
+
+	// Latest is the most recent per-generation snapshot from the engine's
+	// Observer hook (nil until the first generation completes).
+	Latest *core.GenStats `json:"latest,omitempty"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// job is the manager's mutable record of one run. All fields below mu
+// are guarded by it; the identity fields above are immutable.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu        sync.Mutex
+	state     State
+	resumed   bool
+	errMsg    string
+	latest    *core.GenStats
+	gens      int
+	result    *ResultRecord
+	cancel    context.CancelCauseFunc // non-nil only while running
+	submitted time.Time
+	started   *time.Time
+	finished  *time.Time
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Resumed:   j.resumed,
+		Gens:      j.gens,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.latest != nil {
+		gs := *j.latest
+		st.Latest = &gs
+	}
+	return st
+}
+
+// setState transitions the job, stamping started/finished as appropriate.
+func (j *job) setState(s State) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	now := time.Now()
+	switch {
+	case s == StateRunning && j.started == nil:
+		j.started = &now
+	case s.Terminal():
+		j.finished = &now
+	}
+}
+
+// ResultRecord is the serializable summary of a finished job — the
+// subset of core.Result that survives JSON (trees travel as their
+// canonical text encoding, see gp.Encode).
+type ResultRecord struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+
+	Gens    int `json:"gens"`
+	ULEvals int `json:"ul_evals"`
+	LLEvals int `json:"ll_evals"`
+
+	BestRevenue float64   `json:"best_revenue"`
+	BestGapPct  float64   `json:"best_gap_pct"`
+	BestTree    string    `json:"best_tree"`
+	Simplified  string    `json:"simplified"`
+	BestPrice   []float64 `json:"best_price"`
+
+	ULCurveX  []float64 `json:"ul_curve_x"`
+	ULCurveY  []float64 `json:"ul_curve_y"`
+	GapCurveX []float64 `json:"gap_curve_x"`
+	GapCurveY []float64 `json:"gap_curve_y"`
+}
+
+// newResultRecord flattens a core.Result for the spool and the API.
+func newResultRecord(id string, spec JobSpec, res *core.Result) *ResultRecord {
+	return &ResultRecord{
+		ID:          id,
+		Spec:        spec,
+		Gens:        res.Gens,
+		ULEvals:     res.ULEvals,
+		LLEvals:     res.LLEvals,
+		BestRevenue: res.Best.Revenue,
+		BestGapPct:  res.Best.GapPct,
+		BestTree:    res.Best.TreeStr,
+		Simplified:  res.Best.Simplified,
+		BestPrice:   res.Best.Price,
+		ULCurveX:    res.ULCurve.X,
+		ULCurveY:    res.ULCurve.Y,
+		GapCurveX:   res.GapCurve.X,
+		GapCurveY:   res.GapCurve.Y,
+	}
+}

@@ -1,0 +1,549 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"carbon/internal/checkpoint"
+	"carbon/internal/core"
+	"carbon/internal/par"
+	"carbon/internal/telemetry"
+)
+
+// Typed errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is the backpressure signal: the FIFO queue is at
+	// Options.QueueDepth and the submission was rejected, not blocked.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrClosed rejects submissions to a draining or closed manager.
+	ErrClosed = errors.New("serve: manager closed")
+	// ErrNotFinished rejects a result request for a job still in flight.
+	ErrNotFinished = errors.New("serve: job not finished")
+
+	// errDrained and errCanceledByUser classify why a running job's loop
+	// stopped early (see runJob).
+	errDrained        = errors.New("serve: manager draining")
+	errCanceledByUser = errors.New("serve: canceled by request")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Workers is the number of jobs run concurrently (default 1). This is
+	// job-level parallelism; each job's evaluation parallelism is its
+	// spec's Workers field.
+	Workers int
+	// QueueDepth bounds the FIFO queue of jobs waiting for a worker
+	// (default 16). Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// SpoolDir is where specs, checkpoints and results live. Required.
+	SpoolDir string
+	// CheckpointEvery writes a checkpoint every N generations while a job
+	// runs (default 25; <0 disables periodic checkpoints — drain still
+	// checkpoints).
+	CheckpointEvery int
+	// Metrics, when non-nil, aggregates every job's engine instruments
+	// into one registry (served by cmd/carbond next to the job API).
+	Metrics *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 16
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 25
+	}
+	return o
+}
+
+// Manager owns the job table, the FIFO queue and the worker pool. All
+// methods are safe for concurrent use.
+type Manager struct {
+	opts Options
+
+	pool  *par.Pool
+	queue chan *job
+	sem   chan struct{} // caps jobs handed to the pool at opts.Workers
+
+	draining chan struct{} // closed by Close: running jobs park themselves
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	seq    int
+	closed bool
+
+	dispatcherDone chan struct{}
+}
+
+// NewManager creates the spool directory if needed, recovers every
+// unfinished job found in it (finished ones are loaded as done so their
+// results stay queryable), and starts the worker pool.
+func NewManager(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.SpoolDir == "" {
+		return nil, errors.New("serve: Options.SpoolDir is required")
+	}
+	if opts.Workers < 1 || opts.QueueDepth < 1 {
+		return nil, errors.New("serve: Workers and QueueDepth must be positive")
+	}
+	if err := os.MkdirAll(opts.SpoolDir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		opts:           opts,
+		pool:           par.NewPool(opts.Workers),
+		sem:            make(chan struct{}, opts.Workers),
+		draining:       make(chan struct{}),
+		jobs:           make(map[string]*job),
+		dispatcherDone: make(chan struct{}),
+	}
+	recovered, err := m.recover()
+	if err != nil {
+		return nil, err
+	}
+	// Size the queue so every recovered job fits ahead of QueueDepth new
+	// submissions — recovery must never trip its own backpressure.
+	m.queue = make(chan *job, opts.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		m.queue <- j
+	}
+	go m.dispatch()
+	return m, nil
+}
+
+// recover scans the spool: a spec with a result is re-registered as
+// done; a spec without one becomes a queued job again (runJob restores
+// its checkpoint if present). Returns the re-queued jobs in ID order so
+// recovery preserves rough submission order.
+func (m *Manager) recover() ([]*job, error) {
+	entries, err := os.ReadDir(m.opts.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	var requeue []*job
+	for _, ent := range entries {
+		id, ok := strings.CutSuffix(ent.Name(), ".job.json")
+		if !ok || ent.IsDir() {
+			continue
+		}
+		var spec JobSpec
+		if err := readJSON(m.specPath(id), &spec); err != nil {
+			return nil, fmt.Errorf("serve: recovering %s: %w", id, err)
+		}
+		j := &job{id: id, spec: spec, state: StateQueued, submitted: time.Now()}
+		if rec := new(ResultRecord); readJSON(m.resultPath(id), rec) == nil {
+			j.state = StateDone
+			j.result = rec
+			j.gens = rec.Gens
+		} else {
+			requeue = append(requeue, j)
+		}
+		m.jobs[id] = j
+		// Keep fresh IDs clear of every recovered one.
+		var n int
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	sort.Slice(requeue, func(a, b int) bool { return requeue[a].id < requeue[b].id })
+	return requeue, nil
+}
+
+// dispatch feeds queued jobs to the pool, at most opts.Workers in
+// flight, preserving FIFO order. The worker slot is acquired before the
+// job leaves the queue, so QueueDepth is exactly the number of waiting
+// jobs — the dispatcher never parks one in limbo between queue and pool.
+// It exits when Close closes the queue.
+func (m *Manager) dispatch() {
+	defer close(m.dispatcherDone)
+	for {
+		m.sem <- struct{}{}
+		j, ok := <-m.queue
+		if !ok {
+			<-m.sem
+			break
+		}
+		m.pool.Submit(func() {
+			defer func() { <-m.sem }()
+			m.runJob(j)
+		})
+	}
+	m.pool.Close()
+}
+
+// Submit validates, spools and enqueues a job. The spec is normalized
+// (withDefaults) before anything is written, so the spooled spec — and
+// the config fingerprint a resume will check — is self-contained.
+func (m *Manager) Submit(spec JobSpec) (Status, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Status{}, ErrClosed
+	}
+	m.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", m.seq),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+
+	// Spool the spec before enqueueing: once Submit returns, a crash
+	// cannot lose the job.
+	if err := writeJSONAtomic(m.specPath(j.id), spec); err != nil {
+		m.forget(j.id)
+		return Status{}, err
+	}
+	// The enqueue happens under the lock so it cannot race Close closing
+	// the channel; it is a non-blocking select, so the lock is never held
+	// across a wait.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.forget(j.id)
+		_ = os.Remove(m.specPath(j.id))
+		return Status{}, ErrClosed
+	}
+	select {
+	case m.queue <- j:
+		m.mu.Unlock()
+		return j.status(), nil
+	default:
+		m.mu.Unlock()
+		m.forget(j.id)
+		_ = os.Remove(m.specPath(j.id))
+		return Status{}, ErrQueueFull
+	}
+}
+
+// Get returns a snapshot of one job.
+func (m *Manager) Get(id string) (Status, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return j.status(), nil
+}
+
+// List returns a snapshot of every job, sorted by ID (submission order).
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	all := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j)
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(all))
+	for i, j := range all {
+		out[i] = j.status()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Result returns the finished job's summary, or ErrNotFinished while it
+// is still queued or running.
+func (m *Manager) Result(id string) (*ResultRecord, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		if j.state.Terminal() {
+			return nil, fmt.Errorf("serve: job %s %s: %s: %w", id, j.state, j.errMsg, ErrNotFinished)
+		}
+		return nil, ErrNotFinished
+	}
+	rec := *j.result
+	return &rec, nil
+}
+
+// Cancel stops a job. A queued job is withdrawn, a running one is
+// interrupted at its next generation boundary; either way its spool
+// entries are removed. Canceling a terminal job deletes its record (this
+// is DELETE's idempotent cleanup path).
+func (m *Manager) Cancel(id string) error {
+	j, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel(errCanceledByUser)
+		}
+		return nil // runJob finishes the transition and cleans the spool
+	case j.state == StateQueued:
+		j.state = StateCanceled
+		now := time.Now()
+		j.finished = &now
+		j.mu.Unlock()
+	default: // terminal: delete the record entirely
+		j.mu.Unlock()
+		m.forget(id)
+	}
+	m.removeSpool(id)
+	return nil
+}
+
+// Close drains the manager: no new submissions, queued jobs stay spooled
+// for the next start, and every running job writes a checkpoint and
+// parks at its next generation boundary. The context bounds how long the
+// drain may take.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.dispatcherDone
+		return nil
+	}
+	m.closed = true
+	close(m.draining)
+	close(m.queue)
+	m.mu.Unlock()
+	select {
+	case <-m.dispatcherDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// runJob executes one job end to end: restore-or-create the engine,
+// step until the budgets run out, checkpointing periodically, and
+// classify any early stop as drain / cancel / deadline.
+func (m *Manager) runJob(j *job) {
+	select {
+	case <-m.draining:
+		return // stays queued; its spooled spec resurrects it next start
+	default:
+	}
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	now := time.Now()
+	j.started = &now
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel(nil)
+
+	err := m.execute(ctx, j)
+	j.mu.Lock()
+	j.cancel = nil
+	j.mu.Unlock()
+
+	switch {
+	case err == nil:
+		j.setState(StateDone)
+	case errors.Is(err, errDrained):
+		// Checkpointed; back to the queue (on disk, not in memory — the
+		// manager is shutting down).
+		j.setState(StateQueued)
+	case errors.Is(err, errCanceledByUser):
+		j.setState(StateCanceled)
+		m.removeSpool(j.id)
+	default:
+		// Deadline, evaluation failure, spool I/O error. Remove the spec
+		// so the next start does not blindly retry a job that just proved
+		// it cannot finish.
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		j.setState(StateFailed)
+		m.removeSpool(j.id)
+	}
+}
+
+// execute is runJob's engine loop, returning nil on completion or the
+// classified reason the loop stopped early.
+func (m *Manager) execute(ctx context.Context, j *job) error {
+	if j.spec.TimeoutSec > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutSec*float64(time.Second)))
+		defer cancel()
+	}
+	mk, err := j.spec.Market()
+	if err != nil {
+		return err
+	}
+	cfg := j.spec.Config()
+	cfg.Metrics = m.opts.Metrics
+	cfg.RunLabel = "carbond/" + j.id
+	cfg.Observer = core.FuncObserver{Generation: func(gs core.GenStats) {
+		j.mu.Lock()
+		j.latest = &gs
+		j.gens = gs.Gen
+		j.mu.Unlock()
+	}}
+
+	var e *core.Engine
+	if st, lerr := checkpoint.LoadFile(m.ckptPath(j.id)); lerr == nil {
+		if e, err = core.Restore(mk, cfg, st); err != nil {
+			return fmt.Errorf("serve: resuming %s: %w", j.id, err)
+		}
+		j.mu.Lock()
+		j.resumed = true
+		j.gens = e.Gens()
+		j.mu.Unlock()
+	} else if !os.IsNotExist(lerr) {
+		return fmt.Errorf("serve: reading checkpoint for %s: %w", j.id, lerr)
+	} else if e, err = core.NewEngine(mk, cfg); err != nil {
+		return err
+	}
+
+	for e.Step() {
+		select {
+		case <-m.draining:
+			if werr := m.writeCheckpoint(e, j.id); werr != nil {
+				return werr
+			}
+			return errDrained
+		default:
+		}
+		if cerr := context.Cause(ctx); cerr != nil {
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				return fmt.Errorf("serve: job %s deadline (%gs) exceeded at generation %d: %w",
+					j.id, j.spec.TimeoutSec, e.Gens(), cerr)
+			}
+			return cerr
+		}
+		if m.opts.CheckpointEvery > 0 && e.Gens()%m.opts.CheckpointEvery == 0 {
+			if werr := m.writeCheckpoint(e, j.id); werr != nil {
+				return werr
+			}
+		}
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	res, err := e.Result()
+	if err != nil {
+		return err
+	}
+	rec := newResultRecord(j.id, j.spec, res)
+	// Result before checkpoint removal: if the process dies between the
+	// two writes, recovery sees spec+result and loads the job as done —
+	// never a half-finished state.
+	if err := writeJSONAtomic(m.resultPath(j.id), rec); err != nil {
+		return err
+	}
+	_ = os.Remove(m.ckptPath(j.id))
+	j.mu.Lock()
+	j.result = rec
+	j.gens = rec.Gens
+	j.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) writeCheckpoint(e *core.Engine, id string) error {
+	st, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	return st.WriteFile(m.ckptPath(id))
+}
+
+func (m *Manager) lookup(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: job %q: %w", id, ErrNotFound)
+	}
+	return j, nil
+}
+
+func (m *Manager) forget(id string) {
+	m.mu.Lock()
+	delete(m.jobs, id)
+	m.mu.Unlock()
+}
+
+// Spool layout: <id>.job.json (the normalized spec — existence marks an
+// unfinished-or-done job), <id>.ckpt.json (latest checkpoint, removed on
+// completion) and <id>.result.json (final summary).
+func (m *Manager) specPath(id string) string {
+	return filepath.Join(m.opts.SpoolDir, id+".job.json")
+}
+func (m *Manager) ckptPath(id string) string {
+	return filepath.Join(m.opts.SpoolDir, id+".ckpt.json")
+}
+func (m *Manager) resultPath(id string) string {
+	return filepath.Join(m.opts.SpoolDir, id+".result.json")
+}
+
+func (m *Manager) removeSpool(id string) {
+	_ = os.Remove(m.specPath(id))
+	_ = os.Remove(m.ckptPath(id))
+	_ = os.Remove(m.resultPath(id))
+}
+
+// writeJSONAtomic writes v as JSON with the same temp-then-rename
+// discipline as checkpoint.State.WriteFile: readers (including a
+// recovering manager) never observe a torn file.
+func writeJSONAtomic(path string, v any) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"carbon/internal/core"
+)
+
+// tinySpec is a job small enough to finish in well under a second:
+// 10 generations on the 60x5 covering class.
+func tinySpec(seed uint64) JobSpec {
+	return JobSpec{
+		N: 60, M: 5, Instance: 3,
+		Seed: seed, Pop: 16, ULEvals: 160, LLEvals: 480,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+// longSpec runs for a few hundred generations — long enough that tests
+// can reliably interrupt it mid-flight.
+func longSpec(seed uint64) JobSpec {
+	s := tinySpec(seed)
+	s.ULEvals, s.LLEvals = 16 * 400, 32 * 400
+	return s
+}
+
+// reference runs the spec's configuration uninterrupted in-process: the
+// ground truth every managed run must match bit for bit.
+func reference(t testing.TB, spec JobSpec) *core.Result {
+	t.Helper()
+	spec = spec.withDefaults()
+	mk, err := spec.Market()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(mk, spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func newTestManager(t testing.TB, opts Options) *Manager {
+	t.Helper()
+	if opts.SpoolDir == "" {
+		opts.SpoolDir = t.TempDir()
+	}
+	m, err := NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Close(ctx)
+	})
+	return m
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func waitState(t testing.TB, m *Manager, id string, want State) Status {
+	t.Helper()
+	var st Status
+	waitFor(t, fmt.Sprintf("job %s to reach %s", id, want), func() bool {
+		var err error
+		st, err = m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() && st.State != want {
+			t.Fatalf("job %s reached terminal state %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		return st.State == want
+	})
+	return st
+}
+
+// assertMatchesReference requires the managed run to be bit-identical to
+// the uninterrupted in-process run: same best pairing, same budgets
+// spent, same convergence curves.
+func assertMatchesReference(t *testing.T, rec *ResultRecord, want *core.Result) {
+	t.Helper()
+	if rec.Gens != want.Gens || rec.ULEvals != want.ULEvals || rec.LLEvals != want.LLEvals {
+		t.Fatalf("budget trace diverged: got %d gens %d/%d evals, want %d gens %d/%d",
+			rec.Gens, rec.ULEvals, rec.LLEvals, want.Gens, want.ULEvals, want.LLEvals)
+	}
+	if rec.BestRevenue != want.Best.Revenue || rec.BestGapPct != want.Best.GapPct ||
+		rec.BestTree != want.Best.TreeStr {
+		t.Fatalf("best pairing diverged:\n got  (%v, %q, %v)\n want (%v, %q, %v)",
+			rec.BestRevenue, rec.BestTree, rec.BestGapPct,
+			want.Best.Revenue, want.Best.TreeStr, want.Best.GapPct)
+	}
+	if !reflect.DeepEqual(rec.BestPrice, want.Best.Price) {
+		t.Fatal("best price vector diverged")
+	}
+	if !reflect.DeepEqual(rec.ULCurveX, want.ULCurve.X) || !reflect.DeepEqual(rec.ULCurveY, want.ULCurve.Y) ||
+		!reflect.DeepEqual(rec.GapCurveX, want.GapCurve.X) || !reflect.DeepEqual(rec.GapCurveY, want.GapCurve.Y) {
+		t.Fatal("convergence curves diverged")
+	}
+}
+
+func TestJobLifecycleAndExactResult(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 2})
+	spec := tinySpec(11)
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("fresh job in state %s", st.State)
+	}
+	done := waitState(t, m, st.ID, StateDone)
+	if done.Latest == nil || done.Latest.Gen != done.Gens {
+		t.Fatalf("missing or stale live stats: %+v", done.Latest)
+	}
+	rec, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, rec, reference(t, spec))
+
+	// The spool holds spec+result, no checkpoint.
+	if _, err := os.Stat(filepath.Join(m.opts.SpoolDir, st.ID+".result.json")); err != nil {
+		t.Fatalf("result not spooled: %v", err)
+	}
+	if _, err := os.Stat(m.ckptPath(st.ID)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not cleaned up: %v", err)
+	}
+}
+
+func TestResultBeforeFinishIsTyped(t *testing.T) {
+	m := newTestManager(t, Options{})
+	st, err := m.Submit(longSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(st.ID); !errors.Is(err, ErrNotFinished) {
+		t.Fatalf("got %v, want ErrNotFinished", err)
+	}
+	if _, err := m.Result("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	if err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateCanceled)
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 1, QueueDepth: 1})
+	running, err := m.Submit(longSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+	if _, err := m.Submit(longSpec(6)); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(longSpec(7)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	// Canceling both frees the worker and the queue slot quickly.
+	for _, st := range m.List() {
+		if err := m.Cancel(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCancelRunningAndQueued(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 1, QueueDepth: 4})
+	run, err := m.Submit(longSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(longSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, run.ID, StateRunning)
+	if err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.Get(queued.ID); st.State != StateCanceled {
+		t.Fatalf("queued job in state %s after cancel", st.State)
+	}
+	if err := m.Cancel(run.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, run.ID, StateCanceled)
+	// Canceled jobs leave nothing behind to resurrect.
+	for _, id := range []string{run.ID, queued.ID} {
+		if _, err := os.Stat(m.specPath(id)); !os.IsNotExist(err) {
+			t.Fatalf("spool entry for canceled job %s survives", id)
+		}
+	}
+}
+
+func TestDeadlineFailsJob(t *testing.T) {
+	m := newTestManager(t, Options{})
+	spec := longSpec(10)
+	spec.TimeoutSec = 0.05
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, m, st.ID, StateFailed)
+	if failed.Error == "" {
+		t.Fatal("failed job carries no error")
+	}
+	if _, err := os.Stat(m.specPath(st.ID)); !os.IsNotExist(err) {
+		t.Fatal("deadline-failed job left a spec to be retried on restart")
+	}
+}
+
+func TestSubmitRejectsBadSpec(t *testing.T) {
+	m := newTestManager(t, Options{})
+	bad := tinySpec(1)
+	bad.Pop = 1
+	if _, err := m.Submit(bad); err == nil {
+		t.Fatal("accepted pop=1")
+	}
+	if got := m.List(); len(got) != 0 {
+		t.Fatalf("rejected job registered: %+v", got)
+	}
+}
+
+// TestDrainResumeIsBitIdentical is the serve-layer determinism
+// guarantee: a job drained mid-run by Close and resumed by a fresh
+// manager on the same spool finishes with exactly the bits of an
+// uninterrupted run.
+func TestDrainResumeIsBitIdentical(t *testing.T) {
+	spool := t.TempDir()
+	spec := tinySpec(21)
+	spec.ULEvals, spec.LLEvals = 16*40, 32*40 // 40 generations
+
+	m1, err := NewManager(Options{SpoolDir: spool, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "a few generations", func() bool {
+		got, gerr := m1.Get(st.ID)
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		if got.State.Terminal() {
+			t.Fatalf("job finished before drain (state %s) — budgets too small", got.State)
+		}
+		return got.Gens >= 3
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".job.json", ".ckpt.json"} {
+		if _, err := os.Stat(filepath.Join(spool, st.ID+suffix)); err != nil {
+			t.Fatalf("drain left no %s: %v", suffix, err)
+		}
+	}
+
+	// A second manager on the same spool must pick the job up and finish
+	// it from the checkpoint.
+	m2 := newTestManager(t, Options{SpoolDir: spool, CheckpointEvery: 1})
+	resumed := waitState(t, m2, st.ID, StateDone)
+	if !resumed.Resumed {
+		t.Fatal("recovered job did not report Resumed")
+	}
+	rec, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, rec, reference(t, spec))
+}
+
+// TestRecoveryKeepsDoneJobsQueryable: a restart must not forget finished
+// work — the result file re-registers the job as done.
+func TestRecoveryKeepsDoneJobsQueryable(t *testing.T) {
+	spool := t.TempDir()
+	m1, err := NewManager(Options{SpoolDir: spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(31)
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m1, st.ID, StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Options{SpoolDir: spool})
+	got, err := m2.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("recovered finished job in state %s", got.State)
+	}
+	rec, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, rec, reference(t, spec))
+	// New submissions must not collide with recovered IDs.
+	st2, err := m2.Submit(tinySpec(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == st.ID {
+		t.Fatalf("ID collision after recovery: %s", st2.ID)
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	m, err := NewManager(Options{SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(tinySpec(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentClients hammers every manager entry point from many
+// goroutines; run under -race this is the data-race gate for the
+// subsystem.
+func TestConcurrentClients(t *testing.T) {
+	m := newTestManager(t, Options{Workers: 2, QueueDepth: 64})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ids []string
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				st, err := m.Submit(tinySpec(uint64(100 + c*10 + i)))
+				if err != nil {
+					if errors.Is(err, ErrQueueFull) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, st.ID)
+				mu.Unlock()
+				_, _ = m.Get(st.ID)
+				_ = m.List()
+				_, _ = m.Result(st.ID)
+				if i%2 == 1 {
+					_ = m.Cancel(st.ID)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	mu.Lock()
+	all := append([]string(nil), ids...)
+	mu.Unlock()
+	waitFor(t, "all jobs to settle", func() bool {
+		for _, id := range all {
+			st, err := m.Get(id)
+			if err != nil {
+				continue // deleted by a cancel on a terminal job
+			}
+			if !st.State.Terminal() {
+				return false
+			}
+		}
+		return true
+	})
+}
