@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench quick full taxonomy examples serve-smoke clean
+.PHONY: all build vet test race check cover bench bench-smoke bench-all quick full taxonomy examples serve-smoke clean
 
 all: build vet test
 
 # The full pre-commit gate: compile, static checks, tests, race detector,
+# a one-iteration pass over the hot-path benchmarks (so they cannot rot),
 # and the carbond crash-recovery smoke test.
-check: build vet test race serve-smoke
+check: build vet test race bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -25,8 +26,23 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# One benchmark per paper table/figure plus ablations and hot paths.
+# Hot-path benchmarks (evaluator cache + engine generations), captured
+# as machine-readable JSON. BENCH_pr3.json is committed so speedups are
+# reviewable: compare ns/op of EvalTreeResolve vs EvalTreeCached, and
+# lp_solves/gen of EngineStep against L*S+U for the config.
 bench:
+	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating' -benchmem \
+		./internal/bcpop/ ./internal/core/ | tee bench_pr3.txt
+	$(GO) run carbon/cmd/benchjson -out BENCH_pr3.json < bench_pr3.txt
+
+# One-iteration benchmark pass: proves every benchmark (and the benchjson
+# parser) still runs, without paying for measurement. Part of `check`.
+bench-smoke:
+	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating' -benchtime=1x -benchmem \
+		./internal/bcpop/ ./internal/core/ | $(GO) run carbon/cmd/benchjson >/dev/null
+
+# The original full sweep: every benchmark in the tree.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Laptop-scale reproduction of every table and figure (see EXPERIMENTS.md).
@@ -57,4 +73,4 @@ examples:
 	$(GO) run carbon/examples/packing
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt
+	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt

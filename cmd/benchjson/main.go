@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document (run via `make bench`, which commits the result as
+// BENCH_pr3.json). It reads benchmark output on stdin and emits one
+// record per benchmark with every reported metric keyed by its unit —
+// ns/op and B/op from -benchmem, plus custom b.ReportMetric units such
+// as lp_solves/gen. Package headers (`pkg: ...`) prefix benchmark names
+// so results from several packages can share one file.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run carbon/cmd/benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark line. Metrics maps unit → value, e.g.
+// {"ns/op": 4342756, "allocs/op": 1139, "lp_solves/gen": 11.25}.
+type record struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parse consumes `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkEngineStep-4   20   4342756 ns/op   11.25 lp_solves/gen   139818 B/op   1139 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. Lines that do
+// not start with "Benchmark" are headers, PASS/ok trailers, or test
+// noise and are skipped — except `pkg:` headers, which set the package
+// attributed to subsequent benchmarks.
+func parse(sc *bufio.Scanner) ([]record, error) {
+	var out []record
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		rec := record{Name: fields[0], Pkg: pkg, Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %w", line, err)
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Stable order regardless of package scheduling, so committed
+	// outputs diff cleanly across runs.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+func main() {
+	outPath := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	recs, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(recs), *outPath)
+}

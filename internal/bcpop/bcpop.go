@@ -272,10 +272,12 @@ type Result struct {
 // *EvalMetrics disables instrumentation (no clock reads on the hot
 // path).
 type EvalMetrics struct {
-	TreeEvals   *telemetry.Counter   // EvalTree calls (GP tree walks + greedy)
+	TreeEvals   *telemetry.Counter   // EvalTree/EvalTreeWith calls (GP tree walks + greedy)
 	GraspEvals  *telemetry.Counter   // GRASP starts charged as LL evals
 	SelEvals    *telemetry.Counter   // raw-selection (COBRA-style) evaluations
-	LPSolves    *telemetry.Counter   // warm LP relaxations of induced instances
+	LPSolves    *telemetry.Counter   // real LP relaxation solves of induced instances
+	CacheHits   *telemetry.Counter   // evaluations served from a Prepared context (no solve)
+	CacheMisses *telemetry.Counter   // Prepared contexts built (one real solve each)
 	Elims       *telemetry.Counter   // redundancy-elimination passes run
 	Infeasible  *telemetry.Counter   // follower answers that failed to cover
 	EvalTime    *telemetry.Timer     // latency of one paired evaluation
@@ -294,6 +296,8 @@ func NewEvalMetrics(reg *telemetry.Registry) *EvalMetrics {
 		GraspEvals:  reg.Counter("bcpop.grasp_evals"),
 		SelEvals:    reg.Counter("bcpop.selection_evals"),
 		LPSolves:    reg.Counter("bcpop.lp_solves"),
+		CacheHits:   reg.Counter("bcpop.cache_hits"),
+		CacheMisses: reg.Counter("bcpop.cache_misses"),
 		Elims:       reg.Counter("bcpop.eliminations"),
 		Infeasible:  reg.Counter("bcpop.infeasible"),
 		EvalTime:    reg.Timer("bcpop.eval_time"),

@@ -1,0 +1,160 @@
+// Shared-relaxation evaluation cache.
+//
+// The quantities the predator fitness (Eq. 1 %-gap) needs — LB(x), the
+// duals and x̄ of the induced instance — depend only on the prey
+// decision x, never on the predator being scored. A generation that
+// pairs every predator with every sampled prey therefore needs only
+// |distinct prey| LP solves, not LLPopSize×|sample|. Prepare performs
+// that one solve and freezes the result into an immutable Prepared
+// context; EvalTreeWith evaluates any number of heuristics against it
+// without touching the solver; Cache deduplicates bit-identical price
+// vectors (elitism and GP reproduction copy genotypes verbatim) so a
+// whole evaluation wave shares one solve per distinct genotype.
+package bcpop
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"carbon/internal/covering"
+	"carbon/internal/gp"
+)
+
+// Key returns the exact identity of a price vector: the little-endian
+// IEEE-754 bits of every coordinate, concatenated. Two vectors share a
+// key iff they are bit-identical — the right equality for memoizing
+// exact LP results, since elitism/cloning copies vectors bit-for-bit
+// while variation operators virtually never reproduce exact bits.
+// (+0 and −0 get distinct keys; prices are non-negative so the
+// distinction never conflates real decisions.)
+func Key(price []float64) string {
+	b := make([]byte, len(price)*8)
+	for i, v := range price {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// Prepared is a frozen evaluation context for one pricing decision: the
+// induced lower-level instance (owning its cost vector) and its LP
+// relaxation (owning its dual/x̄ copies), plus the price vector that
+// induced them. A Prepared is immutable after Prepare returns, so any
+// number of workers may evaluate heuristics against it concurrently.
+type Prepared struct {
+	Price []float64
+	In    *covering.Instance
+	Rx    *covering.Relaxation
+}
+
+// Prepare solves the LP relaxation of the instance induced by price and
+// freezes the result into a Prepared context. The solve warm-starts
+// from the evaluator's current basis — consecutive Prepares on one
+// evaluator chain their bases exactly like consecutive EvalTrees did,
+// which is 2-3x cheaper than solving cold (see
+// BenchmarkRelaxWarmRotating vs BenchmarkRelaxColdRotating). The
+// returned context is therefore a function of (price, this evaluator's
+// solve history); callers that need reproducible contexts must control
+// that history — the engine does so by calling ResetWarm on every
+// evaluator at each generation boundary and striping the solve wave
+// deterministically.
+//
+// Each Prepare is one real LP solve: it increments Metrics.LPSolves and
+// Metrics.CacheMisses.
+func (ev *Evaluator) Prepare(price []float64) (*Prepared, error) {
+	rx, err := ev.Relax(price)
+	if err != nil {
+		return nil, err
+	}
+	costs := append([]float64(nil), ev.costs...)
+	work, err := ev.mk.template.WithCosts(costs)
+	if err != nil {
+		return nil, err
+	}
+	if m := ev.Metrics; m != nil {
+		m.CacheMisses.Inc()
+	}
+	return &Prepared{
+		Price: append([]float64(nil), price...),
+		In:    work,
+		Rx:    rx.Clone(),
+	}, nil
+}
+
+// EvalTreeWith pairs a prepared pricing context with a generated
+// heuristic: it scores items with the tree against the cached
+// relaxation, runs the greedy and reports the paired Result plus the
+// follower basket. No LP is solved — the relaxation was computed once
+// by Prepare — so the call increments Metrics.CacheHits instead of
+// Metrics.LPSolves. Semantically it is EvalTree(p.Price, tree) minus
+// the redundant solve: both charge one LL evaluation (Evals).
+func (ev *Evaluator) EvalTreeWith(p *Prepared, tree gp.Tree) (Result, []bool, error) {
+	var t0 time.Time
+	if ev.Metrics != nil {
+		t0 = time.Now()
+	}
+	ts := covering.NewTreeScorer(ev.set, p.In, p.Rx)
+	ts.Score(tree, ev.scores)
+	res := p.In.GreedyByScore(ev.scores, ev.Eliminate)
+	ev.Evals++
+	out := ev.result(p.Price, p.Rx, res)
+	if m := ev.Metrics; m != nil {
+		m.TreeEvals.Inc()
+		m.CacheHits.Inc()
+		if ev.Eliminate {
+			m.Elims.Inc()
+		}
+		m.observe(t0, out)
+	}
+	return out, res.X, nil
+}
+
+// Cache deduplicates Prepared contexts within one evaluation wave,
+// keyed by exact price bits. The lifecycle each generation:
+//
+//	c.Reset()                      // coordinator
+//	slot, fresh := c.Slot(price)   // coordinator, per individual
+//	c.Fill(slot, prepared)         // workers, distinct slots in parallel
+//	c.At(slot)                     // workers, read-only after the fill wave
+//
+// Slot and Reset must run on one goroutine; Fill may run concurrently
+// on distinct slots (it only writes the slot's entry); At is safe for
+// any number of concurrent readers once the fill wave has joined.
+type Cache struct {
+	slots   map[string]int
+	entries []*Prepared
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{slots: make(map[string]int)}
+}
+
+// Reset empties the cache, keeping allocated capacity for the next wave.
+func (c *Cache) Reset() {
+	clear(c.slots)
+	c.entries = c.entries[:0]
+}
+
+// Slot returns the cache slot for price, allocating an empty slot on
+// first sight. fresh reports whether the slot is new — a miss the
+// caller must Fill before reading it back with At.
+func (c *Cache) Slot(price []float64) (slot int, fresh bool) {
+	k := Key(price)
+	if s, ok := c.slots[k]; ok {
+		return s, false
+	}
+	s := len(c.entries)
+	c.slots[k] = s
+	c.entries = append(c.entries, nil)
+	return s, true
+}
+
+// Fill stores the prepared context of slot s.
+func (c *Cache) Fill(s int, p *Prepared) { c.entries[s] = p }
+
+// At returns the prepared context of slot s (nil until filled).
+func (c *Cache) At(s int) *Prepared { return c.entries[s] }
+
+// Len returns the number of distinct price vectors seen since Reset.
+func (c *Cache) Len() int { return len(c.entries) }

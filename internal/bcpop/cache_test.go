@@ -1,0 +1,364 @@
+package bcpop
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"carbon/internal/covering"
+	"carbon/internal/rng"
+	"carbon/internal/telemetry"
+)
+
+func TestKeyExactBitsIdentity(t *testing.T) {
+	a := []float64{1.5, 0, 3.25}
+	b := []float64{1.5, 0, 3.25}
+	if Key(a) != Key(b) {
+		t.Fatal("bit-identical vectors got different keys")
+	}
+	c := append([]float64(nil), a...)
+	c[2] = math.Nextafter(c[2], 4) // one ulp off
+	if Key(a) == Key(c) {
+		t.Fatal("one-ulp difference collided")
+	}
+	if Key([]float64{0}) == Key([]float64{math.Copysign(0, -1)}) {
+		t.Fatal("+0 and -0 must not collide (distinct bits)")
+	}
+	if Key(nil) != "" || Key([]float64{}) != "" {
+		t.Fatal("empty vector key must be empty")
+	}
+}
+
+// TestEvalTreeWithMatchesEvalTree pins the semantic contract: a cached
+// evaluation is EvalTree minus the redundant solve — bit-identical
+// Result and basket for the same (price, tree) pairing.
+func TestEvalTreeWithMatchesEvalTree(t *testing.T) {
+	mk := testMarket(t, 30, 5, 3)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for trial := 0; trial < 5; trial++ {
+		price := mk.PriceBounds().RandomVector(r)
+		tree := set.Ramped(r, 1, 3)
+
+		// Reset before each solve so both start from the same solver
+		// state — the relaxation must then match bit-for-bit.
+		ev.ResetWarm()
+		direct, basketD, err := ev.EvalTree(price, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.ResetWarm()
+		p, err := ev.Prepare(price)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, basketC, err := ev.EvalTreeWith(p, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != cached {
+			t.Fatalf("trial %d: cached evaluation diverged: %+v vs %+v", trial, cached, direct)
+		}
+		for j := range basketD {
+			if basketD[j] != basketC[j] {
+				t.Fatalf("trial %d: baskets differ at item %d", trial, j)
+			}
+		}
+	}
+}
+
+// TestPreparedSurvivesLaterSolves: a Prepared context must stay valid
+// after the producing evaluator solves other instances — it owns its
+// costs, duals and x̄, aliasing no evaluator scratch.
+func TestPreparedSurvivesLaterSolves(t *testing.T) {
+	mk := testMarket(t, 30, 5, 3)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	priceA := mk.PriceBounds().RandomVector(r)
+	priceB := mk.PriceBounds().RandomVector(r)
+	tree := set.Ramped(r, 2, 3)
+
+	pA, err := ev.Prepare(priceA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := ev.EvalTreeWith(pA, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the evaluator's scratch with other work.
+	if _, err := ev.Prepare(priceB); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ev.EvalTree(priceB, tree); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := ev.EvalTreeWith(pA, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("prepared context was corrupted by later solves: %+v vs %+v", before, after)
+	}
+}
+
+// TestPreparedConcurrentReaders: one Prepared context, many workers —
+// the -race gate for the engine's fan-out of cached contexts across
+// evaluation workers.
+func TestPreparedConcurrentReaders(t *testing.T) {
+	mk := testMarket(t, 30, 5, 3)
+	set := covering.TableISet()
+	ev0, err := NewEvaluator(mk, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price := mk.PriceBounds().RandomVector(rng.New(2))
+	tree := set.Ramped(rng.New(3), 1, 3)
+	p, err := ev0.Prepare(price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := ev0.EvalTreeWith(p, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		ev, err := NewEvaluator(mk, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, ev *Evaluator) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				out, _, err := ev.EvalTreeWith(p, tree)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[w] = out
+			}
+		}(w, ev)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		if results[w] != ref {
+			t.Fatalf("worker %d diverged: %+v vs %+v", w, results[w], ref)
+		}
+	}
+}
+
+func TestCacheSlotLifecycle(t *testing.T) {
+	c := NewCache()
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+
+	sa, fresh := c.Slot(a)
+	if !fresh || sa != 0 {
+		t.Fatalf("first Slot = (%d, %v), want (0, true)", sa, fresh)
+	}
+	if s, fresh := c.Slot(append([]float64(nil), a...)); fresh || s != sa {
+		t.Fatalf("duplicate Slot = (%d, %v), want (%d, false)", s, fresh, sa)
+	}
+	sb, fresh := c.Slot(b)
+	if !fresh || sb != 1 {
+		t.Fatalf("second Slot = (%d, %v), want (1, true)", sb, fresh)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.At(sa) != nil {
+		t.Fatal("unfilled slot must read nil")
+	}
+	p := &Prepared{Price: a}
+	c.Fill(sa, p)
+	if c.At(sa) != p {
+		t.Fatal("Fill/At round trip failed")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	if s, fresh := c.Slot(a); !fresh || s != 0 {
+		t.Fatalf("post-Reset Slot = (%d, %v), want (0, true)", s, fresh)
+	}
+}
+
+// TestCacheCounters pins the metrics semantics of the cache layer:
+// every Prepare is one real solve (lp_solves and cache_misses), every
+// EvalTreeWith is one served evaluation (cache_hits, tree_evals, no
+// solve).
+func TestCacheCounters(t *testing.T) {
+	mk := testMarket(t, 30, 5, 3)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ev.Metrics = NewEvalMetrics(reg)
+	r := rng.New(5)
+	price := mk.PriceBounds().RandomVector(r)
+	tree := set.Ramped(r, 1, 3)
+
+	p, err := ev.Prepare(price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := ev.EvalTreeWith(p, tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(name string) int64 { return reg.Counter(name).Load() }
+	if got := read("bcpop.lp_solves"); got != 1 {
+		t.Fatalf("lp_solves = %d, want 1 (one Prepare)", got)
+	}
+	if got := read("bcpop.cache_misses"); got != 1 {
+		t.Fatalf("cache_misses = %d, want 1", got)
+	}
+	if got := read("bcpop.cache_hits"); got != 3 {
+		t.Fatalf("cache_hits = %d, want 3 (one per cached evaluation)", got)
+	}
+	if got := read("bcpop.tree_evals"); got != 3 {
+		t.Fatalf("tree_evals = %d, want 3", got)
+	}
+	if ev.Evals != 3 {
+		t.Fatalf("Evals = %d, want 3 (Prepare is not an LL evaluation)", ev.Evals)
+	}
+}
+
+var benchSink Result
+
+// BenchmarkEvalTreeResolve is the pre-cache hot path: every paired
+// evaluation re-solves the (warm) LP relaxation of its induced
+// instance.
+func BenchmarkEvalTreeResolve(b *testing.B) {
+	mk := testMarket(b, 500, 30, 50)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	price := mk.PriceBounds().RandomVector(r)
+	tree := set.Ramped(r, 2, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := ev.EvalTree(price, tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = out
+	}
+}
+
+// BenchmarkEvalTreeCached is the post-cache hot path: the relaxation is
+// prepared once and every evaluation reuses it.
+func BenchmarkEvalTreeCached(b *testing.B) {
+	mk := testMarket(b, 500, 30, 50)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	price := mk.PriceBounds().RandomVector(r)
+	tree := set.Ramped(r, 2, 4)
+	p, err := ev.Prepare(price)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := ev.EvalTreeWith(p, tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = out
+	}
+}
+
+// benchPrices returns n random price vectors for rotating-solve
+// benchmarks, mimicking a generation's stream of distinct genotypes.
+func benchPrices(b *testing.B, mk *Market, n int) [][]float64 {
+	r := rng.New(7)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = mk.PriceBounds().RandomVector(r)
+	}
+	return out
+}
+
+// BenchmarkPrepare prices the cache's cost side as the engine pays it:
+// a warm-chained solve per distinct genotype plus the context copies.
+func BenchmarkPrepare(b *testing.B) {
+	mk := testMarket(b, 500, 30, 50)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prices := benchPrices(b, mk, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Prepare(prices[i%len(prices)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The pair below justifies warm-chaining Prepare instead of solving
+// cold: rotating through 16 distinct genotypes, a warm-started solve is
+// 2-3x cheaper than a cold one on the 500x30 class.
+func BenchmarkRelaxColdRotating(b *testing.B) {
+	mk := testMarket(b, 500, 30, 50)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prices := benchPrices(b, mk, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.ResetWarm()
+		if _, err := ev.Relax(prices[i%len(prices)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelaxWarmRotating(b *testing.B) {
+	mk := testMarket(b, 500, 30, 50)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prices := benchPrices(b, mk, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Relax(prices[i%len(prices)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,10 +23,15 @@
 // epistasis that breaks naive two-population co-evolution.
 //
 // Determinism: a run is reproducible bit-for-bit for a fixed
-// (Config.Seed, Config.Workers) pair. Across different worker counts the
-// per-worker warm-started LP solvers see different solve sequences and
-// may land on alternative optimal bases — same bound LB(x), but
-// different dual vectors — which legitimately perturbs GP scores.
+// (Config.Seed, Config.Workers) pair. Every generation's LP relaxations
+// are solved once per distinct prey genotype (the shared-relaxation
+// cache, DESIGN.md §5e) in a warm-chained wave whose striping across
+// workers is deterministic; warm bases are discarded at every
+// generation boundary, so no solver history crosses generations and a
+// restored snapshot continues exactly. Changing Workers re-stripes the
+// warm chains and may select alternative optimal LP bases — same
+// bounds, different duals — so cross-worker-count bit-identity is not
+// promised.
 package core
 
 import (
@@ -158,7 +163,25 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate rejects unusable configurations.
+// EffectiveSample returns the number of prey decisions each predator is
+// actually scored against per generation: PreySample clamped to the
+// prey population size (a sample of distinct prey indices cannot exceed
+// ULPopSize). CanStep, Step and Result all use this one clamp so the
+// budget pre-check charges exactly what evaluation spends — charging
+// the raw PreySample made runs with PreySample > ULPopSize stop early
+// with lower-level budget to spare.
+func (c *Config) EffectiveSample() int {
+	if c.PreySample < c.ULPopSize {
+		return c.PreySample
+	}
+	return c.ULPopSize
+}
+
+// Validate rejects unusable configurations. The elite bound
+// (0 ≤ Elites < min(ULPopSize, LLPopSize)) is load-bearing beyond
+// breeding: InjectPrey/InjectPredator place island migrants at
+// population slot Elites, so an accepted configuration can never index
+// past either population during migration.
 func (c *Config) Validate() error {
 	switch {
 	case c.ULPopSize < 2 || c.LLPopSize < 2:

@@ -110,12 +110,19 @@ func Restore(mk *bcpop.Market, cfg Config, st *checkpoint.State) (*Engine, error
 		}
 		e.predators[i] = t
 	}
-	// Re-add archive entries worst-first so insertion order cannot evict
-	// better entries.
-	for i := len(st.ULArchP) - 1; i >= 0; i-- {
+	// Re-add archive entries best-first — their stored order. Each entry
+	// is no better than the ones before it, so every Add appends at the
+	// tail and the rebuilt archive reproduces the snapshot's order
+	// exactly, *including* equal-fitness ties, which the archive keeps
+	// in insertion order and which Best() and later tie-breaking
+	// inserts are sensitive to. (Re-adding worst-first reversed tie
+	// groups and could change the continuation of a restored run.)
+	// Nothing can be evicted during the rebuild: the archive holds at
+	// most cap entries and only fills up on the last Add.
+	for i := range st.ULArchP {
 		e.ulArch.Add(append([]float64(nil), st.ULArchP[i]...), st.ULArchF[i])
 	}
-	for i := len(st.GPArchT) - 1; i >= 0; i-- {
+	for i := range st.GPArchT {
 		t, err := gp.Parse(e.set, st.GPArchT[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: checkpoint archive tree %d: %w", i, err)

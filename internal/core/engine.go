@@ -39,6 +39,15 @@ type Engine struct {
 	predFit   []float64
 	preyGap   []float64
 
+	// Shared-relaxation cache: per generation, one LP solve per
+	// distinct prey genotype feeds every (predator, prey) pairing of
+	// both evaluation waves. preySlot[i] is prey i's slot in cache;
+	// missing is the fill wave's scratch (first-occurrence prey index
+	// per fresh slot).
+	cache    *bcpop.Cache
+	preySlot []int
+	missing  []int
+
 	ulArch *archive.Archive[[]float64]
 	gpArch *archive.Archive[gp.Tree]
 
@@ -63,6 +72,7 @@ type engineMetrics struct {
 	gens     *telemetry.Counter
 	ulEvals  *telemetry.Counter
 	llEvals  *telemetry.Counter
+	relax    *telemetry.Timer
 	predEval *telemetry.Timer
 	preyEval *telemetry.Timer
 	breed    *telemetry.Timer
@@ -77,6 +87,7 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		gens:     reg.Counter("core.generations"),
 		ulEvals:  reg.Counter("core.ul_evals"),
 		llEvals:  reg.Counter("core.ll_evals"),
+		relax:    reg.Timer("core.relax_precompute"),
 		predEval: reg.Timer("core.predator_eval"),
 		preyEval: reg.Timer("core.prey_eval"),
 		breed:    reg.Timer("core.breed"),
@@ -129,16 +140,22 @@ func NewEngine(mk *bcpop.Market, cfg Config) (*Engine, error) {
 	e.preyFit = make([]float64, cfg.ULPopSize)
 	e.predFit = make([]float64, cfg.LLPopSize)
 	e.preyGap = make([]float64, cfg.ULPopSize)
+	e.cache = bcpop.NewCache()
+	e.preySlot = make([]int, cfg.ULPopSize)
+	e.missing = make([]int, 0, cfg.ULPopSize)
 	e.ulArch = archive.New[[]float64](cfg.ULArchiveSize, false, priceKey)
 	e.gpArch = archive.New[gp.Tree](cfg.LLArchiveSize, true,
 		func(t gp.Tree) string { return t.String(set) })
 	return e, nil
 }
 
-// CanStep reports whether another generation fits in both budgets.
+// CanStep reports whether another generation fits in both budgets. The
+// lower-level charge uses Config.EffectiveSample — what Step actually
+// spends — not the raw PreySample: charging the unclamped value used to
+// stop PreySample > ULPopSize runs early with budget to spare.
 func (e *Engine) CanStep() bool {
 	return e.ulUsed+e.cfg.ULPopSize <= e.cfg.ULEvalBudget &&
-		e.llUsed+e.cfg.LLPopSize*e.cfg.PreySample <= e.cfg.LLEvalBudget
+		e.llUsed+e.cfg.LLPopSize*e.cfg.EffectiveSample() <= e.cfg.LLEvalBudget
 }
 
 // Gens returns the number of completed generations.
@@ -174,12 +191,14 @@ func (e *Engine) Step() bool {
 	if e.err != nil || !e.CanStep() {
 		return false
 	}
-	// Generation boundaries are warm-start boundaries: discarding the LP
-	// bases here makes every generation's evaluations a pure function of
-	// the populations and RNG state at its start, so a run restored from
-	// a Snapshot replays the remaining generations bit-identically. The
-	// cost is one cold solve per worker per wave, amortized over the
-	// whole population's solves.
+	// Generation boundaries are warm-start boundaries. Prepare warm-
+	// starts from its evaluator's current basis, so resetting every
+	// evaluator here makes the generation's solve sequence a pure
+	// function of (prey genotypes, worker striping): no solver history —
+	// from earlier generations, from a mid-run Result() call, or from
+	// compatibility paths like EvalTree used by external callers between
+	// Steps — can leak in. This is what keeps a restored run bit-
+	// identical to an uninterrupted one (TestSnapshotRestoreGolden).
 	for _, ev := range e.evs {
 		ev.ResetWarm()
 	}
@@ -195,8 +214,51 @@ func (e *Engine) Step() bool {
 		t0 = time.Now()
 	}
 
+	// --- Relaxation precompute: one LP solve per distinct prey ---
+	// Every quantity the pairings below need from the LP (LB, duals, x̄)
+	// depends only on the prey, so the |sample| predator pairings and
+	// the prey wave share one Prepared context per distinct genotype.
+	// Slots are assigned in prey-index order and the fill wave is
+	// striped contiguously, so each worker warm-chains a deterministic
+	// subsequence of the missing genotypes: for a fixed (Seed, Workers)
+	// the wave reproduces bit-for-bit (see
+	// TestRunReproduciblePerWorkerCount).
+	sample := e.r.SampleDistinct(cfg.EffectiveSample(), len(e.prey))
+	e.cache.Reset()
+	missing := e.missing[:0]
+	for i, x := range e.prey {
+		slot, fresh := e.cache.Slot(x)
+		e.preySlot[i] = slot
+		if fresh {
+			missing = append(missing, i)
+		}
+	}
+	e.missing = missing
+	evalStriped(len(missing), e.workers, wave, func(i, worker int) {
+		if e.stepErrs[worker] != nil {
+			return
+		}
+		p, err := e.evs[worker].Prepare(e.prey[missing[i]])
+		if err != nil {
+			e.stepErrs[worker] = fmt.Errorf("core: prey %d relaxation: %w", missing[i], err)
+			return
+		}
+		e.cache.Fill(e.preySlot[missing[i]], p)
+	})
+	if err := e.firstStepErr(); err != nil {
+		e.err = err
+		return false
+	}
+	if observing {
+		d := time.Since(t0)
+		evalNanos += int64(d)
+		if e.met != nil {
+			e.met.relax.Observe(d)
+		}
+		t0 = time.Now()
+	}
+
 	// --- Predator evaluation: mean gap over a fresh prey sample ---
-	sample := e.r.SampleDistinct(min(cfg.PreySample, len(e.prey)), len(e.prey))
 	evalStriped(len(e.predators), e.workers, wave, func(i, worker int) {
 		if e.stepErrs[worker] != nil {
 			return
@@ -204,7 +266,7 @@ func (e *Engine) Step() bool {
 		ev := e.evs[worker]
 		total := 0.0
 		for _, s := range sample {
-			out, _, err := ev.EvalTree(e.prey[s], e.predators[i])
+			out, _, err := ev.EvalTreeWith(e.cache.At(e.preySlot[s]), e.predators[i])
 			if err != nil {
 				e.stepErrs[worker] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
 				return
@@ -249,7 +311,7 @@ func (e *Engine) Step() bool {
 		if e.stepErrs[worker] != nil {
 			return
 		}
-		out, _, err := e.evs[worker].EvalTree(e.prey[i], hunter)
+		out, _, err := e.evs[worker].EvalTreeWith(e.cache.At(e.preySlot[i]), hunter)
 		if err != nil {
 			e.stepErrs[worker] = fmt.Errorf("core: prey %d evaluation: %w", i, err)
 			return
@@ -447,11 +509,26 @@ func (e *Engine) Result() (*Result, error) {
 		if e.cfg.CostFitness {
 			// Under the ablation the archive fitness is a raw cost, so
 			// re-measure the actual gap of the selected tree on a fresh
-			// prey sample (reporting only — budgets are spent).
-			sample := e.r.SampleDistinct(min(e.cfg.PreySample, len(e.prey)), len(e.prey))
+			// prey sample (reporting only — budgets are spent). The
+			// sample comes from an RNG derived from the seed, NOT the
+			// live stream: Result may be called mid-run, and consuming
+			// e.r here would perturb every subsequent Step, breaking
+			// the "engine may continue stepping afterwards" contract
+			// (see TestResultMidRunDoesNotPerturbRun). Resetting the
+			// warm basis first makes the measurement a pure function of
+			// the current populations — repeated calls agree exactly —
+			// and the leftover basis cannot leak into a later Step
+			// because Step resets every evaluator at entry.
+			e.evs[0].ResetWarm()
+			r := rng.New(e.cfg.Seed).Split()
+			sample := r.SampleDistinct(e.cfg.EffectiveSample(), len(e.prey))
 			total := 0.0
 			for _, s := range sample {
-				out, _, err := e.evs[0].EvalTree(e.prey[s], be.Item)
+				p, err := e.evs[0].Prepare(e.prey[s])
+				if err != nil {
+					return nil, err
+				}
+				out, _, err := e.evs[0].EvalTreeWith(p, be.Item)
 				if err != nil {
 					return nil, err
 				}
