@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench bench-smoke bench-all quick full taxonomy examples serve-smoke clean
+.PHONY: all build vet test race check cover bench bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke clean
 
 all: build vet test
 
 # The full pre-commit gate: compile, static checks, tests, race detector,
 # a one-iteration pass over the hot-path benchmarks (so they cannot rot),
-# and the carbond crash-recovery smoke test.
-check: build vet test race bench-smoke serve-smoke
+# the carbond crash-recovery smoke test, and the carbonstat analyzer
+# self-check.
+check: build vet test race bench-smoke serve-smoke stat-smoke
 
 build:
 	$(GO) build ./...
@@ -30,16 +31,23 @@ cover:
 # as machine-readable JSON. BENCH_pr3.json is committed so speedups are
 # reviewable: compare ns/op of EvalTreeResolve vs EvalTreeCached, and
 # lp_solves/gen of EngineStep against L*S+U for the config.
+# BENCH_pr4.json adds StepWithSearchStats: an observed generation
+# (search-dynamics stats + lineage on) must stay within 5% of EngineStep.
 bench:
-	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating' -benchmem \
-		./internal/bcpop/ ./internal/core/ | tee bench_pr3.txt
-	$(GO) run carbon/cmd/benchjson -out BENCH_pr3.json < bench_pr3.txt
+	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats' -benchmem \
+		./internal/bcpop/ ./internal/core/ | tee bench_pr4.txt
+	$(GO) run carbon/cmd/benchjson -out BENCH_pr4.json < bench_pr4.txt
 
 # One-iteration benchmark pass: proves every benchmark (and the benchjson
 # parser) still runs, without paying for measurement. Part of `check`.
 bench-smoke:
-	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating' -benchtime=1x -benchmem \
+	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats' -benchtime=1x -benchmem \
 		./internal/bcpop/ ./internal/core/ | $(GO) run carbon/cmd/benchjson >/dev/null
+
+# Analyzer self-check: synthetic healthy/pathological traces through the
+# whole carbonstat pipeline (parse, demux, summarize, flag, diff).
+stat-smoke:
+	$(GO) run carbon/cmd/carbonstat -selfcheck
 
 # The original full sweep: every benchmark in the tree.
 bench-all:
@@ -73,4 +81,4 @@ examples:
 	$(GO) run carbon/examples/packing
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt
+	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt

@@ -16,6 +16,7 @@
 //	GET    /v1/jobs/{id}/result final result (409 until finished)
 //	DELETE /v1/jobs/{id}        cancel or delete
 //	GET    /metrics             aggregated engine metrics (also /debug/*)
+//	GET    /metrics/prometheus  the same, plus per-job series, in text exposition format
 package main
 
 import (
@@ -59,21 +60,30 @@ func main() {
 	}
 
 	// One mux serves both the job API and the telemetry endpoints, so a
-	// single port gives /v1/*, /metrics and /debug/*. -metrics-addr
-	// additionally exposes the telemetry mux on its own listener (for
-	// firewalling the API separately from introspection).
-	regs := map[string]*telemetry.Registry{"carbond": reg}
+	// single port gives /v1/*, /metrics, /metrics/prometheus and
+	// /debug/*. The Prometheus endpoint renders the aggregate engine
+	// registry plus one job="<id>"-labeled series set per job, re-read on
+	// every scrape so later submissions appear without restarts.
+	// -metrics-addr additionally exposes the telemetry mux on its own
+	// listener (for firewalling the API separately from introspection).
+	reg.PublishExpvar("carbond")
+	telemetryMux := telemetry.DynamicHandler(
+		func() map[string]*telemetry.Registry { return map[string]*telemetry.Registry{"carbond": reg} },
+		mgr.MetricsTargets,
+	)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", serve.APIHandler(mgr))
-	mux.Handle("/", telemetry.Handler(regs))
+	mux.Handle("/", telemetryMux)
 	if *metricsA != "" {
-		maddr, stop, err := telemetry.Serve(*metricsA, regs)
+		mln, err := net.Listen("tcp", *metricsA)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "carbond:", err)
 			os.Exit(1)
 		}
-		defer stop()
-		fmt.Fprintf(os.Stderr, "carbond: metrics on http://%s/metrics\n", maddr)
+		msrv := &http.Server{Handler: telemetryMux}
+		go func() { _ = msrv.Serve(mln) }()
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "carbond: metrics on http://%s/metrics\n", mln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

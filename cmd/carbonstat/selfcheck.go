@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"carbon/internal/core"
+	"carbon/internal/tracestat"
+)
+
+// runSelfCheck exercises the analyzer end to end on synthetic traces:
+// v2 parsing with search blocks, v1 backward compatibility, truncated
+// tails, anomaly detection (positive and negative), and diffing. It is
+// wired into `make check` so a schema drift between core and carbonstat
+// fails the build gate, not a user's post-mortem.
+func runSelfCheck() error {
+	healthy := synthTrace("healthy", 40, false)
+	sick := synthTrace("sick", 40, true)
+
+	// v2 round trip: one labeled run, search blocks intact, no anomalies.
+	f, err := tracestat.Load(bytes.NewReader(healthy))
+	if err != nil {
+		return fmt.Errorf("load healthy: %w", err)
+	}
+	if len(f.Runs) != 1 || f.Truncated {
+		return fmt.Errorf("healthy trace parsed as %d runs (truncated=%v)", len(f.Runs), f.Truncated)
+	}
+	s := f.Runs[0].Summarize()
+	if s.Key != "healthy#0" || s.Gens != 40 || !s.HasSearch || !s.Done {
+		return fmt.Errorf("healthy summary wrong: %+v", s)
+	}
+	if len(s.Anomalies) != 0 {
+		return fmt.Errorf("healthy run flagged: %+v", s.Anomalies)
+	}
+	if got := len(f.Runs[0].OperatorTotals()); got == 0 {
+		return fmt.Errorf("healthy run has no operator totals")
+	}
+
+	// Anomaly detection: the sick trace stagnates, bloats and disengages.
+	fs, err := tracestat.Load(bytes.NewReader(sick))
+	if err != nil {
+		return fmt.Errorf("load sick: %w", err)
+	}
+	kinds := map[string]bool{}
+	for _, a := range fs.Runs[0].Summarize().Anomalies {
+		kinds[a.Kind] = true
+	}
+	for _, want := range []string{"stagnation", "bloat", "disengagement"} {
+		if !kinds[want] {
+			return fmt.Errorf("sick run not flagged for %s (got %v)", want, kinds)
+		}
+	}
+
+	// Diff: revenue delta between sick and healthy must be positive.
+	var revDelta *tracestat.DiffRow
+	for _, row := range tracestat.Diff(fs.Runs[0], f.Runs[0]) {
+		if row.Metric == "best_revenue" {
+			r := row
+			revDelta = &r
+		}
+	}
+	if revDelta == nil || revDelta.Delta <= 0 {
+		return fmt.Errorf("diff best_revenue delta wrong: %+v", revDelta)
+	}
+
+	// v1 backward compatibility: strip v2 fields, restamp the schema.
+	v1 := downgradeToV1(healthy)
+	fv1, err := tracestat.Load(bytes.NewReader(v1))
+	if err != nil {
+		return fmt.Errorf("load v1: %w", err)
+	}
+	if len(fv1.Runs) != 1 || fv1.Runs[0].HasSearch() || fv1.Runs[0].Done == nil {
+		return fmt.Errorf("v1 trace mishandled: runs=%d", len(fv1.Runs))
+	}
+
+	// Truncated tail: chop the final line mid-JSON.
+	cut := healthy[:len(healthy)-25]
+	ft, err := tracestat.Load(bytes.NewReader(cut))
+	if err != nil {
+		return fmt.Errorf("load truncated: %w", err)
+	}
+	if !ft.Truncated {
+		return fmt.Errorf("torn tail not reported")
+	}
+	if got := len(ft.Runs[0].Gens); got != 40 {
+		return fmt.Errorf("truncated trace kept %d generations, want 40", got)
+	}
+	return nil
+}
+
+// synthTrace fabricates a plausible v2 trace for one run. The sick
+// variant stagnates after generation 5, triples its mean tree size and
+// collapses its gap spread — tripping all three anomaly detectors.
+func synthTrace(label string, gens int, sick bool) []byte {
+	var buf bytes.Buffer
+	obs := core.NewJSONLObserver(&buf)
+	for g := 1; g <= gens; g++ {
+		rev := 100.0 + float64(g)
+		if sick && g > 5 {
+			rev = 105
+		}
+		size := 11.0 + float64(g)*0.05
+		spread := 0.4
+		if sick {
+			size = 11.0 * (1 + float64(g)*0.1)
+			spread = 0
+		}
+		gs := core.GenStats{
+			Label: label, Gen: g,
+			ULEvals: g * 16, LLEvals: g * 32,
+			ULBudget: gens * 16, LLBudget: gens * 32,
+			BestRevenue: rev, BestGap: 5.0 / float64(g),
+			Search: &core.SearchStats{
+				PreyDiversity: 0.5 / float64(g), PreyEntropy: 0.6 / float64(g),
+				PredSizeMean: size, PredSizeMax: int(size * 2),
+				PredDepthMean: 3.5, PredDepthMax: 7,
+				GapP10: 2 - spread/2, GapP50: 2, GapP90: 2 + spread/2,
+				GapMin: 1, GapMax: 4,
+				ULArchiveAdds: 3, GPArchiveAdds: 2,
+				Ops: []core.OperatorStats{
+					{Op: "sbx", Count: 10, Improved: 3},
+					{Op: "gp_cross", Count: 12, Improved: 4},
+				},
+			},
+		}
+		obs.OnGeneration(gs)
+	}
+	finalRev := 100 + float64(gens)
+	if sick {
+		finalRev = 105
+	}
+	obs.OnDone(&core.Result{
+		Label: label, Gens: gens,
+		ULEvals: gens * 16, LLEvals: gens * 32,
+		Best: core.BestPair{Revenue: finalRev, GapPct: 5.0 / float64(gens), TreeStr: "(% (* q d) c)"},
+		Ancestry: []core.LineageRecord{
+			{ID: 9, Op: "gp_cross", Gen: gens - 1, Parents: []uint64{4, 5}, Expr: "(% (* q d) c)"},
+			{ID: 4, Op: "init", Gen: 0},
+			{ID: 5, Op: "init", Gen: 0},
+		},
+	})
+	_ = obs.Flush()
+	return buf.Bytes()
+}
+
+// downgradeToV1 rewrites a v2 trace as its v1 subset: restamps the
+// schema and drops the fields v1 never had.
+func downgradeToV1(trace []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range strings.Split(strings.TrimSpace(string(trace)), "\n") {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			continue
+		}
+		m["schema"] = json.RawMessage(`"carbon.trace/v1"`)
+		if raw, ok := m["gen"]; ok {
+			var gm map[string]json.RawMessage
+			_ = json.Unmarshal(raw, &gm)
+			delete(gm, "search")
+			b, _ := json.Marshal(gm)
+			m["gen"] = b
+		}
+		if raw, ok := m["done"]; ok {
+			var dm map[string]json.RawMessage
+			_ = json.Unmarshal(raw, &dm)
+			delete(dm, "ancestry")
+			delete(dm, "label")
+			delete(dm, "island")
+			b, _ := json.Marshal(dm)
+			m["done"] = b
+		}
+		b, _ := json.Marshal(m)
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

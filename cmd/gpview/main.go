@@ -10,6 +10,7 @@
 //	gpview -set knapsack '(% p (* w d))'
 //	gpview -env 2,3,5,7,11 '(+ c (* q d))'
 //	gpview -apply -n 100 -m 10 '(% (* q d) c)'   # gap on a class instance
+//	gpview -trace run.jsonl                      # champion ancestry from a trace
 package main
 
 import (
@@ -24,24 +25,21 @@ import (
 	"carbon/internal/knapsack"
 	"carbon/internal/multilevel"
 	"carbon/internal/orlib"
+	"carbon/internal/tracestat"
 )
 
 func main() {
 	var (
-		setName = flag.String("set", "covering", "primitive set: covering | knapsack | policy")
-		envCSV  = flag.String("env", "", "comma-separated environment to evaluate against")
-		apply   = flag.Bool("apply", false, "apply as a greedy heuristic to a generated instance")
-		n       = flag.Int("n", 100, "instance bundles (with -apply)")
-		m       = flag.Int("m", 5, "instance constraints (with -apply)")
-		idx     = flag.Int("instance", 0, "instance index (with -apply)")
+		setName  = flag.String("set", "covering", "primitive set: covering | knapsack | policy")
+		envCSV   = flag.String("env", "", "comma-separated environment to evaluate against")
+		apply    = flag.Bool("apply", false, "apply as a greedy heuristic to a generated instance")
+		n        = flag.Int("n", 100, "instance bundles (with -apply)")
+		m        = flag.Int("m", 5, "instance constraints (with -apply)")
+		idx      = flag.Int("instance", 0, "instance index (with -apply)")
+		tracePth = flag.String("trace", "", "show the champion's ancestry from this trace file instead of parsing an expression")
+		runKey   = flag.String("run", "", "restrict -trace to one run ('label#island')")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gpview [flags] '<s-expression>'")
-		flag.Usage()
-		os.Exit(2)
-	}
-	src := flag.Arg(0)
 
 	var set *gp.Set
 	switch *setName {
@@ -55,6 +53,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gpview: unknown set %q\n", *setName)
 		os.Exit(2)
 	}
+
+	if *tracePth != "" {
+		if err := showAncestry(set, *setName, *tracePth, *runKey); err != nil {
+			fmt.Fprintln(os.Stderr, "gpview:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gpview [flags] '<s-expression>'  |  gpview -trace run.jsonl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
 
 	tree, err := gp.Parse(set, src)
 	if err != nil {
@@ -115,4 +127,60 @@ func main() {
 		fmt.Printf("applied to n=%d m=%d instance %d: cost %.0f, LP bound %.2f, gap %.3f%%\n",
 			*n, *m, *idx, res.Cost, rx.LB, covering.Gap(res.Cost, rx.LB))
 	}
+}
+
+// showAncestry prints each run's champion provenance chain from a trace
+// file, parsing and simplifying every recorded expression with the
+// chosen primitive set so the lineage reads as heuristics, not IDs.
+func showAncestry(set *gp.Set, setName, path, runKey string) error {
+	f, err := tracestat.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	runs := f.Runs
+	if runKey != "" {
+		r := f.Run(runKey)
+		if r == nil {
+			return fmt.Errorf("no run %q in %s", runKey, path)
+		}
+		runs = []*tracestat.Run{r}
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("%s holds no runs", path)
+	}
+	for _, r := range runs {
+		fmt.Printf("== %s ==\n", r.Key())
+		if r.Done == nil || len(r.Done.Ancestry) == 0 {
+			fmt.Println("(no ancestry — v1 trace, unfinished run, or lineage tracking off)")
+			continue
+		}
+		for i, rec := range r.Done.Ancestry {
+			role := "ancestor"
+			if i == 0 {
+				role = "champion"
+			}
+			fmt.Printf("%s #%d (gen %d, via %s", role, rec.ID, rec.Gen, rec.Op)
+			if len(rec.Parents) > 0 {
+				fmt.Printf(" of %v", rec.Parents)
+			}
+			fmt.Print(")")
+			if rec.Fitness != 0 {
+				fmt.Printf(" gap %.4f%%", rec.Fitness)
+			}
+			fmt.Println()
+			if rec.Expr == "" {
+				continue
+			}
+			tree, perr := gp.Parse(set, rec.Expr)
+			if perr != nil {
+				fmt.Printf("  expr: %s (unparseable with -set %s: %v)\n", rec.Expr, setName, perr)
+				continue
+			}
+			fmt.Printf("  expr: %s\n", tree.String(set))
+			if simp := gp.Simplify(set, tree); !simp.Equal(tree) {
+				fmt.Printf("  simplified: %s\n", simp.String(set))
+			}
+		}
+	}
+	return nil
 }

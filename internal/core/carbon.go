@@ -223,10 +223,18 @@ type Result struct {
 	ULEvals   int
 	LLEvals   int
 	Gens      int
+	Label     string       // Config.RunLabel, tags multi-run outputs
+	Island    int          // island index; 0 for single-engine runs
 	ULCurve   stats.Series // x: total evals consumed, y: best archived F
 	GapCurve  stats.Series // x: total evals consumed, y: best archived mean gap
 	ULArchive []archive.Entry[[]float64]
 	GPArchive []archive.Entry[gp.Tree]
+
+	// Ancestry is the champion predator's provenance DAG (BFS order,
+	// champion first), populated only when the run had an observer
+	// attached — lineage tracking rides the same switch as the rest of
+	// the introspection layer.
+	Ancestry []LineageRecord
 }
 
 // evalStriped splits [0,n) into one contiguous stripe per worker so each
@@ -248,12 +256,17 @@ func evalStriped(n, workers int, wm *par.WaveMetrics, fn func(i, worker int)) {
 
 // breedPrey builds the next prey generation: elitism, then either
 // Table II's binary-tournament + SBX + polynomial mutation suite or
-// DE/best/1/bin trials (cfg.ULVariation).
-func breedPrey(r *rng.Rand, pop [][]float64, fit []float64, bounds ga.Bounds, cfg Config) [][]float64 {
+// DE/best/1/bin trials (cfg.ULVariation). The second return value is
+// each offspring's provenance (operator + parent indices into pop);
+// recording it draws nothing from r, so the RNG sequence — and
+// therefore every bred genotype — is identical to the untracked code.
+func breedPrey(r *rng.Rand, pop [][]float64, fit []float64, bounds ga.Bounds, cfg Config) ([][]float64, []origin) {
 	better := func(i, j int) bool { return fit[i] > fit[j] }
 	next := make([][]float64, 0, len(pop))
+	origins := make([]origin, 0, len(pop))
 	for _, e := range topK(fit, cfg.Elites, better) {
 		next = append(next, append([]float64(nil), pop[e]...))
+		origins = append(origins, origin{op: opElite, p1: e, p2: -1})
 	}
 	if cfg.ULVariation == "de" {
 		f, cr := cfg.DEF, cfg.DECR
@@ -266,15 +279,21 @@ func breedPrey(r *rng.Rand, pop [][]float64, fit []float64, bounds ga.Bounds, cf
 		bestIdx := topK(fit, 1, better)[0]
 		for target := 0; len(next) < len(pop); target++ {
 			next = append(next, ga.DEBest1Bin(r, pop, bestIdx, target%len(pop), f, cr, bounds))
+			origins = append(origins, origin{op: opDE, p1: target % len(pop), p2: bestIdx})
 		}
-		return next
+		return next, origins
 	}
 	for len(next) < len(pop) {
-		p1 := pop[ga.BinaryTournament(r, len(pop), better)]
-		p2 := pop[ga.BinaryTournament(r, len(pop), better)]
+		i1 := ga.BinaryTournament(r, len(pop), better)
+		i2 := ga.BinaryTournament(r, len(pop), better)
+		p1, p2 := pop[i1], pop[i2]
 		var c1, c2 []float64
+		o1 := origin{op: opULMut, p1: i1, p2: -1}
+		o2 := origin{op: opULMut, p1: i2, p2: -1}
 		if r.Bool(cfg.ULCrossoverProb) {
 			c1, c2 = ga.SBX(r, p1, p2, bounds, cfg.ULSBXEta)
+			o1 = origin{op: opSBX, p1: i1, p2: i2}
+			o2 = o1
 		} else {
 			c1 = append([]float64(nil), p1...)
 			c2 = append([]float64(nil), p2...)
@@ -282,49 +301,60 @@ func breedPrey(r *rng.Rand, pop [][]float64, fit []float64, bounds ga.Bounds, cf
 		ga.PolynomialMutateInPlace(r, c1, bounds, cfg.ULPolyEta, cfg.ULMutationProb)
 		ga.PolynomialMutateInPlace(r, c2, bounds, cfg.ULPolyEta, cfg.ULMutationProb)
 		next = append(next, c1)
+		origins = append(origins, o1)
 		if len(next) < len(pop) {
 			next = append(next, c2)
+			origins = append(origins, o2)
 		}
 	}
-	return next
+	return next, origins
 }
 
 // breedPredators builds the next predator generation with DEAP's varOr
 // semantics over Table II's GP probabilities: each offspring is produced
 // by crossover (0.85), uniform mutation (0.10) or reproduction (0.05).
-func breedPredators(r *rng.Rand, set *gp.Set, pop []gp.Tree, fit []float64, cfg Config) []gp.Tree {
+// Like breedPrey it also returns per-offspring provenance, recorded
+// without touching r.
+func breedPredators(r *rng.Rand, set *gp.Set, pop []gp.Tree, fit []float64, cfg Config) ([]gp.Tree, []origin) {
 	better := func(i, j int) bool { return fit[i] < fit[j] }
 	next := make([]gp.Tree, 0, len(pop))
+	origins := make([]origin, 0, len(pop))
 	for _, e := range topK(fit, cfg.Elites, better) {
 		next = append(next, pop[e].Clone())
+		origins = append(origins, origin{op: opElite, p1: e, p2: -1})
 	}
 	for len(next) < len(pop) {
 		u := r.Float64()
 		switch {
 		case u < cfg.LLCrossoverProb:
-			p1 := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
-			p2 := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
-			c1, c2 := gp.OnePointCrossover(r, set, p1, p2, cfg.Limits)
+			i1 := ga.Tournament(r, len(pop), cfg.LLTournamentK, better)
+			i2 := ga.Tournament(r, len(pop), cfg.LLTournamentK, better)
+			c1, c2 := gp.OnePointCrossover(r, set, pop[i1], pop[i2], cfg.Limits)
 			next = append(next, c1)
+			origins = append(origins, origin{op: opGPCross, p1: i1, p2: i2})
 			if len(next) < len(pop) {
 				next = append(next, c2)
+				origins = append(origins, origin{op: opGPCross, p1: i1, p2: i2})
 			}
 		case u < cfg.LLCrossoverProb+cfg.LLMutationProb:
-			p := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
-			next = append(next, gp.UniformMutate(r, set, p, cfg.MutGrowDepth, cfg.Limits))
+			i1 := ga.Tournament(r, len(pop), cfg.LLTournamentK, better)
+			next = append(next, gp.UniformMutate(r, set, pop[i1], cfg.MutGrowDepth, cfg.Limits))
+			origins = append(origins, origin{op: opGPMut, p1: i1, p2: -1})
 		default:
-			p := pop[ga.Tournament(r, len(pop), cfg.LLTournamentK, better)]
-			next = append(next, p.Clone())
+			i1 := ga.Tournament(r, len(pop), cfg.LLTournamentK, better)
+			next = append(next, pop[i1].Clone())
+			origins = append(origins, origin{op: opGPRepro, p1: i1, p2: -1})
 		}
 	}
 	if cfg.LLPointMutProb > 0 {
 		for i := cfg.Elites; i < len(next); i++ {
 			if r.Bool(cfg.LLPointMutProb) {
 				next[i] = gp.PointMutate(r, set, next[i])
+				origins[i].op = opGPPoint
 			}
 		}
 	}
-	return next
+	return next, origins
 }
 
 // topK returns the indices of the k best individuals under better.

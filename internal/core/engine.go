@@ -63,6 +63,23 @@ type Engine struct {
 	island   int
 	stepErrs []error // per-worker scratch, reused every generation
 	err      error
+
+	// Search-dynamics introspection (DESIGN.md §5f). Everything below
+	// is inert until the first Step with an observer attached, consumes
+	// no RNG and issues no extra LP solves, so a run is bit-identical
+	// with it on or off. led is the provenance ledger; gapMat collects
+	// the paired-evaluation %-gap matrix in pairing-index order;
+	// preyOrigins/predOrigins describe how the CURRENT populations were
+	// bred from the previous ones, whose fitness is kept in
+	// prevPreyFit/prevPredFit for operator-success accounting.
+	led          *lineage
+	gapMat       []float64
+	gapSketch    *telemetry.QuantileSketch
+	prevPreyFit  []float64
+	prevPredFit  []float64
+	preyOrigins  []origin
+	predOrigins  []origin
+	prevSizeMean float64
 }
 
 // engineMetrics holds the engine's registered instruments. All handles
@@ -204,6 +221,10 @@ func (e *Engine) Step() bool {
 	}
 	cfg := e.cfg
 	observing := e.obs != nil || e.met != nil
+	statsOn := e.obs != nil
+	if statsOn && e.led == nil {
+		e.initLineage()
+	}
 	var wave *par.WaveMetrics
 	if e.met != nil {
 		wave = e.met.wave
@@ -259,17 +280,31 @@ func (e *Engine) Step() bool {
 	}
 
 	// --- Predator evaluation: mean gap over a fresh prey sample ---
+	// With stats on, the per-pairing gaps land in gapMat by pairing
+	// index: writes are disjoint, so the matrix is identical regardless
+	// of worker scheduling and can be folded sequentially afterwards.
+	var gm []float64
+	ns := len(sample)
+	if statsOn {
+		if cap(e.gapMat) < len(e.predators)*ns {
+			e.gapMat = make([]float64, len(e.predators)*ns)
+		}
+		gm = e.gapMat[:len(e.predators)*ns]
+	}
 	evalStriped(len(e.predators), e.workers, wave, func(i, worker int) {
 		if e.stepErrs[worker] != nil {
 			return
 		}
 		ev := e.evs[worker]
 		total := 0.0
-		for _, s := range sample {
+		for si, s := range sample {
 			out, _, err := ev.EvalTreeWith(e.cache.At(e.preySlot[s]), e.predators[i])
 			if err != nil {
 				e.stepErrs[worker] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
 				return
+			}
+			if gm != nil {
+				gm[i*ns+si] = out.GapPct
 			}
 			if cfg.CostFitness {
 				total += out.LLCost // ablation: COBRA-style objective
@@ -298,8 +333,11 @@ func (e *Engine) Step() bool {
 			bestPred = i
 		}
 	}
+	gpAdds := 0
 	for i, t := range e.predators {
-		e.gpArch.Add(t.Clone(), e.predFit[i])
+		if e.gpArch.Add(t.Clone(), e.predFit[i]) {
+			gpAdds++
+		}
 	}
 
 	// --- Prey evaluation: revenue under the best current forecast ---
@@ -336,8 +374,11 @@ func (e *Engine) Step() bool {
 		}
 	}
 
+	ulAdds := 0
 	for i, x := range e.prey {
-		e.ulArch.Add(append([]float64(nil), x...), e.preyFit[i])
+		if e.ulArch.Add(append([]float64(nil), x...), e.preyFit[i]) {
+			ulAdds++
+		}
 	}
 
 	// --- Record convergence ---
@@ -352,12 +393,29 @@ func (e *Engine) Step() bool {
 		e.res.GapCurve.Y = append(e.res.GapCurve.Y, be.Fitness)
 	}
 
+	// --- Search-dynamics snapshot (observer runs only) ---
+	// Computed before breeding, while the fitness arrays still describe
+	// the evaluated populations; consumes no RNG and re-uses the
+	// generation's own evaluation results.
+	var search *SearchStats
+	if statsOn {
+		search = e.computeSearchStats(gm, ulAdds, gpAdds)
+	}
+
 	// --- Breed next generations ---
 	if observing {
 		t0 = time.Now()
 	}
-	e.prey = breedPrey(e.r, e.prey, e.preyFit, e.bounds, cfg)
-	e.predators = breedPredators(e.r, e.set, e.predators, e.predFit, cfg)
+	newPrey, preyOr := breedPrey(e.r, e.prey, e.preyFit, e.bounds, cfg)
+	newPred, predOr := breedPredators(e.r, e.set, e.predators, e.predFit, cfg)
+	if statsOn {
+		e.prevPreyFit = append(e.prevPreyFit[:0], e.preyFit...)
+		e.prevPredFit = append(e.prevPredFit[:0], e.predFit...)
+		e.led.advance(preyOr, predOr, e.res.Gens)
+		e.preyOrigins, e.predOrigins = preyOr, predOr
+	}
+	e.prey = newPrey
+	e.predators = newPred
 	if observing {
 		d := time.Since(t0)
 		breedNanos = int64(d)
@@ -369,7 +427,7 @@ func (e *Engine) Step() bool {
 		}
 	}
 	if e.obs != nil {
-		e.obs.OnGeneration(e.genStats(evalNanos, breedNanos))
+		e.obs.OnGeneration(e.genStats(evalNanos, breedNanos, search))
 	}
 	return true
 }
@@ -377,10 +435,11 @@ func (e *Engine) Step() bool {
 // genStats snapshots the generation that just finished. The fitness
 // arrays still describe the pre-breeding populations at this point
 // (breeding builds fresh slices and never writes the fitness arrays).
-func (e *Engine) genStats(evalNanos, breedNanos int64) GenStats {
+func (e *Engine) genStats(evalNanos, breedNanos int64, search *SearchStats) GenStats {
 	gs := GenStats{
 		Label:      e.cfg.RunLabel,
 		Island:     e.island,
+		Search:     search,
 		Gen:        e.res.Gens,
 		ULEvals:    e.ulUsed,
 		LLEvals:    e.llUsed,
@@ -454,6 +513,12 @@ func (e *Engine) InjectPrey(x []float64) error {
 		slot = e.cfg.Elites + e.r.Intn(len(e.prey)-e.cfg.Elites)
 	}
 	e.prey[slot] = append([]float64(nil), x...)
+	if e.led != nil {
+		e.led.replace(e.led.preyIDs, slot, opMigrant, e.res.Gens)
+		if slot < len(e.preyOrigins) {
+			e.preyOrigins[slot] = origin{op: opMigrant, p1: -1, p2: -1}
+		}
+	}
 	return nil
 }
 
@@ -468,6 +533,12 @@ func (e *Engine) InjectPredator(t gp.Tree) error {
 		slot = e.cfg.Elites + e.r.Intn(len(e.predators)-e.cfg.Elites)
 	}
 	e.predators[slot] = t.Clone()
+	if e.led != nil {
+		e.led.replace(e.led.predIDs, slot, opMigrant, e.res.Gens)
+		if slot < len(e.predOrigins) {
+			e.predOrigins[slot] = origin{op: opMigrant, p1: -1, p2: -1}
+		}
+	}
 	return nil
 }
 
@@ -477,9 +548,12 @@ func (e *Engine) InjectPredator(t gp.Tree) error {
 // can never corrupt the live archives (see TestResultDoesNotAliasArchive).
 func (e *Engine) Result() (*Result, error) {
 	res := &Result{
-		Gens:    e.res.Gens,
-		ULEvals: e.ulUsed,
-		LLEvals: e.llUsed,
+		Gens:     e.res.Gens,
+		ULEvals:  e.ulUsed,
+		LLEvals:  e.llUsed,
+		Label:    e.cfg.RunLabel,
+		Island:   e.island,
+		Ancestry: e.led.championAncestry(),
 		ULCurve: stats.Series{
 			X: append([]float64(nil), e.res.ULCurve.X...),
 			Y: append([]float64(nil), e.res.ULCurve.Y...),

@@ -138,7 +138,8 @@ func RunIslandsContext(ctx context.Context, mk *bcpop.Market, cfg Config, ic Isl
 			}
 			if cfg.Observer != nil {
 				cfg.Observer.OnMigration(MigrationStats{
-					Gen: gen, From: i, To: (i + 1) % len(engines), Migrants: ic.Migrants,
+					Label: cfg.RunLabel,
+					Gen:   gen, From: i, To: (i + 1) % len(engines), Migrants: ic.Migrants,
 				})
 			}
 		}

@@ -1,0 +1,253 @@
+package core
+
+import "carbon/internal/gp"
+
+// Breeding provenance opcodes. Every individual of both populations is
+// stamped at creation with the operator that produced it; origin values
+// flow out of the breeding functions and into the lineage ledger.
+const (
+	opInit    uint8 = iota // initial random population
+	opRestore              // population restored from a checkpoint (ancestry unknown)
+	opElite                // copied unchanged by elitism
+	opSBX                  // SBX crossover + polynomial mutation (prey)
+	opULMut                // tournament clone + polynomial mutation only (prey)
+	opDE                   // DE/best/1/bin trial (prey ablation)
+	opGPCross              // GP one-point subtree crossover
+	opGPMut                // GP uniform (subtree-replacement) mutation
+	opGPRepro              // GP reproduction (tournament clone)
+	opGPPoint              // shape-preserving point mutation pass (ablation)
+	opMigrant              // injected by island migration
+)
+
+var opNames = [...]string{
+	"init", "restore", "elite", "sbx", "polymut", "de",
+	"gp_cross", "gp_mut", "gp_repro", "gp_point", "migrant",
+}
+
+// breedingOp reports whether code is a variation operator whose
+// offspring-vs-parent improvement is worth tallying (copies and
+// unparented arrivals are excluded: an elite trivially ties its parent,
+// a migrant has no local parent to beat).
+func breedingOp(code uint8) bool {
+	switch code {
+	case opSBX, opULMut, opDE, opGPCross, opGPMut, opGPRepro, opGPPoint:
+		return true
+	}
+	return false
+}
+
+// origin records how one offspring was produced: the operator and the
+// parent indices into the generation that bred it (-1 = no such
+// parent). Breeding functions return one origin per individual; the
+// ledger turns indices into persistent IDs.
+type origin struct {
+	op     uint8
+	p1, p2 int
+}
+
+// LineageRecord is one node of the provenance DAG: an individual's
+// identity, the operator that created it, its parents' IDs and the
+// fitness it was evaluated at. Expr is set only on champion records
+// (the S-expression at the moment the individual became champion), so
+// traces stay compact.
+type LineageRecord struct {
+	ID      uint64   `json:"id"`
+	Parents []uint64 `json:"parents,omitempty"`
+	Op      string   `json:"op"`
+	Gen     int      `json:"gen"`
+	Fitness float64  `json:"fitness"`
+	Expr    string   `json:"expr,omitempty"`
+}
+
+// maxAncestry bounds the records championAncestry returns (BFS order,
+// champion first), keeping the done-event of very long runs bounded.
+const maxAncestry = 256
+
+// ledgerHighWater triggers a mark-and-sweep prune of dead records. The
+// champion's ancestry is always kept in full; other live individuals
+// keep a bounded window of ancestors (ledgerLiveDepth generations), so
+// ledger memory stays O(populations) instead of O(generations).
+const (
+	ledgerHighWater = 8192
+	ledgerLiveDepth = 8
+)
+
+// lineage is the engine's provenance ledger. It is pure bookkeeping:
+// it never touches the RNG or the populations, so attaching it cannot
+// perturb a run. IDs are assigned from a per-engine counter in
+// deterministic order.
+type lineage struct {
+	nextID   uint64
+	preyIDs  []uint64 // aligned with Engine.prey
+	predIDs  []uint64 // aligned with Engine.predators
+	recs     map[uint64]*LineageRecord
+	champID  uint64
+	champFit float64
+	champOK  bool
+}
+
+func newLineage() *lineage {
+	return &lineage{recs: make(map[uint64]*LineageRecord)}
+}
+
+func (l *lineage) next() uint64 {
+	l.nextID++
+	return l.nextID
+}
+
+// assign mints n fresh unparented records (initial populations,
+// restored checkpoints).
+func (l *lineage) assign(n int, op uint8, gen int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		id := l.next()
+		l.recs[id] = &LineageRecord{ID: id, Op: opNames[op], Gen: gen}
+		ids[i] = id
+	}
+	return ids
+}
+
+// advance replaces both populations' IDs with their offsprings',
+// recording each child's operator and parents, then prunes dead
+// records if the ledger has grown past its high-water mark.
+func (l *lineage) advance(preyOr, predOr []origin, gen int) {
+	l.preyIDs = l.rebirth(l.preyIDs, preyOr, gen)
+	l.predIDs = l.rebirth(l.predIDs, predOr, gen)
+	l.maybePrune()
+}
+
+func (l *lineage) rebirth(old []uint64, origins []origin, gen int) []uint64 {
+	ids := make([]uint64, len(origins))
+	for i, o := range origins {
+		id := l.next()
+		rec := &LineageRecord{ID: id, Op: opNames[o.op], Gen: gen}
+		if o.p1 >= 0 && o.p1 < len(old) {
+			rec.Parents = append(rec.Parents, old[o.p1])
+		}
+		if o.p2 >= 0 && o.p2 < len(old) && o.p2 != o.p1 {
+			rec.Parents = append(rec.Parents, old[o.p2])
+		}
+		l.recs[id] = rec
+		ids[i] = id
+	}
+	return ids
+}
+
+// replace stamps a fresh unparented record onto one population slot
+// (island migration).
+func (l *lineage) replace(ids []uint64, slot int, op uint8, gen int) {
+	if slot < 0 || slot >= len(ids) {
+		return
+	}
+	id := l.next()
+	l.recs[id] = &LineageRecord{ID: id, Op: opNames[op], Gen: gen}
+	ids[slot] = id
+}
+
+// setFitness writes evaluated fitness onto the live records.
+func (l *lineage) setFitness(ids []uint64, fit []float64) {
+	for i, id := range ids {
+		if rec := l.recs[id]; rec != nil && i < len(fit) {
+			rec.Fitness = fit[i]
+		}
+	}
+}
+
+// noteChampion promotes the generation's best predator to champion when
+// it strictly beats the incumbent (ties keep the earlier achiever,
+// matching the archive's insertion-order tie-breaking), capturing its
+// expression so the ancestry is self-describing.
+func (l *lineage) noteChampion(fit []float64, pop []gp.Tree, set *gp.Set) {
+	if len(fit) == 0 {
+		return
+	}
+	best := 0
+	for i := 1; i < len(fit); i++ {
+		if fit[i] < fit[best] {
+			best = i
+		}
+	}
+	if l.champOK && fit[best] >= l.champFit {
+		return
+	}
+	l.champOK = true
+	l.champFit = fit[best]
+	l.champID = l.predIDs[best]
+	if rec := l.recs[l.champID]; rec != nil {
+		rec.Expr = pop[best].String(set)
+	}
+}
+
+// championAncestry reconstructs the champion's provenance DAG in BFS
+// order (champion first), bounded by maxAncestry records. A nil ledger
+// or a run with no champion yet returns nil.
+func (l *lineage) championAncestry() []LineageRecord {
+	if l == nil || !l.champOK {
+		return nil
+	}
+	seen := make(map[uint64]bool)
+	queue := []uint64{l.champID}
+	var out []LineageRecord
+	for len(queue) > 0 && len(out) < maxAncestry {
+		id := queue[0]
+		queue = queue[1:]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		rec := l.recs[id]
+		if rec == nil {
+			continue // pruned beyond the retained window
+		}
+		out = append(out, *rec)
+		queue = append(queue, rec.Parents...)
+	}
+	return out
+}
+
+func (l *lineage) maybePrune() {
+	if len(l.recs) <= ledgerHighWater {
+		return
+	}
+	keep := make(map[uint64]bool)
+	// Champion ancestry survives in full.
+	queue := []uint64{}
+	if l.champOK {
+		queue = append(queue, l.champID)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if keep[id] {
+			continue
+		}
+		rec := l.recs[id]
+		if rec == nil {
+			continue
+		}
+		keep[id] = true
+		queue = append(queue, rec.Parents...)
+	}
+	// Live individuals keep a bounded ancestor window.
+	frontier := append(append([]uint64(nil), l.preyIDs...), l.predIDs...)
+	for depth := 0; depth <= ledgerLiveDepth && len(frontier) > 0; depth++ {
+		var next []uint64
+		for _, id := range frontier {
+			if keep[id] {
+				continue
+			}
+			rec := l.recs[id]
+			if rec == nil {
+				continue
+			}
+			keep[id] = true
+			next = append(next, rec.Parents...)
+		}
+		frontier = next
+	}
+	for id := range l.recs {
+		if !keep[id] {
+			delete(l.recs, id)
+		}
+	}
+}

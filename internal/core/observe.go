@@ -10,8 +10,14 @@ import (
 
 // TraceSchema versions the JSONL run-log format. Readers must reject
 // events from a schema they do not understand; writers stamp it on
-// every line so a trace file is self-describing.
-const TraceSchema = "carbon.trace/v1"
+// every line so a trace file is self-describing. v2 added the optional
+// GenStats.Search block, migration labels and the done-event
+// label/island/ancestry fields — all additive, so readers accept v1
+// and v2 alike (TraceSchemaV1).
+const (
+	TraceSchema   = "carbon.trace/v2"
+	TraceSchemaV1 = "carbon.trace/v1"
+)
 
 // GenStats is the per-generation snapshot delivered to observers and
 // written to trace files. All population statistics refer to the
@@ -42,14 +48,20 @@ type GenStats struct {
 
 	EvalNanos  int64 `json:"eval_ns"`  // wall time spent in paired evaluations
 	BreedNanos int64 `json:"breed_ns"` // wall time spent breeding both populations
+
+	// Search holds the generation's search-dynamics snapshot (trace
+	// schema v2); nil in v1 traces and when the engine has no observer
+	// computing it.
+	Search *SearchStats `json:"search,omitempty"`
 }
 
 // MigrationStats describes one ring edge of an island-model migration.
 type MigrationStats struct {
-	Gen      int `json:"gen"`
-	From     int `json:"from"`
-	To       int `json:"to"`
-	Migrants int `json:"migrants"`
+	Label    string `json:"label,omitempty"` // Config.RunLabel, tags multi-run traces
+	Gen      int    `json:"gen"`
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	Migrants int    `json:"migrants"`
 }
 
 // Observer receives live run events. Observers must not mutate engine
@@ -124,12 +136,18 @@ func (m multiObserver) OnDone(res *Result) {
 // fields that serialize compactly (archives and trees stay out of the
 // event stream; the best tree travels as its S-expression).
 type DoneStats struct {
+	Label       string  `json:"label,omitempty"`
+	Island      int     `json:"island"`
 	Gens        int     `json:"gens"`
 	ULEvals     int     `json:"ul_evals"`
 	LLEvals     int     `json:"ll_evals"`
 	BestRevenue float64 `json:"best_revenue"`
 	BestGap     float64 `json:"best_gap"`
 	BestTree    string  `json:"best_tree"`
+
+	// Ancestry is the champion predator's provenance chain (schema v2;
+	// BFS order, champion first), present when lineage tracking ran.
+	Ancestry []LineageRecord `json:"ancestry,omitempty"`
 }
 
 // TraceEvent is one line of a JSONL run log. Exactly one of Gen,
@@ -150,10 +168,14 @@ type JSONLObserver struct {
 	out *telemetry.JSONL
 }
 
-// NewJSONLObserver writes trace events to w. Call Flush (or Close, if w
-// should be closed too) after the run to push buffered lines out.
+// NewJSONLObserver writes trace events to w. Every event is flushed as
+// it is written, so a run killed mid-flight (SIGKILL, OOM) leaves a
+// parseable trace missing at most the line being written — pair with
+// ReadTraceLenient to read such a tail-truncated file. One small write
+// per generation is noise next to a generation's evaluation cost. Call
+// Close after the run when w should be closed too.
 func NewJSONLObserver(w io.Writer) *JSONLObserver {
-	return &JSONLObserver{out: telemetry.NewJSONL(w)}
+	return &JSONLObserver{out: telemetry.NewJSONL(w).AutoFlush(true)}
 }
 
 func (o *JSONLObserver) OnGeneration(gs GenStats) {
@@ -166,12 +188,15 @@ func (o *JSONLObserver) OnMigration(ms MigrationStats) {
 
 func (o *JSONLObserver) OnDone(res *Result) {
 	ds := DoneStats{
+		Label:       res.Label,
+		Island:      res.Island,
 		Gens:        res.Gens,
 		ULEvals:     res.ULEvals,
 		LLEvals:     res.LLEvals,
 		BestRevenue: res.Best.Revenue,
 		BestGap:     res.Best.GapPct,
 		BestTree:    res.Best.TreeStr,
+		Ancestry:    res.Ancestry,
 	}
 	_ = o.out.Emit(TraceEvent{Schema: TraceSchema, Event: "done", Done: &ds})
 }
@@ -183,17 +208,33 @@ func (o *JSONLObserver) Flush() error { return o.out.Flush() }
 func (o *JSONLObserver) Close() error { return o.out.Close() }
 
 // ReadTrace parses a JSONL run log written by JSONLObserver, validating
-// the schema stamp and the event/payload pairing of every line.
+// the schema stamp and the event/payload pairing of every line. Both
+// trace schema versions (v1 and v2) are accepted — v2 is a strict
+// superset, so v1 events simply decode with their new fields absent.
 func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	events, _, err := readTrace(r, false)
+	return events, err
+}
+
+// ReadTraceLenient is ReadTrace for traces whose writer may have been
+// killed mid-line (JSONLObserver flushes per event, so a SIGKILLed run
+// leaves at most one torn final line). A corrupt final line missing its
+// terminating newline is dropped and reported via truncated; interior
+// corruption still fails.
+func ReadTraceLenient(r io.Reader) (events []TraceEvent, truncated bool, err error) {
+	return readTrace(r, true)
+}
+
+func readTrace(r io.Reader, lenient bool) ([]TraceEvent, bool, error) {
 	var events []TraceEvent
-	err := telemetry.DecodeLines(r, func(raw json.RawMessage) error {
+	parse := func(raw json.RawMessage) error {
 		var ev TraceEvent
 		if err := json.Unmarshal(raw, &ev); err != nil {
 			return fmt.Errorf("core: trace line %d: %w", len(events)+1, err)
 		}
-		if ev.Schema != TraceSchema {
-			return fmt.Errorf("core: trace line %d: schema %q, want %q",
-				len(events)+1, ev.Schema, TraceSchema)
+		if ev.Schema != TraceSchema && ev.Schema != TraceSchemaV1 {
+			return fmt.Errorf("core: trace line %d: schema %q, want %q or %q",
+				len(events)+1, ev.Schema, TraceSchema, TraceSchemaV1)
 		}
 		switch ev.Event {
 		case "generation":
@@ -213,9 +254,16 @@ func ReadTrace(r io.Reader) ([]TraceEvent, error) {
 		}
 		events = append(events, ev)
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return events, nil
+	if lenient {
+		truncated, err := telemetry.DecodeLinesLenient(r, parse)
+		if err != nil {
+			return nil, false, err
+		}
+		return events, truncated, nil
+	}
+	if err := telemetry.DecodeLines(r, parse); err != nil {
+		return nil, false, err
+	}
+	return events, false, nil
 }

@@ -1,0 +1,90 @@
+package ga
+
+import "math"
+
+// MeanPairwiseDistance returns the mean Euclidean distance over all
+// distinct pairs of the population, normalized by the diameter of the
+// bounding box so the value is comparable across markets: ~0 means the
+// population has collapsed to a point, larger values mean spread. It
+// returns 0 for populations smaller than two or degenerate bounds.
+//
+// O(n²·d) on the population — cheap next to one generation of LP
+// solves, but callers on a hot path should gate it behind their
+// observer flag.
+func MeanPairwiseDistance(pop [][]float64, b Bounds) float64 {
+	if len(pop) < 2 {
+		return 0
+	}
+	var diam float64
+	for i := range b.Lo {
+		w := b.Up[i] - b.Lo[i]
+		diam += w * w
+	}
+	if diam == 0 {
+		return 0
+	}
+	diam = math.Sqrt(diam)
+	var sum float64
+	var pairs int
+	for i := 0; i < len(pop); i++ {
+		for j := i + 1; j < len(pop); j++ {
+			var d2 float64
+			for g := range pop[i] {
+				dx := pop[i][g] - pop[j][g]
+				d2 += dx * dx
+			}
+			sum += math.Sqrt(d2)
+			pairs++
+		}
+	}
+	return sum / float64(pairs) / diam
+}
+
+// entropyBins is the per-gene histogram resolution used by Entropy. 16
+// bins keeps the estimate stable for the population sizes Table II uses
+// (100) while still distinguishing a converged gene from a uniform one.
+const entropyBins = 16
+
+// Entropy returns the mean per-gene normalized Shannon entropy of the
+// population: each gene's values are histogrammed into entropyBins
+// equal-width bins over its bounds, and the bin distribution's entropy
+// is divided by log(bins) so every gene contributes a value in [0,1].
+// 1 means the gene is spread uniformly across its range, 0 means every
+// individual agrees (or the gene's bounds are degenerate).
+func Entropy(pop [][]float64, b Bounds) float64 {
+	if len(pop) == 0 || len(b.Lo) == 0 {
+		return 0
+	}
+	var total float64
+	genes := len(b.Lo)
+	counts := make([]int, entropyBins)
+	for g := 0; g < genes; g++ {
+		w := b.Up[g] - b.Lo[g]
+		if w <= 0 {
+			continue // degenerate gene: zero entropy
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, x := range pop {
+			bin := int(float64(entropyBins) * (x[g] - b.Lo[g]) / w)
+			if bin < 0 {
+				bin = 0
+			} else if bin >= entropyBins {
+				bin = entropyBins - 1
+			}
+			counts[bin]++
+		}
+		var h float64
+		n := float64(len(pop))
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / n
+			h -= p * math.Log(p)
+		}
+		total += h / math.Log(entropyBins)
+	}
+	return total / float64(genes)
+}

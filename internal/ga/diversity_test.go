@@ -1,0 +1,81 @@
+package ga
+
+import (
+	"math"
+	"testing"
+)
+
+func unitBox(d int) Bounds {
+	b := Bounds{Lo: make([]float64, d), Up: make([]float64, d)}
+	for i := range b.Up {
+		b.Up[i] = 1
+	}
+	return b
+}
+
+func TestMeanPairwiseDistance(t *testing.T) {
+	b := unitBox(2)
+
+	// Collapsed population → 0; opposite corners → exactly 1 (the box
+	// diameter normalizes the distance).
+	same := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	if d := MeanPairwiseDistance(same, b); d != 0 {
+		t.Fatalf("collapsed population distance %v, want 0", d)
+	}
+	corners := [][]float64{{0, 0}, {1, 1}}
+	if d := MeanPairwiseDistance(corners, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("corner pair distance %v, want 1", d)
+	}
+
+	// Three collinear points at 0, 1/2, 1 along one axis of a 1-D box:
+	// pair distances 1/2, 1/2, 1 → mean 2/3.
+	line := [][]float64{{0}, {0.5}, {1}}
+	if d := MeanPairwiseDistance(line, unitBox(1)); math.Abs(d-2.0/3) > 1e-12 {
+		t.Fatalf("collinear distance %v, want 2/3", d)
+	}
+
+	// Degenerate cases return 0 rather than NaN.
+	if d := MeanPairwiseDistance([][]float64{{1}}, unitBox(1)); d != 0 {
+		t.Fatalf("singleton distance %v", d)
+	}
+	deg := Bounds{Lo: []float64{3}, Up: []float64{3}}
+	if d := MeanPairwiseDistance(line, deg); d != 0 {
+		t.Fatalf("degenerate-bounds distance %v", d)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	b := unitBox(1)
+
+	// Every individual identical → entropy 0.
+	same := make([][]float64, 32)
+	for i := range same {
+		same[i] = []float64{0.25}
+	}
+	if h := Entropy(same, b); h != 0 {
+		t.Fatalf("converged entropy %v, want 0", h)
+	}
+
+	// One individual per bin → maximal (normalized to 1).
+	uniform := make([][]float64, entropyBins)
+	for i := range uniform {
+		uniform[i] = []float64{(float64(i) + 0.5) / entropyBins}
+	}
+	if h := Entropy(uniform, b); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("uniform entropy %v, want 1", h)
+	}
+
+	// A gene with degenerate bounds contributes 0, pulling the mean down.
+	b2 := Bounds{Lo: []float64{0, 5}, Up: []float64{1, 5}}
+	pop2 := make([][]float64, entropyBins)
+	for i := range pop2 {
+		pop2[i] = []float64{(float64(i) + 0.5) / entropyBins, 5}
+	}
+	if h := Entropy(pop2, b2); math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("half-degenerate entropy %v, want 0.5", h)
+	}
+
+	if h := Entropy(nil, b); h != 0 {
+		t.Fatalf("empty population entropy %v", h)
+	}
+}

@@ -1,0 +1,37 @@
+package gp
+
+// Shape summarizes the size and depth distribution of a GP population —
+// the quantities bloat control watches. Sizes are node counts; depths
+// use the same definition as Tree.Depth (a lone terminal has depth 0).
+type Shape struct {
+	SizeMean  float64
+	SizeMax   int
+	DepthMean float64
+	DepthMax  int
+}
+
+// PopulationShape computes the Shape of pop. An empty population
+// returns the zero Shape.
+func PopulationShape(s *Set, pop []Tree) Shape {
+	var sh Shape
+	if len(pop) == 0 {
+		return sh
+	}
+	var sizeSum, depthSum int
+	for _, t := range pop {
+		sz := t.Size()
+		d := t.Depth(s)
+		sizeSum += sz
+		depthSum += d
+		if sz > sh.SizeMax {
+			sh.SizeMax = sz
+		}
+		if d > sh.DepthMax {
+			sh.DepthMax = d
+		}
+	}
+	n := float64(len(pop))
+	sh.SizeMean = float64(sizeSum) / n
+	sh.DepthMean = float64(depthSum) / n
+	return sh
+}

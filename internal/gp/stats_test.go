@@ -1,0 +1,29 @@
+package gp
+
+import "testing"
+
+func TestPopulationShape(t *testing.T) {
+	s := testSet()
+	parse := func(src string) Tree {
+		tr, err := Parse(s, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	pop := []Tree{
+		parse("c"),             // size 1, depth 0
+		parse("(+ c q)"),       // size 3, depth 1
+		parse("(+ (* c q) d)"), // size 5, depth 2
+	}
+	sh := PopulationShape(s, pop)
+	if sh.SizeMean != 3 || sh.SizeMax != 5 {
+		t.Fatalf("sizes: %+v", sh)
+	}
+	if sh.DepthMean != 1 || sh.DepthMax != 2 {
+		t.Fatalf("depths: %+v", sh)
+	}
+	if got := PopulationShape(s, nil); got != (Shape{}) {
+		t.Fatalf("empty population shape %+v", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"carbon/internal/core"
+	"carbon/internal/telemetry"
 )
 
 // State is a job's position in the lifecycle state machine:
@@ -67,6 +68,7 @@ type job struct {
 	resumed   bool
 	errMsg    string
 	latest    *core.GenStats
+	metrics   *telemetry.Registry // per-job gauges (see metrics.go); nil until first run
 	gens      int
 	result    *ResultRecord
 	cancel    context.CancelCauseFunc // non-nil only while running

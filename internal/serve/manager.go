@@ -397,11 +397,18 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 	cfg := j.spec.Config()
 	cfg.Metrics = m.opts.Metrics
 	cfg.RunLabel = "carbond/" + j.id
+	j.mu.Lock()
+	if j.metrics == nil {
+		j.metrics = telemetry.NewRegistry()
+	}
+	jreg := j.metrics
+	j.mu.Unlock()
 	cfg.Observer = core.FuncObserver{Generation: func(gs core.GenStats) {
 		j.mu.Lock()
 		j.latest = &gs
 		j.gens = gs.Gen
 		j.mu.Unlock()
+		jobMetrics(jreg, gs)
 	}}
 
 	var e *core.Engine

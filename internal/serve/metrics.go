@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"sort"
+
+	"carbon/internal/core"
+	"carbon/internal/telemetry"
+)
+
+// Per-job live metrics. Every running (or finished-this-process) job
+// owns a small registry of gauges fed from its engine's Observer hook —
+// pure snapshot state, off the hot path, never consuming engine RNG.
+// Manager.MetricsTargets renders them as one Prometheus metric family
+// per gauge ("carbond_job_*") with a job="<id>" label per series, next
+// to the aggregate engine registry the manager already keeps.
+
+// jobMetrics copies the interesting fields of a generation snapshot
+// into the job's gauge registry.
+func jobMetrics(reg *telemetry.Registry, gs core.GenStats) {
+	reg.Gauge("generation").Set(float64(gs.Gen))
+	reg.Gauge("ul_evals").Set(float64(gs.ULEvals))
+	reg.Gauge("ll_evals").Set(float64(gs.LLEvals))
+	reg.Gauge("best_revenue").Set(gs.BestRevenue)
+	reg.Gauge("best_gap_pct").Set(gs.BestGap)
+	reg.Gauge("ul_archive_size").Set(float64(gs.ULArchive))
+	reg.Gauge("gp_archive_size").Set(float64(gs.GPArchive))
+	if st := gs.Search; st != nil {
+		reg.Gauge("prey_diversity").Set(st.PreyDiversity)
+		reg.Gauge("prey_entropy").Set(st.PreyEntropy)
+		reg.Gauge("pred_size_mean").Set(st.PredSizeMean)
+		reg.Gauge("gap_p50").Set(st.GapP50)
+	}
+}
+
+// MetricsTargets snapshots the manager's Prometheus targets: the
+// aggregate engine registry (when the manager was built with one) under
+// the "carbond" prefix, then one "carbond_job"-prefixed target per job
+// that has produced generations in this process, labeled job="<id>" and
+// sorted by ID so exposition order is stable. Intended as the prom
+// source for telemetry.DynamicHandler — it is re-invoked per scrape, so
+// jobs submitted after the server started appear automatically.
+func (m *Manager) MetricsTargets() []telemetry.PromTarget {
+	var targets []telemetry.PromTarget
+	if m.opts.Metrics != nil {
+		targets = append(targets, telemetry.PromTarget{Name: "carbond", Registry: m.opts.Metrics})
+	}
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	for _, j := range jobs {
+		j.mu.Lock()
+		reg := j.metrics
+		j.mu.Unlock()
+		if reg == nil {
+			continue
+		}
+		targets = append(targets, telemetry.PromTarget{
+			Name:     "carbond_job",
+			Labels:   map[string]string{"job": j.id},
+			Registry: reg,
+		})
+	}
+	return targets
+}

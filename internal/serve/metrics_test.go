@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"carbon/internal/telemetry"
+)
+
+// TestMetricsTargetsPerJob runs two jobs to completion and checks the
+// manager's Prometheus target set: the aggregate registry first, then
+// one labeled target per job, and a text exposition where each job's
+// series carries its own job label.
+func TestMetricsTargetsPerJob(t *testing.T) {
+	agg := telemetry.NewRegistry()
+	m := newTestManager(t, Options{Metrics: agg})
+
+	var ids []string
+	for seed := uint64(1); seed <= 2; seed++ {
+		st, err := m.Submit(tinySpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitState(t, m, id, StateDone)
+	}
+
+	targets := m.MetricsTargets()
+	if len(targets) != 3 {
+		t.Fatalf("got %d targets, want aggregate + 2 jobs", len(targets))
+	}
+	if targets[0].Name != "carbond" || targets[0].Registry != agg {
+		t.Fatalf("first target is not the aggregate: %+v", targets[0])
+	}
+	for i, id := range ids {
+		tg := targets[i+1]
+		if tg.Name != "carbond_job" || tg.Labels["job"] != id {
+			t.Fatalf("target %d: %+v, want carbond_job{job=%q}", i+1, tg, id)
+		}
+		if g := tg.Registry.Gauge("generation").Load(); g <= 0 {
+			t.Fatalf("job %s generation gauge %v, want > 0", id, g)
+		}
+		// The manager attaches an observer, so v2 search gauges must be
+		// live too.
+		if d := tg.Registry.Gauge("pred_size_mean").Load(); d <= 0 {
+			t.Fatalf("job %s pred_size_mean gauge %v, want > 0", id, d)
+		}
+	}
+
+	var sb strings.Builder
+	if err := telemetry.WritePrometheus(&sb, targets...); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, id := range ids {
+		want := `carbond_job_best_revenue{job="` + id + `"}`
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "# TYPE carbond_job_best_revenue gauge") {
+		t.Fatalf("exposition missing family header:\n%s", text)
+	}
+}
+
+// TestMetricsTargetsEmpty covers a fresh manager (no aggregate
+// registry, no jobs): the target set is empty, not nil-panicky.
+func TestMetricsTargetsEmpty(t *testing.T) {
+	m := newTestManager(t, Options{})
+	if targets := m.MetricsTargets(); len(targets) != 0 {
+		t.Fatalf("idle manager exposes %d targets", len(targets))
+	}
+}

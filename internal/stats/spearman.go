@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Spearman returns the Spearman rank correlation ρ of the paired
+// samples x and y, using average ranks for ties (the textbook
+// definition: Pearson correlation of the rank vectors). It returns 0
+// when the samples have fewer than two pairs, differ in length, or
+// either side is constant — the cases where a correlation is undefined.
+//
+// In CARBON it measures selection pressure: the correlation between
+// parents' fitness and their offspring's fitness within one generation.
+// Values near 1 mean fitness is strongly heritable (selection is
+// driving the search); values near 0 mean variation has decoupled
+// offspring quality from parent quality.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	rx, ry := Ranks(x), Ranks(y)
+	mx, my := Mean(rx), Mean(ry)
+	var sxy, sxx, syy float64
+	for i := range rx {
+		dx, dy := rx[i]-mx, ry[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks assigns 1-based ranks to xs, averaging over ties.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j share a value; each gets the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}

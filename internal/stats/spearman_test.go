@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	if !reflect.DeepEqual(got, []float64{1, 3, 2}) {
+		t.Fatalf("ranks %v", got)
+	}
+	// Ties share the average of the ranks they span: 20,20 at positions
+	// 2 and 3 both get 2.5.
+	got = Ranks([]float64{10, 20, 20, 40})
+	if !reflect.DeepEqual(got, []float64{1, 2.5, 2.5, 4}) {
+		t.Fatalf("tied ranks %v", got)
+	}
+	if got = Ranks(nil); len(got) != 0 {
+		t.Fatalf("empty ranks %v", got)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	up := []float64{10, 20, 30, 40, 50}
+	down := []float64{5, 4, 3, 2, 1}
+
+	// Any monotone relationship is ±1 regardless of scale or shape.
+	if r := Spearman(x, up); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("increasing ρ=%v, want 1", r)
+	}
+	if r := Spearman(x, down); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("decreasing ρ=%v, want -1", r)
+	}
+	exp := []float64{math.Exp(1), math.Exp(2), math.Exp(3), math.Exp(4), math.Exp(5)}
+	if r := Spearman(x, exp); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("nonlinear monotone ρ=%v, want 1", r)
+	}
+
+	// Textbook worked example with a tie.
+	xs := []float64{86, 97, 99, 100, 101, 103, 106, 110, 112, 113}
+	ys := []float64{2, 20, 28, 27, 50, 29, 7, 17, 6, 12}
+	if r := Spearman(xs, ys); math.Abs(r+0.17575757575757575) > 1e-12 {
+		t.Fatalf("worked-example ρ=%v", r)
+	}
+
+	// Undefined cases → 0.
+	if r := Spearman(x, x[:3]); r != 0 {
+		t.Fatalf("length mismatch ρ=%v", r)
+	}
+	if r := Spearman([]float64{1}, []float64{2}); r != 0 {
+		t.Fatalf("single pair ρ=%v", r)
+	}
+	if r := Spearman(x, []float64{7, 7, 7, 7, 7}); r != 0 {
+		t.Fatalf("constant side ρ=%v", r)
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
@@ -11,12 +12,14 @@ import (
 // by core's trace observer and consumed by internal/exp and the CLIs.
 // Emit is safe for concurrent use (island engines log from several
 // goroutines); output is buffered, so call Flush (or Close) before
-// reading the underlying file.
+// reading the underlying file — or enable AutoFlush to push every event
+// as it is written.
 type JSONL struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	c   io.Closer
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	c    io.Closer
+	auto bool
 }
 
 // NewJSONL wraps w in a line-oriented JSON emitter. If w is also an
@@ -30,6 +33,20 @@ func NewJSONL(w io.Writer) *JSONL {
 	return j
 }
 
+// AutoFlush toggles flush-per-event. With it on, an abruptly killed
+// process (SIGKILL, OOM) loses at most the line being written — the
+// durability mode trace observers use, since one small write per
+// generation is noise next to a generation's evaluation cost. It
+// returns j for chaining.
+func (j *JSONL) AutoFlush(on bool) *JSONL {
+	if j != nil {
+		j.mu.Lock()
+		j.auto = on
+		j.mu.Unlock()
+	}
+	return j
+}
+
 // Emit appends v as one JSON line. A nil emitter ignores the event.
 func (j *JSONL) Emit(v any) error {
 	if j == nil {
@@ -37,7 +54,13 @@ func (j *JSONL) Emit(v any) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.enc.Encode(v)
+	if err := j.enc.Encode(v); err != nil {
+		return err
+	}
+	if j.auto {
+		return j.bw.Flush()
+	}
+	return nil
 }
 
 // Flush pushes buffered lines to the underlying writer.
@@ -65,20 +88,49 @@ func (j *JSONL) Close() error {
 }
 
 // DecodeLines parses a JSONL stream, invoking fn on every non-empty
-// line's raw JSON. It stops at the first error.
+// line's raw JSON. It stops at the first error, including one from the
+// stream's final line even if that line is unterminated.
 func DecodeLines(r io.Reader, fn func(json.RawMessage) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	_, err := decodeLines(r, fn, false)
+	return err
+}
+
+// DecodeLinesLenient is DecodeLines for streams that may have been cut
+// off mid-write (a SIGKILLed emitter, a torn copy): an error from fn on
+// the final line is tolerated — but only when that line is missing its
+// terminating newline, the signature of a truncated tail. It reports
+// whether such a tail was dropped. Errors on interior lines still fail:
+// mid-file corruption is corruption, not truncation.
+func DecodeLinesLenient(r io.Reader, fn func(json.RawMessage) error) (truncated bool, err error) {
+	return decodeLines(r, fn, true)
+}
+
+func decodeLines(r io.Reader, fn func(json.RawMessage) error, lenient bool) (bool, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	for {
+		line, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return false, err
 		}
-		raw := make(json.RawMessage, len(line))
-		copy(raw, line)
-		if err := fn(raw); err != nil {
-			return err
+		final := false
+		if atEOF {
+			final = true // no newline on this chunk: the stream ended mid-line
+		}
+		line = bytes.TrimSuffix(line, []byte{'\n'})
+		line = bytes.TrimSuffix(line, []byte{'\r'})
+		if len(line) > 0 {
+			raw := make(json.RawMessage, len(line))
+			copy(raw, line)
+			if ferr := fn(raw); ferr != nil {
+				if lenient && final {
+					return true, nil
+				}
+				return false, ferr
+			}
+		}
+		if atEOF {
+			return false, nil
 		}
 	}
-	return sc.Err()
 }

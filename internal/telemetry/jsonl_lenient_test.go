@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func collectLines(t *testing.T, src string, lenient bool) (n int, truncated bool, err error) {
+	t.Helper()
+	fn := func(raw json.RawMessage) error {
+		var v map[string]any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	if lenient {
+		truncated, err = DecodeLinesLenient(strings.NewReader(src), fn)
+		return
+	}
+	err = DecodeLines(strings.NewReader(src), fn)
+	return
+}
+
+// TestDecodeLinesLenientTruncatedTail: a stream cut mid-line (the
+// signature a SIGKILLed emitter leaves) parses up to the cut, reports
+// the truncation, and returns no error.
+func TestDecodeLinesLenientTruncatedTail(t *testing.T) {
+	src := `{"gen":1}` + "\n" + `{"gen":2}` + "\n" + `{"gen":3,"best":12.`
+	n, truncated, err := collectLines(t, src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("truncated tail not reported")
+	}
+	if n != 2 {
+		t.Fatalf("parsed %d lines, want 2", n)
+	}
+
+	// The strict decoder must still reject the same stream.
+	if _, _, err := collectLines(t, src, false); err == nil {
+		t.Fatal("strict DecodeLines accepted a truncated tail")
+	}
+}
+
+// TestDecodeLinesLenientMidFileCorruption: garbage on an interior line
+// is corruption, not truncation — lenient mode still fails.
+func TestDecodeLinesLenientMidFileCorruption(t *testing.T) {
+	src := `{"gen":1}` + "\n" + `{"gen":2,"bro` + "\n" + `{"gen":3}` + "\n"
+	if _, _, err := collectLines(t, src, true); err == nil {
+		t.Fatal("interior corruption tolerated")
+	}
+}
+
+// TestDecodeLinesLenientCompleteFinalLineNoNewline: a final line that is
+// valid JSON but lost only its newline is accepted, not dropped.
+func TestDecodeLinesLenientCompleteFinalLineNoNewline(t *testing.T) {
+	src := `{"gen":1}` + "\n" + `{"gen":2}`
+	n, truncated, err := collectLines(t, src, true)
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	if n != 2 {
+		t.Fatalf("parsed %d lines, want 2", n)
+	}
+}
+
+func TestDecodeLinesBlankAndCRLF(t *testing.T) {
+	src := "\n" + `{"a":1}` + "\r\n" + "\n" + `{"b":2}` + "\n"
+	n, truncated, err := collectLines(t, src, true)
+	if err != nil || truncated || n != 2 {
+		t.Fatalf("n=%d truncated=%v err=%v", n, truncated, err)
+	}
+}
+
+// TestJSONLAutoFlush: with AutoFlush on, every emitted event is visible
+// in the sink without Flush — so a kill between generations loses
+// nothing already emitted.
+func TestJSONLAutoFlush(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf).AutoFlush(true)
+	for i := 0; i < 3; i++ {
+		if err := j.Emit(map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Count(buf.String(), "\n"); got != i+1 {
+			t.Fatalf("after emit %d the sink holds %d lines", i, got)
+		}
+	}
+	// Default (no AutoFlush): buffered until Flush.
+	var buf2 bytes.Buffer
+	j2 := NewJSONL(&buf2)
+	if err := j2.Emit(map[string]int{"i": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.Len() != 0 {
+		t.Fatal("unflushed emitter wrote through")
+	}
+	if err := j2.Flush(); err != nil || buf2.Len() == 0 {
+		t.Fatalf("flush failed: %v", err)
+	}
+	var nilJ *JSONL
+	if nilJ.AutoFlush(true) != nil || nilJ.Emit(1) != nil {
+		t.Fatal("nil emitter must no-op")
+	}
+	if errors.Is(nilJ.Close(), errors.New("x")) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromTarget is one labeled registry to render in Prometheus text
+// exposition format. Name prefixes every metric (after sanitization),
+// so targets with the same Name and different Labels merge into one
+// metric family with one series per target — the shape carbond uses
+// for per-job labels.
+type PromTarget struct {
+	Name     string            // metric-name prefix, e.g. "carbon" or "carbond_job"
+	Labels   map[string]string // extra labels stamped on every series
+	Registry *Registry         // nil renders nothing for this target
+}
+
+// WritePrometheus renders the targets in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled over Registry.Snapshot — no
+// client library involved:
+//
+//   - counters      → TYPE counter
+//   - gauges        → TYPE gauge
+//   - timers        → TYPE summary: <name>_seconds_count / _seconds_sum
+//   - histograms    → TYPE histogram: cumulative <name>_bucket{le=...},
+//     an explicit le="+Inf" bucket, <name>_sum and <name>_count
+//
+// Metric names are sanitized to [a-zA-Z0-9_:] and label values escaped
+// per the format spec. Families are emitted in sorted name order with
+// exactly one HELP/TYPE header each, so output is deterministic and
+// scrapes cleanly.
+func WritePrometheus(w io.Writer, targets ...PromTarget) error {
+	type series struct {
+		target PromTarget
+		value  any
+	}
+	families := map[string]*struct {
+		orig string
+		kind string
+		ss   []series
+	}{}
+	names := []string{}
+	for _, t := range targets {
+		snap := t.Registry.Snapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := snap[k]
+			kind := promKind(v)
+			if kind == "" {
+				continue
+			}
+			full := promName(t.Name + "_" + k)
+			if kind == "summary" {
+				full += "_seconds"
+			}
+			fam, ok := families[full]
+			if !ok {
+				fam = &struct {
+					orig string
+					kind string
+					ss   []series
+				}{orig: t.Name + "/" + k, kind: kind}
+				families[full] = fam
+				names = append(names, full)
+			}
+			if fam.kind != kind {
+				continue // name collision across incompatible kinds: keep the first
+			}
+			fam.ss = append(fam.ss, series{target: t, value: v})
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s CARBON metric %s.\n# TYPE %s %s\n",
+			name, promEscapeHelp(fam.orig), name, fam.kind); err != nil {
+			return err
+		}
+		for _, s := range fam.ss {
+			if err := writePromSeries(w, name, s.target.Labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promKind maps a Snapshot value onto its exposition type.
+func promKind(v any) string {
+	switch v.(type) {
+	case int64:
+		return "counter"
+	case float64:
+		return "gauge"
+	case map[string]int64:
+		return "summary"
+	case HistSnapshot:
+		return "histogram"
+	}
+	return ""
+}
+
+func writePromSeries(w io.Writer, name string, labels map[string]string, v any) error {
+	lbl := promLabels(labels)
+	switch x := v.(type) {
+	case int64:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, lbl, x)
+		return err
+	case float64:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, lbl, promFloat(x))
+		return err
+	case map[string]int64:
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, x["count"]); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, lbl, promFloat(float64(x["total_ns"])/1e9))
+		return err
+	case HistSnapshot:
+		cum := int64(0)
+		for i, bound := range x.Bounds {
+			cum += x.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, promLabelsWith(labels, "le", promFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, promLabelsWith(labels, "le", "+Inf"), x.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, lbl, promFloat(x.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, x.Count)
+		return err
+	}
+	return nil
+}
+
+// promName sanitizes a dotted instrument name into the exposition
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabels renders {k="v",...} with keys sorted, or "" when empty.
+func promLabels(labels map[string]string) string {
+	return promLabelsWith(labels, "", "")
+}
+
+// promLabelsWith is promLabels plus one extra pair appended last (used
+// for histogram le labels). extraKey=="" omits the extra pair.
+func promLabelsWith(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscapeLabel escapes a label value: backslash, double quote and
+// line feed, per the exposition format.
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// promEscapeHelp escapes a HELP text: backslash and line feed only.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func promFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

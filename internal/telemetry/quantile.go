@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// QuantileSketch is a deterministic fixed-memory streaming quantile
+// estimator. Values are held as (value, weight) pairs; when the buffer
+// fills it is re-summarized: sorted by value, then collapsed to
+// capacity/2 representatives placed at evenly spaced mass midpoints of
+// the weighted distribution, each carrying an equal share of the total
+// weight. Each compaction perturbs ranks by at most one representative
+// share, and because the stream at least doubles between compactions
+// the accumulated rank error stays O(1/capacity) of the total count.
+// Answers depend only on the insertion sequence — never on timing,
+// goroutine scheduling or map order — which is what lets the engine
+// publish %-gap quantiles without breaking its bit-reproducibility
+// contract (values must still be fed in a deterministic order; the
+// engine feeds them in pairing-index order).
+//
+// Exact count, min and max are tracked on the side, so Quantile(0) and
+// Quantile(1) are always exact. For streams no longer than the capacity
+// every quantile is exact.
+type QuantileSketch struct {
+	capacity int
+	items    []qItem
+	sorted   bool
+	count    int64
+	min, max float64
+}
+
+type qItem struct {
+	v float64
+	w float64
+}
+
+// DefaultSketchSize is the buffer capacity used when NewQuantileSketch
+// is given a non-positive one: exact up to 512 values, ~1% rank error
+// far beyond that.
+const DefaultSketchSize = 512
+
+// NewQuantileSketch returns an empty sketch with the given buffer
+// capacity (values held before the first compaction).
+func NewQuantileSketch(capacity int) *QuantileSketch {
+	if capacity <= 0 {
+		capacity = DefaultSketchSize
+	}
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &QuantileSketch{capacity: capacity}
+}
+
+// Reset empties the sketch for reuse without releasing its buffer.
+func (s *QuantileSketch) Reset() {
+	if s == nil {
+		return
+	}
+	s.items = s.items[:0]
+	s.sorted = false
+	s.count = 0
+	s.min, s.max = 0, 0
+}
+
+// Add records one value. NaN values are ignored (they have no place in
+// an order statistic). A nil sketch ignores the update.
+func (s *QuantileSketch) Add(x float64) {
+	if s == nil || math.IsNaN(x) {
+		return
+	}
+	if s.count == 0 || x < s.min {
+		s.min = x
+	}
+	if s.count == 0 || x > s.max {
+		s.max = x
+	}
+	s.count++
+	s.items = append(s.items, qItem{v: x, w: 1})
+	s.sorted = false
+	if len(s.items) >= s.capacity {
+		s.compact()
+	}
+}
+
+// compact halves the buffer: sort by value, then replace the weighted
+// point set with capacity/2 equi-weight representatives, the j-th taken
+// at the value covering mass (j+0.5)/k of the sorted distribution.
+// Total weight is preserved.
+func (s *QuantileSketch) compact() {
+	s.sortItems()
+	var total float64
+	for _, it := range s.items {
+		total += it.w
+	}
+	k := s.capacity / 2
+	out := make([]qItem, 0, k)
+	share := total / float64(k)
+	idx := 0
+	cum := 0.0
+	for j := 0; j < k; j++ {
+		target := (float64(j) + 0.5) * share
+		for idx < len(s.items)-1 && cum+s.items[idx].w < target {
+			cum += s.items[idx].w
+			idx++
+		}
+		out = append(out, qItem{v: s.items[idx].v, w: share})
+	}
+	s.items = append(s.items[:0], out...)
+	s.sorted = true
+}
+
+func (s *QuantileSketch) sortItems() {
+	if s.sorted {
+		return
+	}
+	sort.Slice(s.items, func(i, j int) bool { return s.items[i].v < s.items[j].v })
+	s.sorted = true
+}
+
+// Count returns the number of values added; a nil sketch reads as zero.
+func (s *QuantileSketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Min returns the smallest value added (exact; zero when empty).
+func (s *QuantileSketch) Min() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest value added (exact; zero when empty).
+func (s *QuantileSketch) Max() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns an estimate of the q-quantile (q clamped to [0,1]).
+// Quantile(0) and Quantile(1) return the exact min and max. An empty or
+// nil sketch returns zero.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	s.sortItems()
+	var total float64
+	for _, it := range s.items {
+		total += it.w
+	}
+	target := q * total
+	cum := 0.0
+	for _, it := range s.items {
+		cum += it.w
+		if cum >= target {
+			return it.v
+		}
+	}
+	return s.max
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileSketchExactSmall(t *testing.T) {
+	s := NewQuantileSketch(128)
+	for i := 100; i >= 1; i-- { // 1..100, fed in reverse
+		s.Add(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("count %d, want 100", s.Count())
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 50}, {0.9, 90}, {1, 100},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1 {
+			t.Fatalf("q%.2f = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileSketchApproximate streams far more values than the buffer
+// holds and checks the rank error stays small on a uniform ramp.
+func TestQuantileSketchApproximate(t *testing.T) {
+	s := NewQuantileSketch(256)
+	n := 50_000
+	for i := 0; i < n; i++ {
+		// A deterministic scrambled order (multiplicative hash walk).
+		v := float64((i*2654435761)%n) / float64(n)
+		s.Add(v)
+	}
+	if s.Count() != int64(n) {
+		t.Fatalf("count %d, want %d", s.Count(), n)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := s.Quantile(q)
+		if math.Abs(got-q) > 0.05 {
+			t.Fatalf("q%.2f = %v, want within 0.05", q, got)
+		}
+	}
+	if s.Quantile(0) != s.Min() || s.Quantile(1) != s.Max() {
+		t.Fatal("extremes are not exact")
+	}
+}
+
+// TestQuantileSketchDeterministic: identical insertion sequences must
+// produce identical estimates — the property the engine's determinism
+// contract rides on.
+func TestQuantileSketchDeterministic(t *testing.T) {
+	build := func() *QuantileSketch {
+		s := NewQuantileSketch(64)
+		for i := 0; i < 10_000; i++ {
+			s.Add(math.Sin(float64(i)))
+		}
+		return s
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q%.1f differs between identical streams", q)
+		}
+	}
+}
+
+func TestQuantileSketchResetAndNil(t *testing.T) {
+	s := NewQuantileSketch(32)
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("reset sketch not empty")
+	}
+	s.Add(7)
+	if s.Quantile(0.5) != 7 || s.Min() != 7 || s.Max() != 7 {
+		t.Fatal("sketch unusable after reset")
+	}
+	s.Add(math.NaN())
+	if s.Count() != 1 {
+		t.Fatal("NaN was counted")
+	}
+	var nilSketch *QuantileSketch
+	nilSketch.Add(1)
+	nilSketch.Reset()
+	if nilSketch.Quantile(0.5) != 0 || nilSketch.Count() != 0 {
+		t.Fatal("nil sketch must read as zero")
+	}
+}

@@ -6,17 +6,28 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 )
 
 // Handler exposes live introspection over HTTP:
 //
-//	/metrics       JSON snapshot of every passed registry
-//	/debug/vars    expvar (includes registries published via PublishExpvar)
-//	/debug/pprof/  the full pprof suite (profile, heap, trace, ...)
+//	/metrics              JSON snapshot of every passed registry
+//	/metrics/prometheus   the same registries in Prometheus text format
+//	/debug/vars           expvar (includes registries published via PublishExpvar)
+//	/debug/pprof/         the full pprof suite (profile, heap, trace, ...)
 //
 // The pprof handlers are wired explicitly onto a private mux, so
 // importing this package never mutates http.DefaultServeMux.
 func Handler(regs map[string]*Registry) http.Handler {
+	return DynamicHandler(func() map[string]*Registry { return regs }, nil)
+}
+
+// DynamicHandler is Handler with late-bound sources: snap is re-invoked
+// on every request (so the registry set can grow while serving — e.g.
+// carbond jobs appearing), and prom, when non-nil, supplies the labeled
+// targets for /metrics/prometheus. A nil prom derives unlabeled targets
+// from snap, one per registry, named by its map key.
+func DynamicHandler(snap func() map[string]*Registry, prom func() []PromTarget) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -25,14 +36,33 @@ func Handler(regs map[string]*Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		snap := make(map[string]map[string]any, len(regs))
+		regs := snap()
+		out := make(map[string]map[string]any, len(regs))
 		for name, r := range regs {
-			snap[name] = r.Snapshot()
+			out[name] = r.Snapshot()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
-		_ = enc.Encode(snap)
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/metrics/prometheus", func(w http.ResponseWriter, _ *http.Request) {
+		var targets []PromTarget
+		if prom != nil {
+			targets = prom()
+		} else {
+			regs := snap()
+			names := make([]string, 0, len(regs))
+			for name := range regs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				targets = append(targets, PromTarget{Name: name, Registry: regs[name]})
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, targets...)
 	})
 	return mux
 }
