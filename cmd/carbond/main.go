@@ -7,6 +7,16 @@
 //
 //	carbond [-addr :8321] [-spool spool] [-jobs 1] [-queue 16]
 //	        [-checkpoint-every 25] [-metrics-addr :8080]
+//	        [-max-attempts 3] [-retry-backoff 250ms] [-attempt-timeout 0]
+//	        [-fault ""] [-fault-seed 1]
+//
+// A job that fails retryably (an evaluation fault, a spool I/O error,
+// an attempt timeout) is retried from its last clean checkpoint with
+// exponential backoff, up to -max-attempts; an exhausted job is
+// dead-lettered (state "dead", attempts preserved across restarts).
+// -fault arms deterministic fault injection for chaos drills, e.g.
+// "lp.solve:every=1,after=30,limit=8;spool.write:prob=0.1" — never set
+// it in production.
 //
 // API (see README "Serving" for examples):
 //
@@ -27,9 +37,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"carbon/internal/fault"
 	"carbon/internal/serve"
 	"carbon/internal/telemetry"
 )
@@ -43,8 +55,23 @@ func main() {
 		ckEvery  = flag.Int("checkpoint-every", 25, "checkpoint running jobs every N generations")
 		metricsA = flag.String("metrics-addr", "", "also serve the telemetry mux on this separate address")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to checkpoint running jobs on shutdown")
+		attempts = flag.Int("max-attempts", 3, "executions per job before it is dead-lettered")
+		backoff  = flag.Duration("retry-backoff", 250*time.Millisecond, "base delay between attempts (doubles per retry, jittered)")
+		attemptT = flag.Duration("attempt-timeout", 0, "wall-clock bound per attempt (0 = none; retryable, unlike a spec timeout)")
+		faultS   = flag.String("fault", "", "fault-injection spec for chaos drills, e.g. \"lp.solve:every=1,after=30,limit=8\"")
+		faultSd  = flag.Uint64("fault-seed", 1, "seed for probabilistic fault decisions")
 	)
 	flag.Parse()
+
+	inj, err := fault.Parse(*faultS, *faultSd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbond:", err)
+		os.Exit(1)
+	}
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "carbond: FAULT INJECTION ARMED (seed %d): %s\n",
+			*faultSd, strings.Join(inj.Names(), ", "))
+	}
 
 	reg := telemetry.NewRegistry()
 	mgr, err := serve.NewManager(serve.Options{
@@ -53,6 +80,11 @@ func main() {
 		SpoolDir:        *spool,
 		CheckpointEvery: *ckEvery,
 		Metrics:         reg,
+		MaxAttempts:     *attempts,
+		RetryBackoff:    *backoff,
+		AttemptTimeout:  *attemptT,
+		RetrySeed:       *faultSd,
+		Fault:           inj,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbond:", err)

@@ -1,0 +1,360 @@
+// Command chaossmoke is the fault-injection gate for carbond (run via
+// `make chaos-smoke`). Where serve-smoke proves crash recovery on a
+// healthy evaluator, chaossmoke turns the dials the other way: the
+// server runs with injected LP-solve failures, torn checkpoint writes
+// and torn spool writes — and is SIGKILLed mid-run on top — and must
+// still deliver:
+//
+//  1. zero accepted jobs lost: every submitted job is listed and
+//     reaches a terminal state across restarts;
+//  2. bit-identical survivors: every job that completes matches the
+//     fault-free in-process reference exactly — retries resume from the
+//     last clean checkpoint, so faults cost time, never bits;
+//  3. honest dead-letters: under a permanent outage a job dies after
+//     exactly -max-attempts attempts, reports them, and a restarted
+//     server still knows it is dead instead of re-running it.
+//
+// Any divergence, hang, lost job or silent retry loop exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"time"
+
+	"carbon/internal/core"
+	"carbon/internal/serve"
+)
+
+// chaosFaults is the phase-1 injection spec: a finite LP outage opening
+// mid-run (limit 6, so retries can outlast it), two torn checkpoint
+// writes and one torn spool write. Finite windows are the point — the
+// server must absorb them, not merely report them.
+const chaosFaults = "lp.solve:every=1,after=30,limit=6;" +
+	"checkpoint.write:every=4,limit=2;" +
+	"spool.write:every=3,limit=1"
+
+// smokeSpec mirrors servesmoke's: fully explicit, ~100 generations on
+// the 60x5 class.
+func smokeSpec(seed uint64) serve.JobSpec {
+	return serve.JobSpec{
+		N: 60, M: 5, Instance: 3, Customers: 1,
+		Seed: seed, Pop: 16, ULEvals: 1600, LLEvals: 4800,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+// tinySpec finishes in well under a second — sized for the dead-letter
+// phase, where the job never completes anyway.
+func tinySpec(seed uint64) serve.JobSpec {
+	s := smokeSpec(seed)
+	s.ULEvals, s.LLEvals = 160, 480
+	return s
+}
+
+func main() {
+	carbond := flag.String("carbond", "", "prebuilt carbond binary (default: go build it)")
+	flag.Parse()
+
+	work, err := os.MkdirTemp("", "carbon-chaos-*")
+	die(err)
+	defer os.RemoveAll(work)
+
+	bin := *carbond
+	if bin == "" {
+		bin = filepath.Join(work, "carbond")
+		step("building carbond")
+		out, err := exec.Command("go", "build", "-o", bin, "carbon/cmd/carbond").CombinedOutput()
+		if err != nil {
+			fatalf("go build carbond: %v\n%s", err, out)
+		}
+	}
+
+	step("computing fault-free reference runs (in-process)")
+	refA := reference(smokeSpec(7))
+	refB := reference(smokeSpec(8))
+
+	// --- Phase 1: finite faults + SIGKILL; both jobs must survive ---
+	step("phase 1: LP outage + torn writes + SIGKILL")
+	spool := filepath.Join(work, "spool")
+	chaosArgs := []string{
+		"-fault", chaosFaults, "-fault-seed", "1",
+		"-max-attempts", "10", "-retry-backoff", "25ms",
+	}
+	srv := start(bin, spool, chaosArgs...)
+	idA := submit(srv.addr, smokeSpec(7))
+	idB := submit(srv.addr, smokeSpec(8))
+	waitGens(srv.addr, idA, 4)
+	step("SIGKILL at >=4 generations")
+	die(srv.cmd.Process.Kill())
+	_ = srv.cmd.Wait() // non-zero exit expected: it was murdered
+	mustExist(filepath.Join(spool, idA+".job.json"))
+	mustExist(filepath.Join(spool, idB+".job.json"))
+
+	step("restarting into the same fault schedule")
+	srv = start(bin, spool, chaosArgs...)
+	if got := listIDs(srv.addr); !got[idA] || !got[idB] {
+		fatalf("accepted jobs lost across the crash: have %v, want %s and %s", got, idA, idB)
+	}
+	stA := waitDone(srv.addr, idA)
+	stB := waitDone(srv.addr, idB)
+	for _, st := range []serve.Status{stA, stB} {
+		if st.Attempts < 1 {
+			fatalf("job %s reports %d attempts — retry accounting lost", st.ID, st.Attempts)
+		}
+	}
+	compare("chaos-survivor A", result(srv.addr, idA), refA)
+	compare("chaos-survivor B", result(srv.addr, idB), refB)
+	fmt.Println("phase 1 OK: zero jobs lost, both survivors bit-identical")
+
+	die(srv.cmd.Process.Signal(syscall.SIGTERM))
+	if err := srv.cmd.Wait(); err != nil {
+		fatalf("drain exit after phase 1: %v (want clean exit 0)", err)
+	}
+
+	// --- Phase 2: permanent outage → honest dead-letter ---
+	step("phase 2: permanent LP outage, dead-letter after 3 attempts")
+	spool2 := filepath.Join(work, "spool2")
+	srv = start(bin, spool2,
+		"-fault", "lp.solve:every=1",
+		"-max-attempts", "3", "-retry-backoff", "10ms")
+	idC := submit(srv.addr, tinySpec(9))
+	stC := waitState(srv.addr, idC, serve.StateDead)
+	if stC.Attempts != 3 {
+		fatalf("dead job %s reports %d attempts, want 3", idC, stC.Attempts)
+	}
+	if stC.Error == "" {
+		fatalf("dead job %s carries no error", idC)
+	}
+	if code := resultCode(srv.addr, idC); code != http.StatusConflict {
+		fatalf("result of a dead job: HTTP %d, want 409", code)
+	}
+	die(srv.cmd.Process.Signal(syscall.SIGTERM))
+	if err := srv.cmd.Wait(); err != nil {
+		fatalf("drain exit after dead-letter: %v", err)
+	}
+
+	step("restarting fault-free: the dead job must stay dead")
+	srv = start(bin, spool2)
+	got, err := getStatus(srv.addr, idC)
+	die(err)
+	if got.State != serve.StateDead || got.Attempts != 3 || got.Error == "" {
+		fatalf("recovered dead job: state %s, attempts %d, error %q — want dead/3/non-empty",
+			got.State, got.Attempts, got.Error)
+	}
+	fmt.Println("phase 2 OK: dead-lettered after 3 attempts, state survives restart")
+
+	die(srv.cmd.Process.Signal(syscall.SIGTERM))
+	if err := srv.cmd.Wait(); err != nil {
+		fatalf("final shutdown: %v", err)
+	}
+	fmt.Println("chaos-smoke PASS")
+}
+
+// reference runs the spec uninterrupted and fault-free in this process.
+func reference(spec serve.JobSpec) *core.Result {
+	mk, err := spec.Market()
+	die(err)
+	res, err := core.Run(mk, spec.Config())
+	die(err)
+	return res
+}
+
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// start launches carbond on an ephemeral port and parses the bound
+// address from its stdout banner.
+func start(bin, spool string, extra ...string) *server {
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-spool", spool, "-jobs", "1", "-checkpoint-every", "1"},
+		extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	die(err)
+	die(cmd.Start())
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, after, ok := strings.Cut(line, "serving on "); ok {
+			addr := strings.Fields(after)[0]
+			go func() { // drain the rest so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			waitHealthy(addr)
+			return &server{cmd: cmd, addr: addr}
+		}
+	}
+	fatalf("carbond exited before announcing its address")
+	return nil
+}
+
+func waitHealthy(addr string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/jobs")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("carbond on %s never became healthy", addr)
+}
+
+func submit(addr string, spec serve.JobSpec) string {
+	var buf bytes.Buffer
+	die(json.NewEncoder(&buf).Encode(spec))
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", &buf)
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st serve.Status
+	die(json.NewDecoder(resp.Body).Decode(&st))
+	fmt.Printf("submitted %s (seed %d)\n", st.ID, spec.Seed)
+	return st.ID
+}
+
+func getStatus(addr, id string) (serve.Status, error) {
+	var st serve.Status
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func listIDs(addr string) map[string]bool {
+	resp, err := http.Get("http://" + addr + "/v1/jobs")
+	die(err)
+	defer resp.Body.Close()
+	var sts []serve.Status
+	die(json.NewDecoder(resp.Body).Decode(&sts))
+	ids := make(map[string]bool, len(sts))
+	for _, st := range sts {
+		ids[st.ID] = true
+	}
+	return ids
+}
+
+// waitGens blocks until the job has completed at least n generations.
+// Retries may reset Gens between polls; any sighting of n suffices.
+func waitGens(addr, id string, n int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		if st.State == serve.StateDone {
+			fatalf("job %s finished before reaching %d generations — budgets too small to interrupt", id, n)
+		}
+		if st.Gens >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fatalf("job %s never reached generation %d", id, n)
+}
+
+func waitState(addr, id string, want serve.State) serve.Status {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			fatalf("job %s ended %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("job %s never reached %s", id, want)
+	return serve.Status{}
+}
+
+func waitDone(addr, id string) serve.Status {
+	return waitState(addr, id, serve.StateDone)
+}
+
+func result(addr, id string) *serve.ResultRecord {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id + "/result")
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("result: HTTP %d", resp.StatusCode)
+	}
+	var rec serve.ResultRecord
+	die(json.NewDecoder(resp.Body).Decode(&rec))
+	return &rec
+}
+
+func resultCode(addr, id string) int {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id + "/result")
+	die(err)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// compare asserts the served result is bit-identical to the fault-free
+// reference — the strongest possible statement that retries recovered
+// the run rather than papering over a degraded one.
+func compare(label string, rec *serve.ResultRecord, want *core.Result) {
+	if rec.Gens != want.Gens || rec.ULEvals != want.ULEvals || rec.LLEvals != want.LLEvals {
+		fatalf("%s: budget trace diverged: got %d gens %d/%d, want %d gens %d/%d",
+			label, rec.Gens, rec.ULEvals, rec.LLEvals, want.Gens, want.ULEvals, want.LLEvals)
+	}
+	if rec.BestRevenue != want.Best.Revenue || rec.BestGapPct != want.Best.GapPct ||
+		rec.BestTree != want.Best.TreeStr {
+		fatalf("%s: best pairing diverged:\n got  (%v, %q, %v)\n want (%v, %q, %v)",
+			label, rec.BestRevenue, rec.BestTree, rec.BestGapPct,
+			want.Best.Revenue, want.Best.TreeStr, want.Best.GapPct)
+	}
+	if !reflect.DeepEqual(rec.BestPrice, want.Best.Price) {
+		fatalf("%s: best price vector diverged", label)
+	}
+	if !reflect.DeepEqual(rec.ULCurveX, want.ULCurve.X) || !reflect.DeepEqual(rec.ULCurveY, want.ULCurve.Y) ||
+		!reflect.DeepEqual(rec.GapCurveX, want.GapCurve.X) || !reflect.DeepEqual(rec.GapCurveY, want.GapCurve.Y) {
+		fatalf("%s: convergence curves diverged", label)
+	}
+	fmt.Printf("%s: %d gens, best F %.4f, gap %.4f%% — exact match\n",
+		label, rec.Gens, rec.BestRevenue, rec.BestGapPct)
+}
+
+func mustExist(path string) {
+	if _, err := os.Stat(path); err != nil {
+		fatalf("expected spool file: %v", err)
+	}
+}
+
+func step(msg string) { fmt.Println("== " + msg) }
+
+func die(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaossmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -283,6 +283,7 @@ type EvalMetrics struct {
 	EvalTime    *telemetry.Timer     // latency of one paired evaluation
 	EvalLatency *telemetry.Histogram // same latency, µs buckets
 	GapPct      *telemetry.Histogram // %-gap distribution of feasible answers
+	Faults      *telemetry.Counter   // evaluations quarantined after an LP/heuristic failure
 }
 
 // NewEvalMetrics registers the evaluator instruments in reg under the
@@ -303,6 +304,7 @@ func NewEvalMetrics(reg *telemetry.Registry) *EvalMetrics {
 		EvalTime:    reg.Timer("bcpop.eval_time"),
 		EvalLatency: reg.Histogram("bcpop.eval_latency_us", telemetry.ExpBuckets(10, 2, 16)...),
 		GapPct:      reg.Histogram("bcpop.gap_pct", 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500),
+		Faults:      reg.Counter("bcpop.eval_faults"),
 	}
 }
 
@@ -339,6 +341,13 @@ type Evaluator struct {
 	// Metrics, when non-nil, receives hot-path telemetry. It may be
 	// shared with other evaluators (all updates are atomic).
 	Metrics *EvalMetrics
+
+	// EvalFault, when non-nil, is consulted at the start of every
+	// cached paired evaluation (EvalTreeWith); a non-nil return aborts
+	// that evaluation. It models heuristic-side failures the same way
+	// the relaxer's fault hook models LP failures — fault injection
+	// only, nil in production.
+	EvalFault func() error
 }
 
 // NewEvaluator builds an evaluator for the market using the Table I
@@ -370,6 +379,12 @@ func (ev *Evaluator) Market() *Market { return ev.mk }
 // evaluation results independent of earlier generations' solver history
 // (the checkpoint/resume determinism contract).
 func (ev *Evaluator) ResetWarm() { ev.relaxer.Reset() }
+
+// SetLPFault installs (or, with nil, clears) a fault hook on the
+// evaluator's warm LP relaxer: consulted before every relaxation solve,
+// a non-nil return fails that solve without disturbing solver state.
+// Fault injection only; never set in production.
+func (ev *Evaluator) SetLPFault(h func() error) { ev.relaxer.SetFault(h) }
 
 // Relax computes the LP relaxation of the induced instance for a pricing
 // decision. The returned Relaxation aliases solver state that is

@@ -89,6 +89,11 @@ func (ev *Evaluator) Prepare(price []float64) (*Prepared, error) {
 // Metrics.LPSolves. Semantically it is EvalTree(p.Price, tree) minus
 // the redundant solve: both charge one LL evaluation (Evals).
 func (ev *Evaluator) EvalTreeWith(p *Prepared, tree gp.Tree) (Result, []bool, error) {
+	if ev.EvalFault != nil {
+		if err := ev.EvalFault(); err != nil {
+			return Result{}, nil, err
+		}
+	}
 	var t0 time.Time
 	if ev.Metrics != nil {
 		t0 = time.Now()

@@ -134,6 +134,20 @@ type Config struct {
 	// RunLabel tags this run's trace events (GenStats.Label) so
 	// interleaved multi-run traces can be demultiplexed.
 	RunLabel string
+
+	// --- Fault injection (testing/chaos only; nil in production). ---
+
+	// LPFault, when non-nil, is installed on every worker evaluator's
+	// warm LP solver and consulted before each relaxation solve; a
+	// non-nil return fails that solve. The engine quarantines the
+	// affected prey for the generation instead of failing the run (see
+	// Engine.Faults).
+	LPFault func() error
+
+	// EvalFault, like LPFault, but consulted at the start of every
+	// cached paired evaluation — it models heuristic-side failures. A
+	// strike quarantines the predator (or prey) being evaluated.
+	EvalFault func() error
 }
 
 // DefaultConfig returns the paper's Table II parameter column for CARBON.
@@ -223,6 +237,7 @@ type Result struct {
 	ULEvals   int
 	LLEvals   int
 	Gens      int
+	Faults    int          // evaluations quarantined over the run (0 unless faults were injected or the LP misbehaved)
 	Label     string       // Config.RunLabel, tags multi-run outputs
 	Island    int          // island index; 0 for single-engine runs
 	ULCurve   stats.Series // x: total evals consumed, y: best archived F

@@ -22,15 +22,28 @@ func (c *Config) fingerprint(mk *bcpop.Market) string {
 		c.CostFitness, !c.NoElimination, c.ULVariation)
 }
 
+// ErrDegraded marks an engine whose run quarantined at least one
+// evaluation (Engine.Faults > 0). Such an engine keeps running —
+// degradation is graceful — but it refuses to Snapshot: the quarantined
+// generations evolved on substituted worst-known fitness, so resuming
+// from the snapshot could never replay bit-identically against a
+// fault-free run. Callers that need exact resumability (carbond) treat
+// ErrDegraded as "retry from the last clean checkpoint".
+var ErrDegraded = errors.New("core: engine degraded by quarantined evaluations")
+
 // Snapshot captures the engine between Steps as a serializable
 // checkpoint.State. Restoring the state continues the run *exactly* as
 // if it had never stopped: populations, archives, budget counters,
 // curves and the PRNG stream all resume in place. A failed engine
 // (Err() != nil) refuses to snapshot — its state is whatever the failing
-// generation left behind, not a resumable frontier.
+// generation left behind, not a resumable frontier — and so does a
+// degraded one (Faults() > 0, see ErrDegraded).
 func (e *Engine) Snapshot() (*checkpoint.State, error) {
-	if e.err != nil {
-		return nil, fmt.Errorf("core: snapshot of failed engine: %w", e.err)
+	if err := e.Err(); err != nil {
+		return nil, fmt.Errorf("core: snapshot of failed engine: %w", err)
+	}
+	if n := e.Faults(); n > 0 {
+		return nil, fmt.Errorf("core: snapshot after %d quarantined evaluations: %w", n, ErrDegraded)
 	}
 	st := &checkpoint.State{
 		Fingerprint: e.cfg.fingerprint(e.mk),

@@ -209,10 +209,11 @@ func TestSnapshotArchivePreserved(t *testing.T) {
 	}
 }
 
-// failEngine returns an engine whose next Step fails terminally: one
-// prey vector is corrupted to the wrong dimension, which every
-// generation evaluates, so the evaluator reports an error that Step
-// records as Engine.Err.
+// failEngine returns an engine whose next Step fails terminally: every
+// prey vector is corrupted to the wrong dimension, so the whole
+// relaxation wave fails — a single bad individual would merely be
+// quarantined (see fault_test.go), but a wave with zero successes has
+// no fitness signal and Step records it as Engine.Err.
 func failEngine(t *testing.T) *Engine {
 	t.Helper()
 	e, err := NewEngine(smallMarket(t), smallConfig(31))
@@ -222,7 +223,9 @@ func failEngine(t *testing.T) *Engine {
 	if !e.Step() {
 		t.Fatal("healthy engine refused to step")
 	}
-	e.prey[0] = []float64{0.5} // wrong dimension → evaluator error
+	for i := range e.prey {
+		e.prey[i] = []float64{0.5} // wrong dimension → evaluator error
+	}
 	if e.Step() {
 		t.Fatal("corrupted engine stepped successfully")
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"carbon/internal/archive"
@@ -56,13 +57,31 @@ type Engine struct {
 
 	// Telemetry and failure state. obs/met are nil when telemetry is
 	// off — the hot path then takes the uninstrumented branch with no
-	// clock reads and no allocations. err is the terminal error of a
-	// failed Step (see Err).
-	obs      Observer
-	met      *engineMetrics
-	island   int
-	stepErrs []error // per-worker scratch, reused every generation
-	err      error
+	// clock reads and no allocations.
+	obs    Observer
+	met    *engineMetrics
+	island int
+
+	// Failure state. An evaluation that fails mid-wave no longer kills
+	// the run: the affected individual is quarantined for the
+	// generation (worst-known fitness, kept out of the archives) and
+	// faults counts every quarantine. Only a generation with zero
+	// successful evaluations in a wave is terminal — err records that
+	// cause and Step refuses to run again. mu guards err and faults so
+	// Err/Faults may be polled concurrently with Step (a serving
+	// front end watching a live engine).
+	mu     sync.Mutex
+	err    error
+	faults int
+
+	// Per-generation quarantine scratch, reused every Step. slotErr is
+	// indexed by cache slot (relaxation failures); preyErr/predErr by
+	// population index. Wave closures write disjoint indices, so the
+	// slices need no locking.
+	slotErr  []error
+	preyErr  []error
+	predErr  []error
+	predQuar []bool
 
 	// Search-dynamics introspection (DESIGN.md §5f). Everything below
 	// is inert until the first Step with an observer attached, consumes
@@ -134,16 +153,21 @@ func NewEngine(mk *bcpop.Market, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		mk: mk, cfg: cfg, set: set, evs: evs, workers: workers,
-		r:        rng.New(cfg.Seed),
-		bounds:   mk.PriceBounds(),
-		res:      &Result{},
-		obs:      cfg.Observer,
-		met:      newEngineMetrics(cfg.Metrics),
-		stepErrs: make([]error, workers),
+		r:      rng.New(cfg.Seed),
+		bounds: mk.PriceBounds(),
+		res:    &Result{},
+		obs:    cfg.Observer,
+		met:    newEngineMetrics(cfg.Metrics),
 	}
 	if em := bcpop.NewEvalMetrics(cfg.Metrics); em != nil {
 		for _, ev := range evs {
 			ev.Metrics = em
+		}
+	}
+	if cfg.LPFault != nil || cfg.EvalFault != nil {
+		for _, ev := range evs {
+			ev.SetLPFault(cfg.LPFault)
+			ev.EvalFault = cfg.EvalFault
 		}
 	}
 	e.prey = make([][]float64, cfg.ULPopSize)
@@ -160,6 +184,10 @@ func NewEngine(mk *bcpop.Market, cfg Config) (*Engine, error) {
 	e.cache = bcpop.NewCache()
 	e.preySlot = make([]int, cfg.ULPopSize)
 	e.missing = make([]int, 0, cfg.ULPopSize)
+	e.slotErr = make([]error, 0, cfg.ULPopSize)
+	e.preyErr = make([]error, cfg.ULPopSize)
+	e.predErr = make([]error, cfg.LLPopSize)
+	e.predQuar = make([]bool, cfg.LLPopSize)
 	e.ulArch = archive.New[[]float64](cfg.ULArchiveSize, false, priceKey)
 	e.gpArch = archive.New[gp.Tree](cfg.LLArchiveSize, true,
 		func(t gp.Tree) string { return t.String(set) })
@@ -184,28 +212,51 @@ func (e *Engine) Gens() int { return e.res.Gens }
 func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
 
 // Err returns the terminal error of a failed Step, or nil. Once set the
-// engine refuses to step further — a bad primitive set or corrupted
-// population surfaces here instead of crossing goroutines as a panic.
-func (e *Engine) Err() error { return e.err }
+// engine refuses to step further. Individual evaluation failures are
+// NOT terminal — they quarantine the affected individual for the
+// generation and show up in Faults; a Step is terminal only when an
+// entire evaluation wave produced zero successful evaluations (every
+// relaxation failed, every predator pairing failed, or every prey
+// evaluation failed), because then the generation has no fitness signal
+// at all. Safe to call concurrently with Step.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
 
-// firstStepErr scans the per-worker error slots in worker order (so the
-// reported error is deterministic) and clears them for the next wave.
-func (e *Engine) firstStepErr() error {
-	var first error
-	for w, err := range e.stepErrs {
-		if err != nil && first == nil {
-			first = err
-		}
-		e.stepErrs[w] = nil
+// Faults returns the cumulative number of quarantined evaluations: prey
+// whose relaxation or evaluation failed plus predators none of whose
+// pairings survived. A fault-free run reports 0. Safe to call
+// concurrently with Step.
+func (e *Engine) Faults() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.faults
+}
+
+// fail records the terminal error of the current Step. The first fail
+// wins: Step checks err at entry, so a later generation can never
+// overwrite the original cause.
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
 	}
-	return first
+}
+
+func (e *Engine) addFaults(n int) {
+	e.mu.Lock()
+	e.faults += n
+	e.mu.Unlock()
 }
 
 // Step runs one generation. It returns false (and does nothing) when
 // the budgets are exhausted or a previous Step failed terminally; in
 // the failure case Err reports the cause.
 func (e *Engine) Step() bool {
-	if e.err != nil || !e.CanStep() {
+	if e.Err() != nil || !e.CanStep() {
 		return false
 	}
 	// Generation boundaries are warm-start boundaries. Prepare warm-
@@ -255,20 +306,43 @@ func (e *Engine) Step() bool {
 		}
 	}
 	e.missing = missing
+	// A failed solve quarantines its slot (slotErr) instead of aborting
+	// the wave: the slot's Prepared stays nil, and every prey sharing it
+	// is quarantined for this generation. Writes are per-slot disjoint.
+	slotErr := e.slotErr[:0]
+	for range e.cache.Len() {
+		slotErr = append(slotErr, nil)
+	}
+	e.slotErr = slotErr
 	evalStriped(len(missing), e.workers, wave, func(i, worker int) {
-		if e.stepErrs[worker] != nil {
-			return
-		}
 		p, err := e.evs[worker].Prepare(e.prey[missing[i]])
 		if err != nil {
-			e.stepErrs[worker] = fmt.Errorf("core: prey %d relaxation: %w", missing[i], err)
+			slotErr[e.preySlot[missing[i]]] = fmt.Errorf("core: prey %d relaxation: %w", missing[i], err)
 			return
 		}
 		e.cache.Fill(e.preySlot[missing[i]], p)
 	})
-	if err := e.firstStepErr(); err != nil {
-		e.err = err
+	badSlots := 0
+	var firstSlotErr error
+	for _, serr := range slotErr {
+		if serr != nil {
+			badSlots++
+			if firstSlotErr == nil {
+				firstSlotErr = serr
+			}
+		}
+	}
+	if badSlots == e.cache.Len() {
+		// Not one relaxation survived: the generation has no fitness
+		// signal and continuing would evolve on noise. Terminal.
+		e.fail(fmt.Errorf("core: generation %d: every relaxation failed: %w", e.res.Gens+1, firstSlotErr))
 		return false
+	}
+	// preyErr carries each prey's quarantine cause across the waves
+	// (nil = healthy so far). Relaxation failures propagate through the
+	// shared slot; the prey wave below may add evaluation failures.
+	for i := range e.prey {
+		e.preyErr[i] = slotErr[e.preySlot[i]]
 	}
 	if observing {
 		d := time.Since(t0)
@@ -290,17 +364,33 @@ func (e *Engine) Step() bool {
 			e.gapMat = make([]float64, len(e.predators)*ns)
 		}
 		gm = e.gapMat[:len(e.predators)*ns]
-	}
-	evalStriped(len(e.predators), e.workers, wave, func(i, worker int) {
-		if e.stepErrs[worker] != nil {
-			return
+		// Quarantined pairings leave their cell untouched, so prefill
+		// with NaN — the quantile sketch ignores NaN, keeping the gap
+		// percentiles an honest summary of the pairings that ran.
+		for i := range gm {
+			gm[i] = math.NaN()
 		}
+	}
+	// A predator is quarantined when it has no fitness this generation:
+	// either one of its pairings failed (predErr) or every sampled prey
+	// was already quarantined (pairs == 0). Healthy pairings against
+	// quarantined prey are skipped; the mean gap averages over the
+	// pairings that ran, which equals the usual mean when nothing
+	// faulted. Writes are per-index disjoint.
+	evalStriped(len(e.predators), e.workers, wave, func(i, worker int) {
 		ev := e.evs[worker]
+		e.predErr[i] = nil
+		e.predQuar[i] = true
 		total := 0.0
+		pairs := 0
 		for si, s := range sample {
-			out, _, err := ev.EvalTreeWith(e.cache.At(e.preySlot[s]), e.predators[i])
+			p := e.cache.At(e.preySlot[s])
+			if p == nil {
+				continue // prey s's relaxation faulted this generation
+			}
+			out, _, err := ev.EvalTreeWith(p, e.predators[i])
 			if err != nil {
-				e.stepErrs[worker] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
+				e.predErr[i] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
 				return
 			}
 			if gm != nil {
@@ -311,12 +401,47 @@ func (e *Engine) Step() bool {
 			} else {
 				total += out.GapPct // paper: Eq. 1
 			}
+			pairs++
 		}
-		e.predFit[i] = total / float64(len(sample))
+		if pairs == 0 {
+			return
+		}
+		e.predQuar[i] = false
+		e.predFit[i] = total / float64(pairs)
 	})
-	if err := e.firstStepErr(); err != nil {
-		e.err = err
+	quarPred := 0
+	var firstPredErr error
+	for i := range e.predators {
+		if e.predQuar[i] {
+			quarPred++
+			if firstPredErr == nil && e.predErr[i] != nil {
+				firstPredErr = e.predErr[i]
+			}
+		}
+	}
+	if quarPred == len(e.predators) {
+		if firstPredErr == nil {
+			firstPredErr = firstSlotErr
+		}
+		e.fail(fmt.Errorf("core: generation %d: every predator evaluation failed: %w", e.res.Gens+1, firstPredErr))
 		return false
+	}
+	if quarPred > 0 {
+		// Worst-known fitness (predators minimize mean gap) keeps the
+		// quarantined out of selection without skewing anyone else. The
+		// substitution itself draws no RNG, so faulted runs replay
+		// deterministically per (Seed, Workers, fault pattern).
+		worst := math.Inf(-1)
+		for i := range e.predators {
+			if !e.predQuar[i] && e.predFit[i] > worst {
+				worst = e.predFit[i]
+			}
+		}
+		for i := range e.predators {
+			if e.predQuar[i] {
+				e.predFit[i] = worst
+			}
+		}
 	}
 	e.llUsed += len(e.predators) * len(sample)
 	if observing {
@@ -327,14 +452,23 @@ func (e *Engine) Step() bool {
 		}
 	}
 
-	bestPred := 0
-	for i := 1; i < len(e.predators); i++ {
-		if e.predFit[i] < e.predFit[bestPred] {
+	// Best forecast and archive additions consider only predators that
+	// actually earned a fitness this generation — a quarantined predator
+	// can neither hunt nor enter the archive on its assigned worst value.
+	bestPred := -1
+	for i := range e.predators {
+		if e.predQuar[i] {
+			continue
+		}
+		if bestPred < 0 || e.predFit[i] < e.predFit[bestPred] {
 			bestPred = i
 		}
 	}
 	gpAdds := 0
 	for i, t := range e.predators {
+		if e.predQuar[i] {
+			continue
+		}
 		if e.gpArch.Add(t.Clone(), e.predFit[i]) {
 			gpAdds++
 		}
@@ -346,12 +480,12 @@ func (e *Engine) Step() bool {
 	}
 	hunter := e.predators[bestPred]
 	evalStriped(len(e.prey), e.workers, wave, func(i, worker int) {
-		if e.stepErrs[worker] != nil {
-			return
+		if e.preyErr[i] != nil {
+			return // relaxation already quarantined this prey
 		}
 		out, _, err := e.evs[worker].EvalTreeWith(e.cache.At(e.preySlot[i]), hunter)
 		if err != nil {
-			e.stepErrs[worker] = fmt.Errorf("core: prey %d evaluation: %w", i, err)
+			e.preyErr[i] = fmt.Errorf("core: prey %d evaluation: %w", i, err)
 			return
 		}
 		if out.Feasible {
@@ -361,8 +495,24 @@ func (e *Engine) Step() bool {
 		}
 		e.preyGap[i] = out.GapPct
 	})
-	if err := e.firstStepErr(); err != nil {
-		e.err = err
+	quarPrey := 0
+	var firstPreyErr error
+	for i := range e.prey {
+		if e.preyErr[i] == nil {
+			continue
+		}
+		quarPrey++
+		if firstPreyErr == nil {
+			firstPreyErr = e.preyErr[i]
+		}
+		// Worst-known fitness: revenue is maximized and never negative,
+		// so 0 is the floor (shared with infeasible follower answers).
+		// NaN gap keeps the quarantined pairing out of the gap stats.
+		e.preyFit[i] = 0
+		e.preyGap[i] = math.NaN()
+	}
+	if quarPrey == len(e.prey) {
+		e.fail(fmt.Errorf("core: generation %d: every prey evaluation failed: %w", e.res.Gens+1, firstPreyErr))
 		return false
 	}
 	e.ulUsed += len(e.prey)
@@ -376,8 +526,19 @@ func (e *Engine) Step() bool {
 
 	ulAdds := 0
 	for i, x := range e.prey {
+		if e.preyErr[i] != nil {
+			continue // quarantined: no archive entry on a made-up fitness
+		}
 		if e.ulArch.Add(append([]float64(nil), x...), e.preyFit[i]) {
 			ulAdds++
+		}
+	}
+
+	// --- Fault accounting for the generation ---
+	if genFaults := quarPred + quarPrey; genFaults > 0 {
+		e.addFaults(genFaults)
+		if em := e.evs[0].Metrics; em != nil {
+			em.Faults.Add(int64(genFaults))
 		}
 	}
 
@@ -441,6 +602,7 @@ func (e *Engine) genStats(evalNanos, breedNanos int64, search *SearchStats) GenS
 		Island:     e.island,
 		Search:     search,
 		Gen:        e.res.Gens,
+		Faults:     e.Faults(),
 		ULEvals:    e.ulUsed,
 		LLEvals:    e.llUsed,
 		ULBudget:   e.cfg.ULEvalBudget,
@@ -549,6 +711,7 @@ func (e *Engine) InjectPredator(t gp.Tree) error {
 func (e *Engine) Result() (*Result, error) {
 	res := &Result{
 		Gens:     e.res.Gens,
+		Faults:   e.Faults(),
 		ULEvals:  e.ulUsed,
 		LLEvals:  e.llUsed,
 		Label:    e.cfg.RunLabel,

@@ -49,6 +49,39 @@ type IslandResult struct {
 	Migrations int
 }
 
+// migrateRing performs one ring migration: island i sends copies of its
+// archived elites to island (i+1) mod K. It runs on the coordinating
+// goroutine while every island is quiescent, so the run stays
+// deterministic. Errors carry the receiving island's index — an
+// injection can only fail because the destination engine rejected the
+// migrant (wrong dimension, primitive-set mismatch), which points at
+// that island's configuration.
+func migrateRing(engines []*Engine, ic IslandConfig, obs Observer, label string, gen int) error {
+	for i, e := range engines {
+		di := (i + 1) % len(engines)
+		dst := engines[di]
+		for m := 0; m < ic.Migrants; m++ {
+			if x, _, ok := e.BestPrey(); ok {
+				if err := dst.InjectPrey(x); err != nil {
+					return fmt.Errorf("core: island %d: migrant prey from island %d: %w", di, i, err)
+				}
+			}
+			if t, _, ok := e.BestPredator(); ok {
+				if err := dst.InjectPredator(t); err != nil {
+					return fmt.Errorf("core: island %d: migrant predator from island %d: %w", di, i, err)
+				}
+			}
+		}
+		if obs != nil {
+			obs.OnMigration(MigrationStats{
+				Label: label,
+				Gen:   gen, From: i, To: di, Migrants: ic.Migrants,
+			})
+		}
+	}
+	return nil
+}
+
 // RunIslands executes the island model. The per-level evaluation budgets
 // of cfg are split evenly across the islands, so an island run is
 // budget-comparable to a single Run with the same cfg. Each island gets
@@ -103,6 +136,11 @@ func RunIslandsContext(ctx context.Context, mk *bcpop.Market, cfg Config, ic Isl
 		par.ForEach(len(engines), ic.Workers, func(i int) {
 			progressed[i] = engines[i].Step()
 		})
+		// A terminally failed island aborts the run before `progressed`
+		// is consulted: its false is "failed", not "budget exhausted",
+		// and treating the two alike would let the surviving islands
+		// keep evolving (and migrating stale elites out of the dead
+		// island's archives) as if nothing happened.
 		for i, e := range engines {
 			if err := e.Err(); err != nil {
 				return nil, fmt.Errorf("core: island %d: %w", i, err)
@@ -119,29 +157,8 @@ func RunIslandsContext(ctx context.Context, mk *bcpop.Market, cfg Config, ic Isl
 		if gen%ic.MigrateEvery != 0 {
 			continue
 		}
-		// Ring migration: island i sends its archived elites to island
-		// (i+1) mod K. Migration runs on the coordinating goroutine, so
-		// the whole run stays deterministic.
-		for i, e := range engines {
-			dst := engines[(i+1)%len(engines)]
-			for m := 0; m < ic.Migrants; m++ {
-				if x, _, ok := e.BestPrey(); ok {
-					if err := dst.InjectPrey(x); err != nil {
-						return nil, err
-					}
-				}
-				if t, _, ok := e.BestPredator(); ok {
-					if err := dst.InjectPredator(t); err != nil {
-						return nil, err
-					}
-				}
-			}
-			if cfg.Observer != nil {
-				cfg.Observer.OnMigration(MigrationStats{
-					Label: cfg.RunLabel,
-					Gen:   gen, From: i, To: (i + 1) % len(engines), Migrants: ic.Migrants,
-				})
-			}
+		if err := migrateRing(engines, ic, cfg.Observer, cfg.RunLabel, gen); err != nil {
+			return nil, err
 		}
 		res.Migrations++
 	}

@@ -1,7 +1,13 @@
 package core
 
 import (
+	"errors"
+	"regexp"
 	"testing"
+
+	"carbon/internal/bcpop"
+	"carbon/internal/fault"
+	"carbon/internal/orlib"
 )
 
 func islandConfig() (Config, IslandConfig) {
@@ -125,6 +131,73 @@ func TestEngineStepByStep(t *testing.T) {
 	}
 	if direct.Best.Revenue != res.Best.Revenue || direct.Best.TreeStr != res.Best.TreeStr {
 		t.Fatal("Engine loop and Run diverged")
+	}
+}
+
+// TestMigrateRingWrapsInjectionError is the regression test for the
+// bare-error migration path: when a migrant is rejected mid-wave, the
+// error must carry the island context exactly like the step-failure
+// path two loops above it did all along.
+func TestMigrateRingWrapsInjectionError(t *testing.T) {
+	mkA := smallMarket(t)
+	// A market with a different leader count: prey migrating from an
+	// island on mkB into one on mkA have the wrong dimension.
+	mkB, err := bcpop.NewMarketFromClass(orlib.Class{N: 100, M: 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mkA.Leaders() == mkB.Leaders() {
+		t.Fatalf("markets share leader count %d; test needs a mismatch", mkA.Leaders())
+	}
+	eA, err := NewEngine(mkA, smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB, err := NewEngine(mkB, smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eA.island, eB.island = 0, 1
+	// One generation each so both archives hold a migratable best.
+	if !eA.Step() || !eB.Step() {
+		t.Fatal("engines refused to step")
+	}
+	migrations := 0
+	obs := FuncObserver{Migration: func(MigrationStats) { migrations++ }}
+	err = migrateRing([]*Engine{eA, eB}, IslandConfig{Islands: 2, MigrateEvery: 1, Migrants: 1}, obs, "", 1)
+	if err == nil {
+		t.Fatal("cross-market migration succeeded")
+	}
+	if !regexp.MustCompile(`island 1: migrant prey from island 0`).MatchString(err.Error()) {
+		t.Fatalf("error %q lacks the island context", err)
+	}
+	// The wave aborts at the failing edge: no migration event may be
+	// reported for an edge that did not complete.
+	if migrations != 0 {
+		t.Fatalf("%d migration events reported for an aborted wave", migrations)
+	}
+}
+
+// TestRunIslandsFailsIslandMidWave: a terminal island failure surfaces
+// through RunIslands with the island index wrapped, instead of the
+// surviving islands evolving on as if nothing happened.
+func TestRunIslandsFailsIslandMidWave(t *testing.T) {
+	mk := smallMarket(t)
+	cfg, ic := islandConfig()
+	// The failure window opens mid-run and never closes, so whichever
+	// island crosses it first fails its whole relaxation wave (Every: 1
+	// with no Limit) while the others are mid-generation.
+	injected := fault.New(9).Site(fault.SiteLPSolve, fault.Rule{Every: 1, After: 120})
+	cfg.LPFault = injected.Strike
+	_, err := RunIslands(mk, cfg, ic)
+	if err == nil {
+		t.Fatal("island run survived a permanent LP outage")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v does not wrap the injected fault", err)
+	}
+	if !regexp.MustCompile(`core: island \d+:`).MatchString(err.Error()) {
+		t.Fatalf("error %q lacks the island wrap", err)
 	}
 }
 

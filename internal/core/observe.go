@@ -49,6 +49,10 @@ type GenStats struct {
 	EvalNanos  int64 `json:"eval_ns"`  // wall time spent in paired evaluations
 	BreedNanos int64 `json:"breed_ns"` // wall time spent breeding both populations
 
+	// Faults is the cumulative count of quarantined evaluations (see
+	// Engine.Faults); 0 — and omitted from traces — on healthy runs.
+	Faults int `json:"faults,omitempty"`
+
 	// Search holds the generation's search-dynamics snapshot (trace
 	// schema v2); nil in v1 traces and when the engine has no observer
 	// computing it.
@@ -200,6 +204,12 @@ func (o *JSONLObserver) OnDone(res *Result) {
 	}
 	_ = o.out.Emit(TraceEvent{Schema: TraceSchema, Event: "done", Done: &ds})
 }
+
+// SetFault installs (or, with nil, clears) a fault hook on the
+// underlying trace emitter; see telemetry.JSONL.SetFault. A failing
+// trace sink drops events but never perturbs the run — observer errors
+// are swallowed by design.
+func (o *JSONLObserver) SetFault(h func() error) { o.out.SetFault(h) }
 
 // Flush pushes buffered trace lines to the underlying writer.
 func (o *JSONLObserver) Flush() error { return o.out.Flush() }

@@ -86,6 +86,12 @@ func NewRelaxer(in *Instance) (*Relaxer, error) {
 // checkpoint replay the remaining generations bit-identically.
 func (r *Relaxer) Reset() { r.ws.Reset() }
 
+// SetFault installs (or, with nil, clears) a fault hook on the
+// underlying warm solver: it is consulted before every solve, and a
+// non-nil return aborts that solve without disturbing the warm basis.
+// Wired through bcpop.Evaluator.SetLPFault for fault-injection runs.
+func (r *Relaxer) SetFault(h func() error) { r.ws.Fault = h }
+
 // Relax solves the relaxation with the given item costs.
 func (r *Relaxer) Relax(costs []float64) (*Relaxation, error) {
 	if len(costs) != r.m {

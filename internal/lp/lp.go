@@ -661,6 +661,13 @@ type WarmSolver struct {
 	n      int
 	solved bool // a feasible basis is installed
 	infeas bool // the feasible region is empty regardless of costs
+
+	// Fault, when non-nil, is consulted before every solve; a non-nil
+	// return aborts the solve with that error and leaves the solver
+	// state (warm basis, infeasibility latch) untouched, so a later
+	// retry behaves as if the faulted call never happened. Used by the
+	// fault-injection layer; nil in production.
+	Fault func() error
 }
 
 // NewWarmSolver validates the problem shape and prepares a reusable
@@ -684,6 +691,11 @@ func (ws *WarmSolver) SolveWithCosts(c []float64) (*Solution, error) {
 	for j, v := range c {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("lp: bad cost on variable %d: %v", j, v)
+		}
+	}
+	if ws.Fault != nil {
+		if err := ws.Fault(); err != nil {
+			return nil, fmt.Errorf("lp: %w", err)
 		}
 	}
 	s := ws.s

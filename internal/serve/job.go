@@ -13,13 +13,16 @@ import (
 //
 //	queued ──▶ running ──▶ done
 //	   ▲          │ ├────▶ failed
-//	   │  drain   │ └────▶ canceled
-//	   └──────────┘
+//	   │  drain   │ ├────▶ canceled
+//	   └──────────┘ └────▶ dead
 //
 // Drain (Manager.Close) checkpoints running jobs and parks them back in
 // queued; on the next manager start the spool scan re-enqueues them and
-// they resume from the checkpoint. done, failed and canceled are
-// terminal.
+// they resume from the checkpoint. A retryable failure (evaluation
+// fault, spool I/O error, attempt timeout) sends the job back through
+// the retry loop inside running until Options.MaxAttempts is exhausted,
+// at which point it is dead-lettered. done, failed, canceled and dead
+// are terminal.
 type State string
 
 const (
@@ -28,11 +31,16 @@ const (
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	// StateDead marks a job that failed retryably Options.MaxAttempts
+	// times in a row. Its spec and a DeadRecord stay in the spool, so a
+	// restarted manager reports it as dead instead of silently retrying
+	// or losing it.
+	StateDead State = "dead"
 )
 
 // Terminal reports whether the state can never change again.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateDead
 }
 
 // Status is a point-in-time snapshot of one job, safe to serialize.
@@ -47,6 +55,10 @@ type Status struct {
 
 	Gens  int    `json:"gens"`
 	Error string `json:"error,omitempty"`
+
+	// Attempts counts execution attempts so far (0 until the first run
+	// starts). A dead job reports exactly Options.MaxAttempts.
+	Attempts int `json:"attempts,omitempty"`
 
 	// Latest is the most recent per-generation snapshot from the engine's
 	// Observer hook (nil until the first generation completes).
@@ -66,6 +78,7 @@ type job struct {
 	mu        sync.Mutex
 	state     State
 	resumed   bool
+	attempts  int
 	errMsg    string
 	latest    *core.GenStats
 	metrics   *telemetry.Registry // per-job gauges (see metrics.go); nil until first run
@@ -87,6 +100,7 @@ func (j *job) status() Status {
 		Resumed:   j.resumed,
 		Gens:      j.gens,
 		Error:     j.errMsg,
+		Attempts:  j.attempts,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
@@ -110,6 +124,17 @@ func (j *job) setState(s State) {
 	case s.Terminal():
 		j.finished = &now
 	}
+}
+
+// DeadRecord is the spooled marker of an exhausted job: what failed,
+// how many times it was tried, and when it was given up on. Its
+// presence in the spool is what lets a restarted manager surface the
+// job as dead (attempts preserved) instead of re-running it forever.
+type DeadRecord struct {
+	ID       string    `json:"id"`
+	Attempts int       `json:"attempts"`
+	Error    string    `json:"error"`
+	Finished time.Time `json:"finished"`
 }
 
 // ResultRecord is the serializable summary of a finished job — the

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,7 +16,9 @@ import (
 
 	"carbon/internal/checkpoint"
 	"carbon/internal/core"
+	"carbon/internal/fault"
 	"carbon/internal/par"
+	"carbon/internal/rng"
 	"carbon/internal/telemetry"
 )
 
@@ -34,7 +38,31 @@ var (
 	// stopped early (see runJob).
 	errDrained        = errors.New("serve: manager draining")
 	errCanceledByUser = errors.New("serve: canceled by request")
+
+	// errSpecDeadline marks the job's own TimeoutSec budget expiring —
+	// the job proved it cannot finish in its allotted time, so retrying
+	// it would only burn the budget again. Non-retryable.
+	errSpecDeadline = errors.New("serve: job deadline exceeded")
+	// errAttemptTimeout marks one attempt outliving Options.AttemptTimeout
+	// (a hung solver, a stalled disk). The job itself may be fine, so the
+	// attempt is retried from its last clean checkpoint.
+	errAttemptTimeout = errors.New("serve: attempt timed out")
 )
+
+// retryable classifies an execute error: drain and cancel are lifecycle
+// transitions, the spec deadline is a spent budget, everything else
+// (evaluation faults, degraded engines, spool I/O, attempt timeouts) is
+// presumed transient and worth another attempt.
+func retryable(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, errDrained),
+		errors.Is(err, errCanceledByUser),
+		errors.Is(err, errSpecDeadline):
+		return false
+	}
+	return true
+}
 
 // Options configures a Manager.
 type Options struct {
@@ -54,6 +82,28 @@ type Options struct {
 	// Metrics, when non-nil, aggregates every job's engine instruments
 	// into one registry (served by cmd/carbond next to the job API).
 	Metrics *telemetry.Registry
+
+	// MaxAttempts bounds how many times a job is executed before it is
+	// dead-lettered (default 3). Each retry resumes from the job's last
+	// clean checkpoint, so completed generations are never re-bought.
+	MaxAttempts int
+	// RetryBackoff is the delay before attempt 2 (default 250ms); each
+	// further retry doubles it, capped at MaxBackoff, with ±50% jitter.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 10s).
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds a single attempt's wall clock (0 = no bound).
+	// Unlike the spec's TimeoutSec — the job's total budget, which is
+	// never retried — an attempt timeout is retryable.
+	AttemptTimeout time.Duration
+	// RetrySeed seeds the jitter stream (default 1), keeping backoff
+	// sequences reproducible in tests.
+	RetrySeed uint64
+
+	// Fault, when non-nil, arms fault-injection sites across the manager:
+	// lp.solve inside every job's engine, checkpoint.write and spool.write
+	// on the manager's own I/O. Testing and chaos drills only.
+	Fault *fault.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +115,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 25
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 250 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 10 * time.Second
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
 	}
 	return o
 }
@@ -84,6 +146,20 @@ type Manager struct {
 	jobs   map[string]*job
 	seq    int
 	closed bool
+
+	// retryRng drives backoff jitter; its own mutex keeps the retry path
+	// off the job-table lock.
+	retryMu  sync.Mutex
+	retryRng *rng.Rand
+
+	// Armed fault sites (nil when Options.Fault is nil or lacks the site).
+	lpFault    *fault.Site
+	ckptFault  *fault.Site
+	spoolFault *fault.Site
+
+	metRetries *telemetry.Counter // serve.retries
+	metDead    *telemetry.Counter // serve.jobs_dead
+	metDiscard *telemetry.Counter // serve.checkpoints_discarded
 
 	dispatcherDone chan struct{}
 }
@@ -108,7 +184,16 @@ func NewManager(opts Options) (*Manager, error) {
 		sem:            make(chan struct{}, opts.Workers),
 		draining:       make(chan struct{}),
 		jobs:           make(map[string]*job),
+		retryRng:       rng.New(opts.RetrySeed),
+		lpFault:        opts.Fault.Lookup(fault.SiteLPSolve),
+		ckptFault:      opts.Fault.Lookup(fault.SiteCheckpoint),
+		spoolFault:     opts.Fault.Lookup(fault.SiteSpoolWrite),
 		dispatcherDone: make(chan struct{}),
+	}
+	if reg := opts.Metrics; reg != nil {
+		m.metRetries = reg.Counter("serve.retries")
+		m.metDead = reg.Counter("serve.jobs_dead")
+		m.metDiscard = reg.Counter("serve.checkpoints_discarded")
 	}
 	recovered, err := m.recover()
 	if err != nil {
@@ -125,9 +210,13 @@ func NewManager(opts Options) (*Manager, error) {
 }
 
 // recover scans the spool: a spec with a result is re-registered as
-// done; a spec without one becomes a queued job again (runJob restores
-// its checkpoint if present). Returns the re-queued jobs in ID order so
-// recovery preserves rough submission order.
+// done; a spec with a dead record is re-registered as dead (attempts
+// preserved); a spec with neither becomes a queued job again (runJob
+// restores its checkpoint if present). A torn spec — the signature a
+// crash mid-spool-write leaves — is quarantined (renamed *.corrupt) and
+// skipped rather than failing the whole start: one mangled file must
+// not hold every healthy job hostage. Returns the re-queued jobs in ID
+// order so recovery preserves rough submission order.
 func (m *Manager) recover() ([]*job, error) {
 	entries, err := os.ReadDir(m.opts.SpoolDir)
 	if err != nil {
@@ -139,27 +228,56 @@ func (m *Manager) recover() ([]*job, error) {
 		if !ok || ent.IsDir() {
 			continue
 		}
-		var spec JobSpec
-		if err := readJSON(m.specPath(id), &spec); err != nil {
-			return nil, fmt.Errorf("serve: recovering %s: %w", id, err)
-		}
-		j := &job{id: id, spec: spec, state: StateQueued, submitted: time.Now()}
-		if rec := new(ResultRecord); readJSON(m.resultPath(id), rec) == nil {
-			j.state = StateDone
-			j.result = rec
-			j.gens = rec.Gens
-		} else {
-			requeue = append(requeue, j)
-		}
-		m.jobs[id] = j
-		// Keep fresh IDs clear of every recovered one.
+		// Keep fresh IDs clear of every recovered one — even a corrupt
+		// entry burns its ID, or the next submission would collide with
+		// the quarantined files.
 		var n int
 		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.seq {
 			m.seq = n
 		}
+		var spec JobSpec
+		if err := readJSON(m.specPath(id), &spec); err != nil {
+			quarantine(m.specPath(id))
+			continue
+		}
+		j := &job{id: id, spec: spec, state: StateQueued, submitted: time.Now()}
+		if rec := new(ResultRecord); readJSONQuarantine(m.resultPath(id), rec) {
+			j.state = StateDone
+			j.result = rec
+			j.gens = rec.Gens
+		} else if dead := new(DeadRecord); readJSONQuarantine(m.deadPath(id), dead) {
+			j.state = StateDead
+			j.attempts = dead.Attempts
+			j.errMsg = dead.Error
+			fin := dead.Finished
+			j.finished = &fin
+		} else {
+			requeue = append(requeue, j)
+		}
+		m.jobs[id] = j
 	}
 	sort.Slice(requeue, func(a, b int) bool { return requeue[a].id < requeue[b].id })
 	return requeue, nil
+}
+
+// readJSONQuarantine decodes path into v, quarantining a present-but-
+// torn file. Reports whether a valid record was loaded.
+func readJSONQuarantine(path string, v any) bool {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		quarantine(path)
+		return false
+	}
+	return true
+}
+
+// quarantine moves a corrupt spool artifact aside for post-mortem
+// instead of deleting evidence or refusing to start.
+func quarantine(path string) {
+	_ = os.Rename(path, path+".corrupt")
 }
 
 // dispatch feeds queued jobs to the pool, at most opts.Workers in
@@ -209,8 +327,9 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 
 	// Spool the spec before enqueueing: once Submit returns, a crash
 	// cannot lose the job.
-	if err := writeJSONAtomic(m.specPath(j.id), spec); err != nil {
+	if err := m.spoolWrite(m.specPath(j.id), spec); err != nil {
 		m.forget(j.id)
+		_ = os.Remove(m.specPath(j.id)) // a torn artifact may exist
 		return Status{}, err
 	}
 	// The enqueue happens under the lock so it cannot race Close closing
@@ -335,7 +454,11 @@ func (m *Manager) Close(ctx context.Context) error {
 
 // runJob executes one job end to end: restore-or-create the engine,
 // step until the budgets run out, checkpointing periodically, and
-// classify any early stop as drain / cancel / deadline.
+// classify any early stop. Retryable failures (evaluation faults,
+// degraded engines, spool I/O, attempt timeouts) re-run execute — each
+// attempt resumes from the job's last clean checkpoint — with
+// exponential backoff between attempts, until Options.MaxAttempts is
+// spent and the job is dead-lettered.
 func (m *Manager) runJob(j *job) {
 	select {
 	case <-m.draining:
@@ -350,14 +473,32 @@ func (m *Manager) runJob(j *job) {
 	j.state = StateRunning
 	now := time.Now()
 	j.started = &now
+	// One cancel cause covers the whole lifetime — including backoff
+	// waits, so Cancel interrupts a job parked between attempts.
 	ctx, cancel := context.WithCancelCause(context.Background())
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel(nil)
 
-	err := m.execute(ctx, j)
+	var err error
+	for {
+		j.mu.Lock()
+		j.attempts++
+		attempt := j.attempts
+		j.mu.Unlock()
+		err = m.execute(ctx, j)
+		if !retryable(err) || attempt >= m.opts.MaxAttempts {
+			break
+		}
+		m.metRetries.Inc()
+		if werr := m.awaitRetry(ctx, m.backoffDelay(attempt)); werr != nil {
+			err = werr
+			break
+		}
+	}
 	j.mu.Lock()
 	j.cancel = nil
+	attempts := j.attempts
 	j.mu.Unlock()
 
 	switch {
@@ -370,10 +511,22 @@ func (m *Manager) runJob(j *job) {
 	case errors.Is(err, errCanceledByUser):
 		j.setState(StateCanceled)
 		m.removeSpool(j.id)
+	case retryable(err):
+		// Every attempt spent. Dead-letter: the spec and a DeadRecord
+		// stay in the spool so a restart reports the job as dead with its
+		// attempt count — an accepted job is never silently dropped, and
+		// never blindly re-run either.
+		rec := DeadRecord{ID: j.id, Attempts: attempts, Error: err.Error(), Finished: time.Now()}
+		_ = writeJSONAtomic(m.deadPath(j.id), rec)
+		_ = os.Remove(m.ckptPath(j.id))
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		j.setState(StateDead)
+		m.metDead.Inc()
 	default:
-		// Deadline, evaluation failure, spool I/O error. Remove the spec
-		// so the next start does not blindly retry a job that just proved
-		// it cannot finish.
+		// The job's own deadline: it proved it cannot finish in its
+		// budget, so remove the spec — the next start must not retry it.
 		j.mu.Lock()
 		j.errMsg = err.Error()
 		j.mu.Unlock()
@@ -382,12 +535,54 @@ func (m *Manager) runJob(j *job) {
 	}
 }
 
-// execute is runJob's engine loop, returning nil on completion or the
-// classified reason the loop stopped early.
+// awaitRetry parks a job between attempts. Drain and cancel interrupt
+// the wait with their usual classification, so backoff never delays a
+// shutdown.
+func (m *Manager) awaitRetry(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-m.draining:
+		return errDrained
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoffDelay is RetryBackoff·2^(attempt−1) capped at MaxBackoff, then
+// scaled by a jitter factor in [0.5, 1.5) so a burst of failing jobs
+// does not hammer a recovering dependency in lockstep.
+func (m *Manager) backoffDelay(attempt int) time.Duration {
+	d := m.opts.RetryBackoff
+	for i := 1; i < attempt && d < m.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > m.opts.MaxBackoff {
+		d = m.opts.MaxBackoff
+	}
+	m.retryMu.Lock()
+	jit := 0.5 + m.retryRng.Float64()
+	m.retryMu.Unlock()
+	return time.Duration(float64(d) * jit)
+}
+
+// execute is one attempt of runJob's engine loop, returning nil on
+// completion or the classified reason the loop stopped early.
 func (m *Manager) execute(ctx context.Context, j *job) error {
 	if j.spec.TimeoutSec > 0 {
+		// The spec deadline is the job's total time budget, restarted per
+		// attempt only because each attempt resumes from a checkpoint —
+		// its expiry is classified non-retryable either way.
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutSec*float64(time.Second)))
+		ctx, cancel = context.WithTimeoutCause(ctx,
+			time.Duration(j.spec.TimeoutSec*float64(time.Second)), errSpecDeadline)
+		defer cancel()
+	}
+	if m.opts.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, m.opts.AttemptTimeout, errAttemptTimeout)
 		defer cancel()
 	}
 	mk, err := j.spec.Market()
@@ -397,6 +592,9 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 	cfg := j.spec.Config()
 	cfg.Metrics = m.opts.Metrics
 	cfg.RunLabel = "carbond/" + j.id
+	if m.lpFault != nil {
+		cfg.LPFault = m.lpFault.Strike
+	}
 	j.mu.Lock()
 	if j.metrics == nil {
 		j.metrics = telemetry.NewRegistry()
@@ -414,19 +612,41 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 	var e *core.Engine
 	if st, lerr := checkpoint.LoadFile(m.ckptPath(j.id)); lerr == nil {
 		if e, err = core.Restore(mk, cfg, st); err != nil {
-			return fmt.Errorf("serve: resuming %s: %w", j.id, err)
+			// Decodes but does not restore (config drift, corrupt fields):
+			// discard it and start fresh — re-bought generations over a
+			// wedged job.
+			quarantine(m.ckptPath(j.id))
+			m.metDiscard.Inc()
+			e = nil
+		} else {
+			j.mu.Lock()
+			j.resumed = true
+			j.gens = e.Gens()
+			j.mu.Unlock()
 		}
-		j.mu.Lock()
-		j.resumed = true
-		j.gens = e.Gens()
-		j.mu.Unlock()
 	} else if !os.IsNotExist(lerr) {
-		return fmt.Errorf("serve: reading checkpoint for %s: %w", j.id, lerr)
-	} else if e, err = core.NewEngine(mk, cfg); err != nil {
-		return err
+		// Torn or unreadable checkpoint — the signature a crash mid-write
+		// leaves. Quarantine it and start fresh rather than failing the
+		// job: losing a checkpoint costs re-computed generations, never
+		// correctness.
+		quarantine(m.ckptPath(j.id))
+		m.metDiscard.Inc()
+	}
+	if e == nil {
+		if e, err = core.NewEngine(mk, cfg); err != nil {
+			return err
+		}
 	}
 
 	for e.Step() {
+		if n := e.Faults(); n > 0 {
+			// Quarantined evaluations keep an interactive engine alive,
+			// but a served job promises the fault-free result. Bail so the
+			// retry resumes from the last clean checkpoint and the final
+			// answer stays bit-identical to an undisturbed run.
+			return fmt.Errorf("serve: job %s: %d quarantined evaluations by generation %d: %w",
+				j.id, n, e.Gens(), core.ErrDegraded)
+		}
 		select {
 		case <-m.draining:
 			if werr := m.writeCheckpoint(e, j.id); werr != nil {
@@ -436,11 +656,16 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 		default:
 		}
 		if cerr := context.Cause(ctx); cerr != nil {
-			if errors.Is(cerr, context.DeadlineExceeded) {
+			switch {
+			case errors.Is(cerr, errSpecDeadline):
 				return fmt.Errorf("serve: job %s deadline (%gs) exceeded at generation %d: %w",
 					j.id, j.spec.TimeoutSec, e.Gens(), cerr)
+			case errors.Is(cerr, errAttemptTimeout):
+				return fmt.Errorf("serve: job %s attempt %d timed out (%s) at generation %d: %w",
+					j.id, j.status().Attempts, m.opts.AttemptTimeout, e.Gens(), cerr)
+			default:
+				return cerr
 			}
-			return cerr
 		}
 		if m.opts.CheckpointEvery > 0 && e.Gens()%m.opts.CheckpointEvery == 0 {
 			if werr := m.writeCheckpoint(e, j.id); werr != nil {
@@ -459,7 +684,7 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 	// Result before checkpoint removal: if the process dies between the
 	// two writes, recovery sees spec+result and loads the job as done —
 	// never a half-finished state.
-	if err := writeJSONAtomic(m.resultPath(j.id), rec); err != nil {
+	if err := m.spoolWrite(m.resultPath(j.id), rec); err != nil {
 		return err
 	}
 	_ = os.Remove(m.ckptPath(j.id))
@@ -475,7 +700,34 @@ func (m *Manager) writeCheckpoint(e *core.Engine, id string) error {
 	if err != nil {
 		return err
 	}
+	if ferr := m.ckptFault.Strike(); ferr != nil {
+		tearFile(m.ckptPath(id), st.Encode)
+		return fmt.Errorf("serve: checkpoint for %s: %w", id, ferr)
+	}
 	return st.WriteFile(m.ckptPath(id))
+}
+
+// spoolWrite is writeJSONAtomic behind the spool.write fault site: a
+// strike leaves a torn artifact at the final path — the worst a real
+// crash produces — and reports the failure.
+func (m *Manager) spoolWrite(path string, v any) error {
+	if ferr := m.spoolFault.Strike(); ferr != nil {
+		tearFile(path, func(w io.Writer) error { return json.NewEncoder(w).Encode(v) })
+		return fmt.Errorf("serve: spool write %s: %w", filepath.Base(path), ferr)
+	}
+	return writeJSONAtomic(path, v)
+}
+
+// tearFile simulates a crash mid-write: half the encoding lands at the
+// final path with none of the temp-then-rename discipline. Recovery
+// must treat such an artifact as corrupt, never parse it as truth.
+func tearFile(path string, enc func(io.Writer) error) {
+	var buf bytes.Buffer
+	if enc(&buf) != nil {
+		return
+	}
+	b := buf.Bytes()
+	_ = os.WriteFile(path, b[:len(b)/2], 0o644)
 }
 
 func (m *Manager) lookup(id string) (*job, error) {
@@ -494,9 +746,10 @@ func (m *Manager) forget(id string) {
 	m.mu.Unlock()
 }
 
-// Spool layout: <id>.job.json (the normalized spec — existence marks an
-// unfinished-or-done job), <id>.ckpt.json (latest checkpoint, removed on
-// completion) and <id>.result.json (final summary).
+// Spool layout: <id>.job.json (the normalized spec — existence marks a
+// job the manager still answers for), <id>.ckpt.json (latest
+// checkpoint, removed on completion), <id>.result.json (final summary)
+// and <id>.dead.json (dead-letter marker for an exhausted job).
 func (m *Manager) specPath(id string) string {
 	return filepath.Join(m.opts.SpoolDir, id+".job.json")
 }
@@ -506,11 +759,15 @@ func (m *Manager) ckptPath(id string) string {
 func (m *Manager) resultPath(id string) string {
 	return filepath.Join(m.opts.SpoolDir, id+".result.json")
 }
+func (m *Manager) deadPath(id string) string {
+	return filepath.Join(m.opts.SpoolDir, id+".dead.json")
+}
 
 func (m *Manager) removeSpool(id string) {
 	_ = os.Remove(m.specPath(id))
 	_ = os.Remove(m.ckptPath(id))
 	_ = os.Remove(m.resultPath(id))
+	_ = os.Remove(m.deadPath(id))
 }
 
 // writeJSONAtomic writes v as JSON with the same temp-then-rename

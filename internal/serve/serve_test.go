@@ -28,7 +28,7 @@ func tinySpec(seed uint64) JobSpec {
 // can reliably interrupt it mid-flight.
 func longSpec(seed uint64) JobSpec {
 	s := tinySpec(seed)
-	s.ULEvals, s.LLEvals = 16 * 400, 32 * 400
+	s.ULEvals, s.LLEvals = 16*400, 32*400
 	return s
 }
 

@@ -15,11 +15,12 @@ import (
 // reading the underlying file — or enable AutoFlush to push every event
 // as it is written.
 type JSONL struct {
-	mu   sync.Mutex
-	bw   *bufio.Writer
-	enc  *json.Encoder
-	c    io.Closer
-	auto bool
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	c     io.Closer
+	auto  bool
+	fault func() error
 }
 
 // NewJSONL wraps w in a line-oriented JSON emitter. If w is also an
@@ -47,6 +48,19 @@ func (j *JSONL) AutoFlush(on bool) *JSONL {
 	return j
 }
 
+// SetFault installs (or, with nil, clears) a fault hook consulted at
+// the top of every Emit; a non-nil return drops the event with that
+// error before anything reaches the writer. Lets fault-injection runs
+// exercise a failing trace sink without a broken io.Writer stand-in.
+func (j *JSONL) SetFault(h func() error) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.fault = h
+	j.mu.Unlock()
+}
+
 // Emit appends v as one JSON line. A nil emitter ignores the event.
 func (j *JSONL) Emit(v any) error {
 	if j == nil {
@@ -54,6 +68,11 @@ func (j *JSONL) Emit(v any) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.fault != nil {
+		if err := j.fault(); err != nil {
+			return err
+		}
+	}
 	if err := j.enc.Encode(v); err != nil {
 		return err
 	}
@@ -98,9 +117,13 @@ func DecodeLines(r io.Reader, fn func(json.RawMessage) error) error {
 // DecodeLinesLenient is DecodeLines for streams that may have been cut
 // off mid-write (a SIGKILLed emitter, a torn copy): an error from fn on
 // the final line is tolerated — but only when that line is missing its
-// terminating newline, the signature of a truncated tail. It reports
-// whether such a tail was dropped. Errors on interior lines still fail:
-// mid-file corruption is corruption, not truncation.
+// terminating newline AND is not itself well-formed JSON, the signature
+// of a truncated tail. It reports whether such a tail was dropped.
+// Everything else still fails: mid-file corruption is corruption, not
+// truncation, and a complete, syntactically valid final line that fn
+// rejects (wrong schema, bad payload) is a real error the writer
+// produced on purpose — dropping it would hide the corruption the
+// caller asked fn to detect.
 func DecodeLinesLenient(r io.Reader, fn func(json.RawMessage) error) (truncated bool, err error) {
 	return decodeLines(r, fn, true)
 }
@@ -123,7 +146,7 @@ func decodeLines(r io.Reader, fn func(json.RawMessage) error, lenient bool) (boo
 			raw := make(json.RawMessage, len(line))
 			copy(raw, line)
 			if ferr := fn(raw); ferr != nil {
-				if lenient && final {
+				if lenient && final && !json.Valid(raw) {
 					return true, nil
 				}
 				return false, ferr

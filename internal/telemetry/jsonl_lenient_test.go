@@ -70,6 +70,76 @@ func TestDecodeLinesLenientCompleteFinalLineNoNewline(t *testing.T) {
 	}
 }
 
+// TestDecodeLinesLenientTruncatedThenAppended: a torn tail that a later
+// writer appended after (crash, restart, append without repair) turns
+// the tear into an interior corrupt line — `{"gen":3,"best":12.` fused
+// with the next record. The lenient reader must report it, not parse
+// past it: the trace's generation sequence is broken at that point.
+func TestDecodeLinesLenientTruncatedThenAppended(t *testing.T) {
+	torn := `{"gen":1}` + "\n" + `{"gen":2,"best":12.`
+	appended := torn + `{"gen":3}` + "\n" + `{"gen":4}` + "\n"
+	if _, _, err := collectLines(t, appended, true); err == nil {
+		t.Fatal("truncated-then-appended trace tolerated")
+	}
+	// Sanity: before the append the same tear was tolerable truncation.
+	n, truncated, err := collectLines(t, torn, true)
+	if err != nil || !truncated || n != 1 {
+		t.Fatalf("pre-append tear: n=%d truncated=%v err=%v", n, truncated, err)
+	}
+}
+
+// TestDecodeLinesLenientValidFinalLineRejectedByFn pins the EOF-only
+// tolerance boundary: an unterminated final line that is syntactically
+// complete JSON is NOT a truncation signature, so an error from fn
+// (wrong schema, bad payload) must surface instead of being dropped.
+func TestDecodeLinesLenientValidFinalLineRejectedByFn(t *testing.T) {
+	bad := errors.New("schema mismatch")
+	fn := func(raw json.RawMessage) error {
+		var v struct {
+			Gen int `json:"gen"`
+		}
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return err
+		}
+		if v.Gen == 0 {
+			return bad
+		}
+		return nil
+	}
+	src := `{"gen":1}` + "\n" + `{"wrong":true}`
+	truncated, err := DecodeLinesLenient(strings.NewReader(src), fn)
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want the fn rejection", err)
+	}
+	if truncated {
+		t.Fatal("a complete final line reported as truncated")
+	}
+}
+
+// TestJSONLSetFault: an installed fault hook drops events with its
+// error before they reach the writer; clearing it restores emission.
+func TestJSONLSetFault(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf).AutoFlush(true)
+	boom := errors.New("sink down")
+	j.SetFault(func() error { return boom })
+	if err := j.Emit(map[string]int{"i": 1}); !errors.Is(err, boom) {
+		t.Fatalf("Emit = %v, want the injected error", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("faulted emit wrote %d bytes", buf.Len())
+	}
+	j.SetFault(nil)
+	if err := j.Emit(map[string]int{"i": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("cleared fault hook still suppressing writes")
+	}
+	var nilJ *JSONL
+	nilJ.SetFault(func() error { return boom }) // must not panic
+}
+
 func TestDecodeLinesBlankAndCRLF(t *testing.T) {
 	src := "\n" + `{"a":1}` + "\r\n" + "\n" + `{"b":2}` + "\n"
 	n, truncated, err := collectLines(t, src, true)
