@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check cover bench bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke clean
+.PHONY: all build vet lint test race check cover bench bench-diff bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke trace-smoke clean
 
 all: build vet test
 
 # The full pre-commit gate: compile, static checks, lint, tests, race
 # detector, a one-iteration pass over the hot-path benchmarks (so they
 # cannot rot), the carbond crash-recovery smoke test, the carbonstat
-# analyzer self-check, and the fault-injection chaos gate.
-check: build vet lint test race bench-smoke serve-smoke stat-smoke chaos-smoke
+# analyzer self-check, the fault-injection chaos gate, and the span
+# tracing gate.
+check: build vet lint test race bench-smoke serve-smoke stat-smoke chaos-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -42,15 +43,30 @@ cover:
 # lp_solves/gen of EngineStep against L*S+U for the config.
 # BENCH_pr4.json adds StepWithSearchStats: an observed generation
 # (search-dynamics stats + lineage on) must stay within 5% of EngineStep.
+# BENCH_pr6.json adds StepWithSpans: a span-traced generation must stay
+# within 2% of EngineStep. Compare captures with `make bench-diff`.
+#
+# The engine-step benchmarks step ONE engine b.N times and GP trees grow
+# across generations, so their ns/op depends on the iteration count the
+# framework picks — they run at a pinned -benchtime=150x so EngineStep,
+# StepWithSearchStats and StepWithSpans measure the same 150 generations
+# and captures stay comparable across runs.
 bench:
-	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats' -benchmem \
-		./internal/bcpop/ ./internal/core/ | tee bench_pr4.txt
-	$(GO) run carbon/cmd/benchjson -out BENCH_pr4.json < bench_pr4.txt
+	$(GO) test -run XXX -bench 'EvalTree|Prepare|Rotating' -benchmem \
+		./internal/bcpop/ | tee bench_pr6.txt
+	$(GO) test -run XXX -bench 'EngineStep|StepWithSearchStats|StepWithSpans' -benchtime=150x -benchmem \
+		./internal/core/ | tee -a bench_pr6.txt
+	$(GO) run carbon/cmd/benchjson -out BENCH_pr6.json < bench_pr6.txt
+
+# Flag >10% ns/op regressions between the previous committed capture and
+# the current one (rerun `make bench` first on a quiet machine).
+bench-diff:
+	$(GO) run carbon/cmd/benchjson -diff BENCH_pr4.json BENCH_pr6.json
 
 # One-iteration benchmark pass: proves every benchmark (and the benchjson
 # parser) still runs, without paying for measurement. Part of `check`.
 bench-smoke:
-	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats' -benchtime=1x -benchmem \
+	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans' -benchtime=1x -benchmem \
 		./internal/bcpop/ ./internal/core/ | $(GO) run carbon/cmd/benchjson >/dev/null
 
 # Analyzer self-check: synthetic healthy/pathological traces through the
@@ -87,6 +103,13 @@ serve-smoke:
 chaos-smoke:
 	$(GO) run carbon/cmd/chaossmoke
 
+# Tracing gate: a job with a caller traceparent survives an LP fault
+# (retry + backoff) and a SIGKILL restart; its span file must hold one
+# fully parent-linked trace whose critical path and kind breakdown
+# account for the wall time, and `carbonstat -spans` must render it.
+trace-smoke:
+	$(GO) run carbon/cmd/tracesmoke
+
 examples:
 	$(GO) run carbon/examples/quickstart
 	$(GO) run carbon/examples/linearbilevel
@@ -97,4 +120,4 @@ examples:
 	$(GO) run carbon/examples/packing
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt
+	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt

@@ -9,6 +9,13 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run carbon/cmd/benchjson -out BENCH.json
+//	go run carbon/cmd/benchjson -diff BENCH_pr4.json BENCH_pr6.json
+//
+// -diff compares two captured files benchmark-by-benchmark on ns/op,
+// prints the delta table, and exits 1 when any shared benchmark
+// regressed by more than -tolerance (default 10%) — wall-clock noise on
+// a loaded machine is the caller's problem; rerun before believing a
+// flag.
 package main
 
 import (
@@ -85,7 +92,26 @@ func parse(sc *bufio.Scanner) ([]record, error) {
 
 func main() {
 	outPath := flag.String("out", "", "write JSON here instead of stdout")
+	diff := flag.Bool("diff", false, "compare two captured JSON files (old new); exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 10, "ns/op regression percentage that fails -diff")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two JSON files (old new)")
+			os.Exit(2)
+		}
+		regressed, err := diffFiles(flag.Arg(0), flag.Arg(1), *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed >%.0f%%\n", regressed, *tolerance)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -113,4 +139,66 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(recs), *outPath)
+}
+
+// diffFiles compares ns/op between two captures, keyed by pkg+name.
+// Benchmarks present in only one file are reported but never fail the
+// diff — PRs add and retire benchmarks legitimately.
+func diffFiles(oldPath, newPath string, tolerance float64) (regressed int, err error) {
+	load := func(path string) (map[string]record, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var recs []record
+		if err := json.Unmarshal(buf, &recs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]record, len(recs))
+		for _, r := range recs {
+			m[r.Pkg+" "+r.Name] = r
+		}
+		return m, nil
+	}
+	olds, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	news, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]string, 0, len(news))
+	for k := range news {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("old: %s\nnew: %s\n", oldPath, newPath)
+	fmt.Printf("%-50s %14s %14s %9s\n", "BENCHMARK", "OLD ns/op", "NEW ns/op", "DELTA")
+	for _, k := range keys {
+		nr := news[k]
+		or, ok := olds[k]
+		if !ok {
+			fmt.Printf("%-50s %14s %14.0f %9s\n", nr.Name, "-", nr.Metrics["ns/op"], "new")
+			continue
+		}
+		oldNS, newNS := or.Metrics["ns/op"], nr.Metrics["ns/op"]
+		if oldNS == 0 {
+			continue
+		}
+		delta := 100 * (newNS - oldNS) / oldNS
+		mark := ""
+		if delta > tolerance {
+			mark = "  !! regression"
+			regressed++
+		}
+		fmt.Printf("%-50s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, oldNS, newNS, delta, mark)
+	}
+	for k := range olds {
+		if _, ok := news[k]; !ok {
+			fmt.Printf("%-50s %14.0f %14s %9s\n", olds[k].Name, olds[k].Metrics["ns/op"], "-", "gone")
+		}
+	}
+	return regressed, nil
 }

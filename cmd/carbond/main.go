@@ -8,7 +8,14 @@
 //	carbond [-addr :8321] [-spool spool] [-jobs 1] [-queue 16]
 //	        [-checkpoint-every 25] [-metrics-addr :8080]
 //	        [-max-attempts 3] [-retry-backoff 250ms] [-attempt-timeout 0]
-//	        [-fault ""] [-fault-seed 1]
+//	        [-fault ""] [-fault-seed 1] [-spans=true]
+//
+// With -spans (the default) every job writes a <id>.spans.jsonl trace
+// next to its spool entry — submit-to-solve latency attribution that
+// survives crashes and stitches across restarts. A traceparent request
+// header on POST /v1/jobs joins the job to the caller's trace; analyze
+// the files with `carbonstat -spans`. Span durations also feed
+// span_*_ms histograms on /metrics/prometheus.
 //
 // A job that fails retryably (an evaluation fault, a spool I/O error,
 // an attempt timeout) is retried from its last clean checkpoint with
@@ -60,6 +67,7 @@ func main() {
 		attemptT = flag.Duration("attempt-timeout", 0, "wall-clock bound per attempt (0 = none; retryable, unlike a spec timeout)")
 		faultS   = flag.String("fault", "", "fault-injection spec for chaos drills, e.g. \"lp.solve:every=1,after=30,limit=8\"")
 		faultSd  = flag.Uint64("fault-seed", 1, "seed for probabilistic fault decisions")
+		spans    = flag.Bool("spans", true, "write per-job span traces (<id>.spans.jsonl) next to the spool")
 	)
 	flag.Parse()
 
@@ -85,6 +93,7 @@ func main() {
 		AttemptTimeout:  *attemptT,
 		RetrySeed:       *faultSd,
 		Fault:           inj,
+		Spans:           *spans,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbond:", err)

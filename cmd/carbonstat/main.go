@@ -12,7 +12,14 @@
 //	carbonstat -ancestry trace.jsonl        # champion provenance chain
 //	carbonstat -diff old.jsonl new.jsonl    # metric-by-metric comparison
 //	carbonstat -run 'label#0' ...           # restrict to one run
+//	carbonstat -spans job.spans.jsonl ...   # per-job waterfall / critical path / retry timeline
 //	carbonstat -selfcheck                   # exercise the analyzer on synthetic traces
+//
+// -spans reads the <id>.spans.jsonl files carbond writes next to the
+// spool (carbon.spans/v1): per-job attempt timelines stitched across
+// restarts, a queue/compute/io/backoff breakdown, the critical path,
+// per-phase p50/p90 tables, and — given several files — a cross-job
+// phase table. Orphan spans (a dropped record's children) exit 1.
 package main
 
 import (
@@ -32,6 +39,7 @@ func main() {
 		ancestry  = flag.Bool("ancestry", false, "print the champion's provenance chain per run")
 		diff      = flag.Bool("diff", false, "diff two traces (two file arguments)")
 		runKey    = flag.String("run", "", "restrict to one run ('label#island')")
+		spans     = flag.Bool("spans", false, "analyze span files (<id>.spans.jsonl) instead of run traces")
 		selfcheck = flag.Bool("selfcheck", false, "run the built-in analyzer self-check and exit")
 	)
 	flag.Parse()
@@ -42,6 +50,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("carbonstat self-check: ok")
+		return
+	}
+
+	if *spans {
+		if flag.NArg() == 0 {
+			fatalf("-spans needs one or more span files")
+		}
+		if orphans := runSpans(flag.Args()); orphans > 0 {
+			fatalf("%d orphan span(s): records were dropped or the file is damaged", orphans)
+		}
 		return
 	}
 

@@ -87,6 +87,12 @@ func runSelfCheck() error {
 	if got := len(ft.Runs[0].Gens); got != 40 {
 		return fmt.Errorf("truncated trace kept %d generations, want 40", got)
 	}
+
+	// Span analyzer: tree assembly, critical path, breakdown
+	// conservation, orphan detection (see spans.go).
+	if err := selfCheckSpans(); err != nil {
+		return fmt.Errorf("spans: %w", err)
+	}
 	return nil
 }
 

@@ -1,0 +1,370 @@
+// Command tracesmoke is the end-to-end tracing gate for carbond (run
+// via `make trace-smoke`). It drives a small job through the real
+// binary along the worst path tracing must survive — a caller-supplied
+// traceparent, an injected LP fault (retry + backoff), then a SIGKILL
+// and restart mid-attempt — and asserts the span file tells the whole
+// story:
+//
+//   - one trace, joined to the caller's trace id, across both processes
+//   - every attempt and generation span parent-linked; zero orphans
+//   - the retry timeline shows the faulted attempt (error attr), the
+//     killed attempt (open), a backoff sleep, and a remote resumed
+//     attempt in the restarted process
+//   - the deepest-span breakdown accounts for most of the trace's wall
+//     time, and the external wall clock bounds the span-derived wall
+//   - `carbonstat -spans` accepts the file and prints the critical path
+//
+// Any violation exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"carbon/internal/serve"
+	"carbon/internal/span"
+	"carbon/internal/tracestat"
+)
+
+// callerTraceParent plays the role of an upstream service's trace
+// context; the job's whole span tree must land in this trace.
+const callerTraceParent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+// smokeSpec mirrors servesmoke: ~100 generations on the 60x5 class,
+// seconds of work — room for a fault and a SIGKILL.
+func smokeSpec(seed uint64) serve.JobSpec {
+	return serve.JobSpec{
+		N: 60, M: 5, Instance: 3, Customers: 1,
+		Seed: seed, Pop: 16, ULEvals: 1600, LLEvals: 4800,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+func main() {
+	carbond := flag.String("carbond", "", "prebuilt carbond binary (default: go build it)")
+	flag.Parse()
+
+	work, err := os.MkdirTemp("", "carbon-tracesmoke-*")
+	die(err)
+	defer os.RemoveAll(work)
+	spool := filepath.Join(work, "spool")
+
+	bin := *carbond
+	if bin == "" {
+		bin = filepath.Join(work, "carbond")
+		step("building carbond")
+		out, err := exec.Command("go", "build", "-o", bin, "carbon/cmd/carbond").CombinedOutput()
+		if err != nil {
+			fatalf("go build carbond: %v\n%s", err, out)
+		}
+	}
+
+	// One LP fault after 30 solves: attempt 1 dies retryably, backoff,
+	// attempt 2 resumes from the checkpoint.
+	step("starting carbond with an armed LP fault")
+	srv := start(bin, spool, "-fault", "lp.solve:every=1,after=30,limit=1", "-retry-backoff", "50ms")
+	t0 := time.Now()
+	id, tp := submit(srv.addr, smokeSpec(7))
+	ctx, err := span.ParseTraceParent(tp)
+	if err != nil {
+		fatalf("submit returned bad traceparent %q: %v", tp, err)
+	}
+	caller, _ := span.ParseTraceParent(callerTraceParent)
+	if ctx.Trace != caller.Trace {
+		fatalf("job did not join the caller's trace: got %s, want %s", ctx.Trace, caller.Trace)
+	}
+	if ctx.Span == caller.Span {
+		fatalf("job echoed the caller's span id instead of minting its own root")
+	}
+	fmt.Printf("job %s rooted at %s in the caller's trace\n", id, ctx.Span)
+
+	step("SIGKILL mid-attempt, then restart")
+	waitGens(srv.addr, id, 6)
+	die(srv.cmd.Process.Kill())
+	_ = srv.cmd.Wait()
+	srv = start(bin, spool)
+	waitDone(srv.addr, id)
+	wall := time.Since(t0)
+	die(srv.cmd.Process.Signal(syscall.SIGTERM))
+	if err := srv.cmd.Wait(); err != nil {
+		fatalf("final shutdown: %v", err)
+	}
+
+	spanFile := filepath.Join(spool, id+".spans.jsonl")
+	step("verifying span linkage in " + spanFile)
+	verifyLinkage(spanFile, caller.Trace.String())
+	verifyTimeline(spanFile, wall)
+
+	step("carbonstat -spans must reconstruct the critical path")
+	out, err := exec.Command("go", "run", "carbon/cmd/carbonstat", "-spans", spanFile).CombinedOutput()
+	if err != nil {
+		fatalf("carbonstat -spans failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"critical path:", "ATTEMPT", "KIND"} {
+		if !strings.Contains(string(out), want) {
+			fatalf("carbonstat -spans output missing %q:\n%s", want, out)
+		}
+	}
+	fmt.Println("trace-smoke PASS")
+}
+
+// verifyLinkage checks the raw records: one trace (the caller's),
+// every attempt/gen span parent-linked to the right kind of parent.
+func verifyLinkage(path, wantTrace string) {
+	recs, truncated, err := span.ReadFile(path)
+	die(err)
+	if truncated {
+		fmt.Println("note: span file tail torn by the SIGKILL (expected, tolerated)")
+	}
+	byID := map[string]span.Record{}
+	for _, r := range recs {
+		if r.Trace != wantTrace {
+			fatalf("span %s (%s) in foreign trace %s, want %s", r.Span, r.Name, r.Trace, wantTrace)
+		}
+		if prev, ok := byID[r.Span]; !ok || (prev.EndNS == 0 && r.EndNS != 0) {
+			byID[r.Span] = r
+		}
+	}
+	attempts, gens := 0, 0
+	for _, r := range byID {
+		switch r.Name {
+		case "attempt":
+			attempts++
+			if r.Parent == "" {
+				fatalf("attempt span %s has no parent", r.Span)
+			}
+			p, ok := byID[r.Parent]
+			if !ok && !r.Remote {
+				fatalf("attempt span %s: local parent %s missing from file", r.Span, r.Parent)
+			}
+			if ok && p.Name != "job" {
+				fatalf("attempt span %s parented by %q, want the job root", r.Span, p.Name)
+			}
+		case "gen":
+			gens++
+			p, ok := byID[r.Parent]
+			if !ok {
+				fatalf("gen span %s: parent %s missing from file", r.Span, r.Parent)
+			}
+			if p.Name != "attempt" {
+				fatalf("gen span %s parented by %q, want an attempt", r.Span, p.Name)
+			}
+		}
+	}
+	if attempts < 3 {
+		fatalf("only %d attempt spans; want >=3 (fault retry + killed + restarted)", attempts)
+	}
+	if gens < 6 {
+		fatalf("only %d generation spans", gens)
+	}
+	fmt.Printf("linkage OK: %d spans, %d attempts, %d generations, one trace\n",
+		len(byID), attempts, gens)
+}
+
+// verifyTimeline checks the assembled tree: no orphans, the retry
+// story (error, open, remote resumed), and time accounting.
+func verifyTimeline(path string, extWall time.Duration) {
+	tree, err := tracestat.LoadSpansFile(path)
+	die(err)
+	if len(tree.Orphans) > 0 {
+		fatalf("%d orphan spans — records were dropped", len(tree.Orphans))
+	}
+	if len(tree.Traces) != 1 {
+		fatalf("span file holds %d traces, want 1", len(tree.Traces))
+	}
+
+	atts := tree.Attempts()
+	var faulted, killed, resumed bool
+	for _, a := range atts {
+		if a.Error != "" {
+			faulted = true
+		}
+		if a.Open {
+			killed = true
+		}
+		if a.Remote && a.Resumed && !a.Open {
+			resumed = true
+		}
+	}
+	if !faulted || !killed || !resumed {
+		fatalf("retry timeline incomplete: faulted=%v killed=%v remote-resumed=%v (%+v)",
+			faulted, killed, resumed, atts)
+	}
+	last := atts[len(atts)-1]
+	if last.Open || last.Gens == 0 {
+		fatalf("final attempt wrong: %+v", last)
+	}
+
+	// A backoff span must separate the faulted attempt from its retry.
+	hasBackoff := false
+	for _, p := range tracestat.SpanPhases(tree) {
+		if p.Name == "backoff" && p.Count >= 1 {
+			hasBackoff = true
+		}
+	}
+	if !hasBackoff {
+		fatalf("no backoff span recorded for the retry")
+	}
+
+	// Time accounting: the span-derived wall is bounded by the external
+	// clock, and the deepest-span breakdown covers most of it — the only
+	// unclaimed stretch is the kill-to-restart dead window.
+	b := tree.Breakdown()
+	if b.Wall <= 0 || b.Wall > extWall+500*time.Millisecond {
+		fatalf("span wall %v out of bounds (external wall %v)", b.Wall, extWall)
+	}
+	if b.Covered > b.Wall {
+		fatalf("breakdown claims %v of a %v wall", b.Covered, b.Wall)
+	}
+	if float64(b.Covered) < 0.7*float64(b.Wall) {
+		fatalf("breakdown covers only %v of %v wall (<70%%): spans are missing", b.Covered, b.Wall)
+	}
+
+	// The critical path must be a parent-linked chain from the root.
+	cp := tree.CriticalPath()
+	if len(cp) < 3 || cp[0].Record.Name != "job" {
+		fatalf("critical path too shallow: %d hops", len(cp))
+	}
+	for i := 1; i < len(cp); i++ {
+		if cp[i].Record.Parent != cp[i-1].Record.Span {
+			fatalf("critical path hop %d not parent-linked", i)
+		}
+	}
+	fmt.Printf("timeline OK: %d attempts, wall %v, %.1f%% attributed, critical path %d hops\n",
+		len(atts), b.Wall.Round(time.Millisecond), 100*float64(b.Covered)/float64(b.Wall), len(cp))
+}
+
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func start(bin, spool string, extra ...string) *server {
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-spool", spool, "-jobs", "1", "-checkpoint-every", "1"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	die(err)
+	die(cmd.Start())
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, after, ok := strings.Cut(sc.Text(), "serving on "); ok {
+			addr := strings.Fields(after)[0]
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			waitHealthy(addr)
+			return &server{cmd: cmd, addr: addr}
+		}
+	}
+	fatalf("carbond exited before announcing its address")
+	return nil
+}
+
+func waitHealthy(addr string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/jobs")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("carbond on %s never became healthy", addr)
+}
+
+// submit POSTs the spec with the caller's traceparent header and
+// returns the job id plus the Traceparent response header.
+func submit(addr string, spec serve.JobSpec) (id, traceparent string) {
+	var buf bytes.Buffer
+	die(json.NewEncoder(&buf).Encode(spec))
+	req, err := http.NewRequest("POST", "http://"+addr+"/v1/jobs", &buf)
+	die(err)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", callerTraceParent)
+	resp, err := http.DefaultClient.Do(req)
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	tp := resp.Header.Get("Traceparent")
+	if tp == "" {
+		fatalf("submit response carries no Traceparent header")
+	}
+	var st serve.Status
+	die(json.NewDecoder(resp.Body).Decode(&st))
+	return st.ID, tp
+}
+
+func getStatus(addr, id string) (serve.Status, error) {
+	var st serve.Status
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func waitGens(addr, id string, n int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		if st.State == serve.StateDone {
+			fatalf("job %s finished before generation %d — budget too small to interrupt", id, n)
+		}
+		if st.Gens >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fatalf("job %s never reached generation %d", id, n)
+}
+
+func waitDone(addr, id string) serve.Status {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		switch st.State {
+		case serve.StateDone:
+			return st
+		case serve.StateFailed, serve.StateCanceled, serve.StateDead:
+			fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("job %s never finished", id)
+	return serve.Status{}
+}
+
+func step(msg string) { fmt.Println("== " + msg) }
+
+func die(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

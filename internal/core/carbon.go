@@ -43,6 +43,7 @@ import (
 	"carbon/internal/gp"
 	"carbon/internal/par"
 	"carbon/internal/rng"
+	"carbon/internal/span"
 	"carbon/internal/stats"
 	"carbon/internal/telemetry"
 )
@@ -134,6 +135,24 @@ type Config struct {
 	// RunLabel tags this run's trace events (GenStats.Label) so
 	// interleaved multi-run traces can be demultiplexed.
 	RunLabel string
+
+	// Spans, when non-nil, emits latency-attribution spans: one "gen"
+	// span per Step with "relax"/"pred_eval"/"prey_eval"/"breed"
+	// children and sampled "lp.solve" grandchildren inside the
+	// relaxation wave. Span identity comes from the tracer's private
+	// stream, never the run RNG, so — like Observer and Metrics — a run
+	// is bit-identical with spans on or off.
+	Spans *span.Tracer
+
+	// SpanParent parents every generation span into an existing trace
+	// (a served job's attempt span, say). The zero context makes each
+	// generation span the root of its own trace.
+	SpanParent span.Context
+
+	// SpanLPEvery samples every Nth relaxation solve of each generation
+	// as an "lp.solve" child span (0 = the default of 8 when Spans is
+	// set; negative disables the per-solve samples, keeping only waves).
+	SpanLPEvery int
 
 	// --- Fault injection (testing/chaos only; nil in production). ---
 

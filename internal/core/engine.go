@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"carbon/internal/gp"
 	"carbon/internal/par"
 	"carbon/internal/rng"
+	"carbon/internal/span"
 	"carbon/internal/stats"
 	"carbon/internal/telemetry"
 )
@@ -55,12 +58,18 @@ type Engine struct {
 	res            *Result
 	ulUsed, llUsed int
 
-	// Telemetry and failure state. obs/met are nil when telemetry is
-	// off — the hot path then takes the uninstrumented branch with no
+	// Telemetry and failure state. obs/met/spans are nil when telemetry
+	// is off — the hot path then takes the uninstrumented branch with no
 	// clock reads and no allocations.
 	obs    Observer
 	met    *engineMetrics
 	island int
+
+	// Span tracing (Config.Spans). spanParent roots each generation
+	// span; spanLPEvery is the resolved lp.solve sampling stride.
+	spans       *span.Tracer
+	spanParent  span.Context
+	spanLPEvery int
 
 	// Failure state. An evaluation that fails mid-wave no longer kills
 	// the run: the affected individual is quarantined for the
@@ -153,11 +162,19 @@ func NewEngine(mk *bcpop.Market, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		mk: mk, cfg: cfg, set: set, evs: evs, workers: workers,
-		r:      rng.New(cfg.Seed),
-		bounds: mk.PriceBounds(),
-		res:    &Result{},
-		obs:    cfg.Observer,
-		met:    newEngineMetrics(cfg.Metrics),
+		r:          rng.New(cfg.Seed),
+		bounds:     mk.PriceBounds(),
+		res:        &Result{},
+		obs:        cfg.Observer,
+		met:        newEngineMetrics(cfg.Metrics),
+		spans:      cfg.Spans,
+		spanParent: cfg.SpanParent,
+	}
+	switch {
+	case cfg.SpanLPEvery > 0:
+		e.spanLPEvery = cfg.SpanLPEvery
+	case cfg.SpanLPEvery == 0:
+		e.spanLPEvery = 8
 	}
 	if em := bcpop.NewEvalMetrics(cfg.Metrics); em != nil {
 		for _, ev := range evs {
@@ -271,7 +288,8 @@ func (e *Engine) Step() bool {
 		ev.ResetWarm()
 	}
 	cfg := e.cfg
-	observing := e.obs != nil || e.met != nil
+	spansOn := e.spans != nil
+	observing := e.obs != nil || e.met != nil || spansOn
 	statsOn := e.obs != nil
 	if statsOn && e.led == nil {
 		e.initLineage()
@@ -279,6 +297,16 @@ func (e *Engine) Step() bool {
 	var wave *par.WaveMetrics
 	if e.met != nil {
 		wave = e.met.wave
+	}
+	// The gen span covers the whole Step (deferred End, so terminal
+	// failure paths close it too); each wave gets a child span ended at
+	// its barrier. All of it rides the observer switch: an untraced
+	// engine pays one nil check.
+	var genSpan *span.Span
+	if spansOn {
+		genSpan = e.spans.Start(e.spanParent, "gen").Kind(span.KindCompute).
+			Attr("gen", e.res.Gens+1).Attr("island", e.island)
+		defer genSpan.End()
 	}
 	var evalNanos, breedNanos int64
 	var t0 time.Time
@@ -314,14 +342,35 @@ func (e *Engine) Step() bool {
 		slotErr = append(slotErr, nil)
 	}
 	e.slotErr = slotErr
-	evalStriped(len(missing), e.workers, wave, func(i, worker int) {
-		p, err := e.evs[worker].Prepare(e.prey[missing[i]])
-		if err != nil {
-			slotErr[e.preySlot[missing[i]]] = fmt.Errorf("core: prey %d relaxation: %w", missing[i], err)
-			return
-		}
-		e.cache.Fill(e.preySlot[missing[i]], p)
+	var waveSpan *span.Span
+	if spansOn {
+		waveSpan = e.spans.Start(genSpan.Context(), "relax").Kind(span.KindCompute).
+			Attr("solves", len(missing))
+	}
+	relaxCtx := waveSpan.Context()
+	lpEvery := e.spanLPEvery
+	e.phase(observing, "relax", func() {
+		evalStriped(len(missing), e.workers, wave, func(i, worker int) {
+			// Sampled lp.solve child spans: every lpEvery-th distinct
+			// genotype, so the waterfall shows representative solve
+			// latencies without a span per solve. sp is nil off-sample
+			// and when tracing is off; every path below ends it.
+			var sp *span.Span
+			if spansOn && lpEvery > 0 && i%lpEvery == 0 {
+				sp = e.spans.Start(relaxCtx, "lp.solve").Kind(span.KindCompute).
+					Attr("prey", missing[i]).Attr("worker", worker)
+			}
+			p, err := e.evs[worker].Prepare(e.prey[missing[i]])
+			if err != nil {
+				sp.Attr("error", true).End()
+				slotErr[e.preySlot[missing[i]]] = fmt.Errorf("core: prey %d relaxation: %w", missing[i], err)
+				return
+			}
+			e.cache.Fill(e.preySlot[missing[i]], p)
+			sp.End()
+		})
 	})
+	waveSpan.End()
 	badSlots := 0
 	var firstSlotErr error
 	for _, serr := range slotErr {
@@ -377,38 +426,45 @@ func (e *Engine) Step() bool {
 	// quarantined prey are skipped; the mean gap averages over the
 	// pairings that ran, which equals the usual mean when nothing
 	// faulted. Writes are per-index disjoint.
-	evalStriped(len(e.predators), e.workers, wave, func(i, worker int) {
-		ev := e.evs[worker]
-		e.predErr[i] = nil
-		e.predQuar[i] = true
-		total := 0.0
-		pairs := 0
-		for si, s := range sample {
-			p := e.cache.At(e.preySlot[s])
-			if p == nil {
-				continue // prey s's relaxation faulted this generation
+	if spansOn {
+		waveSpan = e.spans.Start(genSpan.Context(), "pred_eval").Kind(span.KindCompute).
+			Attr("pairings", len(e.predators)*ns)
+	}
+	e.phase(observing, "pred_eval", func() {
+		evalStriped(len(e.predators), e.workers, wave, func(i, worker int) {
+			ev := e.evs[worker]
+			e.predErr[i] = nil
+			e.predQuar[i] = true
+			total := 0.0
+			pairs := 0
+			for si, s := range sample {
+				p := e.cache.At(e.preySlot[s])
+				if p == nil {
+					continue // prey s's relaxation faulted this generation
+				}
+				out, _, err := ev.EvalTreeWith(p, e.predators[i])
+				if err != nil {
+					e.predErr[i] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
+					return
+				}
+				if gm != nil {
+					gm[i*ns+si] = out.GapPct
+				}
+				if cfg.CostFitness {
+					total += out.LLCost // ablation: COBRA-style objective
+				} else {
+					total += out.GapPct // paper: Eq. 1
+				}
+				pairs++
 			}
-			out, _, err := ev.EvalTreeWith(p, e.predators[i])
-			if err != nil {
-				e.predErr[i] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
+			if pairs == 0 {
 				return
 			}
-			if gm != nil {
-				gm[i*ns+si] = out.GapPct
-			}
-			if cfg.CostFitness {
-				total += out.LLCost // ablation: COBRA-style objective
-			} else {
-				total += out.GapPct // paper: Eq. 1
-			}
-			pairs++
-		}
-		if pairs == 0 {
-			return
-		}
-		e.predQuar[i] = false
-		e.predFit[i] = total / float64(pairs)
+			e.predQuar[i] = false
+			e.predFit[i] = total / float64(pairs)
+		})
 	})
+	waveSpan.End()
 	quarPred := 0
 	var firstPredErr error
 	for i := range e.predators {
@@ -479,22 +535,29 @@ func (e *Engine) Step() bool {
 		t0 = time.Now()
 	}
 	hunter := e.predators[bestPred]
-	evalStriped(len(e.prey), e.workers, wave, func(i, worker int) {
-		if e.preyErr[i] != nil {
-			return // relaxation already quarantined this prey
-		}
-		out, _, err := e.evs[worker].EvalTreeWith(e.cache.At(e.preySlot[i]), hunter)
-		if err != nil {
-			e.preyErr[i] = fmt.Errorf("core: prey %d evaluation: %w", i, err)
-			return
-		}
-		if out.Feasible {
-			e.preyFit[i] = out.Revenue
-		} else {
-			e.preyFit[i] = 0
-		}
-		e.preyGap[i] = out.GapPct
+	if spansOn {
+		waveSpan = e.spans.Start(genSpan.Context(), "prey_eval").Kind(span.KindCompute).
+			Attr("prey", len(e.prey))
+	}
+	e.phase(observing, "prey_eval", func() {
+		evalStriped(len(e.prey), e.workers, wave, func(i, worker int) {
+			if e.preyErr[i] != nil {
+				return // relaxation already quarantined this prey
+			}
+			out, _, err := e.evs[worker].EvalTreeWith(e.cache.At(e.preySlot[i]), hunter)
+			if err != nil {
+				e.preyErr[i] = fmt.Errorf("core: prey %d evaluation: %w", i, err)
+				return
+			}
+			if out.Feasible {
+				e.preyFit[i] = out.Revenue
+			} else {
+				e.preyFit[i] = 0
+			}
+			e.preyGap[i] = out.GapPct
+		})
 	})
+	waveSpan.End()
 	quarPrey := 0
 	var firstPreyErr error
 	for i := range e.prey {
@@ -567,8 +630,16 @@ func (e *Engine) Step() bool {
 	if observing {
 		t0 = time.Now()
 	}
-	newPrey, preyOr := breedPrey(e.r, e.prey, e.preyFit, e.bounds, cfg)
-	newPred, predOr := breedPredators(e.r, e.set, e.predators, e.predFit, cfg)
+	if spansOn {
+		waveSpan = e.spans.Start(genSpan.Context(), "breed").Kind(span.KindCompute)
+	}
+	var newPrey [][]float64
+	var newPred []gp.Tree
+	var preyOr, predOr []origin
+	e.phase(observing, "breed", func() {
+		newPrey, preyOr = breedPrey(e.r, e.prey, e.preyFit, e.bounds, cfg)
+		newPred, predOr = breedPredators(e.r, e.set, e.predators, e.predFit, cfg)
+	})
 	if statsOn {
 		e.prevPreyFit = append(e.prevPreyFit[:0], e.preyFit...)
 		e.prevPredFit = append(e.prevPredFit[:0], e.predFit...)
@@ -577,6 +648,7 @@ func (e *Engine) Step() bool {
 	}
 	e.prey = newPrey
 	e.predators = newPred
+	waveSpan.End()
 	if observing {
 		d := time.Since(t0)
 		breedNanos = int64(d)
@@ -591,6 +663,21 @@ func (e *Engine) Step() bool {
 		e.obs.OnGeneration(e.genStats(evalNanos, breedNanos, search))
 	}
 	return true
+}
+
+// phase runs fn under pprof labels naming the wave ("relax",
+// "pred_eval", "prey_eval", "breed") and the island, so CPU and
+// goroutine profiles attribute samples to engine phases — worker
+// goroutines spawned inside fn inherit the labels. Unobserved engines
+// skip the label plumbing entirely, keeping the hot path label-free.
+func (e *Engine) phase(observing bool, name string, fn func()) {
+	if !observing {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(),
+		pprof.Labels("phase", name, "island", strconv.Itoa(e.island)),
+		func(context.Context) { fn() })
 }
 
 // genStats snapshots the generation that just finished. The fitness

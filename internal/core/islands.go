@@ -7,6 +7,7 @@ import (
 
 	"carbon/internal/bcpop"
 	"carbon/internal/par"
+	"carbon/internal/span"
 )
 
 // IslandConfig parameterizes the island-model variant of CARBON: K
@@ -157,7 +158,14 @@ func RunIslandsContext(ctx context.Context, mk *bcpop.Market, cfg Config, ic Isl
 		if gen%ic.MigrateEvery != 0 {
 			continue
 		}
-		if err := migrateRing(engines, ic, cfg.Observer, cfg.RunLabel, gen); err != nil {
+		// The migration barrier is the only cross-island phase, so it
+		// gets its own span (parented like the gen spans) rather than
+		// hiding inside some island's generation.
+		msp := cfg.Spans.Start(cfg.SpanParent, "migration").Kind(span.KindCompute).
+			Attr("gen", gen).Attr("migrants", ic.Migrants*ic.Islands)
+		err := migrateRing(engines, ic, cfg.Observer, cfg.RunLabel, gen)
+		msp.End()
+		if err != nil {
 			return nil, err
 		}
 		res.Migrations++

@@ -1,0 +1,95 @@
+package par
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// goroutineProfile captures the debug=1 goroutine profile, retrying
+// until pred is satisfied or the deadline passes — a goroutine parked
+// moments ago can take a beat to show up in the profile snapshot.
+func goroutineProfile(t *testing.T, pred func(string) bool) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var out string
+	for {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Fatal(err)
+		}
+		out = buf.String()
+		if pred(out) || time.Now().After(deadline) {
+			return out
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolSubmitLabeled: labels must be visible on the pool goroutine
+// while the task runs (the goroutine profile is how an operator
+// attributes a hot worker to a job) and must not leak onto the next
+// task — pool goroutines are long-lived, so a leak would mislabel every
+// later job.
+func TestPoolSubmitLabeled(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p.SubmitLabeled(func() {
+		close(started)
+		<-release
+	}, "job", "j000042", "phase", "test")
+	<-started
+	out := goroutineProfile(t, func(s string) bool {
+		return strings.Contains(s, `"job":"j000042"`)
+	})
+	close(release)
+	p.Wait()
+	if !strings.Contains(out, `"job":"j000042"`) || !strings.Contains(out, `"phase":"test"`) {
+		t.Fatalf("goroutine profile missing task labels:\n%s", out)
+	}
+
+	// Inheritance: goroutines the task spawns (ForEach workers, engine
+	// waves) carry the labels too.
+	started2 := make(chan struct{})
+	release2 := make(chan struct{})
+	var wg sync.WaitGroup
+	p.SubmitLabeled(func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			close(started2)
+			<-release2
+		}()
+		wg.Wait()
+	}, "job", "j000043")
+	<-started2
+	out = goroutineProfile(t, func(s string) bool {
+		return strings.Contains(s, `"job":"j000043"`)
+	})
+	close(release2)
+	p.Wait()
+	if !strings.Contains(out, `"job":"j000043"`) {
+		t.Fatalf("spawned goroutine did not inherit task labels:\n%s", out)
+	}
+
+	// No leak: a plain Submit on the same (sole) goroutine must run
+	// unlabeled.
+	clean := make(chan bool, 1)
+	p.Submit(func() {
+		var buf bytes.Buffer
+		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		prof := buf.String()
+		// Our own goroutine must not carry the previous task's labels.
+		clean <- !strings.Contains(prof, "j000042") && !strings.Contains(prof, "j000043")
+	})
+	p.Wait()
+	if !<-clean {
+		t.Fatal("labels leaked from SubmitLabeled onto a later plain task")
+	}
+}

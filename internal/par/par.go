@@ -16,8 +16,10 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -261,6 +263,22 @@ func (p *Pool) Submit(fn func()) {
 	p.tasks <- func() {
 		defer p.wg.Done()
 		fn()
+	}
+}
+
+// SubmitLabeled is Submit with pprof labels (key/value pairs) applied
+// for the duration of the task. Pool goroutines are long-lived, so
+// labels must wrap each task rather than the goroutine: a label set at
+// pool construction would outlive the task it described and mislabel
+// every later one. Goroutines the task itself spawns (ForEach workers,
+// engine waves) inherit the labels, which is what makes a CPU profile
+// attributable per job.
+func (p *Pool) SubmitLabeled(fn func(), kv ...string) {
+	p.wg.Add(1)
+	p.tasks <- func() {
+		defer p.wg.Done()
+		pprof.Do(context.Background(), pprof.Labels(kv...),
+			func(context.Context) { fn() })
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"carbon/internal/span"
 )
 
 // APIHandler exposes the manager over HTTP:
@@ -27,10 +29,25 @@ func APIHandler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		// W3C trace-context propagation: adopt a valid traceparent header
+		// as the job's parent (a malformed one is dropped, per spec — the
+		// job roots a fresh trace instead). The response carries the
+		// job's own root context, so the caller can hand it to carbonstat
+		// or link it from its tracing system.
+		if spec.TraceParent == "" {
+			if tp := r.Header.Get("traceparent"); tp != "" {
+				if _, perr := span.ParseTraceParent(tp); perr == nil {
+					spec.TraceParent = tp
+				}
+			}
+		}
 		st, err := m.Submit(spec)
 		if err != nil {
 			httpError(w, submitCode(err), err)
 			return
+		}
+		if st.Spec.TraceParent != "" {
+			w.Header().Set("Traceparent", st.Spec.TraceParent)
 		}
 		writeJSON(w, http.StatusCreated, st)
 	})
@@ -42,6 +59,9 @@ func APIHandler(m *Manager) http.Handler {
 		if err != nil {
 			httpError(w, http.StatusNotFound, err)
 			return
+		}
+		if st.Spec.TraceParent != "" {
+			w.Header().Set("Traceparent", st.Spec.TraceParent)
 		}
 		writeJSON(w, http.StatusOK, st)
 	})

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"carbon/internal/core"
+	"carbon/internal/span"
 	"carbon/internal/telemetry"
 )
 
@@ -75,6 +76,20 @@ type job struct {
 	id   string
 	spec JobSpec
 
+	// Span tracing (nil/zero when Options.Spans is off or the job was
+	// recovered in a terminal state). tracer writes to <id>.spans.jsonl
+	// via spanExp; root is the job's root span context — rootSpan is the
+	// live handle when this process started the trace, nil in a recovered
+	// incarnation (the pre-crash announce record stands in for it, and
+	// the analyzer infers the root's extent from its children). These are
+	// set before the job becomes visible to workers and never reassigned,
+	// so they need no locking.
+	tracer    *span.Tracer
+	spanExp   *span.FileExporter
+	root      span.Context
+	rootSpan  *span.Span
+	queueSpan *span.Span
+
 	mu        sync.Mutex
 	state     State
 	resumed   bool
@@ -110,6 +125,27 @@ func (j *job) status() Status {
 		st.Latest = &gs
 	}
 	return st
+}
+
+// childOfRoot starts a span under the job's root, marked remote when
+// the root was announced by an earlier incarnation of the process (the
+// parent link then crosses the wire-encoded TraceParent in the spooled
+// spec, not an in-memory Span). Nil-safe: with tracing off it returns a
+// nil span.
+func (j *job) childOfRoot(name string) *span.Span {
+	if j.rootSpan == nil {
+		return j.tracer.StartRemote(j.root, name)
+	}
+	return j.tracer.Start(j.root, name)
+}
+
+// closeSpans releases the job's span exporter (idempotent, nil-safe).
+// It only closes the file — the spans stay on disk for the analyzer and
+// for the next incarnation to append to.
+func (j *job) closeSpans() {
+	if j.spanExp != nil {
+		_ = j.spanExp.Close()
+	}
 }
 
 // setState transitions the job, stamping started/finished as appropriate.

@@ -19,6 +19,7 @@ import (
 	"carbon/internal/fault"
 	"carbon/internal/par"
 	"carbon/internal/rng"
+	"carbon/internal/span"
 	"carbon/internal/telemetry"
 )
 
@@ -82,6 +83,13 @@ type Options struct {
 	// Metrics, when non-nil, aggregates every job's engine instruments
 	// into one registry (served by cmd/carbond next to the job API).
 	Metrics *telemetry.Registry
+
+	// Spans enables per-job span tracing: each job appends its spans to
+	// <id>.spans.jsonl next to its other spool entries (surviving crash
+	// and restart — incarnations append to the same file and trace), and
+	// per-kind span-duration histograms land in Metrics under the "span"
+	// prefix. Analyze with carbonstat -spans.
+	Spans bool
 
 	// MaxAttempts bounds how many times a job is executed before it is
 	// dead-lettered (default 3). Each retry resumes from the job's last
@@ -161,6 +169,11 @@ type Manager struct {
 	metDead    *telemetry.Counter // serve.jobs_dead
 	metDiscard *telemetry.Counter // serve.checkpoints_discarded
 
+	// histExp feeds every job's ended spans into shared duration
+	// histograms (span.<name>_ms in Metrics); nil when tracing is off or
+	// no registry was given.
+	histExp *span.HistExporter
+
 	dispatcherDone chan struct{}
 }
 
@@ -194,6 +207,9 @@ func NewManager(opts Options) (*Manager, error) {
 		m.metRetries = reg.Counter("serve.retries")
 		m.metDead = reg.Counter("serve.jobs_dead")
 		m.metDiscard = reg.Counter("serve.checkpoints_discarded")
+	}
+	if opts.Spans {
+		m.histExp = span.NewHistExporter(opts.Metrics, "span")
 	}
 	recovered, err := m.recover()
 	if err != nil {
@@ -252,12 +268,34 @@ func (m *Manager) recover() ([]*job, error) {
 			fin := dead.Finished
 			j.finished = &fin
 		} else {
+			m.reattachSpans(j)
 			requeue = append(requeue, j)
 		}
 		m.jobs[id] = j
 	}
 	sort.Slice(requeue, func(a, b int) bool { return requeue[a].id < requeue[b].id })
 	return requeue, nil
+}
+
+// reattachSpans rejoins a recovered job to its pre-crash trace. Submit
+// rewrote the spooled spec's TraceParent to the job's own root span, so
+// the new incarnation's queue.wait and attempt spans parent into the
+// same tree — carbonstat -spans stitches attempts across restarts by
+// trace ID. The file exporter appends, so the announce records the dead
+// process wrote stay in place.
+func (m *Manager) reattachSpans(j *job) {
+	if !m.opts.Spans {
+		return
+	}
+	ctx, err := span.ParseTraceParent(j.spec.TraceParent)
+	if err != nil {
+		return // pre-tracing spool entry: run it untraced rather than fail
+	}
+	j.spanExp = span.NewFileExporter(m.spanPath(j.id))
+	j.tracer = span.New(span.Multi(j.spanExp, m.histExp))
+	j.root = ctx
+	j.queueSpan = j.tracer.StartRemote(ctx, "queue.wait").
+		Kind(span.KindQueue).Attr("recovered", true).Announce()
 }
 
 // readJSONQuarantine decodes path into v, quarantining a present-but-
@@ -294,10 +332,10 @@ func (m *Manager) dispatch() {
 			<-m.sem
 			break
 		}
-		m.pool.Submit(func() {
+		m.pool.SubmitLabeled(func() {
 			defer func() { <-m.sem }()
 			m.runJob(j)
-		})
+		}, "job", j.id)
 	}
 	m.pool.Close()
 }
@@ -316,40 +354,61 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 		return Status{}, ErrClosed
 	}
 	m.seq++
-	j := &job{
-		id:        fmt.Sprintf("j%06d", m.seq),
-		spec:      spec,
-		state:     StateQueued,
-		submitted: time.Now(),
-	}
-	m.jobs[j.id] = j
+	id := fmt.Sprintf("j%06d", m.seq)
 	m.mu.Unlock()
+
+	// The job is built — spans included — before it becomes visible to
+	// List or the queue, so its identity fields never race a reader.
+	j := &job{id: id, state: StateQueued, submitted: time.Now()}
+	if m.opts.Spans {
+		// The root "job" span opens the trace. A valid caller TraceParent
+		// (the API's traceparent header) parents it into the caller's
+		// trace; either way the spec spooled below carries the root's own
+		// context, so a restarted manager re-joins this trace. Announce
+		// writes the open record now — a crash leaves the root open in
+		// the file, never absent.
+		j.spanExp = span.NewFileExporter(m.spanPath(id))
+		j.tracer = span.New(span.Multi(j.spanExp, m.histExp))
+		if parent, perr := span.ParseTraceParent(spec.TraceParent); perr == nil {
+			j.rootSpan = j.tracer.StartRemote(parent, "job")
+		} else {
+			j.rootSpan = j.tracer.Start(span.Context{}, "job")
+		}
+		j.rootSpan.Kind(span.KindCompute).Attr("job", id).Attr("name", spec.Name).Announce()
+		j.root = j.rootSpan.Context()
+		spec.TraceParent = j.root.TraceParent()
+		j.queueSpan = j.tracer.Start(j.root, "queue.wait").Kind(span.KindQueue).Announce()
+	}
+	j.spec = spec
+	discard := func() {
+		j.closeSpans()
+		_ = os.Remove(m.specPath(id)) // a torn artifact may exist
+		_ = os.Remove(m.spanPath(id))
+	}
 
 	// Spool the spec before enqueueing: once Submit returns, a crash
 	// cannot lose the job.
-	if err := m.spoolWrite(m.specPath(j.id), spec); err != nil {
-		m.forget(j.id)
-		_ = os.Remove(m.specPath(j.id)) // a torn artifact may exist
+	if err := m.spoolWrite(m.specPath(id), spec); err != nil {
+		discard()
 		return Status{}, err
 	}
-	// The enqueue happens under the lock so it cannot race Close closing
-	// the channel; it is a non-blocking select, so the lock is never held
-	// across a wait.
+	// Registration and enqueue happen under one lock so the enqueue
+	// cannot race Close closing the channel; it is a non-blocking select,
+	// so the lock is never held across a wait.
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		m.forget(j.id)
-		_ = os.Remove(m.specPath(j.id))
+		discard()
 		return Status{}, ErrClosed
 	}
 	select {
 	case m.queue <- j:
+		m.jobs[id] = j
 		m.mu.Unlock()
 		return j.status(), nil
 	default:
 		m.mu.Unlock()
-		m.forget(j.id)
-		_ = os.Remove(m.specPath(j.id))
+		discard()
 		return Status{}, ErrQueueFull
 	}
 }
@@ -421,6 +480,7 @@ func (m *Manager) Cancel(id string) error {
 		now := time.Now()
 		j.finished = &now
 		j.mu.Unlock()
+		j.closeSpans()
 	default: // terminal: delete the record entirely
 		j.mu.Unlock()
 		m.forget(id)
@@ -446,6 +506,13 @@ func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Unlock()
 	select {
 	case <-m.dispatcherDone:
+		// Every job is parked; release span files still held by jobs the
+		// dispatcher never got to (idempotent for the rest).
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.closeSpans()
+		}
+		m.mu.Unlock()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
@@ -479,6 +546,7 @@ func (m *Manager) runJob(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel(nil)
+	j.queueSpan.End() // queue wait is over: a worker owns the job now
 
 	var err error
 	for {
@@ -486,12 +554,26 @@ func (m *Manager) runJob(j *job) {
 		j.attempts++
 		attempt := j.attempts
 		j.mu.Unlock()
-		err = m.execute(ctx, j)
+		// Attempt spans are announced so a SIGKILL mid-attempt leaves the
+		// open record behind — the next incarnation's spans join the same
+		// trace and the analyzer shows the crashed attempt's extent.
+		att := j.childOfRoot("attempt").Kind(span.KindCompute).
+			Attr("attempt", attempt).Announce()
+		err = m.execute(ctx, j, att)
+		if err != nil {
+			att.Attr("error", err.Error())
+		}
+		att.End()
 		if !retryable(err) || attempt >= m.opts.MaxAttempts {
 			break
 		}
 		m.metRetries.Inc()
-		if werr := m.awaitRetry(ctx, m.backoffDelay(attempt)); werr != nil {
+		delay := m.backoffDelay(attempt)
+		bsp := j.childOfRoot("backoff").Kind(span.KindBackoff).
+			Attr("attempt", attempt).Attr("delay_ms", delay.Milliseconds())
+		werr := m.awaitRetry(ctx, delay)
+		bsp.End()
+		if werr != nil {
 			err = werr
 			break
 		}
@@ -517,8 +599,10 @@ func (m *Manager) runJob(j *job) {
 		// attempt count — an accepted job is never silently dropped, and
 		// never blindly re-run either.
 		rec := DeadRecord{ID: j.id, Attempts: attempts, Error: err.Error(), Finished: time.Now()}
+		dsp := j.childOfRoot("deadletter").Kind(span.KindIO).Attr("attempts", attempts)
 		_ = writeJSONAtomic(m.deadPath(j.id), rec)
 		_ = os.Remove(m.ckptPath(j.id))
+		dsp.End()
 		j.mu.Lock()
 		j.errMsg = err.Error()
 		j.mu.Unlock()
@@ -533,6 +617,17 @@ func (m *Manager) runJob(j *job) {
 		j.setState(StateFailed)
 		m.removeSpool(j.id)
 	}
+	// A terminal job ends its root span (drained jobs keep it open — the
+	// next incarnation continues the trace). Recovered incarnations have
+	// no root handle; their pre-crash announce record stands in and the
+	// analyzer infers the extent from the children.
+	j.mu.Lock()
+	fin := j.state
+	j.mu.Unlock()
+	if fin.Terminal() && j.rootSpan != nil {
+		j.rootSpan.Attr("state", string(fin)).End()
+	}
+	j.closeSpans()
 }
 
 // awaitRetry parks a job between attempts. Drain and cancel interrupt
@@ -570,7 +665,7 @@ func (m *Manager) backoffDelay(attempt int) time.Duration {
 
 // execute is one attempt of runJob's engine loop, returning nil on
 // completion or the classified reason the loop stopped early.
-func (m *Manager) execute(ctx context.Context, j *job) error {
+func (m *Manager) execute(ctx context.Context, j *job, att *span.Span) error {
 	if j.spec.TimeoutSec > 0 {
 		// The spec deadline is the job's total time budget, restarted per
 		// attempt only because each attempt resumes from a checkpoint —
@@ -592,6 +687,10 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 	cfg := j.spec.Config()
 	cfg.Metrics = m.opts.Metrics
 	cfg.RunLabel = "carbond/" + j.id
+	// Generation spans parent into this attempt, so the waterfall reads
+	// job → attempt → gen → wave → lp.solve. Nil-safe when tracing is off.
+	cfg.Spans = j.tracer
+	cfg.SpanParent = att.Context()
 	if m.lpFault != nil {
 		cfg.LPFault = m.lpFault.Strike
 	}
@@ -623,6 +722,7 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 			j.resumed = true
 			j.gens = e.Gens()
 			j.mu.Unlock()
+			att.Attr("resumed", true).Attr("start_gen", e.Gens())
 		}
 	} else if !os.IsNotExist(lerr) {
 		// Torn or unreadable checkpoint — the signature a crash mid-write
@@ -649,7 +749,7 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 		}
 		select {
 		case <-m.draining:
-			if werr := m.writeCheckpoint(e, j.id); werr != nil {
+			if werr := m.writeCheckpoint(e, j, att); werr != nil {
 				return werr
 			}
 			return errDrained
@@ -668,7 +768,7 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 			}
 		}
 		if m.opts.CheckpointEvery > 0 && e.Gens()%m.opts.CheckpointEvery == 0 {
-			if werr := m.writeCheckpoint(e, j.id); werr != nil {
+			if werr := m.writeCheckpoint(e, j, att); werr != nil {
 				return werr
 			}
 		}
@@ -684,9 +784,12 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 	// Result before checkpoint removal: if the process dies between the
 	// two writes, recovery sees spec+result and loads the job as done —
 	// never a half-finished state.
+	rsp := j.tracer.Start(att.Context(), "result.write").Kind(span.KindIO)
 	if err := m.spoolWrite(m.resultPath(j.id), rec); err != nil {
+		rsp.Attr("error", true).End()
 		return err
 	}
+	rsp.End()
 	_ = os.Remove(m.ckptPath(j.id))
 	j.mu.Lock()
 	j.result = rec
@@ -695,16 +798,25 @@ func (m *Manager) execute(ctx context.Context, j *job) error {
 	return nil
 }
 
-func (m *Manager) writeCheckpoint(e *core.Engine, id string) error {
+func (m *Manager) writeCheckpoint(e *core.Engine, j *job, att *span.Span) error {
+	sp := j.tracer.Start(att.Context(), "checkpoint.write").
+		Kind(span.KindIO).Attr("gen", e.Gens())
+	defer sp.End()
 	st, err := e.Snapshot()
 	if err != nil {
+		sp.Attr("error", true)
 		return err
 	}
 	if ferr := m.ckptFault.Strike(); ferr != nil {
-		tearFile(m.ckptPath(id), st.Encode)
-		return fmt.Errorf("serve: checkpoint for %s: %w", id, ferr)
+		tearFile(m.ckptPath(j.id), st.Encode)
+		sp.Attr("error", true)
+		return fmt.Errorf("serve: checkpoint for %s: %w", j.id, ferr)
 	}
-	return st.WriteFile(m.ckptPath(id))
+	if werr := st.WriteFile(m.ckptPath(j.id)); werr != nil {
+		sp.Attr("error", true)
+		return werr
+	}
+	return nil
 }
 
 // spoolWrite is writeJSONAtomic behind the spool.write fault site: a
@@ -748,8 +860,9 @@ func (m *Manager) forget(id string) {
 
 // Spool layout: <id>.job.json (the normalized spec — existence marks a
 // job the manager still answers for), <id>.ckpt.json (latest
-// checkpoint, removed on completion), <id>.result.json (final summary)
-// and <id>.dead.json (dead-letter marker for an exhausted job).
+// checkpoint, removed on completion), <id>.result.json (final summary),
+// <id>.dead.json (dead-letter marker for an exhausted job) and
+// <id>.spans.jsonl (append-only span trace, Options.Spans).
 func (m *Manager) specPath(id string) string {
 	return filepath.Join(m.opts.SpoolDir, id+".job.json")
 }
@@ -762,12 +875,16 @@ func (m *Manager) resultPath(id string) string {
 func (m *Manager) deadPath(id string) string {
 	return filepath.Join(m.opts.SpoolDir, id+".dead.json")
 }
+func (m *Manager) spanPath(id string) string {
+	return filepath.Join(m.opts.SpoolDir, id+".spans.jsonl")
+}
 
 func (m *Manager) removeSpool(id string) {
 	_ = os.Remove(m.specPath(id))
 	_ = os.Remove(m.ckptPath(id))
 	_ = os.Remove(m.resultPath(id))
 	_ = os.Remove(m.deadPath(id))
+	_ = os.Remove(m.spanPath(id))
 }
 
 // writeJSONAtomic writes v as JSON with the same temp-then-rename

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"carbon/internal/fault"
+	"carbon/internal/span"
+	"carbon/internal/telemetry"
+)
+
+// loadSpans reads a job's span file and indexes it by span ID,
+// preferring the ended copy of an announced span. It returns the index
+// plus every record (announce duplicates included) for count checks.
+func loadSpans(t testing.TB, m *Manager, id string) (map[string]span.Record, []span.Record) {
+	t.Helper()
+	recs, _, err := span.ReadFile(m.spanPath(id))
+	if err != nil {
+		t.Fatalf("reading %s spans: %v", id, err)
+	}
+	byID := map[string]span.Record{}
+	for _, r := range recs {
+		if prev, ok := byID[r.Span]; ok && prev.EndNS != 0 && r.EndNS == 0 {
+			continue
+		}
+		byID[r.Span] = r
+	}
+	return byID, recs
+}
+
+// pick returns the spans with the given name, ended copies preferred.
+func pick(byID map[string]span.Record, name string) []span.Record {
+	var out []span.Record
+	for _, r := range byID {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestJobSpansDoneLinked pins the full waterfall of a clean job:
+// job → {queue.wait, attempt → {gen → waves, checkpoint.write,
+// result.write}}, every span parent-linked into one trace, and the
+// shared span-duration histograms fed.
+func TestJobSpansDoneLinked(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newTestManager(t, Options{Spans: true, CheckpointEvery: 2, Metrics: reg})
+	st, err := m.Submit(tinySpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec.TraceParent == "" {
+		t.Fatal("submit did not stamp the job's root trace context onto the spec")
+	}
+	done := waitState(t, m, st.ID, StateDone)
+	byID, _ := loadSpans(t, m, st.ID)
+
+	roots := pick(byID, "job")
+	if len(roots) != 1 {
+		t.Fatalf("want exactly one job root span, got %d", len(roots))
+	}
+	root := roots[0]
+	if root.EndNS == 0 || root.Parent != "" || root.Attrs["state"] != "done" {
+		t.Fatalf("root span not ended as done: %+v", root)
+	}
+	rctx, err := span.ParseTraceParent(st.Spec.TraceParent)
+	if err != nil || rctx.Span.String() != root.Span {
+		t.Fatalf("spec traceparent %q does not name the root span %s", st.Spec.TraceParent, root.Span)
+	}
+
+	// Every span is in the root's trace and parent-linked to a present span.
+	for _, r := range byID {
+		if r.Trace != root.Trace {
+			t.Fatalf("span %q escaped the trace: %+v", r.Name, r)
+		}
+		if r.Parent == "" {
+			if r.Name != "job" {
+				t.Fatalf("unexpected second root %q", r.Name)
+			}
+			continue
+		}
+		if _, ok := byID[r.Parent]; !ok {
+			t.Fatalf("span %q orphaned (parent %s absent)", r.Name, r.Parent)
+		}
+	}
+
+	qs := pick(byID, "queue.wait")
+	if len(qs) != 1 || qs[0].Parent != root.Span || qs[0].Kind != span.KindQueue || qs[0].EndNS == 0 {
+		t.Fatalf("queue.wait span wrong: %+v", qs)
+	}
+	atts := pick(byID, "attempt")
+	if len(atts) != 1 || atts[0].Parent != root.Span || atts[0].EndNS == 0 {
+		t.Fatalf("want one ended attempt under the root, got %+v", atts)
+	}
+	if done.Attempts != 1 {
+		t.Fatalf("clean job took %d attempts", done.Attempts)
+	}
+	gens := pick(byID, "gen")
+	if len(gens) != done.Gens {
+		t.Fatalf("got %d gen spans, want %d", len(gens), done.Gens)
+	}
+	for _, g := range gens {
+		if g.Parent != atts[0].Span {
+			t.Fatalf("gen span not parented to the attempt: %+v", g)
+		}
+	}
+	for _, name := range []string{"relax", "pred_eval", "prey_eval", "breed"} {
+		ws := pick(byID, name)
+		if len(ws) != done.Gens {
+			t.Fatalf("got %d %q spans, want %d", len(ws), name, done.Gens)
+		}
+		for _, wsp := range ws {
+			if byID[wsp.Parent].Name != "gen" {
+				t.Fatalf("%q span not under a gen: %+v", name, wsp)
+			}
+		}
+	}
+	cks := pick(byID, "checkpoint.write")
+	if len(cks) == 0 {
+		t.Fatal("no checkpoint.write spans despite CheckpointEvery=2")
+	}
+	for _, c := range cks {
+		if c.Kind != span.KindIO || c.Parent != atts[0].Span {
+			t.Fatalf("checkpoint.write span wrong: %+v", c)
+		}
+	}
+	if rw := pick(byID, "result.write"); len(rw) != 1 || rw[0].Kind != span.KindIO {
+		t.Fatalf("result.write span wrong: %+v", rw)
+	}
+
+	snap := reg.Snapshot()
+	for _, h := range []string{"span.gen_ms", "span.attempt_ms", "span.queue_wait_ms"} {
+		if _, ok := snap[h].(telemetry.HistSnapshot); !ok {
+			t.Fatalf("missing %s histogram in shared registry", h)
+		}
+	}
+}
+
+// TestJobSpansRetryTimeline: an LP outage fails attempt 1; the trace
+// must show both attempts, the backoff between them, the error on the
+// failed attempt and the resume marker on the second.
+func TestJobSpansRetryTimeline(t *testing.T) {
+	inj := fault.New(1)
+	inj.Site(fault.SiteLPSolve, fault.Rule{Every: 1, After: 20, Limit: 1})
+	m := newTestManager(t, Options{
+		Spans:           true,
+		CheckpointEvery: 1,
+		MaxAttempts:     3,
+		RetryBackoff:    time.Millisecond,
+		Fault:           inj,
+	})
+	st, err := m.Submit(tinySpec(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, st.ID, StateDone)
+	if done.Attempts != 2 {
+		t.Fatalf("job finished after %d attempts, want 2", done.Attempts)
+	}
+	byID, _ := loadSpans(t, m, st.ID)
+	atts := pick(byID, "attempt")
+	if len(atts) != 2 {
+		t.Fatalf("want 2 attempt spans, got %d", len(atts))
+	}
+	var first, second span.Record
+	for _, a := range atts {
+		switch a.Attrs["attempt"] {
+		case float64(1):
+			first = a
+		case float64(2):
+			second = a
+		}
+	}
+	if first.Attrs["error"] == nil {
+		t.Fatalf("failed attempt carries no error attr: %+v", first)
+	}
+	if second.Attrs["error"] != nil || second.Attrs["resumed"] != true {
+		t.Fatalf("retry attempt should be clean and resumed: %+v", second)
+	}
+	bks := pick(byID, "backoff")
+	if len(bks) != 1 || bks[0].Kind != span.KindBackoff {
+		t.Fatalf("want one backoff span, got %+v", bks)
+	}
+	if bks[0].StartNS < first.EndNS || bks[0].EndNS > second.StartNS {
+		t.Fatalf("backoff not between the attempts: backoff %+v first %+v second %+v",
+			bks[0], first, second)
+	}
+}
+
+// TestJobSpansDrainResumeSameTrace: a drained job's next incarnation
+// appends to the same span file and the same trace — the root stays
+// open (only the submitting process can end it) and the resumed
+// attempt is wire-linked (Remote) to it.
+func TestJobSpansDrainResumeSameTrace(t *testing.T) {
+	spool := t.TempDir()
+	m1, err := NewManager(Options{SpoolDir: spool, Spans: true, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(longSpec(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "a few generations", func() bool {
+		s, gerr := m1.Get(st.ID)
+		return gerr == nil && s.Gens >= 3
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Options{SpoolDir: spool, Spans: true, CheckpointEvery: 1})
+	waitState(t, m2, st.ID, StateDone)
+	byID, recs := loadSpans(t, m2, st.ID)
+
+	rctx, err := span.ParseTraceParent(st.Spec.TraceParent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Trace != rctx.Trace.String() {
+			t.Fatalf("restart broke the trace: %+v", r)
+		}
+	}
+	roots := pick(byID, "job")
+	if len(roots) != 1 || roots[0].EndNS != 0 {
+		t.Fatalf("drained job's root must stay open (announce only): %+v", roots)
+	}
+	var recovered, remote bool
+	for _, q := range pick(byID, "queue.wait") {
+		if q.Attrs["recovered"] == true {
+			recovered = true
+			if !q.Remote {
+				t.Fatalf("recovered queue.wait not marked remote: %+v", q)
+			}
+		}
+	}
+	for _, a := range pick(byID, "attempt") {
+		remote = remote || a.Remote
+		if _, ok := byID[a.Parent]; !ok {
+			t.Fatalf("attempt orphaned across restart: %+v", a)
+		}
+	}
+	if !recovered || !remote {
+		t.Fatalf("restart left no stitching evidence (recovered=%v remote=%v)", recovered, remote)
+	}
+}
+
+// TestSubmitAdoptsCallerTraceParent: a valid caller context becomes the
+// root's remote parent; the spooled spec carries the job's own context,
+// not the caller's.
+func TestSubmitAdoptsCallerTraceParent(t *testing.T) {
+	var c span.Collector
+	caller := span.New(&c).Start(span.Context{}, "client")
+	m := newTestManager(t, Options{Spans: true})
+	spec := tinySpec(19)
+	spec.TraceParent = caller.Context().TraceParent()
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec.TraceParent == spec.TraceParent {
+		t.Fatal("spec traceparent was not rewritten to the job's root span")
+	}
+	waitState(t, m, st.ID, StateDone)
+	byID, _ := loadSpans(t, m, st.ID)
+	roots := pick(byID, "job")
+	if len(roots) != 1 {
+		t.Fatalf("want one root, got %d", len(roots))
+	}
+	r := roots[0]
+	if !r.Remote || r.Trace != caller.Context().Trace.String() || r.Parent != caller.Context().Span.String() {
+		t.Fatalf("root not remote-parented to the caller: %+v (caller %v)", r, caller.Context())
+	}
+}
+
+// TestAPITraceContextHeaders: POST /v1/jobs extracts the caller's
+// traceparent header into the spec and answers (POST and GET alike)
+// with the job's own root context in the Traceparent header — a
+// malformed incoming header is ignored per W3C, not a 400.
+func TestAPITraceContextHeaders(t *testing.T) {
+	m := newTestManager(t, Options{Spans: true})
+	h := APIHandler(m)
+
+	var c span.Collector
+	caller := span.New(&c).Start(span.Context{}, "client")
+	var buf []byte
+	var err error
+	if buf, err = jsonBody(tinySpec(29)); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(buf))
+	req.Header.Set("traceparent", caller.Context().TraceParent())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", rr.Code, rr.Body.String())
+	}
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	got := rr.Header().Get("Traceparent")
+	if got == "" || got != st.Spec.TraceParent {
+		t.Fatalf("POST traceparent header %q != spec %q", got, st.Spec.TraceParent)
+	}
+	rctx, err := span.ParseTraceParent(got)
+	if err != nil || rctx.Trace != caller.Context().Trace {
+		t.Fatalf("job did not join the caller's trace: header %q caller %v", got, caller.Context())
+	}
+
+	grr, _ := apiDo(t, h, "GET", "/v1/jobs/"+st.ID, nil)
+	if grr.Header().Get("Traceparent") != got {
+		t.Fatalf("GET traceparent header %q, want %q", grr.Header().Get("Traceparent"), got)
+	}
+
+	// Malformed header: ignored, job roots a fresh trace.
+	req = httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(buf))
+	req.Header.Set("traceparent", "00-garbage-garbage-01")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("malformed traceparent header rejected the submit: %d", rr.Code)
+	}
+	if tp := rr.Header().Get("Traceparent"); tp == "" {
+		t.Fatal("fresh-trace submit answered without a Traceparent header")
+	} else if ctx2, err := span.ParseTraceParent(tp); err != nil || ctx2.Trace == caller.Context().Trace {
+		t.Fatalf("malformed header should root a fresh trace, got %q", tp)
+	}
+}
+
+func jsonBody(v any) ([]byte, error) { return json.Marshal(v) }
+
+// TestSpansOffLeavesNoFile: the default manager writes no span files
+// and stamps no trace context.
+func TestSpansOffLeavesNoFile(t *testing.T) {
+	m := newTestManager(t, Options{})
+	st, err := m.Submit(tinySpec(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+	if st.Spec.TraceParent != "" {
+		t.Fatalf("untraced job got traceparent %q", st.Spec.TraceParent)
+	}
+	if _, _, err := span.ReadFile(m.spanPath(st.ID)); err == nil {
+		t.Fatal("untraced job left a span file behind")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"carbon/internal/bcpop"
 	"carbon/internal/core"
 	"carbon/internal/orlib"
+	"carbon/internal/span"
 )
 
 // JobSpec is the serializable description of one CARBON run: everything
@@ -46,6 +47,13 @@ type JobSpec struct {
 	// TimeoutSec caps the job's wall time (0 = none). A job that blows
 	// its deadline fails; it is not resumed on restart.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// TraceParent carries W3C trace context. On submission it is the
+	// caller's context (the API fills it from the traceparent request
+	// header); the manager then rewrites it to the job's own root span
+	// before spooling, so a restarted manager re-joins the same trace —
+	// attempt spans from every incarnation stitch into one tree.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // withDefaults returns the spec with every zero tuning knob resolved.
@@ -96,6 +104,11 @@ func (s *JobSpec) Validate() error {
 		return errors.New("serve: customers must be at least 1")
 	case s.Variation < 0 || s.Variation >= 1:
 		return fmt.Errorf("serve: variation %v outside [0,1)", s.Variation)
+	}
+	if s.TraceParent != "" {
+		if _, err := span.ParseTraceParent(s.TraceParent); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,316 @@
+// Package span is the repository's distributed-tracing primitive: a
+// lightweight span tracer that attributes wall time across the job
+// pipeline — HTTP submit → queue wait → attempt → generation → LP
+// solve — and serializes it as one JSON line per span (schema
+// carbon.spans/v1), the same durable-JSONL discipline as the
+// carbon.trace run logs.
+//
+// Design rules, mirroring internal/telemetry:
+//
+//   - Hot paths pay nothing when tracing is off. New(nil) returns a nil
+//     *Tracer, a nil *Tracer starts nil *Spans, and every *Span method
+//     no-ops on nil — instrumented code keeps one pointer and calls it
+//     unconditionally.
+//   - Span identity is generated from a private splitmix64 stream seeded
+//     off the clock and pid, never from the algorithm's rng package —
+//     tracing consumes zero RNG, so a run is bit-identical with spans on
+//     or off (the determinism contract of internal/core is unaffected).
+//   - Context crosses process boundaries as a W3C traceparent string
+//     ("00-<32 hex trace>-<16 hex span>-01"), so an HTTP client, carbond
+//     and a future multi-node router can all join one trace.
+//   - Long-lived spans Announce() a start record (end_ns=0) before doing
+//     the work; a SIGKILL then leaves an "open" span in the file instead
+//     of nothing, and the analyzer (internal/tracestat) stitches the
+//     retry's spans into the same trace after restart.
+package span
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Schema stamps every record so readers can reject foreign files.
+const Schema = "carbon.spans/v1"
+
+// Span kinds used across the pipeline. Free-form strings are allowed;
+// these four are what the critical-path breakdown groups by.
+const (
+	KindQueue   = "queue"   // waiting for a worker slot
+	KindCompute = "compute" // evaluation / solver work
+	KindIO      = "io"      // spool, checkpoint and result writes
+	KindBackoff = "backoff" // retry backoff sleeps
+)
+
+// TraceID identifies one end-to-end trace (one job, across restarts).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// Context is the propagated half of a span: enough to parent further
+// spans onto it, in this process or another.
+type Context struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context carries a usable identity.
+func (c Context) Valid() bool { return !c.Trace.IsZero() && !c.Span.IsZero() }
+
+// TraceParent renders the context in W3C traceparent form,
+// version 00 with the sampled flag set: "00-<trace>-<span>-01".
+// An invalid context renders as "".
+func (c Context) TraceParent() string {
+	if !c.Valid() {
+		return ""
+	}
+	return "00-" + c.Trace.String() + "-" + c.Span.String() + "-01"
+}
+
+// ParseTraceParent decodes a W3C traceparent header. Only version 00 is
+// accepted; the trailing flags byte is validated as hex but otherwise
+// ignored (we treat every propagated trace as sampled).
+func ParseTraceParent(s string) (Context, error) {
+	var c Context
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return c, fmt.Errorf("span: malformed traceparent %q", s)
+	}
+	if _, err := hex.Decode(c.Trace[:], []byte(s[3:35])); err != nil {
+		return c, fmt.Errorf("span: bad trace id in %q: %w", s, err)
+	}
+	if _, err := hex.Decode(c.Span[:], []byte(s[36:52])); err != nil {
+		return c, fmt.Errorf("span: bad span id in %q: %w", s, err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return c, fmt.Errorf("span: bad flags in %q: %w", s, err)
+	}
+	if !c.Valid() {
+		return Context{}, fmt.Errorf("span: all-zero ids in %q", s)
+	}
+	return c, nil
+}
+
+// Record is one span serialized for the JSONL file. An announced span
+// appears once with EndNS 0 (still running when written) and, if it
+// completed cleanly, again with the full picture; readers keep the
+// ended copy (see internal/tracestat).
+type Record struct {
+	Schema  string         `json:"schema"`
+	Trace   string         `json:"trace"`
+	Span    string         `json:"span"`
+	Parent  string         `json:"parent,omitempty"`
+	Remote  bool           `json:"remote,omitempty"` // parent span lives in another process's file
+	Name    string         `json:"name"`
+	Kind    string         `json:"kind,omitempty"`
+	StartNS int64          `json:"start_ns"`
+	EndNS   int64          `json:"end_ns,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Duration is EndNS−StartNS for an ended record, 0 for an open one.
+func (r Record) Duration() time.Duration {
+	if r.EndNS == 0 {
+		return 0
+	}
+	return time.Duration(r.EndNS - r.StartNS)
+}
+
+// Exporter receives finished (and announced) span records. Exporters
+// must be safe for concurrent use — engine waves end spans from several
+// worker goroutines.
+type Exporter interface {
+	Export(Record)
+}
+
+// Tracer mints span identities and hands finished spans to its
+// exporter. A nil *Tracer is the "tracing off" tracer: it starts nil
+// spans, whose methods all no-op — the disabled cost is one nil check.
+type Tracer struct {
+	exp   Exporter
+	state atomic.Uint64 // private splitmix64 stream; never the algorithm RNG
+}
+
+// New returns a tracer exporting to exp, or nil when exp is nil —
+// callers thread the returned pointer through unconditionally and
+// tracing is simply off.
+func New(exp Exporter) *Tracer {
+	if exp == nil {
+		return nil
+	}
+	t := &Tracer{exp: exp}
+	seed := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<40 ^ 0x9E3779B97F4A7C15
+	t.state.Store(seed)
+	return t
+}
+
+// nextID draws the next 64-bit identity from the tracer's splitmix64
+// stream. The atomic add makes concurrent Start calls collision-free.
+func (t *Tracer) nextID() uint64 {
+	x := t.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		putU64(id[:], t.nextID())
+	}
+	return id
+}
+
+func putU64(b []byte, x uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (56 - 8*i))
+	}
+}
+
+// Start begins a span. A valid parent context places the span in the
+// parent's trace; an invalid (zero) one starts a fresh trace with this
+// span as its root. A nil tracer returns a nil (no-op) span.
+func (t *Tracer) Start(parent Context, name string) *Span {
+	return t.start(parent, name, false)
+}
+
+// StartRemote is Start for a parent that lives in another process's
+// span file (e.g. the HTTP client's traceparent): the link is recorded
+// but the analyzer will not flag the missing parent as an orphan.
+func (t *Tracer) StartRemote(parent Context, name string) *Span {
+	return t.start(parent, name, true)
+}
+
+func (t *Tracer) start(parent Context, name string, remote bool) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	if parent.Valid() {
+		s.ctx.Trace = parent.Trace
+		s.parent = parent.Span
+		s.remote = remote
+	} else {
+		putU64(s.ctx.Trace[:8], t.nextID())
+		putU64(s.ctx.Trace[8:], t.nextID())
+	}
+	s.ctx.Span = t.newSpanID()
+	return s
+}
+
+// Span is one timed operation. All methods are nil-safe and, except for
+// the chaining setters, safe for concurrent use with each other.
+type Span struct {
+	tr     *Tracer
+	ctx    Context
+	parent SpanID
+	remote bool
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	kind  string
+	attrs map[string]any
+	ended bool
+}
+
+// Context returns the span's propagable identity (zero for a nil span).
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return s.ctx
+}
+
+// Kind tags the span's critical-path category (KindQueue, KindCompute,
+// KindIO, KindBackoff). Returns s for chaining.
+func (s *Span) Kind(k string) *Span {
+	if s != nil {
+		s.mu.Lock()
+		s.kind = k
+		s.mu.Unlock()
+	}
+	return s
+}
+
+// Attr attaches one key/value attribute. Returns s for chaining.
+func (s *Span) Attr(key string, value any) *Span {
+	if s != nil {
+		s.mu.Lock()
+		if s.attrs == nil {
+			s.attrs = make(map[string]any, 4)
+		}
+		s.attrs[key] = value
+		s.mu.Unlock()
+	}
+	return s
+}
+
+// Announce exports a start record (EndNS 0) immediately, so a process
+// killed mid-span leaves evidence of the span in the file. End later
+// exports the completed record; readers prefer the ended copy. Returns
+// s for chaining.
+func (s *Span) Announce() *Span {
+	if s != nil {
+		s.tr.exp.Export(s.record(0))
+	}
+	return s
+}
+
+// End exports the completed span. Idempotent: only the first End emits.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	done := s.ended
+	s.ended = true
+	s.mu.Unlock()
+	if done {
+		return
+	}
+	// start.Add(Since(start)) keeps the duration monotonic even if the
+	// wall clock stepped while the span was open.
+	end := s.start.Add(time.Since(s.start))
+	s.tr.exp.Export(s.record(end.UnixNano()))
+}
+
+func (s *Span) record(endNS int64) Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Record{
+		Schema:  Schema,
+		Trace:   s.ctx.Trace.String(),
+		Span:    s.ctx.Span.String(),
+		Name:    s.name,
+		Kind:    s.kind,
+		Remote:  s.remote,
+		StartNS: s.start.UnixNano(),
+		EndNS:   endNS,
+	}
+	if !s.parent.IsZero() {
+		r.Parent = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		r.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			r.Attrs[k] = v
+		}
+	}
+	return r
+}

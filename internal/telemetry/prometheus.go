@@ -165,6 +165,30 @@ func promName(s string) string {
 	return b.String()
 }
 
+// promLabelName sanitizes a label key into the label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*. Unlike metric names (promName), label names
+// may NOT contain ':' — colons are reserved for recording rules — so
+// label keys get their own sanitizer rather than reusing promName,
+// which used to leak colons into label names and produce output
+// Prometheus refuses to scrape.
+func promLabelName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
 // promLabels renders {k="v",...} with keys sorted, or "" when empty.
 func promLabels(labels map[string]string) string {
 	return promLabelsWith(labels, "", "")
@@ -187,7 +211,7 @@ func promLabelsWith(labels map[string]string, extraKey, extraVal string) string 
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(promName(k))
+		b.WriteString(promLabelName(k))
 		b.WriteString(`="`)
 		b.WriteString(promEscapeLabel(labels[k]))
 		b.WriteByte('"')

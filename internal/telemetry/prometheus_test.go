@@ -170,6 +170,51 @@ func TestPrometheusEndpointRace(t *testing.T) {
 	wg.Wait()
 }
 
+// TestPromHostileLabels pins the output for adversarial label NAMES and
+// values. Label names have a stricter grammar than metric names — no
+// colon — and used to be sanitized with promName, which let "run:id"
+// through as a label name Prometheus rejects at scrape time. Values get
+// the full backslash/newline/quote escaping in the order the exposition
+// format 0.0.4 requires (backslash first, or the escapes themselves get
+// re-escaped).
+func TestPromHostileLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(1)
+	var b strings.Builder
+	err := WritePrometheus(&b, PromTarget{
+		Name: "carbond",
+		Labels: map[string]string{
+			"run:id":   `back\slash`,
+			"9job.val": "line1\nline2",
+			"ok_name":  `quote"both\` + "\n",
+			"":         "empty-key",
+		},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP carbond_hits CARBON metric carbond/hits.
+# TYPE carbond_hits counter
+carbond_hits{_="empty-key",_job_val="line1\nline2",ok_name="quote\"both\\\n",run_id="back\\slash"} 1
+`
+	if b.String() != want {
+		t.Fatalf("hostile-label exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+	for _, tc := range []struct{ in, want string }{
+		{"run:id", "run_id"}, // colon legal in metric names, not label names
+		{"9lives", "_lives"}, // no leading digit
+		{"a.b-c", "a_b_c"},   // dots and dashes flattened
+		{"_ok_9", "_ok_9"},   // already legal
+		{"", "_"},            // never emit an empty label name
+		{"héllo", "h_llo"},   // non-ASCII flattened
+	} {
+		if got := promLabelName(tc.in); got != tc.want {
+			t.Fatalf("promLabelName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
 // TestPromNameSanitization covers the metric-name grammar edge cases.
 func TestPromNameSanitization(t *testing.T) {
 	for _, tc := range []struct{ in, want string }{

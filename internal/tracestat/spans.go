@@ -1,0 +1,379 @@
+package tracestat
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"carbon/internal/span"
+)
+
+// SpanNode is one span placed in its trace's tree. Open marks a span
+// that never ended — the announce record is all that survived, the
+// signature of a SIGKILL (or of a root whose job drained and resumed in
+// a later process). Its effective end is inferred from its children.
+type SpanNode struct {
+	Record   span.Record
+	Children []*SpanNode // sorted by StartNS
+	Open     bool
+}
+
+// EndNS is the node's effective end: its recorded end, or for an open
+// span the latest effective end among its children (its own start when
+// it has none — a zero-length placeholder rather than a lie).
+func (n *SpanNode) EndNS() int64 {
+	if n.Record.EndNS != 0 {
+		return n.Record.EndNS
+	}
+	end := n.Record.StartNS
+	for _, c := range n.Children {
+		if ce := c.EndNS(); ce > end {
+			end = ce
+		}
+	}
+	return end
+}
+
+// Duration is the node's effective extent.
+func (n *SpanNode) Duration() time.Duration {
+	return time.Duration(n.EndNS() - n.Record.StartNS)
+}
+
+// selfNS is the portion of the node's extent not covered by any child —
+// the time this span itself was the deepest thing running. Children are
+// sorted by start, so a single sweep with a cursor merges overlaps.
+func (n *SpanNode) selfNS() int64 {
+	s, e := n.Record.StartNS, n.EndNS()
+	covered := int64(0)
+	cur := s
+	for _, c := range n.Children {
+		cs, ce := c.Record.StartNS, c.EndNS()
+		if cs < cur {
+			cs = cur
+		}
+		if ce > e {
+			ce = e
+		}
+		if ce > cs {
+			covered += ce - cs
+			cur = ce
+		}
+	}
+	return (e - s) - covered
+}
+
+// SpanTree is one job's span file assembled into parent-linked trees.
+// Roots are spans with no parent or a remote parent (the link crosses a
+// process or HTTP boundary, so the parent legitimately lives in another
+// file). Orphans are spans whose in-process parent is missing from the
+// file — evidence of a dropped record, the defect the orphan check in
+// `carbonstat -spans` exists to surface.
+type SpanTree struct {
+	Traces    []string // distinct trace ids, in first-seen order (one, for a healthy job file)
+	Roots     []*SpanNode
+	Orphans   []*SpanNode
+	Truncated bool // the file ended mid-line (torn tail dropped)
+
+	byID map[string]*SpanNode
+}
+
+// LoadSpans assembles a span JSONL stream into trees. Announce records
+// (EndNS 0) are superseded by their ended copy when one exists; a span
+// seen only as an announce is kept and marked Open.
+func LoadSpans(r io.Reader) (*SpanTree, error) {
+	recs, truncated, err := span.ReadRecordsLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	t := buildSpanTree(recs)
+	t.Truncated = truncated
+	return t, nil
+}
+
+// LoadSpansFile is LoadSpans over one <id>.spans.jsonl file.
+func LoadSpansFile(path string) (*SpanTree, error) {
+	recs, truncated, err := span.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := buildSpanTree(recs)
+	t.Truncated = truncated
+	return t, nil
+}
+
+func buildSpanTree(recs []span.Record) *SpanTree {
+	t := &SpanTree{byID: make(map[string]*SpanNode, len(recs))}
+	seenTrace := map[string]bool{}
+	order := make([]string, 0, len(recs))
+	for _, r := range recs {
+		if !seenTrace[r.Trace] {
+			seenTrace[r.Trace] = true
+			t.Traces = append(t.Traces, r.Trace)
+		}
+		if prev, ok := t.byID[r.Span]; ok {
+			// Duplicate identity: an ended copy supersedes the announce.
+			if prev.Record.EndNS == 0 && r.EndNS != 0 {
+				prev.Record = r
+				prev.Open = false
+			}
+			continue
+		}
+		t.byID[r.Span] = &SpanNode{Record: r, Open: r.EndNS == 0}
+		order = append(order, r.Span)
+	}
+	for _, id := range order {
+		n := t.byID[id]
+		r := n.Record
+		switch {
+		case r.Parent == "":
+			t.Roots = append(t.Roots, n)
+		case t.byID[r.Parent] != nil:
+			p := t.byID[r.Parent]
+			p.Children = append(p.Children, n)
+		case r.Remote:
+			// Parent crossed a process boundary (pre-restart root, HTTP
+			// caller): not in this file by design. Treat as a root here.
+			t.Roots = append(t.Roots, n)
+		default:
+			t.Orphans = append(t.Orphans, n)
+		}
+	}
+	byStart := func(ns []*SpanNode) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].Record.StartNS < ns[j].Record.StartNS })
+	}
+	for _, n := range t.byID {
+		byStart(n.Children)
+	}
+	byStart(t.Roots)
+	byStart(t.Orphans)
+	return t
+}
+
+// Node returns the tree's span by hex id, or nil.
+func (t *SpanTree) Node(id string) *SpanNode { return t.byID[id] }
+
+// Len is the number of distinct spans in the tree (orphans included).
+func (t *SpanTree) Len() int { return len(t.byID) }
+
+// WallNS is the trace's end-to-end extent: earliest root start to
+// latest effective end over all roots. Zero for an empty tree.
+func (t *SpanTree) WallNS() int64 {
+	if len(t.Roots) == 0 {
+		return 0
+	}
+	start, end := t.Roots[0].Record.StartNS, int64(0)
+	for _, r := range t.Roots {
+		if r.Record.StartNS < start {
+			start = r.Record.StartNS
+		}
+		if re := r.EndNS(); re > end {
+			end = re
+		}
+	}
+	return end - start
+}
+
+// SpanBreakdown attributes every nanosecond under some span to the
+// deepest span covering it, bucketed by kind ("" groups as "other").
+// ByKind and ByName each sum to Covered; Wall−Covered is time inside
+// the trace's extent that no span claims (gaps between roots, or the
+// stretch a crashed incarnation was dead).
+type SpanBreakdown struct {
+	Wall    time.Duration
+	Covered time.Duration
+	ByKind  map[string]time.Duration
+	ByName  map[string]time.Duration
+}
+
+// Breakdown computes the deepest-span attribution over the whole tree
+// (orphans excluded — their position in the waterfall is unknowable).
+func (t *SpanTree) Breakdown() SpanBreakdown {
+	b := SpanBreakdown{
+		Wall:   time.Duration(t.WallNS()),
+		ByKind: map[string]time.Duration{},
+		ByName: map[string]time.Duration{},
+	}
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		self := time.Duration(n.selfNS())
+		kind := n.Record.Kind
+		if kind == "" {
+			kind = "other"
+		}
+		b.ByKind[kind] += self
+		b.ByName[n.Record.Name] += self
+		b.Covered += self
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return b
+}
+
+// CriticalPath walks from the latest-ending root down through the
+// child that gates each span's completion (the one with the latest
+// effective end), yielding the parent-linked chain of spans that
+// determined when the job finished.
+func (t *SpanTree) CriticalPath() []*SpanNode {
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	cur := t.Roots[0]
+	for _, r := range t.Roots[1:] {
+		if r.EndNS() > cur.EndNS() {
+			cur = r
+		}
+	}
+	path := []*SpanNode{cur}
+	for {
+		var next *SpanNode
+		for _, c := range cur.Children {
+			if next == nil || c.EndNS() > next.EndNS() {
+				next = c
+			}
+		}
+		if next == nil {
+			return path
+		}
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// SpanAttempt is one execution attempt reconstructed from the trace,
+// stitched across carbond restarts: a Remote attempt ran in a later
+// incarnation than the one that announced the root.
+type SpanAttempt struct {
+	Number  int // attrs["attempt"], 0 when absent
+	StartNS int64
+	EndNS   int64 // effective end (inferred for an open attempt)
+	Open    bool  // never ended: the process died mid-attempt
+	Remote  bool  // ran in a restarted process
+	Resumed bool  // picked up from a checkpoint (attrs["resumed"])
+	Gens    int   // generation spans under this attempt
+	Error   string
+}
+
+// Attempts collects the trace's "attempt" spans in start order,
+// wherever they sit in the tree (under the live root, or re-rooted by a
+// remote link after a restart).
+func (t *SpanTree) Attempts() []SpanAttempt {
+	var out []SpanAttempt
+	for _, n := range t.byID {
+		if n.Record.Name != "attempt" {
+			continue
+		}
+		a := SpanAttempt{
+			StartNS: n.Record.StartNS,
+			EndNS:   n.EndNS(),
+			Open:    n.Open,
+			Remote:  n.Record.Remote,
+		}
+		if v, ok := n.Record.Attrs["attempt"]; ok {
+			a.Number = int(toFloat(v))
+		}
+		if v, ok := n.Record.Attrs["resumed"]; ok {
+			b, _ := v.(bool)
+			a.Resumed = b
+		}
+		if v, ok := n.Record.Attrs["error"]; ok {
+			a.Error = fmt.Sprint(v)
+		}
+		for _, c := range n.Children {
+			if c.Record.Name == "gen" {
+				a.Gens++
+			}
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNS < out[j].StartNS })
+	return out
+}
+
+// toFloat coerces the number shapes a JSON round trip produces.
+func toFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+// SpanPhase is one span name's duration distribution across a set of
+// traces — the cross-job phase table (`carbonstat -spans` prints it as
+// count/p50/p90/total per name). Only ended spans contribute; open
+// spans have no honest duration.
+type SpanPhase struct {
+	Name  string
+	Kind  string
+	Count int
+	P50   time.Duration
+	P90   time.Duration
+	Max   time.Duration
+	Total time.Duration
+}
+
+// SpanPhases aggregates ended spans by name over one or more trees,
+// sorted by total descending (the expensive phases first).
+func SpanPhases(trees ...*SpanTree) []SpanPhase {
+	durs := map[string][]time.Duration{}
+	kinds := map[string]string{}
+	for _, t := range trees {
+		for _, n := range t.byID {
+			if n.Record.EndNS == 0 {
+				continue
+			}
+			d := n.Record.Duration()
+			durs[n.Record.Name] = append(durs[n.Record.Name], d)
+			if n.Record.Kind != "" {
+				kinds[n.Record.Name] = n.Record.Kind
+			}
+		}
+	}
+	out := make([]SpanPhase, 0, len(durs))
+	for name, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var total time.Duration
+		for _, d := range ds {
+			total += d
+		}
+		out = append(out, SpanPhase{
+			Name:  name,
+			Kind:  kinds[name],
+			Count: len(ds),
+			P50:   quantileDur(ds, 0.50),
+			P90:   quantileDur(ds, 0.90),
+			Max:   ds[len(ds)-1],
+			Total: total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// quantileDur reads the q-quantile from an ascending-sorted slice by
+// nearest-rank — small samples are the norm here, interpolation would
+// only invent precision.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
