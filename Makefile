@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check cover bench bench-diff bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke trace-smoke clean
+.PHONY: all build vet lint test race check cover bench bench-diff bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke clean
 
 all: build vet test
 
 # The full pre-commit gate: compile, static checks, lint, tests, race
 # detector, a one-iteration pass over the hot-path benchmarks (so they
 # cannot rot), the carbond crash-recovery smoke test, the carbonstat
-# analyzer self-check, the fault-injection chaos gate, and the span
-# tracing gate.
-check: build vet lint test race bench-smoke serve-smoke stat-smoke chaos-smoke trace-smoke
+# analyzer self-check, the fault-injection chaos gate, the span tracing
+# gate, and the cluster router gate.
+check: build vet lint test race bench-smoke serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -44,7 +44,10 @@ cover:
 # BENCH_pr4.json adds StepWithSearchStats: an observed generation
 # (search-dynamics stats + lineage on) must stay within 5% of EngineStep.
 # BENCH_pr6.json adds StepWithSpans: a span-traced generation must stay
-# within 2% of EngineStep. Compare captures with `make bench-diff`.
+# within 2% of EngineStep. BENCH_pr7.json adds RouteSubmit: the fleet
+# router's own per-submission overhead (admit, route, spool, proxy) —
+# microseconds against jobs that run for seconds. Compare captures with
+# `make bench-diff`.
 #
 # The engine-step benchmarks step ONE engine b.N times and GP trees grow
 # across generations, so their ns/op depends on the iteration count the
@@ -53,21 +56,23 @@ cover:
 # and captures stay comparable across runs.
 bench:
 	$(GO) test -run XXX -bench 'EvalTree|Prepare|Rotating' -benchmem \
-		./internal/bcpop/ | tee bench_pr6.txt
+		./internal/bcpop/ | tee bench_pr7.txt
 	$(GO) test -run XXX -bench 'EngineStep|StepWithSearchStats|StepWithSpans' -benchtime=150x -benchmem \
-		./internal/core/ | tee -a bench_pr6.txt
-	$(GO) run carbon/cmd/benchjson -out BENCH_pr6.json < bench_pr6.txt
+		./internal/core/ | tee -a bench_pr7.txt
+	$(GO) test -run XXX -bench 'RouteSubmit' -benchmem \
+		./internal/cluster/ | tee -a bench_pr7.txt
+	$(GO) run carbon/cmd/benchjson -out BENCH_pr7.json < bench_pr7.txt
 
 # Flag >10% ns/op regressions between the previous committed capture and
 # the current one (rerun `make bench` first on a quiet machine).
 bench-diff:
-	$(GO) run carbon/cmd/benchjson -diff BENCH_pr4.json BENCH_pr6.json
+	$(GO) run carbon/cmd/benchjson -diff BENCH_pr6.json BENCH_pr7.json
 
 # One-iteration benchmark pass: proves every benchmark (and the benchjson
 # parser) still runs, without paying for measurement. Part of `check`.
 bench-smoke:
-	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans' -benchtime=1x -benchmem \
-		./internal/bcpop/ ./internal/core/ | $(GO) run carbon/cmd/benchjson >/dev/null
+	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans|RouteSubmit' -benchtime=1x -benchmem \
+		./internal/bcpop/ ./internal/core/ ./internal/cluster/ | $(GO) run carbon/cmd/benchjson >/dev/null
 
 # Analyzer self-check: synthetic healthy/pathological traces through the
 # whole carbonstat pipeline (parse, demux, summarize, flag, diff).
@@ -110,6 +115,16 @@ chaos-smoke:
 trace-smoke:
 	$(GO) run carbon/cmd/tracesmoke
 
+# Cluster gate: three carbond workers behind a carbonfleet router.
+# Jobs shard round-robin, an over-quota tenant gets a 429 + Retry-After,
+# SIGKILLing the worker hosting a running job must lose nothing (the job
+# resumes on a survivor from the mirrored checkpoint, bit-identical), a
+# revived worker's stale copies are swept, networked islands reproduce
+# in-process RunIslands exactly, and the cross-node trace assembles with
+# zero orphans.
+fleet-smoke:
+	$(GO) run carbon/cmd/fleetsmoke
+
 examples:
 	$(GO) run carbon/examples/quickstart
 	$(GO) run carbon/examples/linearbilevel
@@ -120,4 +135,4 @@ examples:
 	$(GO) run carbon/examples/packing
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt
+	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt bench_pr7.txt

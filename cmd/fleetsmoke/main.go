@@ -1,0 +1,638 @@
+// Command fleetsmoke is the end-to-end gate for the carbonfleet router
+// (run via `make fleet-smoke`). It stands up a real fleet — three
+// carbond workers plus a carbonfleet router, all separate processes
+// talking over loopback HTTP — and drives it through the cluster
+// subsystem's whole contract:
+//
+//   - Sharding: four jobs round-robin across all three workers; every
+//     result must be bit-identical to an in-process reference run.
+//   - Admission: an over-quota tenant gets a 429 with a Retry-After
+//     hint; its earlier submission within quota runs normally.
+//   - Failover: the worker hosting a running job is SIGKILLed. The
+//     router must declare it dead, re-home its jobs onto survivors
+//     from the mirrored checkpoints, and every job must still finish —
+//     the interrupted one resumed (not restarted) and bit-identical to
+//     an undisturbed run. Zero job loss.
+//   - Revival: the killed worker restarts on its old address and spool;
+//     the router must sweep its abandoned job copies so re-homed jobs
+//     are never raced by stale incarnations.
+//   - Networked islands: POST /v1/islands spreads one run's islands
+//     across the three workers; for ring and broadcast topologies the
+//     merged record must equal the in-process RunIslands result bit
+//     for bit.
+//   - Tracing: the failed-over job's trace must span the router and
+//     both workers that hosted it (>= 3 span files, one trace ID), and
+//     the union of every span file in the fleet must assemble with
+//     zero orphans.
+//
+// Any divergence, hang or lost job exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"time"
+
+	"carbon/internal/cluster/netmigrate"
+	"carbon/internal/core"
+	"carbon/internal/serve"
+	"carbon/internal/span"
+	"carbon/internal/tracestat"
+)
+
+// smokeTrace is the caller-side trace context submitted with the victim
+// job. Everything the fleet does for that job — routing, both worker
+// incarnations, the failover itself — must join this one trace.
+const (
+	smokeTraceID = "0af7651916cd43dd8448eb211c80319c"
+	smokeTP      = "00-" + smokeTraceID + "-b7ad6b7169203331-01"
+)
+
+// smokeSpec is fully explicit (no server-side defaulting) so the
+// in-process references are guaranteed to run the same config.
+func smokeSpec(seed uint64) serve.JobSpec {
+	return serve.JobSpec{
+		N: 60, M: 5, Instance: 3, Customers: 1,
+		Seed: seed, Pop: 16, ULEvals: 1600, LLEvals: 4800,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+// victimSpec is the job that gets interrupted: double the budget, so
+// there is ample room between "checkpoint mirrored" and "finished".
+func victimSpec(seed uint64) serve.JobSpec {
+	s := smokeSpec(seed)
+	s.ULEvals *= 2
+	s.LLEvals *= 2
+	return s
+}
+
+func islandSpec() serve.JobSpec {
+	return serve.JobSpec{
+		N: 60, M: 5, Instance: 3,
+		Seed: 7, Pop: 10, ULEvals: 800, LLEvals: 1600,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+func main() {
+	flag.Parse()
+
+	work, err := os.MkdirTemp("", "carbon-fleet-smoke-*")
+	die(err)
+	defer os.RemoveAll(work)
+
+	step("building carbond and carbonfleet")
+	carbond := filepath.Join(work, "carbond")
+	carbonfleet := filepath.Join(work, "carbonfleet")
+	for bin, pkg := range map[string]string{carbond: "carbon/cmd/carbond", carbonfleet: "carbon/cmd/carbonfleet"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	step("computing uninterrupted references (in-process)")
+	refVictim := reference(victimSpec(14))
+	refA, refB, refC := reference(smokeSpec(11)), reference(smokeSpec(12)), reference(smokeSpec(13))
+
+	// --- Fleet up: three workers, one router ---
+	step("starting 3 workers + router")
+	var workers []*server
+	var workerURLs []string
+	for i := 0; i < 3; i++ {
+		w := startWorker(carbond, "127.0.0.1:0", filepath.Join(work, fmt.Sprintf("w%d", i)))
+		workers = append(workers, w)
+		workerURLs = append(workerURLs, "http://"+w.addr)
+	}
+	fleetSpool := filepath.Join(work, "fleet")
+	router := startRouter(carbonfleet, workerURLs, fleetSpool)
+
+	// --- Sharding + admission ---
+	step("submitting 4 jobs (round-robin) + quota check")
+	vic := submit(router.addr, victimSpec(14), "smoke", smokeTP)
+	jobA := submit(router.addr, smokeSpec(11), "", "")
+	jobB := submit(router.addr, smokeSpec(12), "", "")
+	jobC := submit(router.addr, smokeSpec(13), "metered", "")
+	used := map[string]bool{vic.worker: true, jobA.worker: true, jobB.worker: true, jobC.worker: true}
+	if len(used) != 3 {
+		fatalf("4 submissions landed on %d workers, want all 3 (round-robin)", len(used))
+	}
+	// The metered tenant's bucket (burst 1, refill ~never) is now empty:
+	// the next submission must bounce with a Retry-After hint.
+	code, retryAfter := submitExpectingRefusal(router.addr, smokeSpec(13), "metered")
+	if code != http.StatusTooManyRequests {
+		fatalf("over-quota submission: HTTP %d, want 429", code)
+	}
+	if retryAfter < 1 {
+		fatalf("429 carried Retry-After %d, want >= 1s", retryAfter)
+	}
+	fmt.Printf("admission OK: tenant \"metered\" got 429 with Retry-After %ds\n", retryAfter)
+
+	// --- Failover: SIGKILL the worker hosting the victim ---
+	victimWorker := serverByURL(workers, vic.worker)
+	oldJobID := workerJobID(router.addr, vic.id)
+	waitGens(router.addr, vic.id, 4)
+	waitFile(filepath.Join(fleetSpool, vic.id+".ckpt.json"), "mirrored checkpoint")
+	step("SIGKILL " + vic.worker + " (hosting " + vic.id + ", >=4 generations in)")
+	die(victimWorker.cmd.Process.Kill())
+	_ = victimWorker.cmd.Wait() // non-zero exit expected: it was murdered
+
+	waitHealth(router.addr, "failover", func(h fleetHealth) bool { return h.Failovers >= 1 && h.Healthy == 2 })
+	stV := waitDone(router.addr, vic.id)
+	if !stV.Resumed {
+		fatalf("job %s finished on the survivor without resuming from the mirrored checkpoint", vic.id)
+	}
+	if w := workerOf(router.addr, vic.id); w == vic.worker {
+		fatalf("job %s still routed to the dead worker %s", vic.id, w)
+	}
+	compare("failed-over", result(router.addr, vic.id), refVictim)
+	fmt.Printf("failover OK: %s re-homed, resumed, result bit-identical\n", vic.id)
+
+	step("waiting for the rest of the fleet's jobs (zero loss)")
+	for _, j := range []struct {
+		id  string
+		ref *core.Result
+	}{{jobA.id, refA}, {jobB.id, refB}, {jobC.id, refC}} {
+		waitDone(router.addr, j.id)
+		compare(j.id, result(router.addr, j.id), j.ref)
+	}
+	fmt.Println("sharding OK: all 4 jobs finished bit-identical, zero loss")
+
+	// --- Revival: restart the dead worker, old copies must be swept ---
+	step("restarting the killed worker on its old address")
+	victimWorker = startWorker(carbond, victimWorker.addr, victimWorker.spool)
+	workers[indexOf(workers, victimWorker.addr)] = victimWorker
+	waitHealth(router.addr, "revival", func(h fleetHealth) bool { return h.Healthy == 3 })
+	waitSwept(victimWorker.addr, oldJobID)
+	fmt.Printf("revival OK: worker back, stale copy of %s swept\n", oldJobID)
+
+	// --- Networked islands across the (whole) fleet ---
+	for _, topo := range []core.Topology{core.TopologyRing, core.TopologyBroadcast} {
+		step("networked islands, topology " + string(topo))
+		ref := referenceIslands(topo)
+		rec := runIslands(router.addr, string(topo))
+		compareIslands(string(topo), rec, ref)
+		fmt.Printf("islands OK: %s topology bit-identical to in-process RunIslands (%d shards)\n",
+			topo, len(rec.Shards))
+	}
+
+	// --- Orderly shutdown before reading span files ---
+	step("shutting the fleet down")
+	for _, s := range append([]*server{router}, workers...) {
+		die(s.cmd.Process.Signal(syscall.SIGTERM))
+		if err := s.cmd.Wait(); err != nil {
+			fatalf("%s shutdown: %v (want clean exit 0)", s.addr, err)
+		}
+	}
+
+	// --- Trace assertions over everything the fleet wrote ---
+	step("assembling the cross-node trace")
+	checkSpans(work)
+
+	fmt.Println("fleet-smoke PASS")
+}
+
+// reference runs the spec uninterrupted in this process.
+func reference(spec serve.JobSpec) *core.Result {
+	mk, err := spec.Market()
+	die(err)
+	res, err := core.Run(mk, spec.Config())
+	die(err)
+	return res
+}
+
+func islandConfig(topo core.Topology) core.IslandConfig {
+	return core.IslandConfig{Islands: 4, MigrateEvery: 3, Migrants: 1, Topology: topo}
+}
+
+func referenceIslands(topo core.Topology) *core.IslandResult {
+	spec := islandSpec().Normalize()
+	mk, err := spec.Market()
+	die(err)
+	res, err := core.RunIslands(mk, spec.Config(), islandConfig(topo))
+	die(err)
+	return res
+}
+
+// --- process management ---
+
+type server struct {
+	cmd   *exec.Cmd
+	addr  string
+	spool string
+}
+
+// startWorker launches carbond (checkpointing every generation, spans
+// on) and parses the bound address from its stdout banner. addr may be
+// ":0" for a fresh port or an exact address when reviving a worker.
+func startWorker(bin, addr, spool string) *server {
+	return start(exec.Command(bin,
+		"-addr", addr, "-spool", spool, "-jobs", "1", "-checkpoint-every", "1"), spool)
+}
+
+// startRouter launches carbonfleet probing fast enough that failover
+// completes in well under a second of worker death.
+func startRouter(bin string, workerURLs []string, spool string) *server {
+	return start(exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-workers", strings.Join(workerURLs, ","),
+		"-spool", spool, "-probe-every", "150ms", "-probe-timeout", "2s",
+		"-dead-after", "3", "-quota", "metered=0.0001"), spool)
+}
+
+func start(cmd *exec.Cmd, spool string) *server {
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	die(err)
+	die(cmd.Start())
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, after, ok := strings.Cut(sc.Text(), "serving on "); ok {
+			addr := strings.Fields(after)[0]
+			go func() { // drain the rest so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			waitReachable(addr)
+			return &server{cmd: cmd, addr: addr, spool: spool}
+		}
+	}
+	fatalf("%s exited before announcing its address", cmd.Path)
+	return nil
+}
+
+func waitReachable(addr string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("server on %s never became reachable", addr)
+}
+
+func serverByURL(workers []*server, url string) *server {
+	for _, w := range workers {
+		if "http://"+w.addr == url {
+			return w
+		}
+	}
+	fatalf("no worker behind %s", url)
+	return nil
+}
+
+func indexOf(workers []*server, addr string) int {
+	for i, w := range workers {
+		if w.addr == addr {
+			return i
+		}
+	}
+	fatalf("no worker on %s", addr)
+	return -1
+}
+
+// --- fleet API client helpers ---
+
+type submission struct {
+	id     string // fleet ID
+	worker string // base URL of the worker it landed on
+}
+
+func submit(addr string, spec serve.JobSpec, tenant, traceparent string) submission {
+	var buf bytes.Buffer
+	die(json.NewEncoder(&buf).Encode(spec))
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/jobs", &buf)
+	die(err)
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Carbon-Tenant", tenant)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		fatalf("submit (seed %d): HTTP %d: %s", spec.Seed, resp.StatusCode, body)
+	}
+	var st serve.Status
+	die(json.NewDecoder(resp.Body).Decode(&st))
+	sub := submission{id: st.ID, worker: resp.Header.Get("X-Carbon-Worker")}
+	fmt.Printf("submitted %s (seed %d) -> %s\n", sub.id, spec.Seed, sub.worker)
+	return sub
+}
+
+// submitExpectingRefusal posts a job and returns the refusal status
+// code plus the Retry-After hint in whole seconds (0 when absent).
+func submitExpectingRefusal(addr string, spec serve.JobSpec, tenant string) (int, int) {
+	var buf bytes.Buffer
+	die(json.NewEncoder(&buf).Encode(spec))
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/jobs", &buf)
+	die(err)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Carbon-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	die(err)
+	defer resp.Body.Close()
+	var after int
+	fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &after)
+	return resp.StatusCode, after
+}
+
+func getStatus(addr, id string) (serve.Status, error) {
+	var st serve.Status
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// waitGens blocks until the job has completed at least n generations,
+// failing loudly if it finishes first (the victim budget is sized so
+// that cannot happen on any plausible machine).
+func waitGens(addr, id string, n int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		if st.State == serve.StateDone {
+			fatalf("job %s finished before reaching %d generations — budget too small to interrupt", id, n)
+		}
+		if st.Gens >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fatalf("job %s never reached generation %d", id, n)
+}
+
+// waitDone polls through the router until the job lands. Transient
+// proxy errors (the hosting worker just died; failover is in flight)
+// are expected and retried — the whole point is that the job outlives
+// them.
+func waitDone(addr, id string) serve.Status {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		switch st.State {
+		case serve.StateDone:
+			return st
+		case serve.StateFailed, serve.StateCanceled, serve.StateDead:
+			fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("job %s never finished", id)
+	return serve.Status{}
+}
+
+func result(addr, id string) *serve.ResultRecord {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id + "/result")
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("result %s: HTTP %d", id, resp.StatusCode)
+	}
+	var rec serve.ResultRecord
+	die(json.NewDecoder(resp.Body).Decode(&rec))
+	return &rec
+}
+
+type fleetHealth struct {
+	OK        bool `json:"ok"`
+	Healthy   int  `json:"healthy"`
+	Routes    int  `json:"routes"`
+	Failovers int  `json:"failovers"`
+}
+
+func waitHealth(addr, what string, ok func(fleetHealth) bool) {
+	deadline := time.Now().Add(30 * time.Second)
+	var h fleetHealth
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err == nil && ok(h) {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fatalf("router never reached the %s state (last: %+v)", what, h)
+}
+
+type routeEntry struct {
+	FleetID string `json:"fleet_id"`
+	Worker  string `json:"worker"`
+	JobID   string `json:"job_id"`
+}
+
+func routeFor(addr, fleetID string) routeEntry {
+	resp, err := http.Get("http://" + addr + "/v1/jobs")
+	die(err)
+	defer resp.Body.Close()
+	var routes []routeEntry
+	die(json.NewDecoder(resp.Body).Decode(&routes))
+	for _, rt := range routes {
+		if rt.FleetID == fleetID {
+			return rt
+		}
+	}
+	fatalf("router has no route for %s", fleetID)
+	return routeEntry{}
+}
+
+func workerJobID(addr, fleetID string) string { return routeFor(addr, fleetID).JobID }
+func workerOf(addr, fleetID string) string    { return routeFor(addr, fleetID).Worker }
+
+// waitSwept waits until the revived worker's stale copy of a re-homed
+// job has been canceled (or deleted) by the router's orphan sweep.
+func waitSwept(workerAddr, jobID string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + workerAddr + "/v1/jobs/" + jobID)
+		if err == nil {
+			var st serve.Status
+			code := resp.StatusCode
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if code == http.StatusNotFound {
+				return
+			}
+			if derr == nil && st.State == serve.StateCanceled {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fatalf("revived worker still runs the stale copy of %s (never swept)", jobID)
+}
+
+func waitFile(path, what string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("%s never appeared at %s", what, path)
+}
+
+// --- bit-identity assertions ---
+
+func compare(label string, rec *serve.ResultRecord, want *core.Result) {
+	if rec.Gens != want.Gens || rec.ULEvals != want.ULEvals || rec.LLEvals != want.LLEvals {
+		fatalf("%s: budget trace diverged: got %d gens %d/%d, want %d gens %d/%d",
+			label, rec.Gens, rec.ULEvals, rec.LLEvals, want.Gens, want.ULEvals, want.LLEvals)
+	}
+	if rec.BestRevenue != want.Best.Revenue || rec.BestGapPct != want.Best.GapPct ||
+		rec.BestTree != want.Best.TreeStr {
+		fatalf("%s: best pairing diverged:\n got  (%v, %q, %v)\n want (%v, %q, %v)",
+			label, rec.BestRevenue, rec.BestTree, rec.BestGapPct,
+			want.Best.Revenue, want.Best.TreeStr, want.Best.GapPct)
+	}
+	if !reflect.DeepEqual(rec.BestPrice, want.Best.Price) {
+		fatalf("%s: best price vector diverged", label)
+	}
+}
+
+func runIslands(addr, topo string) *netmigrate.IslandRecord {
+	job := netmigrate.IslandJob{
+		Spec: islandSpec(), Islands: 4, MigrateEvery: 3, Migrants: 1, Topology: topo,
+	}
+	var buf bytes.Buffer
+	die(json.NewEncoder(&buf).Encode(job))
+	resp, err := http.Post("http://"+addr+"/v1/islands", "application/json", &buf)
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		fatalf("islands %s: HTTP %d: %s", topo, resp.StatusCode, body)
+	}
+	rec := new(netmigrate.IslandRecord)
+	die(json.NewDecoder(resp.Body).Decode(rec))
+	return rec
+}
+
+func compareIslands(topo string, rec *netmigrate.IslandRecord, ref *core.IslandResult) {
+	if rec.BestRevenue != ref.Best.Revenue || rec.BestGapPct != ref.Best.GapPct ||
+		rec.BestTree != ref.Best.TreeStr || rec.Simplified != ref.Best.Simplified ||
+		rec.BestIsland != ref.BestIsland || rec.Migrations != ref.Migrations ||
+		!reflect.DeepEqual(rec.BestPrice, ref.Best.Price) {
+		fatalf("islands %s: merged record diverged:\n got  %+v\n want best %+v island %d migrations %d",
+			topo, rec, ref.Best, ref.BestIsland, ref.Migrations)
+	}
+	if len(rec.PerIsland) != len(ref.PerIsland) {
+		fatalf("islands %s: %d island records, want %d", topo, len(rec.PerIsland), len(ref.PerIsland))
+	}
+	for i, r := range rec.PerIsland {
+		w := ref.PerIsland[i]
+		if r.Gens != w.Gens || r.ULEvals != w.ULEvals || r.LLEvals != w.LLEvals ||
+			r.BestRevenue != w.Best.Revenue || r.BestGapPct != w.Best.GapPct ||
+			r.BestTree != w.Best.TreeStr || r.Simplified != w.Best.Simplified ||
+			!reflect.DeepEqual(r.BestPrice, w.Best.Price) ||
+			!reflect.DeepEqual(r.ULCurveY, w.ULCurve.Y) || !reflect.DeepEqual(r.GapCurveY, w.GapCurve.Y) {
+			fatalf("islands %s: island %d diverged across the network", topo, i)
+		}
+	}
+}
+
+// --- trace assertions ---
+
+// checkSpans reads every span file the fleet wrote, asserts the victim
+// job's trace crossed at least three of them (router + both hosting
+// workers), includes the failover span, and that the union of all
+// records assembles into parent-linked trees with zero orphans.
+func checkSpans(work string) {
+	var files []string
+	die(filepath.WalkDir(work, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".spans.jsonl") {
+			files = append(files, path)
+		}
+		return err
+	}))
+	if len(files) == 0 {
+		fatalf("the fleet wrote no span files under %s", work)
+	}
+
+	var union bytes.Buffer
+	inTrace, sawFailover := 0, false
+	for _, f := range files {
+		recs, _, err := span.ReadFile(f) // lenient: the SIGKILLed worker may have a torn tail
+		die(err)
+		hit := false
+		for _, r := range recs {
+			if r.Trace == smokeTraceID {
+				hit = true
+				if r.Name == "fleet.failover" {
+					sawFailover = true
+				}
+			}
+			b, err := json.Marshal(r)
+			die(err)
+			union.Write(b)
+			union.WriteByte('\n')
+		}
+		if hit {
+			inTrace++
+		}
+	}
+	if inTrace < 3 {
+		fatalf("victim trace %s appears in %d span files, want >= 3 (router + both hosting workers)", smokeTraceID, inTrace)
+	}
+	if !sawFailover {
+		fatalf("no fleet.failover span joined trace %s", smokeTraceID)
+	}
+	tree, err := tracestat.LoadSpans(&union)
+	die(err)
+	if len(tree.Orphans) != 0 {
+		var names []string
+		for _, o := range tree.Orphans {
+			names = append(names, o.Record.Name)
+		}
+		fatalf("fleet-wide span union has %d orphans (%s) — a hop dropped its parent link",
+			len(tree.Orphans), strings.Join(names, ", "))
+	}
+	fmt.Printf("tracing OK: victim trace in %d files, failover span linked, %d traces, zero orphans\n",
+		inTrace, len(tree.Traces))
+}
+
+func step(s string) { fmt.Println("==> " + s) }
+
+func die(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleet-smoke FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"carbon/internal/cluster/netmigrate"
+)
+
+// handleIslands runs one island-model job across the fleet: healthy
+// workers become netmigrate peers, each hosting a round-robin shard of
+// the islands, and the merged record comes back once every shard
+// finishes. Synchronous by design — the caller picked a distributed
+// run, and the barrier protocol means no shard outlives the slowest
+// anyway. Bit-identity with the in-process RunIslands per (seed,
+// topology) is the contract the fleet smoke checks on every build.
+func (r *Router) handleIslands(w http.ResponseWriter, req *http.Request) {
+	var job netmigrate.IslandJob
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	r.mu.Lock()
+	r.seq++
+	runID := fmt.Sprintf("f%06d", r.seq)
+	var peers []string
+	for _, wk := range r.workers {
+		if wk.healthy {
+			peers = append(peers, wk.url)
+		}
+	}
+	r.mu.Unlock()
+	if len(peers) == 0 {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no healthy workers"))
+		return
+	}
+
+	sp := r.startSpan(req.Header.Get("traceparent"), "route.islands").
+		Attr("run", runID).Attr("peers", len(peers))
+	defer sp.End()
+	tp := req.Header.Get("traceparent")
+	if c := sp.Context(); c.Valid() {
+		tp = c.TraceParent()
+	}
+
+	rec, err := netmigrate.Coordinate(req.Context(), r.client, runID, peers, job, tp)
+	if err != nil {
+		sp.Attr("error", true)
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}

@@ -1,0 +1,233 @@
+package netmigrate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"carbon/internal/serve"
+)
+
+// IslandJob is one distributed island-model run as the router's client
+// submits it: the base spec plus the island parameters.
+type IslandJob struct {
+	Spec serve.JobSpec `json:"spec"`
+
+	Islands      int    `json:"islands"`
+	MigrateEvery int    `json:"migrate_every"`
+	Migrants     int    `json:"migrants"`
+	Topology     string `json:"topology,omitempty"`
+
+	WaitTimeoutSec float64 `json:"wait_timeout_sec,omitempty"`
+}
+
+// IslandRecord is the merged outcome of a distributed island run. The
+// Best* fields are selected exactly the way core.MergeShards selects
+// them — islands in ascending order, best revenue wins the price, best
+// (lowest) gap wins the heuristic — so a networked run's record equals
+// the in-process RunIslands result field for field.
+type IslandRecord struct {
+	Run string `json:"run"`
+
+	BestRevenue float64   `json:"best_revenue"`
+	BestGapPct  float64   `json:"best_gap_pct"`
+	BestTree    string    `json:"best_tree"`
+	Simplified  string    `json:"simplified"`
+	BestPrice   []float64 `json:"best_price"`
+	BestIsland  int       `json:"best_island"`
+	Migrations  int       `json:"migrations"`
+
+	PerIsland []*serve.ResultRecord `json:"per_island"`
+	Shards    [][]int               `json:"shards"` // island assignment, by peer
+	Peers     []string              `json:"peers"`
+}
+
+// Coordinate runs one island job across peers: islands are dealt
+// round-robin (island i → peer i mod S, which keeps every shard's list
+// ascending), each peer runs its shard against the others over the
+// fleet endpoints, and the shard records are merged. Blocks until the
+// run finishes or ctx expires; finished runs are swept off the peers.
+func Coordinate(ctx context.Context, client *http.Client, runID string, peers []string, job IslandJob, tp string) (*IslandRecord, error) {
+	if client == nil {
+		client = &http.Client{}
+	}
+	if runID == "" {
+		return nil, fmt.Errorf("netmigrate: coordinate needs a run ID")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("netmigrate: coordinate needs at least one peer")
+	}
+	shards := len(peers)
+	if shards > job.Islands {
+		shards = job.Islands
+	}
+	peers = peers[:shards]
+	assign := make([][]int, shards)
+	for i := 0; i < job.Islands; i++ {
+		assign[i%shards] = append(assign[i%shards], i)
+	}
+
+	base := ShardJob{
+		Run: runID, Spec: job.Spec.Normalize(),
+		Islands: job.Islands, MigrateEvery: job.MigrateEvery, Migrants: job.Migrants,
+		Topology: job.Topology, Peers: peers, Assign: assign,
+		TraceParent: tp, WaitTimeoutSec: job.WaitTimeoutSec,
+	}
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	if err := base.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	defer sweep(client, peers, runID)
+	for s := range peers {
+		sj := base
+		sj.Me = s
+		if err := postShard(ctx, client, peers[s], sj); err != nil {
+			return nil, err
+		}
+	}
+
+	// Poll every peer until all shards land. A failed shard fails the
+	// run with that shard's error — partial island runs are worthless,
+	// the client simply retries.
+	recs := make([]*ShardRecord, shards)
+	for done := 0; done < shards; {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("netmigrate: run %s: %w", runID, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+		done = 0
+		for s := range peers {
+			if recs[s] != nil {
+				done++
+				continue
+			}
+			st, err := getShard(ctx, client, peers[s], runID)
+			if err != nil {
+				return nil, err
+			}
+			switch st.State {
+			case stateFailed:
+				return nil, fmt.Errorf("netmigrate: run %s: shard %d on %s failed: %s", runID, s, peers[s], st.Error)
+			case stateDone:
+				recs[s] = st.Result
+				done++
+			}
+		}
+	}
+	rec := mergeRecords(runID, job.Islands, recs)
+	rec.Shards = assign
+	rec.Peers = peers
+	return rec, nil
+}
+
+// mergeRecords replicates core.MergeShards at the record level:
+// ascending islands, strictly-greater revenue takes the price fields,
+// strictly-lower gap takes the heuristic fields, migrations is the max.
+func mergeRecords(runID string, islands int, shardRecs []*ShardRecord) *IslandRecord {
+	byIsland := make(map[int]*serve.ResultRecord)
+	migrations := 0
+	for _, sr := range shardRecs {
+		if sr == nil {
+			continue
+		}
+		for k, i := range sr.Islands {
+			byIsland[i] = sr.Records[k]
+		}
+		if sr.Migrations > migrations {
+			migrations = sr.Migrations
+		}
+	}
+	rec := &IslandRecord{Run: runID, Migrations: migrations}
+	bestRevenue := -1.0
+	bestGap := -1.0
+	for i := 0; i < islands; i++ {
+		r := byIsland[i]
+		if r == nil {
+			continue
+		}
+		rec.PerIsland = append(rec.PerIsland, r)
+		if r.BestRevenue > bestRevenue {
+			bestRevenue = r.BestRevenue
+			rec.BestPrice = r.BestPrice
+			rec.BestRevenue = r.BestRevenue
+			rec.BestIsland = i
+		}
+		if bestGap < 0 || r.BestGapPct < bestGap {
+			bestGap = r.BestGapPct
+			rec.BestTree = r.BestTree
+			rec.Simplified = r.Simplified
+			rec.BestGapPct = r.BestGapPct
+		}
+	}
+	return rec
+}
+
+func postShard(ctx context.Context, client *http.Client, peer string, sj ShardJob) error {
+	b, err := json.Marshal(sj)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/fleet/shards", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sj.TraceParent != "" {
+		req.Header.Set("traceparent", sj.TraceParent)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("netmigrate: shard %d on %s: %w", sj.Me, peer, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("netmigrate: shard %d on %s: %s: %s", sj.Me, peer, resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func getShard(ctx context.Context, client *http.Client, peer, runID string) (ShardStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/fleet/shards/"+runID, nil)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return ShardStatus{}, fmt.Errorf("netmigrate: poll %s on %s: %w", runID, peer, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ShardStatus{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ShardStatus{}, fmt.Errorf("netmigrate: poll %s on %s: %s", runID, peer, resp.Status)
+	}
+	var st ShardStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		return ShardStatus{}, err
+	}
+	return st, nil
+}
+
+// sweep forgets a finished run on every peer, best-effort.
+func sweep(client *http.Client, peers []string, runID string) {
+	for _, peer := range peers {
+		req, err := http.NewRequest(http.MethodDelete, peer+"/v1/fleet/shards/"+runID, nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package netmigrate
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"carbon/internal/core"
+	"carbon/internal/serve"
+)
+
+func islandSpec() serve.JobSpec {
+	return serve.JobSpec{
+		N: 60, M: 5, Instance: 3,
+		Seed: 7, Pop: 10, ULEvals: 800, LLEvals: 1600,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+// flatIsland mirrors the comparable surface the core golden tests use.
+type flatIsland struct {
+	Gens, ULEvals, LLEvals      int
+	Revenue, Gap                float64
+	Tree, Simplified            string
+	Price, ULX, ULY, GapX, GapY []float64
+}
+
+func flattenRecord(r *serve.ResultRecord) flatIsland {
+	return flatIsland{
+		Gens: r.Gens, ULEvals: r.ULEvals, LLEvals: r.LLEvals,
+		Revenue: r.BestRevenue, Gap: r.BestGapPct,
+		Tree: r.BestTree, Simplified: r.Simplified, Price: r.BestPrice,
+		ULX: r.ULCurveX, ULY: r.ULCurveY, GapX: r.GapCurveX, GapY: r.GapCurveY,
+	}
+}
+
+func flattenResult(r *core.Result) flatIsland {
+	return flatIsland{
+		Gens: r.Gens, ULEvals: r.ULEvals, LLEvals: r.LLEvals,
+		Revenue: r.Best.Revenue, Gap: r.Best.GapPct,
+		Tree: r.Best.TreeStr, Simplified: r.Best.Simplified, Price: r.Best.Price,
+		ULX: r.ULCurve.X, ULY: r.ULCurve.Y, GapX: r.GapCurve.X, GapY: r.GapCurve.Y,
+	}
+}
+
+// TestNetworkedIslandsBitIdentical is the subsystem's defining test:
+// islands spread across three HTTP peers — migrants, barriers and
+// results all crossing real sockets as JSON — must reproduce the
+// in-process RunIslands bit for bit, for both topologies.
+func TestNetworkedIslandsBitIdentical(t *testing.T) {
+	spec := islandSpec().Normalize()
+	mk, err := spec.Market()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, topo := range []core.Topology{core.TopologyRing, core.TopologyBroadcast} {
+		t.Run(string(topo), func(t *testing.T) {
+			ic := core.IslandConfig{Islands: 4, MigrateEvery: 3, Migrants: 1, Topology: topo}
+			ref, err := core.RunIslands(mk, spec.Config(), ic)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var peers []string
+			for i := 0; i < 3; i++ {
+				srv := httptest.NewServer(NewPeer(PeerOptions{}).Handler())
+				defer srv.Close()
+				peers = append(peers, srv.URL)
+			}
+			job := IslandJob{
+				Spec: spec, Islands: 4, MigrateEvery: 3, Migrants: 1,
+				Topology: string(topo),
+			}
+			rec, err := Coordinate(context.Background(), nil, "run-"+string(topo), peers, job, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Merged best fields, field for field.
+			if rec.BestRevenue != ref.Best.Revenue || rec.BestGapPct != ref.Best.GapPct ||
+				rec.BestTree != ref.Best.TreeStr || rec.Simplified != ref.Best.Simplified ||
+				rec.BestIsland != ref.BestIsland || rec.Migrations != ref.Migrations ||
+				!reflect.DeepEqual(rec.BestPrice, ref.Best.Price) {
+				t.Fatalf("merged record diverged:\n got  %+v\n want best %+v island %d migrations %d",
+					rec, ref.Best, ref.BestIsland, ref.Migrations)
+			}
+			// Every island, bit for bit.
+			if len(rec.PerIsland) != len(ref.PerIsland) {
+				t.Fatalf("%d island records, want %d", len(rec.PerIsland), len(ref.PerIsland))
+			}
+			for i := range ref.PerIsland {
+				if !reflect.DeepEqual(flattenRecord(rec.PerIsland[i]), flattenResult(ref.PerIsland[i])) {
+					t.Fatalf("island %d diverged:\n got  %+v\n want %+v",
+						i, flattenRecord(rec.PerIsland[i]), flattenResult(ref.PerIsland[i]))
+				}
+			}
+			// Round-robin assignment: 4 islands over 3 peers.
+			if !reflect.DeepEqual(rec.Shards, [][]int{{0, 3}, {1}, {2}}) {
+				t.Fatalf("assignment %v", rec.Shards)
+			}
+		})
+	}
+}
+
+// TestShardJobValidation pins the wire-level contract.
+func TestShardJobValidation(t *testing.T) {
+	good := ShardJob{
+		Run: "r1", Spec: islandSpec(), Islands: 4, MigrateEvery: 3, Migrants: 1,
+		Me: 0, Peers: []string{"a", "b"}, Assign: [][]int{{0, 2}, {1, 3}},
+	}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutate := []func(*ShardJob){
+		func(j *ShardJob) { j.Run = "" },
+		func(j *ShardJob) { j.Me = 2 },
+		func(j *ShardJob) { j.Peers = j.Peers[:1] },
+		func(j *ShardJob) { j.Assign = [][]int{{0, 2}, {1}} },       // island 3 uncovered
+		func(j *ShardJob) { j.Assign = [][]int{{0, 2}, {0, 1, 3}} }, // island 0 twice
+		func(j *ShardJob) { j.Topology = "mesh" },
+		func(j *ShardJob) { j.Islands = 1 },
+	}
+	for i, m := range mutate {
+		j := good
+		m(&j)
+		if err := j.validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestPeerRejectsDuplicateRun: resubmitting a run ID to the same peer
+// is a conflict, not a silent double execution.
+func TestPeerRejectsDuplicateRun(t *testing.T) {
+	p := NewPeer(PeerOptions{})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	spec := islandSpec()
+	job := IslandJob{Spec: spec, Islands: 2, MigrateEvery: 3, Migrants: 1}
+	if _, err := Coordinate(context.Background(), nil, "dup", []string{srv.URL}, job, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The sweep after Coordinate forgot the run, so the same ID is
+	// usable again — by design (retries reuse IDs).
+	if _, err := Coordinate(context.Background(), nil, "dup", []string{srv.URL}, job, ""); err != nil {
+		t.Fatal(err)
+	}
+}

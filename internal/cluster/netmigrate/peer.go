@@ -1,0 +1,449 @@
+// Package netmigrate is the HTTP/JSON implementation of core.Transport:
+// it lets one island-model run spread its islands across several carbond
+// peers while staying bit-identical — per (seed, topology) — to the
+// in-process RunIslands. Each peer hosts a shard of the run's islands
+// (core.RunIslandsShard) and exchanges migrant batches and per-generation
+// liveness over three endpoints mounted under /v1/fleet/:
+//
+//	POST   /v1/fleet/shards        start a shard of a run here (202)
+//	GET    /v1/fleet/shards/{run}  shard state and, when done, its results
+//	DELETE /v1/fleet/shards/{run}  forget a finished run
+//	POST   /v1/fleet/migrants      deliver one migrant batch (peer→peer)
+//	POST   /v1/fleet/progress      deliver one liveness report (peer→peer)
+//
+// The determinism contract is inherited from core.Transport: batches
+// cross the wire as pure JSON (prey as float64 slices — exact under
+// encoding/json's shortest-round-trip rendering — predators as their
+// canonical gp encoding), and the liveness barrier returns the same
+// global OR on every shard. Traceparent propagates on every hop, so a
+// distributed run's generation spans from all peers stitch into one
+// trace.
+package netmigrate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"carbon/internal/core"
+	"carbon/internal/serve"
+	"carbon/internal/span"
+)
+
+// ShardJob tells a peer to run a shard of a distributed island run.
+type ShardJob struct {
+	// Run identifies the distributed run; every message of the run —
+	// shard jobs, migrants, progress — carries it.
+	Run string `json:"run"`
+	// Spec is the base job (instance, seed, budgets). Peers normalize it
+	// identically (serve.JobSpec.Normalize), so defaults can never make
+	// two shards disagree about the configuration.
+	Spec serve.JobSpec `json:"spec"`
+
+	Islands      int    `json:"islands"`
+	MigrateEvery int    `json:"migrate_every"`
+	Migrants     int    `json:"migrants"`
+	Topology     string `json:"topology,omitempty"`
+
+	// Me indexes this peer in Peers; Assign[Me] is the ascending list of
+	// global island indices this peer runs. Every shard of the run gets
+	// the same Peers and Assign, so all sides agree where each island
+	// lives.
+	Me     int      `json:"me"`
+	Peers  []string `json:"peers"`
+	Assign [][]int  `json:"assign"`
+
+	TraceParent string `json:"traceparent,omitempty"`
+	// WaitTimeoutSec bounds every transport wait (migrant receive,
+	// barrier). Default 60s: a vanished peer fails the shard loudly
+	// instead of hanging it.
+	WaitTimeoutSec float64 `json:"wait_timeout_sec,omitempty"`
+}
+
+func (j *ShardJob) validate() error {
+	ic := j.islandConfig()
+	if err := ic.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case j.Run == "":
+		return fmt.Errorf("netmigrate: shard job without a run ID")
+	case len(j.Peers) == 0 || len(j.Assign) != len(j.Peers):
+		return fmt.Errorf("netmigrate: %d peers but %d assignments", len(j.Peers), len(j.Assign))
+	case j.Me < 0 || j.Me >= len(j.Peers):
+		return fmt.Errorf("netmigrate: shard index %d outside %d peers", j.Me, len(j.Peers))
+	}
+	covered := make(map[int]bool)
+	for _, islands := range j.Assign {
+		for _, i := range islands {
+			if i < 0 || i >= j.Islands || covered[i] {
+				return fmt.Errorf("netmigrate: assignment %v does not partition %d islands", j.Assign, j.Islands)
+			}
+			covered[i] = true
+		}
+	}
+	if len(covered) != j.Islands {
+		return fmt.Errorf("netmigrate: assignment %v does not cover %d islands", j.Assign, j.Islands)
+	}
+	return nil
+}
+
+func (j *ShardJob) islandConfig() core.IslandConfig {
+	return core.IslandConfig{
+		Islands:      j.Islands,
+		MigrateEvery: j.MigrateEvery,
+		Migrants:     j.Migrants,
+		Topology:     core.Topology(j.Topology),
+	}
+}
+
+func (j *ShardJob) waitTimeout() time.Duration {
+	if j.WaitTimeoutSec > 0 {
+		return time.Duration(j.WaitTimeoutSec * float64(time.Second))
+	}
+	return time.Minute
+}
+
+// ShardRecord is a finished shard's contribution: one ResultRecord per
+// hosted island, aligned with Islands (ascending global indices).
+type ShardRecord struct {
+	Run        string                `json:"run"`
+	Islands    []int                 `json:"islands"`
+	Records    []*serve.ResultRecord `json:"records"`
+	Migrations int                   `json:"migrations"`
+}
+
+// ShardStatus is GET /v1/fleet/shards/{run}.
+type ShardStatus struct {
+	Run    string       `json:"run"`
+	State  string       `json:"state"` // pending | running | done | failed
+	Error  string       `json:"error,omitempty"`
+	Result *ShardRecord `json:"result,omitempty"`
+}
+
+// progressReport is one shard's liveness flag for one generation.
+type progressReport struct {
+	Run        string `json:"run"`
+	Gen        int    `json:"gen"`
+	Shard      int    `json:"shard"`
+	Progressed bool   `json:"progressed"`
+}
+
+// PeerOptions configures a Peer.
+type PeerOptions struct {
+	// Client is used for peer→peer traffic (default http.DefaultClient
+	// semantics with no global timeout).
+	Client *http.Client
+	// Tracer, when set, records the shard's spans (fleet.shard plus the
+	// engine's generation/migration spans beneath it) — typically
+	// carbond's span file, so a distributed run is traceable per worker.
+	Tracer *span.Tracer
+}
+
+// Peer hosts shards of distributed island runs. One Peer serves many
+// concurrent runs; state is per-run and created on first contact, so
+// migrants arriving before the shard job (peers start at different
+// times) park in the inbox instead of being dropped.
+type Peer struct {
+	client *http.Client
+	tracer *span.Tracer
+
+	mu   sync.Mutex
+	runs map[string]*run
+}
+
+func NewPeer(opts PeerOptions) *Peer {
+	p := &Peer{client: opts.Client, tracer: opts.Tracer, runs: make(map[string]*run)}
+	if p.client == nil {
+		p.client = &http.Client{}
+	}
+	return p
+}
+
+const (
+	statePending = "pending"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// run is one distributed run's local state: the shard execution plus
+// the inbox the HTTP transport drains. The notify channel is a
+// broadcast: closed and replaced whenever anything arrives, so waiters
+// re-check their predicate (same pattern as core.LocalTransport).
+type run struct {
+	id string
+
+	mu       sync.Mutex
+	notify   chan struct{}
+	state    string
+	errMsg   string
+	rec      *ShardRecord
+	migrants map[[3]int]core.MigrantBatch
+	progress map[int]map[int]bool // gen → shard → progressed
+}
+
+func (p *Peer) run(id string) *run {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.runs[id]
+	if r == nil {
+		r = &run{
+			id: id, state: statePending,
+			notify:   make(chan struct{}),
+			migrants: make(map[[3]int]core.MigrantBatch),
+			progress: make(map[int]map[int]bool),
+		}
+		p.runs[id] = r
+	}
+	return r
+}
+
+func (r *run) wake() {
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// wait blocks until pred (evaluated under r.mu) holds, or the deadline
+// passes.
+func (r *run) wait(what string, timeout time.Duration, pred func() bool) error {
+	deadline := time.Now().Add(timeout)
+	r.mu.Lock()
+	for !pred() {
+		ch := r.notify
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("netmigrate: run %s: timed out waiting for %s", r.id, what)
+		}
+		r.mu.Lock()
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *run) deliverMigrant(b core.MigrantBatch) {
+	r.mu.Lock()
+	r.migrants[[3]int{b.From, b.To, b.Gen}] = b
+	r.wake()
+	r.mu.Unlock()
+}
+
+func (r *run) awaitMigrant(from, to, gen int, timeout time.Duration) (core.MigrantBatch, error) {
+	key := [3]int{from, to, gen}
+	if err := r.wait(fmt.Sprintf("migrants %d→%d gen %d", from, to, gen), timeout, func() bool {
+		_, ok := r.migrants[key]
+		return ok
+	}); err != nil {
+		return core.MigrantBatch{}, err
+	}
+	r.mu.Lock()
+	b := r.migrants[key]
+	delete(r.migrants, key)
+	r.mu.Unlock()
+	return b, nil
+}
+
+func (r *run) deliverProgress(rep progressReport) {
+	r.mu.Lock()
+	g := r.progress[rep.Gen]
+	if g == nil {
+		g = make(map[int]bool)
+		r.progress[rep.Gen] = g
+	}
+	g[rep.Shard] = rep.Progressed
+	r.wake()
+	r.mu.Unlock()
+}
+
+// awaitBarrier blocks until all `shards` liveness reports for gen are
+// in, then returns their OR — the global "anyone still has budget"
+// signal. Settled rounds two generations back are swept to keep the map
+// bounded.
+func (r *run) awaitBarrier(gen, shards int, timeout time.Duration) (bool, error) {
+	if err := r.wait(fmt.Sprintf("barrier gen %d", gen), timeout, func() bool {
+		return len(r.progress[gen]) == shards
+	}); err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	any := false
+	for _, p := range r.progress[gen] {
+		any = any || p
+	}
+	delete(r.progress, gen-2)
+	r.mu.Unlock()
+	return any, nil
+}
+
+func (r *run) status() ShardStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ShardStatus{Run: r.id, State: r.state, Error: r.errMsg, Result: r.rec}
+}
+
+// Handler serves the fleet endpoints. Mount it at "/v1/fleet/" — the
+// patterns carry the full path, so it composes onto carbond's mux.
+func (p *Peer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fleet/shards", func(w http.ResponseWriter, req *http.Request) {
+		var job ShardJob
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&job); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := job.validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		r := p.run(job.Run)
+		r.mu.Lock()
+		if r.state != statePending {
+			st := r.state
+			r.mu.Unlock()
+			writeError(w, http.StatusConflict, fmt.Errorf("netmigrate: run %s already %s here", job.Run, st))
+			return
+		}
+		r.state = stateRunning
+		r.mu.Unlock()
+		go p.execute(job, r)
+		writeJSONStatus(w, http.StatusAccepted, r.status())
+	})
+	mux.HandleFunc("GET /v1/fleet/shards/{run}", func(w http.ResponseWriter, req *http.Request) {
+		p.mu.Lock()
+		r, ok := p.runs[req.PathValue("run")]
+		p.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("netmigrate: unknown run %s", req.PathValue("run")))
+			return
+		}
+		writeJSONStatus(w, http.StatusOK, r.status())
+	})
+	mux.HandleFunc("DELETE /v1/fleet/shards/{run}", func(w http.ResponseWriter, req *http.Request) {
+		p.mu.Lock()
+		delete(p.runs, req.PathValue("run"))
+		p.mu.Unlock()
+		writeJSONStatus(w, http.StatusOK, map[string]string{"run": req.PathValue("run"), "status": "forgotten"})
+	})
+	mux.HandleFunc("POST /v1/fleet/migrants", func(w http.ResponseWriter, req *http.Request) {
+		var b core.MigrantBatch
+		if err := json.NewDecoder(req.Body).Decode(&b); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if b.Run == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("netmigrate: migrant batch without a run ID"))
+			return
+		}
+		p.run(b.Run).deliverMigrant(b)
+		writeJSONStatus(w, http.StatusAccepted, map[string]string{"status": "delivered"})
+	})
+	mux.HandleFunc("POST /v1/fleet/progress", func(w http.ResponseWriter, req *http.Request) {
+		var rep progressReport
+		if err := json.NewDecoder(req.Body).Decode(&rep); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if rep.Run == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("netmigrate: progress report without a run ID"))
+			return
+		}
+		p.run(rep.Run).deliverProgress(rep)
+		writeJSONStatus(w, http.StatusAccepted, map[string]string{"status": "delivered"})
+	})
+	return mux
+}
+
+// execute runs this peer's shard to completion. It owns the run's state
+// transitions: running → done (with results) or failed (with the error).
+func (p *Peer) execute(job ShardJob, r *run) {
+	var parent span.Context
+	if ctx, err := span.ParseTraceParent(job.TraceParent); err == nil {
+		parent = ctx
+	}
+	var sp *span.Span
+	if p.tracer != nil {
+		sp = p.tracer.StartRemote(parent, "fleet.shard").Kind(span.KindCompute).
+			Attr("run", job.Run).Attr("shard", job.Me).
+			Attr("islands", fmt.Sprint(job.Assign[job.Me])).Announce()
+	}
+	rec, err := p.runShard(job, sp)
+	if sp != nil {
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
+	}
+	r.mu.Lock()
+	if err != nil {
+		r.state = stateFailed
+		r.errMsg = err.Error()
+	} else {
+		r.state = stateDone
+		r.rec = rec
+	}
+	r.wake()
+	r.mu.Unlock()
+}
+
+func (p *Peer) runShard(job ShardJob, sp *span.Span) (*ShardRecord, error) {
+	spec := job.Spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mk, err := spec.Market()
+	if err != nil {
+		return nil, err
+	}
+	cfg := spec.Config()
+	cfg.RunLabel = "fleet/" + job.Run
+	if p.tracer != nil && sp != nil {
+		cfg.Spans = p.tracer
+		cfg.SpanParent = sp.Context()
+	}
+	tr := &Transport{
+		run: p.run(job.Run), client: p.client,
+		me: job.Me, peers: job.Peers,
+		shardOf: islandShardMap(job.Assign),
+		timeout: job.waitTimeout(),
+		tp:      job.TraceParent,
+	}
+	sh, err := core.RunIslandsShard(context.Background(), mk, cfg, job.islandConfig(), job.Assign[job.Me], tr)
+	if err != nil {
+		return nil, err
+	}
+	rec := &ShardRecord{Run: job.Run, Islands: sh.Islands, Migrations: sh.Migrations}
+	for k, i := range sh.Islands {
+		rec.Records = append(rec.Records,
+			serve.NewResultRecord(fmt.Sprintf("%s/i%02d", job.Run, i), spec, sh.PerIsland[k]))
+	}
+	return rec, nil
+}
+
+func islandShardMap(assign [][]int) map[int]int {
+	m := make(map[int]int)
+	for s, islands := range assign {
+		for _, i := range islands {
+			m[i] = s
+		}
+	}
+	return m
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSONStatus(w, code, map[string]string{"error": err.Error()})
+}

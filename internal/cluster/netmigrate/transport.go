@@ -1,0 +1,91 @@
+package netmigrate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"carbon/internal/core"
+)
+
+// Transport is the HTTP core.Transport: migrants and liveness reports
+// addressed to islands on this peer short-circuit into the local inbox;
+// everything else is POSTed to the owning peer. Barrier is symmetric
+// all-to-all — every shard reports its progress flag to every shard,
+// and each waits until it holds all reports for the generation — so no
+// shard is a coordinator and the OR is computed identically everywhere.
+type Transport struct {
+	run     *run
+	client  *http.Client
+	me      int
+	peers   []string
+	shardOf map[int]int // global island index → shard index
+	timeout time.Duration
+	tp      string // traceparent for peer→peer hops
+}
+
+var _ core.Transport = (*Transport)(nil)
+
+// Send routes one migrant batch to the shard hosting island b.To.
+func (t *Transport) Send(b core.MigrantBatch) error {
+	b.Run = t.run.id
+	dst, ok := t.shardOf[b.To]
+	if !ok {
+		return fmt.Errorf("netmigrate: no shard hosts island %d", b.To)
+	}
+	if dst == t.me {
+		t.run.deliverMigrant(b)
+		return nil
+	}
+	return t.post(t.peers[dst]+"/v1/fleet/migrants", b)
+}
+
+// Recv drains the local inbox; the owed batch may arrive before or
+// after the call — the inbox parks early deliveries.
+func (t *Transport) Recv(from, to, gen int) (core.MigrantBatch, error) {
+	return t.run.awaitMigrant(from, to, gen, t.timeout)
+}
+
+// Barrier publishes this shard's progress to every shard (itself
+// included) and blocks until all reports for gen are in.
+func (t *Transport) Barrier(gen int, progressed bool) (bool, error) {
+	rep := progressReport{Run: t.run.id, Gen: gen, Shard: t.me, Progressed: progressed}
+	for s := range t.peers {
+		if s == t.me {
+			t.run.deliverProgress(rep)
+			continue
+		}
+		if err := t.post(t.peers[s]+"/v1/fleet/progress", rep); err != nil {
+			return false, err
+		}
+	}
+	return t.run.awaitBarrier(gen, len(t.peers), t.timeout)
+}
+
+func (t *Transport) post(url string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if t.tp != "" {
+		req.Header.Set("traceparent", t.tp)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("netmigrate: POST %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("netmigrate: POST %s: %s", url, resp.Status)
+	}
+	return nil
+}

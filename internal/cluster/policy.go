@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Routing policies rank the live workers for one submission. They
+// return a preference order rather than a single pick so the submit
+// path can fall through to the next candidate when a worker refuses
+// (queue full) or fails mid-request — a routing decision is advice,
+// acceptance is the worker's.
+const (
+	PolicyRoundRobin  = "round-robin"  // rotate through workers in order
+	PolicyLeastLoaded = "least-loaded" // fewest queued+running jobs first
+	PolicyWeighted    = "weighted"     // least load per unit of capacity weight
+)
+
+// workerView is the slice of worker state a policy is allowed to see.
+type workerView struct {
+	index   int
+	healthy bool
+	queued  int // queue_depth from the last health probe
+	running int
+	weight  float64
+}
+
+func (v workerView) load() int { return v.queued + v.running }
+
+// rank returns healthy worker indices in preference order. rrNext is
+// the round-robin cursor (the caller advances it per submission).
+func rank(policy string, views []workerView, rrNext int) ([]int, error) {
+	live := make([]workerView, 0, len(views))
+	for _, v := range views {
+		if v.healthy {
+			live = append(live, v)
+		}
+	}
+	switch policy {
+	case PolicyRoundRobin, "":
+		// Rotate the healthy list so successive submissions start from
+		// successive workers; fall-through order keeps rotating too.
+		order := make([]int, 0, len(live))
+		for k := 0; k < len(live); k++ {
+			order = append(order, live[(rrNext+k)%len(live)].index)
+		}
+		return order, nil
+	case PolicyLeastLoaded:
+		sort.SliceStable(live, func(a, b int) bool {
+			if live[a].load() != live[b].load() {
+				return live[a].load() < live[b].load()
+			}
+			return live[a].index < live[b].index
+		})
+	case PolicyWeighted:
+		// Load per unit of capacity: a weight-2 worker absorbs twice the
+		// jobs of a weight-1 worker before ranking behind it. The +1
+		// makes an empty heavyweight beat an empty lightweight.
+		score := func(v workerView) float64 {
+			w := v.weight
+			if w <= 0 {
+				w = 1
+			}
+			return float64(v.load()+1) / w
+		}
+		sort.SliceStable(live, func(a, b int) bool {
+			if score(live[a]) != score(live[b]) {
+				return score(live[a]) < score(live[b])
+			}
+			return live[a].index < live[b].index
+		})
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %q", policy)
+	}
+	order := make([]int, len(live))
+	for k, v := range live {
+		order[k] = v.index
+	}
+	return order, nil
+}
+
+func validPolicy(p string) bool {
+	switch p {
+	case "", PolicyRoundRobin, PolicyLeastLoaded, PolicyWeighted:
+		return true
+	}
+	return false
+}

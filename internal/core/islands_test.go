@@ -134,11 +134,11 @@ func TestEngineStepByStep(t *testing.T) {
 	}
 }
 
-// TestMigrateRingWrapsInjectionError is the regression test for the
+// TestMigrateWrapsInjectionError is the regression test for the
 // bare-error migration path: when a migrant is rejected mid-wave, the
 // error must carry the island context exactly like the step-failure
 // path two loops above it did all along.
-func TestMigrateRingWrapsInjectionError(t *testing.T) {
+func TestMigrateWrapsInjectionError(t *testing.T) {
 	mkA := smallMarket(t)
 	// A market with a different leader count: prey migrating from an
 	// island on mkB into one on mkA have the wrong dimension.
@@ -164,11 +164,14 @@ func TestMigrateRingWrapsInjectionError(t *testing.T) {
 	}
 	migrations := 0
 	obs := FuncObserver{Migration: func(MigrationStats) { migrations++ }}
-	err = migrateRing([]*Engine{eA, eB}, IslandConfig{Islands: 2, MigrateEvery: 1, Migrants: 1}, obs, "", 1)
+	ic := IslandConfig{Islands: 2, MigrateEvery: 1, Migrants: 1}
+	err = migrateShard([]int{0, 1}, []*Engine{eA, eB}, ic, NewLocalTransport(1), obs, "", 1)
 	if err == nil {
 		t.Fatal("cross-market migration succeeded")
 	}
-	if !regexp.MustCompile(`island 1: migrant prey from island 0`).MatchString(err.Error()) {
+	// Receivers are processed in ascending order, so island 0 rejecting
+	// island 1's wrong-dimension prey is the first (and aborting) edge.
+	if !regexp.MustCompile(`island 0: migrant prey from island 1`).MatchString(err.Error()) {
 		t.Fatalf("error %q lacks the island context", err)
 	}
 	// The wave aborts at the failing edge: no migration event may be

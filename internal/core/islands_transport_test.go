@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// flatIsland is a Result reduced to its comparable surface: everything
+// DeepEqual can judge bit for bit (trees compare as their canonical
+// encodings — gp.Tree itself holds pointers).
+type flatIsland struct {
+	Gens, ULEvals, LLEvals, Faults int
+	Revenue, Gap                   float64
+	Tree, Simplified               string
+	Price                          []float64
+	ULX, ULY, GapX, GapY           []float64
+}
+
+type flatRun struct {
+	BestRevenue float64
+	BestGap     float64
+	BestTree    string
+	BestPrice   []float64
+	BestIsland  int
+	Migrations  int
+	PerIsland   []flatIsland
+}
+
+func flattenIsland(r *Result) flatIsland {
+	return flatIsland{
+		Gens: r.Gens, ULEvals: r.ULEvals, LLEvals: r.LLEvals, Faults: r.Faults,
+		Revenue: r.Best.Revenue, Gap: r.Best.GapPct,
+		Tree: r.Best.TreeStr, Simplified: r.Best.Simplified,
+		Price: r.Best.Price,
+		ULX:   r.ULCurve.X, ULY: r.ULCurve.Y, GapX: r.GapCurve.X, GapY: r.GapCurve.Y,
+	}
+}
+
+func flattenRun(r *IslandResult) flatRun {
+	f := flatRun{
+		BestRevenue: r.Best.Revenue, BestGap: r.Best.GapPct,
+		BestTree: r.Best.TreeStr, BestPrice: r.Best.Price,
+		BestIsland: r.BestIsland, Migrations: r.Migrations,
+	}
+	for _, pr := range r.PerIsland {
+		f.PerIsland = append(f.PerIsland, flattenIsland(pr))
+	}
+	return f
+}
+
+// TestTransportGolden: routing the in-process island model through the
+// Transport seam — including a full JSON wire round-trip of every
+// migrant batch — must reproduce RunIslands bit for bit, for both
+// topologies. This is the contract the HTTP transport inherits: deliver
+// batches intact and the distributed run cannot diverge.
+func TestTransportGolden(t *testing.T) {
+	mk := smallMarket(t)
+	for _, topo := range []Topology{TopologyRing, TopologyBroadcast} {
+		t.Run(string(topo), func(t *testing.T) {
+			cfg, ic := islandConfig()
+			ic.Topology = topo
+			ref, err := RunIslands(mk, cfg, ic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wired, err := RunIslandsTransport(context.Background(), mk, cfg, ic,
+				WireRoundTrip(NewLocalTransport(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(flattenRun(ref), flattenRun(wired)) {
+				t.Fatalf("wire round-trip diverged from RunIslands:\n got  %+v\n want %+v",
+					flattenRun(wired), flattenRun(ref))
+			}
+		})
+	}
+}
+
+// TestShardedGolden splits one 4-island run across two concurrent
+// shards rendezvousing over a shared LocalTransport — the whole
+// distributed machinery (per-shard engines, liveness barrier, migration
+// send/recv phases, shard merge) with the network factored out. The
+// merged result must equal RunIslands exactly.
+func TestShardedGolden(t *testing.T) {
+	mk := smallMarket(t)
+	for _, topo := range []Topology{TopologyRing, TopologyBroadcast} {
+		t.Run(string(topo), func(t *testing.T) {
+			cfg, ic := islandConfig()
+			ic.Topology = topo
+			ref, err := RunIslands(mk, cfg, ic)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr := NewLocalTransport(2)
+			assign := [][]int{{0, 2}, {1, 3}}
+			shards := make([]*ShardResult, 2)
+			errs := make([]error, 2)
+			var wg sync.WaitGroup
+			for s := range assign {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					shards[s], errs[s] = RunIslandsShard(
+						context.Background(), mk, cfg, ic, assign[s], WireRoundTrip(tr))
+				}(s)
+			}
+			wg.Wait()
+			for s, err := range errs {
+				if err != nil {
+					t.Fatalf("shard %d: %v", s, err)
+				}
+			}
+			merged := MergeShards(shards...)
+			if !reflect.DeepEqual(flattenRun(ref), flattenRun(merged)) {
+				t.Fatalf("sharded run diverged from RunIslands:\n got  %+v\n want %+v",
+					flattenRun(merged), flattenRun(ref))
+			}
+		})
+	}
+}
+
+// TestShardValidation pins the shard-list contract.
+func TestShardValidation(t *testing.T) {
+	mk := smallMarket(t)
+	cfg, ic := islandConfig()
+	bad := [][]int{nil, {}, {0, 0}, {1, 0}, {0, 9}, {-1}}
+	for _, islands := range bad {
+		if _, err := RunIslandsShard(context.Background(), mk, cfg, ic, islands, NewLocalTransport(1)); err == nil {
+			t.Fatalf("shard list %v accepted", islands)
+		}
+	}
+	if _, err := RunIslandsShard(context.Background(), mk, cfg, ic, []int{0, 1, 2, 3}, nil); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	ic.Topology = "mesh"
+	if err := ic.Validate(); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

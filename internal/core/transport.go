@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"carbon/internal/gp"
+)
+
+// Topology names the migration pattern between islands. The zero value
+// is the ring the paper-era island model always used.
+type Topology string
+
+const (
+	// TopologyRing sends island i's elites to island (i+1) mod K.
+	TopologyRing Topology = "ring"
+	// TopologyBroadcast sends island i's elites to every other island.
+	TopologyBroadcast Topology = "broadcast"
+)
+
+// valid reports whether t names a known topology ("" counts as ring).
+func (t Topology) valid() bool {
+	return t == "" || t == TopologyRing || t == TopologyBroadcast
+}
+
+// MigrantBatch is one island-to-island migration payload in its wire
+// form: the sender's best archived prey and predator, with the predator
+// traveling as its canonical text encoding (gp.Encode) so the payload
+// is pure JSON — no pointers, no process-local state. Copies preserves
+// IslandConfig.Migrants semantics: the receiver injects the same elites
+// that many times, exactly as the in-process exchange always did.
+type MigrantBatch struct {
+	Run      string    `json:"run,omitempty"` // distributed-run identifier (empty in-process)
+	Gen      int       `json:"gen"`
+	From     int       `json:"from"`
+	To       int       `json:"to"`
+	Copies   int       `json:"copies"`
+	Prey     []float64 `json:"prey,omitempty"`     // nil when the sender has no archived prey yet
+	Predator string    `json:"predator,omitempty"` // "" when the sender has no archived predator yet
+}
+
+// Transport carries migrants and the per-generation liveness barrier
+// between islands. The in-process implementation is LocalTransport; an
+// HTTP/JSON implementation lives in internal/cluster/netmigrate so one
+// run's islands can live on different carbond peers. The determinism
+// contract: as long as a Transport delivers every batch intact and
+// Barrier returns the same global OR on every shard, a sharded run is
+// bit-identical to the single-process one per (seed, topology).
+type Transport interface {
+	// Send delivers one batch toward the shard hosting island b.To.
+	Send(b MigrantBatch) error
+	// Recv returns the batch island `to` (local) is owed from island
+	// `from` at generation gen, blocking until it arrives or the
+	// transport's wait budget expires.
+	Recv(from, to, gen int) (MigrantBatch, error)
+	// Barrier publishes this shard's progress flag for the generation
+	// and returns the OR across every shard — the global "anyone still
+	// has budget" signal the run loop breaks on. It must not return
+	// until every shard has reported, which is what keeps migration
+	// rounds aligned across machines.
+	Barrier(gen int, progressed bool) (bool, error)
+}
+
+// destinations lists the islands that receive island i's elites, in the
+// order they are sent.
+func (ic IslandConfig) destinations(i int) []int {
+	switch ic.Topology {
+	case TopologyBroadcast:
+		out := make([]int, 0, ic.Islands-1)
+		for j := 0; j < ic.Islands; j++ {
+			if j != i {
+				out = append(out, j)
+			}
+		}
+		return out
+	default: // ring
+		return []int{(i + 1) % ic.Islands}
+	}
+}
+
+// sources lists the islands island j receives from, in ascending order —
+// the injection order every implementation must honor, because the
+// receiving engine's RNG consumption (and therefore the whole run's
+// bit-identity) depends on it.
+func (ic IslandConfig) sources(j int) []int {
+	switch ic.Topology {
+	case TopologyBroadcast:
+		out := make([]int, 0, ic.Islands-1)
+		for i := 0; i < ic.Islands; i++ {
+			if i != j {
+				out = append(out, i)
+			}
+		}
+		return out
+	default: // ring
+		return []int{(j - 1 + ic.Islands) % ic.Islands}
+	}
+}
+
+// Receive injects one migrant batch into the engine, replaying the
+// exact injection sequence of the historical in-process exchange:
+// Copies iterations of prey-then-predator. The predator is decoded
+// against this engine's primitive set, so a set mismatch surfaces as
+// the same typed error a direct InjectPredator would raise.
+func (e *Engine) Receive(b MigrantBatch) error {
+	var tree gp.Tree
+	haveTree := false
+	if b.Predator != "" {
+		t, err := gp.Decode(e.set, b.Predator)
+		if err != nil {
+			return fmt.Errorf("core: island %d: migrant predator from island %d: %w", b.To, b.From, err)
+		}
+		tree = t
+		haveTree = true
+	}
+	for m := 0; m < b.Copies; m++ {
+		if b.Prey != nil {
+			if err := e.InjectPrey(b.Prey); err != nil {
+				return fmt.Errorf("core: island %d: migrant prey from island %d: %w", b.To, b.From, err)
+			}
+		}
+		if haveTree {
+			if err := e.InjectPredator(tree); err != nil {
+				return fmt.Errorf("core: island %d: migrant predator from island %d: %w", b.To, b.From, err)
+			}
+		}
+	}
+	return nil
+}
+
+// outgoing snapshots the engine's best elites as a wire batch.
+func (e *Engine) outgoing(gen, from, copies int) MigrantBatch {
+	b := MigrantBatch{Gen: gen, From: from, Copies: copies}
+	if x, _, ok := e.BestPrey(); ok {
+		b.Prey = x
+	}
+	if t, _, ok := e.BestPredator(); ok {
+		b.Predator = gp.Encode(e.set, t)
+	}
+	return b
+}
+
+// LocalTransport is the in-process Transport: a mailbox keyed by
+// (from, to, gen) plus a counting barrier. One party (the default for
+// RunIslands, where every island is local) makes Send/Recv a same-
+// goroutine handoff and Barrier a no-op; several parties turn it into a
+// shared-memory rendezvous for testing sharded runs without a network.
+type LocalTransport struct {
+	parties int
+	timeout time.Duration
+
+	mu     sync.Mutex
+	notify chan struct{}
+	box    map[[3]int]MigrantBatch
+	rounds map[int]*localRound
+}
+
+type localRound struct {
+	arrived int
+	any     bool
+	settled bool // every party reported; `any` is final
+}
+
+// NewLocalTransport returns an in-process transport shared by `parties`
+// concurrent shards (1 for a fully local run). Waits are bounded at two
+// minutes so a protocol bug fails loudly instead of deadlocking a test.
+func NewLocalTransport(parties int) *LocalTransport {
+	if parties < 1 {
+		parties = 1
+	}
+	return &LocalTransport{
+		parties: parties,
+		timeout: 2 * time.Minute,
+		notify:  make(chan struct{}),
+		box:     make(map[[3]int]MigrantBatch),
+		rounds:  make(map[int]*localRound),
+	}
+}
+
+// wake releases every waiter to re-check its predicate.
+func (t *LocalTransport) wake() {
+	close(t.notify)
+	t.notify = make(chan struct{})
+}
+
+// wait blocks until pred (called under the lock) reports done.
+func (t *LocalTransport) wait(what string, pred func() bool) error {
+	deadline := time.Now().Add(t.timeout)
+	t.mu.Lock()
+	for !pred() {
+		ch := t.notify
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("core: local transport: timed out waiting for %s", what)
+		}
+		t.mu.Lock()
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Send stores the batch for its addressee.
+func (t *LocalTransport) Send(b MigrantBatch) error {
+	t.mu.Lock()
+	t.box[[3]int{b.From, b.To, b.Gen}] = b
+	t.wake()
+	t.mu.Unlock()
+	return nil
+}
+
+// Recv pops the (from, to, gen) batch, blocking until Send delivers it.
+func (t *LocalTransport) Recv(from, to, gen int) (MigrantBatch, error) {
+	key := [3]int{from, to, gen}
+	if err := t.wait(fmt.Sprintf("migrants %d→%d gen %d", from, to, gen), func() bool {
+		_, ok := t.box[key]
+		return ok
+	}); err != nil {
+		return MigrantBatch{}, err
+	}
+	t.mu.Lock()
+	b := t.box[key]
+	delete(t.box, key)
+	t.mu.Unlock()
+	return b, nil
+}
+
+// Barrier accumulates each party's progress flag for the generation and
+// releases everyone with the OR once all parties have reported.
+func (t *LocalTransport) Barrier(gen int, progressed bool) (bool, error) {
+	t.mu.Lock()
+	r := t.rounds[gen]
+	if r == nil {
+		r = &localRound{}
+		t.rounds[gen] = r
+	}
+	r.arrived++
+	r.any = r.any || progressed
+	if r.arrived == t.parties {
+		r.settled = true
+		t.wake()
+	}
+	t.mu.Unlock()
+	if err := t.wait(fmt.Sprintf("barrier gen %d", gen), func() bool { return r.settled }); err != nil {
+		return false, err
+	}
+	t.mu.Lock()
+	any := r.any
+	// The round stays in the map until every party has read it; a tiny
+	// sweep keeps the map from growing without bound.
+	delete(t.rounds, gen-2)
+	t.mu.Unlock()
+	return any, nil
+}
+
+// WireRoundTrip wraps a Transport so every batch is encoded to JSON and
+// decoded back before delivery — exactly what the HTTP transport does to
+// it. Running the island model over this wrapper and getting DeepEqual
+// results proves the wire format lossless (float64 price vectors survive
+// encoding/json's shortest-round-trip rendering exactly; predators
+// travel as their canonical gp encoding).
+func WireRoundTrip(next Transport) Transport { return &wireTransport{next: next} }
+
+type wireTransport struct{ next Transport }
+
+func (w *wireTransport) roundTrip(b MigrantBatch) (MigrantBatch, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(b); err != nil {
+		return MigrantBatch{}, err
+	}
+	var out MigrantBatch
+	if err := json.NewDecoder(&buf).Decode(&out); err != nil {
+		return MigrantBatch{}, err
+	}
+	return out, nil
+}
+
+func (w *wireTransport) Send(b MigrantBatch) error {
+	rb, err := w.roundTrip(b)
+	if err != nil {
+		return err
+	}
+	return w.next.Send(rb)
+}
+
+func (w *wireTransport) Recv(from, to, gen int) (MigrantBatch, error) {
+	b, err := w.next.Recv(from, to, gen)
+	if err != nil {
+		return MigrantBatch{}, err
+	}
+	return w.roundTrip(b)
+}
+
+func (w *wireTransport) Barrier(gen int, progressed bool) (bool, error) {
+	return w.next.Barrier(gen, progressed)
+}

@@ -1,34 +1,43 @@
 package serve
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"carbon/internal/span"
 )
 
+// RestoreRequest is the body of POST /v1/jobs/restore: a job spec plus
+// an optional base64-encoded checkpoint envelope to resume from. The
+// cluster router uses it to move a dead worker's job — with its last
+// clean checkpoint — onto a survivor.
+type RestoreRequest struct {
+	Spec          JobSpec `json:"spec"`
+	CheckpointB64 string  `json:"checkpoint_b64,omitempty"`
+}
+
 // APIHandler exposes the manager over HTTP:
 //
 //	POST   /v1/jobs            submit a JobSpec, returns 201 + Status
+//	POST   /v1/jobs/restore    submit a spec plus a seed checkpoint (cluster failover)
 //	GET    /v1/jobs            list every job
 //	GET    /v1/jobs/{id}       status (live GenStats while running)
 //	GET    /v1/jobs/{id}/result final ResultRecord (409 until finished)
+//	GET    /v1/jobs/{id}/checkpoint latest clean checkpoint envelope (404 until one exists)
 //	DELETE /v1/jobs/{id}       cancel / withdraw / delete the record
+//	GET    /v1/healthz         load snapshot (queue depth, running jobs)
 //
-// Typed manager errors map onto status codes: ErrQueueFull → 429,
-// ErrNotFound → 404, ErrClosed → 503, ErrNotFinished → 409, a spec
-// validation failure → 400.
+// Typed manager errors map onto status codes: ErrQueueFull → 429 (with
+// a Retry-After hint and the current queue depth in the body, so
+// callers — and a cluster router's admission layer — can back off
+// intelligently), ErrNotFound → 404, ErrClosed → 503, ErrNotFinished →
+// 409, a spec validation failure → 400.
 func APIHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		var spec JobSpec
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
+	submit := func(w http.ResponseWriter, spec JobSpec, r *http.Request, ckpt []byte) {
 		// W3C trace-context propagation: adopt a valid traceparent header
 		// as the job's parent (a malformed one is dropped, per spec — the
 		// job roots a fresh trace instead). The response carries the
@@ -41,15 +50,56 @@ func APIHandler(m *Manager) http.Handler {
 				}
 			}
 		}
-		st, err := m.Submit(spec)
+		st, err := m.SubmitWithCheckpoint(spec, ckpt)
 		if err != nil {
-			httpError(w, submitCode(err), err)
+			submitError(w, m, err)
 			return
 		}
 		if st.Spec.TraceParent != "" {
 			w.Header().Set("Traceparent", st.Spec.TraceParent)
 		}
 		writeJSON(w, http.StatusCreated, st)
+	}
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		submit(w, spec, r, nil)
+	})
+	mux.HandleFunc("POST /v1/jobs/restore", func(w http.ResponseWriter, r *http.Request) {
+		var req RestoreRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var ckpt []byte
+		if req.CheckpointB64 != "" {
+			b, err := base64.StdEncoding.DecodeString(req.CheckpointB64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: checkpoint_b64: %w", err))
+				return
+			}
+			ckpt = b
+		}
+		submit(w, req.Spec, r, ckpt)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Health())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		b, err := m.CheckpointBytes(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.List())
@@ -98,6 +148,25 @@ func submitCode(err error) int {
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// submitError maps a submission failure onto its status code. A full
+// queue additionally carries a Retry-After hint and the live queue
+// numbers in the body, so a backed-off client (or the fleet router)
+// knows both when to come back and how far behind the worker is.
+func submitError(w http.ResponseWriter, m *Manager, err error) {
+	code := submitCode(err)
+	if code != http.StatusTooManyRequests {
+		httpError(w, code, err)
+		return
+	}
+	h := m.Health()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, code, map[string]any{
+		"error":       err.Error(),
+		"queue_depth": h.QueueDepth,
+		"queue_cap":   h.QueueCap,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -196,8 +196,9 @@ type ResultRecord struct {
 	GapCurveY []float64 `json:"gap_curve_y"`
 }
 
-// newResultRecord flattens a core.Result for the spool and the API.
-func newResultRecord(id string, spec JobSpec, res *core.Result) *ResultRecord {
+// NewResultRecord flattens a core.Result for the spool and the API (the
+// networked island model reuses it to ship per-island results as JSON).
+func NewResultRecord(id string, spec JobSpec, res *core.Result) *ResultRecord {
 	return &ResultRecord{
 		ID:          id,
 		Spec:        spec,

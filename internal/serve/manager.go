@@ -233,6 +233,12 @@ func NewManager(opts Options) (*Manager, error) {
 // skipped rather than failing the whole start: one mangled file must
 // not hold every healthy job hostage. Returns the re-queued jobs in ID
 // order so recovery preserves rough submission order.
+//
+// Quarantined artifacts (*.corrupt) and span traces (*.spans.jsonl)
+// live in the same directory; they are skipped *explicitly* — not by
+// happening to miss the ".job.json" suffix — and any ID they embed is
+// burned so a fresh submission can never collide with the leftovers of
+// a quarantined job (see TestRecoverHostileSpool).
 func (m *Manager) recover() ([]*job, error) {
 	entries, err := os.ReadDir(m.opts.SpoolDir)
 	if err != nil {
@@ -240,15 +246,28 @@ func (m *Manager) recover() ([]*job, error) {
 	}
 	var requeue []*job
 	for _, ent := range entries {
-		id, ok := strings.CutSuffix(ent.Name(), ".job.json")
-		if !ok || ent.IsDir() {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if strings.HasSuffix(name, ".corrupt") || strings.HasSuffix(name, ".spans.jsonl") {
+			m.burnSpoolID(name)
+			continue
+		}
+		id, ok := strings.CutSuffix(name, ".job.json")
+		if !ok {
+			continue
+		}
+		// Spool entries are always named j%06d; anything else is not ours
+		// (a stray file dropped into the spool) and is left untouched.
+		var n int
+		if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
 			continue
 		}
 		// Keep fresh IDs clear of every recovered one — even a corrupt
 		// entry burns its ID, or the next submission would collide with
 		// the quarantined files.
-		var n int
-		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.seq {
+		if n > m.seq {
 			m.seq = n
 		}
 		var spec JobSpec
@@ -298,6 +317,16 @@ func (m *Manager) reattachSpans(j *job) {
 		Kind(span.KindQueue).Attr("recovered", true).Announce()
 }
 
+// burnSpoolID advances the ID sequence past any job ID embedded in a
+// spool sibling's name ("j000007.ckpt.json.corrupt" burns 7), so fresh
+// submissions never reuse an ID that still owns on-disk evidence.
+func (m *Manager) burnSpoolID(name string) {
+	var n int
+	if _, err := fmt.Sscanf(name, "j%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+}
+
 // readJSONQuarantine decodes path into v, quarantining a present-but-
 // torn file. Reports whether a valid record was loaded.
 func readJSONQuarantine(path string, v any) bool {
@@ -344,6 +373,33 @@ func (m *Manager) dispatch() {
 // (withDefaults) before anything is written, so the spooled spec — and
 // the config fingerprint a resume will check — is self-contained.
 func (m *Manager) Submit(spec JobSpec) (Status, error) {
+	return m.submit(spec, nil)
+}
+
+// SubmitWithCheckpoint is Submit with a starting checkpoint: the bytes
+// are installed as the job's spooled checkpoint before it is enqueued,
+// so its first attempt resumes from that state instead of generation 0.
+// This is the cluster failover path — a router re-homing a dead
+// worker's job hands the survivor the job's last mirrored checkpoint,
+// and the resumed run stays bit-identical to one that never moved (see
+// core.Restore). The bytes must decode as a valid checkpoint envelope;
+// config drift against the spec is handled like any spooled checkpoint
+// (quarantine + fresh start), so a stale mirror costs recomputed
+// generations, never correctness.
+func (m *Manager) SubmitWithCheckpoint(spec JobSpec, ckpt []byte) (Status, error) {
+	if len(ckpt) > 0 {
+		st, err := checkpoint.DecodeBytes(ckpt)
+		if err != nil {
+			return Status{}, fmt.Errorf("serve: seed checkpoint: %w", err)
+		}
+		if err := st.Validate(); err != nil {
+			return Status{}, fmt.Errorf("serve: seed checkpoint: %w", err)
+		}
+	}
+	return m.submit(spec, ckpt)
+}
+
+func (m *Manager) submit(spec JobSpec, ckpt []byte) (Status, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return Status{}, err
@@ -383,6 +439,7 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 	discard := func() {
 		j.closeSpans()
 		_ = os.Remove(m.specPath(id)) // a torn artifact may exist
+		_ = os.Remove(m.ckptPath(id))
 		_ = os.Remove(m.spanPath(id))
 	}
 
@@ -391,6 +448,15 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 	if err := m.spoolWrite(m.specPath(id), spec); err != nil {
 		discard()
 		return Status{}, err
+	}
+	// A seed checkpoint (cluster failover) lands next to the spec with
+	// the same atomic discipline; execute finds it exactly where a
+	// periodic checkpoint would have been.
+	if len(ckpt) > 0 {
+		if err := writeBytesAtomic(m.ckptPath(id), ckpt); err != nil {
+			discard()
+			return Status{}, err
+		}
 	}
 	// Registration and enqueue happen under one lock so the enqueue
 	// cannot race Close closing the channel; it is a non-blocking select,
@@ -411,6 +477,79 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 		discard()
 		return Status{}, ErrQueueFull
 	}
+}
+
+// Health is the manager's load snapshot — what a cluster router's
+// least-loaded and weighted policies consume (GET /v1/healthz). Queue
+// depth and running jobs are counted from the job table, so a job
+// already popped from the queue but not yet running still shows as
+// queued: QueueDepth+Running is exactly the work accepted and unfinished.
+type Health struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+
+	QueueDepth int `json:"queue_depth"` // jobs accepted but not yet running
+	QueueCap   int `json:"queue_cap"`   // Options.QueueDepth
+	Running    int `json:"running"`
+	Workers    int `json:"workers"` // concurrent job slots (Options.Workers)
+
+	JobsTotal int `json:"jobs_total"` // every job the manager answers for
+	Done      int `json:"done"`
+	Dead      int `json:"dead"`
+}
+
+// Health reports the manager's current load.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	h := Health{
+		OK:       !m.closed,
+		Draining: m.closed,
+		QueueCap: m.opts.QueueDepth,
+		Workers:  m.opts.Workers,
+	}
+	for _, j := range m.jobs {
+		h.JobsTotal++
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			h.QueueDepth++
+		case StateRunning:
+			h.Running++
+		case StateDone:
+			h.Done++
+		case StateDead:
+			h.Dead++
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	return h
+}
+
+// ErrNoCheckpoint reports that a job has no usable spooled checkpoint
+// (none written yet, or the job already finished and removed it).
+var ErrNoCheckpoint = errors.New("serve: no checkpoint")
+
+// CheckpointBytes returns the job's latest spooled checkpoint envelope,
+// verified to decode before it crosses any wire — a torn artifact is
+// reported as absent, never mirrored. This is what a cluster router
+// fetches (GET /v1/jobs/{id}/checkpoint) so a dead worker's jobs can be
+// re-homed onto survivors from their last clean state.
+func (m *Manager) CheckpointBytes(id string) ([]byte, error) {
+	if _, err := m.lookup(id); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(m.ckptPath(id))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: job %s: %w", id, ErrNoCheckpoint)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st, derr := checkpoint.DecodeBytes(b); derr != nil || st.Validate() != nil {
+		return nil, fmt.Errorf("serve: job %s: torn checkpoint on disk: %w", id, ErrNoCheckpoint)
+	}
+	return b, nil
 }
 
 // Get returns a snapshot of one job.
@@ -780,7 +919,7 @@ func (m *Manager) execute(ctx context.Context, j *job, att *span.Span) error {
 	if err != nil {
 		return err
 	}
-	rec := newResultRecord(j.id, j.spec, res)
+	rec := NewResultRecord(j.id, j.spec, res)
 	// Result before checkpoint removal: if the process dies between the
 	// two writes, recovery sees spec+result and loads the job as done —
 	// never a half-finished state.
@@ -879,12 +1018,17 @@ func (m *Manager) spanPath(id string) string {
 	return filepath.Join(m.opts.SpoolDir, id+".spans.jsonl")
 }
 
+// removeSpool clears a job's live spool artifacts. The span trace is
+// deliberately kept: it is the job's durable latency history, and when a
+// fleet router cancels a stale incarnation after failover the spans are
+// the only remaining evidence the job ran here — deleting them would
+// tear a hole in the cross-node trace. Rescan ignores *.spans.jsonl, so
+// the leftover is inert.
 func (m *Manager) removeSpool(id string) {
 	_ = os.Remove(m.specPath(id))
 	_ = os.Remove(m.ckptPath(id))
 	_ = os.Remove(m.resultPath(id))
 	_ = os.Remove(m.deadPath(id))
-	_ = os.Remove(m.spanPath(id))
 }
 
 // writeJSONAtomic writes v as JSON with the same temp-then-rename
@@ -905,6 +1049,38 @@ func writeJSONAtomic(path string, v any) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// writeBytesAtomic writes raw bytes with the temp-then-rename
+// discipline of writeJSONAtomic (used for seed checkpoints, whose
+// encoding is already a finished envelope).
+func writeBytesAtomic(path string, b []byte) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	if _, err := f.Write(b); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {

@@ -82,6 +82,13 @@ func (s JobSpec) withDefaults() JobSpec {
 	return s
 }
 
+// Normalize returns the spec with every default resolved — the
+// exported form of the normalization Submit performs, for subsystems
+// that run specs outside a Manager (the networked island model): every
+// peer of a distributed run must resolve defaults identically or their
+// engines diverge.
+func (s JobSpec) Normalize() JobSpec { return s.withDefaults() }
+
 // Validate rejects specs that could never run. It expects a normalized
 // spec (withDefaults); Submit applies both in order.
 func (s *JobSpec) Validate() error {
