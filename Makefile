@@ -8,10 +8,11 @@ all: build vet test
 
 # The full pre-commit gate: compile, static checks, lint, tests, race
 # detector, a one-iteration pass over the hot-path benchmarks (so they
-# cannot rot), the carbond crash-recovery smoke test, the carbonstat
+# cannot rot), the committed-capture regression diff, the carbond
+# crash-recovery smoke test, the carbonstat
 # analyzer self-check, the fault-injection chaos gate, the span tracing
 # gate, and the cluster router gate.
-check: build vet lint test race bench-smoke serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke
+check: build vet lint test race bench-smoke bench-diff serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -46,7 +47,9 @@ cover:
 # BENCH_pr6.json adds StepWithSpans: a span-traced generation must stay
 # within 2% of EngineStep. BENCH_pr7.json adds RouteSubmit: the fleet
 # router's own per-submission overhead (admit, route, spool, proxy) —
-# microseconds against jobs that run for seconds. Compare captures with
+# microseconds against jobs that run for seconds. BENCH_pr8.json adds
+# EvalProgram500x30 (compiled bytecode hot path, 0 allocs/op — compare
+# against EvalTree500x30 and EvalTreeWith500x30). Compare captures with
 # `make bench-diff`.
 #
 # The engine-step benchmarks step ONE engine b.N times and GP trees grow
@@ -55,23 +58,23 @@ cover:
 # StepWithSearchStats and StepWithSpans measure the same 150 generations
 # and captures stay comparable across runs.
 bench:
-	$(GO) test -run XXX -bench 'EvalTree|Prepare|Rotating' -benchmem \
-		./internal/bcpop/ | tee bench_pr7.txt
+	$(GO) test -run XXX -bench 'EvalTree|EvalProgram|Prepare|Rotating' -benchmem \
+		./internal/bcpop/ | tee bench_pr8.txt
 	$(GO) test -run XXX -bench 'EngineStep|StepWithSearchStats|StepWithSpans' -benchtime=150x -benchmem \
-		./internal/core/ | tee -a bench_pr7.txt
+		./internal/core/ | tee -a bench_pr8.txt
 	$(GO) test -run XXX -bench 'RouteSubmit' -benchmem \
-		./internal/cluster/ | tee -a bench_pr7.txt
-	$(GO) run carbon/cmd/benchjson -out BENCH_pr7.json < bench_pr7.txt
+		./internal/cluster/ | tee -a bench_pr8.txt
+	$(GO) run carbon/cmd/benchjson -out BENCH_pr8.json < bench_pr8.txt
 
 # Flag >10% ns/op regressions between the previous committed capture and
 # the current one (rerun `make bench` first on a quiet machine).
 bench-diff:
-	$(GO) run carbon/cmd/benchjson -diff BENCH_pr6.json BENCH_pr7.json
+	$(GO) run carbon/cmd/benchjson -diff BENCH_pr7.json BENCH_pr8.json
 
 # One-iteration benchmark pass: proves every benchmark (and the benchjson
 # parser) still runs, without paying for measurement. Part of `check`.
 bench-smoke:
-	$(GO) test -run XXX -bench 'EvalTree|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans|RouteSubmit' -benchtime=1x -benchmem \
+	$(GO) test -run XXX -bench 'EvalTree|EvalProgram|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans|RouteSubmit' -benchtime=1x -benchmem \
 		./internal/bcpop/ ./internal/core/ ./internal/cluster/ | $(GO) run carbon/cmd/benchjson >/dev/null
 
 # Analyzer self-check: synthetic healthy/pathological traces through the
@@ -135,4 +138,4 @@ examples:
 	$(GO) run carbon/examples/packing
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt bench_pr7.txt
+	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt bench_pr7.txt bench_pr8.txt

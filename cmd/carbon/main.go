@@ -44,7 +44,9 @@ func main() {
 		llEvals = flag.Int("llevals", 50000, "lower-level fitness evaluation budget")
 		sample  = flag.Int("sample", 4, "prey sampled per predator evaluation")
 		workers = flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
-		curves  = flag.Bool("curves", false, "print convergence curves as CSV")
+
+		interpret = flag.Bool("interpret", false, "use the tree-walking GP interpreter instead of compiled bytecode (golden reference; bit-identical, slower)")
+		curves    = flag.Bool("curves", false, "print convergence curves as CSV")
 
 		customers = flag.Int("customers", 1, "rational customers (>1 = multi-customer extension)")
 		variation = flag.Float64("variation", 0.25, "per-customer requirement variation (multi-customer)")
@@ -75,6 +77,7 @@ func main() {
 	cfg.ULEvalBudget, cfg.LLEvalBudget = *ulEvals, *llEvals
 	cfg.PreySample = *sample
 	cfg.Workers = *workers
+	cfg.Interpret = *interpret
 
 	// Telemetry wiring: everything here is read-only with respect to
 	// the run, so the seeded result is identical with or without it.

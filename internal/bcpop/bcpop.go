@@ -330,6 +330,14 @@ type Evaluator struct {
 	costs   []float64
 	scores  []float64
 
+	// Compiled-path scratch (DESIGN.md §5j): the bytecode VM, a program
+	// arena reused by CompileTree, and the greedy's working buffers.
+	// All grow once and are reused, so EvalProgramWith allocates
+	// nothing in steady state.
+	vm     *gp.VM
+	prog   gp.Program
+	greedy covering.GreedyScratch
+
 	// Eliminate controls the greedy's redundancy-elimination pass
 	// (default on; the ablation benchmark turns it off).
 	Eliminate bool
@@ -357,6 +365,13 @@ func NewEvaluator(mk *Market, set *gp.Set) (*Evaluator, error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
+	// The scorer hands every tree a covering.EnvLen-float environment.
+	// A set declaring more terminals would let a (possibly decoded)
+	// tree index past it at evaluation time, so reject it here — before
+	// any tree over it can be evaluated.
+	if len(set.Terms) > covering.EnvLen {
+		return nil, fmt.Errorf("bcpop: primitive set declares %d terminals but the Table I scorer environment holds %d", len(set.Terms), covering.EnvLen)
+	}
 	relaxer, err := covering.NewRelaxer(mk.template)
 	if err != nil {
 		return nil, err
@@ -367,6 +382,7 @@ func NewEvaluator(mk *Market, set *gp.Set) (*Evaluator, error) {
 		set:       set,
 		costs:     make([]float64, mk.template.M()),
 		scores:    make([]float64, mk.template.M()),
+		vm:        gp.NewVM(),
 		Eliminate: true,
 	}, nil
 }

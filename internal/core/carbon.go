@@ -105,6 +105,14 @@ type Config struct {
 	// NoElimination disables the greedy's redundancy-removal pass.
 	NoElimination bool
 
+	// Interpret evaluates predators with the tree-walking interpreter
+	// (gp.Tree.Eval) instead of the compiled bytecode path. The two are
+	// bit-identical (TestCompiledMatchesInterpreted), so this is a
+	// golden-reference/debugging switch, not a semantic one — it is
+	// deliberately excluded from the checkpoint fingerprint and a
+	// checkpoint taken under either mode restores under the other.
+	Interpret bool
+
 	// ULVariation selects the upper-level variation suite: "" or "sbx"
 	// for Table II's SBX + polynomial mutation, "de" for DE/best/1/bin
 	// trials (DE-based bi-level solvers appear in the paper's related

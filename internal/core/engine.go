@@ -288,6 +288,13 @@ func (e *Engine) Step() bool {
 		ev.ResetWarm()
 	}
 	cfg := e.cfg
+	// Predators are evaluated compiled by default: each is lowered to
+	// bytecode once per generation (per worker stripe) and swept across
+	// the cached prey contexts with that worker's reused VM and greedy
+	// scratch — zero allocations in steady state, results bit-identical
+	// to the interpreter (cfg.Interpret keeps the tree walker available
+	// as the golden reference).
+	compiled := !cfg.Interpret
 	spansOn := e.spans != nil
 	observing := e.obs != nil || e.met != nil || spansOn
 	statsOn := e.obs != nil
@@ -435,6 +442,18 @@ func (e *Engine) Step() bool {
 			ev := e.evs[worker]
 			e.predErr[i] = nil
 			e.predQuar[i] = true
+			// Compile once, evaluate against every sampled context. A
+			// compile failure (a hostile injected tree, say) quarantines
+			// the predator exactly like an evaluation failure would.
+			var prog *gp.Program
+			if compiled {
+				var cerr error
+				prog, cerr = ev.CompileTree(e.predators[i])
+				if cerr != nil {
+					e.predErr[i] = fmt.Errorf("core: predator %d compile: %w", i, cerr)
+					return
+				}
+			}
 			total := 0.0
 			pairs := 0
 			for si, s := range sample {
@@ -442,7 +461,13 @@ func (e *Engine) Step() bool {
 				if p == nil {
 					continue // prey s's relaxation faulted this generation
 				}
-				out, _, err := ev.EvalTreeWith(p, e.predators[i])
+				var out bcpop.Result
+				var err error
+				if compiled {
+					out, _, err = ev.EvalProgramWith(p, prog)
+				} else {
+					out, _, err = ev.EvalTreeWith(p, e.predators[i])
+				}
 				if err != nil {
 					e.predErr[i] = fmt.Errorf("core: predator %d evaluation: %w", i, err)
 					return
@@ -535,6 +560,20 @@ func (e *Engine) Step() bool {
 		t0 = time.Now()
 	}
 	hunter := e.predators[bestPred]
+	// One hunter scores every prey, so compile it once and share the
+	// immutable program read-only across workers (each worker executes
+	// it on its own VM). The hunter was just compiled and evaluated in
+	// the predator wave, so a compile failure here is impossible short
+	// of memory corruption — treat it as terminal.
+	var hunterProg *gp.Program
+	if compiled {
+		hp, cerr := gp.Compile(e.set, hunter)
+		if cerr != nil {
+			e.fail(fmt.Errorf("core: generation %d: hunter compile: %w", e.res.Gens+1, cerr))
+			return false
+		}
+		hunterProg = hp
+	}
 	if spansOn {
 		waveSpan = e.spans.Start(genSpan.Context(), "prey_eval").Kind(span.KindCompute).
 			Attr("prey", len(e.prey))
@@ -544,7 +583,13 @@ func (e *Engine) Step() bool {
 			if e.preyErr[i] != nil {
 				return // relaxation already quarantined this prey
 			}
-			out, _, err := e.evs[worker].EvalTreeWith(e.cache.At(e.preySlot[i]), hunter)
+			var out bcpop.Result
+			var err error
+			if compiled {
+				out, _, err = e.evs[worker].EvalProgramWith(e.cache.At(e.preySlot[i]), hunterProg)
+			} else {
+				out, _, err = e.evs[worker].EvalTreeWith(e.cache.At(e.preySlot[i]), hunter)
+			}
 			if err != nil {
 				e.preyErr[i] = fmt.Errorf("core: prey %d evaluation: %w", i, err)
 				return

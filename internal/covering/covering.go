@@ -166,32 +166,87 @@ type GreedyResult struct {
 // in order — skipping items that no longer contribute to any unmet
 // requirement — until every requirement is covered. When eliminate is
 // true a reverse-order redundancy pass drops items whose removal keeps
-// the selection feasible.
+// the selection feasible. The returned selection is freshly allocated;
+// the evaluation hot path uses GreedyByScoreInto with reused scratch.
 func (in *Instance) GreedyByScore(scores []float64, eliminate bool) GreedyResult {
+	var sc GreedyScratch
+	return in.GreedyByScoreInto(scores, eliminate, &sc)
+}
+
+// GreedyScratch holds the reusable working state of GreedyByScoreInto:
+// the sort permutation, residual-requirement and surplus vectors, the
+// selection itself and the pick order. One scratch per worker makes
+// steady-state greedy runs allocation-free. The zero value is ready to
+// use; buffers grow to the instance size on first call.
+type GreedyScratch struct {
+	order     []int
+	resid     []float64
+	x         []bool
+	pickOrder []int
+	surplus   []float64
+	sorter    scoreSorter
+}
+
+// scoreSorter sorts an index permutation by descending score with
+// index tiebreak. The comparator is a strict total order whenever no
+// score is NaN, so the permutation — and every downstream greedy
+// decision — is independent of the sort algorithm's internals.
+type scoreSorter struct {
+	order  []int
+	scores []float64
+}
+
+func (s *scoreSorter) Len() int { return len(s.order) }
+func (s *scoreSorter) Less(a, b int) bool {
+	sa, sb := s.scores[s.order[a]], s.scores[s.order[b]]
+	if sa != sb {
+		return sa > sb
+	}
+	return s.order[a] < s.order[b]
+}
+func (s *scoreSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
+// grow returns buf resized to n, reusing capacity.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// GreedyByScoreInto is GreedyByScore with caller-owned scratch: same
+// decisions, same result, zero allocations once the scratch has grown
+// to the instance size. The returned selection (X) aliases sc.x and is
+// only valid until the next call with the same scratch — callers that
+// retain it must copy.
+func (in *Instance) GreedyByScoreInto(scores []float64, eliminate bool, sc *GreedyScratch) GreedyResult {
 	m, n := in.M(), in.N()
-	order := make([]int, m)
+	sc.order = grow(sc.order, m)
+	order := sc.order
 	for j := range order {
 		order[j] = j
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		sa, sb := scores[order[a]], scores[order[b]]
-		if sa != sb {
-			return sa > sb
-		}
-		return order[a] < order[b]
-	})
+	sc.sorter.order, sc.sorter.scores = order, scores
+	sort.Sort(&sc.sorter)
+	sc.sorter.order, sc.sorter.scores = nil, nil
 
-	resid := append([]float64(nil), in.B...)
+	sc.resid = grow(sc.resid, n)
+	resid := sc.resid
+	copy(resid, in.B)
 	remaining := 0
 	for _, r := range resid {
 		if r > 1e-9 {
 			remaining++
 		}
 	}
-	x := make([]bool, m)
+	sc.x = grow(sc.x, m)
+	x := sc.x
+	for j := range x {
+		x[j] = false
+	}
 	cost := 0.0
 	added := 0
-	pickOrder := make([]int, 0, m)
+	pickOrder := sc.pickOrder[:0]
 	for _, j := range order {
 		if remaining == 0 {
 			break
@@ -220,9 +275,11 @@ func (in *Instance) GreedyByScore(scores []float64, eliminate bool) GreedyResult
 			}
 		}
 	}
+	sc.pickOrder = pickOrder
 	feasible := remaining == 0
 	if feasible && eliminate {
-		cost = in.eliminateRedundant(x, pickOrder, cost)
+		sc.surplus = grow(sc.surplus, n)
+		cost = in.eliminateRedundantInto(x, pickOrder, cost, sc.surplus)
 	}
 	return GreedyResult{X: x, Cost: cost, Feasible: feasible, Added: added}
 }
@@ -230,9 +287,15 @@ func (in *Instance) GreedyByScore(scores []float64, eliminate bool) GreedyResult
 // eliminateRedundant drops items in reverse pick order when the
 // remaining selection still covers everything. It returns the new cost.
 func (in *Instance) eliminateRedundant(x []bool, pickOrder []int, cost float64) float64 {
+	return in.eliminateRedundantInto(x, pickOrder, cost, make([]float64, in.N()))
+}
+
+// eliminateRedundantInto is eliminateRedundant with a caller-owned
+// surplus buffer (len ≥ N).
+func (in *Instance) eliminateRedundantInto(x []bool, pickOrder []int, cost float64, surplus []float64) float64 {
 	n := in.N()
 	// Track per-service surplus: Σ q - b.
-	surplus := make([]float64, n)
+	surplus = surplus[:n]
 	for k, row := range in.Q {
 		got := 0.0
 		for j, sel := range x {

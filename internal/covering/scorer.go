@@ -15,8 +15,13 @@ func TableISet() *gp.Set {
 	return &gp.Set{Ops: gp.TableIOps(), Terms: append([]string(nil), TableITerms...)}
 }
 
-// envLen is the terminal count of Table I.
-const envLen = 5
+// EnvLen is the scorer environment-vector length — Table I's terminal
+// count. The scorer hands trees exactly this many features, so a
+// primitive set routed into it may declare at most EnvLen terminals;
+// bcpop.NewEvaluator enforces that bound, which is what keeps a tree
+// decoded against a larger terminal set from indexing past the
+// environment at evaluation time.
+const EnvLen = 5
 
 // TreeScorer evaluates a GP tree into per-item scores for GreedyByScore.
 // Three of Table I's terminals are indexed by service k while the tree
@@ -35,7 +40,7 @@ type TreeScorer struct {
 	Set *gp.Set
 	rx  *Relaxation
 	in  *Instance
-	env [envLen]float64
+	env [EnvLen]float64
 }
 
 // NewTreeScorer binds a scorer to an instance and its relaxation data.
@@ -57,6 +62,38 @@ func (ts *TreeScorer) Score(tree gp.Tree, scores []float64) {
 			ts.env[2] = in.B[k]
 			ts.env[3] = rx.Dual[k]
 			total += tree.Eval(ts.Set, ts.env[:])
+		}
+		scores[j] = total
+	}
+}
+
+// ScoreProgram is Score for a compiled tree: the same (item, service)
+// sweep and the same additive aggregation, but each pair is evaluated
+// by replaying bytecode instead of re-decoding tree nodes. The VM
+// reproduces gp.Tree.Eval bit-for-bit, so scores are bit-identical to
+// Score on the program's source tree.
+func (ts *TreeScorer) ScoreProgram(vm *gp.VM, p *gp.Program, scores []float64) {
+	ScoreProgramInto(ts.in, ts.rx, vm, p, scores)
+}
+
+// ScoreProgramInto is the allocation-free form of ScoreProgram used by
+// the evaluation hot path: no scorer object, the environment scratch
+// lives on the caller's stack, and the VM's operand stack is reused
+// across calls. One compiled predator is swept across all M×N
+// (item, service) pairs of a prepared context in a single batched pass.
+func ScoreProgramInto(in *Instance, rx *Relaxation, vm *gp.VM, p *gp.Program, scores []float64) {
+	var env [EnvLen]float64
+	n := in.N()
+	for j := range scores {
+		col := in.Cols[j]
+		env[0] = in.C[j]
+		env[4] = rx.XBar[j]
+		total := 0.0
+		for k := 0; k < n; k++ {
+			env[1] = col[k]
+			env[2] = in.B[k]
+			env[3] = rx.Dual[k]
+			total += vm.Eval(p, env[:])
 		}
 		scores[j] = total
 	}

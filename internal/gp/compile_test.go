@@ -1,0 +1,256 @@
+package gp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"carbon/internal/rng"
+)
+
+func compileSet() *Set {
+	return &Set{
+		Ops:       []Op{Add, Sub, Mul, Div, Mod, Neg, Min, Max},
+		Terms:     []string{"c", "q", "b", "d", "x"},
+		ConstProb: 0.25, ConstMin: -3, ConstMax: 3,
+	}
+}
+
+// mustCompile parses src over s and compiles it.
+func mustCompile(t *testing.T, s *Set, src string) (Tree, *Program) {
+	t.Helper()
+	tr, err := Parse(s, src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	p, err := Compile(s, tr)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return tr, p
+}
+
+func TestCompiledMatchesInterpreterOnFixtures(t *testing.T) {
+	s := compileSet()
+	vm := NewVM()
+	exprs := []string{
+		"c",
+		"-2.5",
+		"(+ c q)",
+		"(- (* c q) (% d x))",
+		"(% c (- q q))",   // protected division fallback
+		"(mod d (- x x))", // protected modulo fallback
+		"(neg (min c (max q b)))",
+		"(+ (% 1 0.0000000000001) c)", // denominator just above protEps
+		"(* (+ c (* q (- b (% d (mod x c))))) (neg q))",
+	}
+	envs := [][]float64{
+		{1, 2, 3, 4, 5},
+		{0, 0, 0, 0, 0},
+		{math.Inf(1), math.Inf(-1), 1e308, -1e308, 1e-308},
+		{math.NaN(), 1, math.NaN(), -0.0, 2},
+		{-1.5, 2.5, -3.5, 4.5, -5.5},
+	}
+	for _, src := range exprs {
+		tr, p := mustCompile(t, s, src)
+		if p.Size() != tr.Size() {
+			t.Errorf("%q: program size %d, tree size %d", src, p.Size(), tr.Size())
+		}
+		for _, env := range envs {
+			want := tr.Eval(s, env)
+			got := vm.Eval(p, env)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Errorf("%q on %v: interpreter %v (%x), VM %v (%x)",
+					src, env, want, math.Float64bits(want), got, math.Float64bits(got))
+			}
+		}
+	}
+}
+
+// Custom operators (not the builtin function values) must take the
+// generic call path and still match the interpreter exactly.
+func TestCompileCustomOpsFallBackToCalls(t *testing.T) {
+	s := &Set{
+		Ops: []Op{
+			{Name: "sq", Arity: 1, F1: func(a float64) float64 { return a * a }},
+			{Name: "hyp", Arity: 2, F2: math.Hypot},
+			Add,
+		},
+		Terms: []string{"u", "v"},
+	}
+	tr, p := mustCompile(t, s, "(+ (sq u) (hyp u v))")
+	vm := NewVM()
+	for _, env := range [][]float64{{3, 4}, {-1, 1e154}, {math.NaN(), 2}} {
+		want := tr.Eval(s, env)
+		got := vm.Eval(p, env)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("env %v: interpreter %v, VM %v", env, want, got)
+		}
+	}
+}
+
+func TestProgramRecompileReusesStorage(t *testing.T) {
+	s := compileSet()
+	r := rng.New(11)
+	var p Program
+	vm := NewVM()
+	env := []float64{1, 2, 3, 4, 5}
+	for i := 0; i < 50; i++ {
+		tr := s.Ramped(r, 0, 6)
+		if err := p.Compile(s, tr); err != nil {
+			t.Fatalf("recompile %d: %v", i, err)
+		}
+		want := tr.Eval(s, env)
+		got := vm.Eval(&p, env)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("recompile %d: interpreter %v, VM %v", i, want, got)
+		}
+	}
+}
+
+func TestEvalBatchMatchesEval(t *testing.T) {
+	s := compileSet()
+	tr, p := mustCompile(t, s, "(- (* c q) (% d (mod x b)))")
+	vm := NewVM()
+	const rows = 7
+	stride := p.Terms()
+	envs := make([]float64, rows*stride)
+	r := rng.New(3)
+	for i := range envs {
+		envs[i] = r.Range(-10, 10)
+	}
+	out := make([]float64, rows)
+	vm.EvalBatch(p, envs, stride, out)
+	for i := 0; i < rows; i++ {
+		want := tr.Eval(s, envs[i*stride:(i+1)*stride])
+		if math.Float64bits(want) != math.Float64bits(out[i]) {
+			t.Fatalf("row %d: interpreter %v, batch %v", i, want, out[i])
+		}
+	}
+}
+
+// oversizeExpr builds a left-deep S-expression of exactly 2k+1 nodes
+// (k "+" ops over k+1 "c" leaves).
+func oversizeExpr(k int) string {
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		b.WriteString("(+ ")
+	}
+	b.WriteString("c")
+	for i := 0; i < k; i++ {
+		b.WriteString(" c)")
+	}
+	return b.String()
+}
+
+// A 513-node tree — one past MaxNodes — must be rejected by Parse (and
+// hence every decode path) and by Compile, not crash Eval.
+func TestOversizeTreeRejected(t *testing.T) {
+	s := compileSet()
+	// 256 ops + 257 leaves = 513 nodes.
+	src := oversizeExpr(256)
+	if _, err := Parse(s, src); err == nil {
+		t.Fatal("Parse accepted a 513-node tree")
+	}
+	// Exactly at the limit still parses, evaluates and compiles.
+	ok, err := Parse(s, oversizeExpr(255))
+	if err != nil {
+		t.Fatalf("Parse rejected a 511-node tree: %v", err)
+	}
+	if got := ok.Size(); got != 511 {
+		t.Fatalf("expected 511 nodes, got %d", got)
+	}
+	p, err := Compile(s, ok)
+	if err != nil {
+		t.Fatalf("Compile rejected a legal tree: %v", err)
+	}
+	env := []float64{1, 2, 3, 4, 5}
+	want := ok.Eval(s, env)
+	if got := NewVM().Eval(p, env); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("deep tree: interpreter %v, VM %v", want, got)
+	}
+	// A hand-built oversize Tree value (bypassing Parse) must fail
+	// Check and Compile the same way.
+	big := Tree{}
+	for i := 0; i < 256; i++ {
+		big.nodes = append(big.nodes, node{idx: 0}) // "+"
+	}
+	for i := 0; i < 257; i++ {
+		big.nodes = append(big.nodes, node{kind: kTerm, idx: 0})
+	}
+	if err := big.Check(s); err == nil {
+		t.Fatal("Check accepted a 513-node tree")
+	}
+	if _, err := Compile(s, big); err == nil {
+		t.Fatal("Compile accepted a 513-node tree")
+	}
+}
+
+func TestCompileRejectsMalformedTrees(t *testing.T) {
+	s := compileSet()
+	bad := []Tree{
+		{},                                      // empty
+		{nodes: []node{{idx: 0}}},               // truncated (+ with no operands)
+		{nodes: []node{{kind: kTerm, idx: 99}}}, // terminal out of range
+	}
+	for i, tr := range bad {
+		if _, err := Compile(s, tr); err == nil {
+			t.Errorf("case %d: Compile accepted a malformed tree", i)
+		}
+	}
+}
+
+func TestVMEvalZeroAlloc(t *testing.T) {
+	s := compileSet()
+	tr, p := mustCompile(t, s, "(* (+ c (% q d)) (- b (mod x c)))")
+	vm := NewVM()
+	env := []float64{1, 2, 3, 4, 5}
+	vm.Eval(p, env) // grow the stack once
+	allocs := testing.AllocsPerRun(200, func() {
+		vm.Eval(p, env)
+	})
+	if allocs != 0 {
+		t.Fatalf("VM.Eval allocates %v per call, want 0", allocs)
+	}
+	_ = tr
+}
+
+// FuzzCompiledEval is the differential fuzz of the tentpole contract:
+// for any valid tree and any environment — including NaN, ±Inf and
+// protected-division edge cases — the compiled VM must return the
+// bit-identical float64 the interpreter returns.
+func FuzzCompiledEval(f *testing.F) {
+	f.Add(uint64(1), 1.0, 2.0, 3.0, 4.0, 5.0)
+	f.Add(uint64(7), math.Inf(1), math.Inf(-1), 0.0, math.Copysign(0, -1), 1e-300)
+	f.Add(uint64(3), math.NaN(), 1e308, -1e308, 1e-13, -1e-13)
+	f.Add(uint64(42), 0.5, -0.5, protEps, -protEps, 2*protEps)
+	set := compileSet()
+	f.Fuzz(func(t *testing.T, seed uint64, a, b, c, d, e float64) {
+		r := rng.New(seed)
+		tree := set.Ramped(r, 0, 6)
+		prog, err := Compile(set, tree)
+		if err != nil {
+			t.Fatalf("valid tree failed to compile: %v", err)
+		}
+		env := []float64{a, b, c, d, e}
+		want := tree.Eval(set, env)
+		vm := NewVM()
+		got := vm.Eval(prog, env)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("tree %s on %v: interpreter %v (%x), VM %v (%x)",
+				tree.String(set), env, want, math.Float64bits(want), got, math.Float64bits(got))
+		}
+		// The batched entry point must agree with the scalar one.
+		envs := make([]float64, 0, 3*len(env))
+		for i := 0; i < 3; i++ {
+			envs = append(envs, env...)
+		}
+		out := make([]float64, 3)
+		vm.EvalBatch(prog, envs, len(env), out)
+		for i, v := range out {
+			if math.Float64bits(v) != math.Float64bits(want) {
+				t.Fatalf("batch row %d: got %v, want %v", i, v, want)
+			}
+		}
+	})
+}

@@ -28,8 +28,8 @@ func FuzzParse(f *testing.F) {
 		if err := tr.Check(set); err != nil {
 			t.Fatalf("parsed tree fails Check: %v (input %q)", err, src)
 		}
-		if tr.Size() > evalStackSize {
-			return
+		if tr.Size() > MaxNodes {
+			t.Fatalf("Parse accepted %d nodes, above the %d-node limit", tr.Size(), MaxNodes)
 		}
 		_ = tr.Eval(set, env)
 		printed := tr.String(set)

@@ -241,10 +241,21 @@ func (t Tree) Depth(s *Set) int {
 	return max
 }
 
+// MaxNodes is the hard node-count ceiling for evaluable trees: the
+// operand stack of Eval (and the bytecode VM's high-water bound) is
+// sized for it. Check rejects bigger trees, so every decode path —
+// checkpoint restore, job specs, migrant injection — degrades to an
+// error on hostile input instead of overflowing the evaluation stack.
+// Breeding stays far below it (Limits.MaxSize is clamped to MaxNodes).
+const MaxNodes = 512
+
 // Check verifies the tree is a single well-formed expression over s.
 func (t Tree) Check(s *Set) error {
 	if len(t.nodes) == 0 {
 		return errors.New("gp: empty tree")
+	}
+	if len(t.nodes) > MaxNodes {
+		return fmt.Errorf("gp: tree size %d exceeds the %d-node evaluation limit", len(t.nodes), MaxNodes)
 	}
 	need := 1
 	for i, n := range t.nodes {
@@ -277,9 +288,12 @@ func (t Tree) Check(s *Set) error {
 }
 
 // evalStackSize bounds the operand stack. A prefix expression scanned
-// backwards never stacks more operands than its node count, and trees
-// are capped well below this by MaxSize.
-const evalStackSize = 512
+// backwards never stacks more operands than its node count, and Check
+// rejects trees above MaxNodes — so every tree built by the public
+// constructors (generation, Parse/Decode, breeding) fits. The panic in
+// Eval is a last-resort guard against hand-built Tree values that
+// skipped Check.
+const evalStackSize = MaxNodes
 
 // Eval evaluates the tree against the environment vector env, whose
 // layout must match s.Terms. The result is sanitized: NaN collapses to 0

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"carbon/internal/checkpoint"
 	"carbon/internal/core"
 )
 
@@ -188,5 +190,82 @@ func TestSubmitWithCheckpointResumes(t *testing.T) {
 	// Garbage bytes are rejected up front, before anything is spooled.
 	if _, err := m.SubmitWithCheckpoint(spec, []byte("not a checkpoint")); err == nil {
 		t.Fatal("garbage seed checkpoint accepted")
+	}
+}
+
+// hostileSnapshotBytes builds a structurally valid checkpoint envelope
+// whose decoded state has been mutated — the shape a malicious or
+// bit-rotted peer hands a router during failover.
+func hostileSnapshotBytes(t *testing.T, spec JobSpec, mutate func(*checkpoint.State)) []byte {
+	t.Helper()
+	spec = spec.withDefaults()
+	mk, err := spec.Market()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(mk, spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !e.Step() {
+			t.Fatal(e.Err())
+		}
+	}
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(st)
+	var buf bytes.Buffer
+	if err := st.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestHostileCheckpointQuarantined is the serve end of the hostile-tree
+// contract: a checkpoint whose envelope is structurally valid but whose
+// predator encodings are hostile — a 513-node tree one past gp.MaxNodes
+// or a terminal the primitive set does not know — must pass submission
+// (Validate is structural only), fail core.Restore inside execute, get
+// quarantined as *.corrupt, and leave the job to finish fresh with the
+// bit-identical result of an unseeded run. No panic anywhere.
+func TestHostileCheckpointQuarantined(t *testing.T) {
+	spec := tinySpec(42)
+	want := reference(t, spec)
+	// 256 "+" ops over 257 "c" leaves: 513 nodes, one past gp.MaxNodes.
+	oversize := strings.Repeat("(+ ", 256) + "c" + strings.Repeat(" c)", 256)
+	cases := map[string]func(*checkpoint.State){
+		"oversize tree":    func(st *checkpoint.State) { st.Predators[0] = oversize },
+		"unknown terminal": func(st *checkpoint.State) { st.Predators[0] = "(+ c zz)" },
+		"oversize archive": func(st *checkpoint.State) { st.GPArchT[0] = oversize },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			ckpt := hostileSnapshotBytes(t, spec, mutate)
+			spool := t.TempDir()
+			m := newTestManager(t, Options{Workers: 1, SpoolDir: spool})
+			st, err := m.SubmitWithCheckpoint(spec, ckpt)
+			if err != nil {
+				t.Fatalf("structurally valid envelope rejected up front: %v", err)
+			}
+			fin := waitState(t, m, st.ID, StateDone)
+			if fin.Resumed {
+				t.Fatal("job resumed from a hostile checkpoint")
+			}
+			rec, err := m.Result(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertMatchesReference(t, rec, want)
+			corrupt, err := filepath.Glob(filepath.Join(spool, "*.corrupt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(corrupt) == 0 {
+				t.Fatal("hostile checkpoint was not quarantined on disk")
+			}
+		})
 	}
 }

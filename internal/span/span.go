@@ -140,8 +140,23 @@ type Exporter interface {
 // exporter. A nil *Tracer is the "tracing off" tracer: it starts nil
 // spans, whose methods all no-op — the disabled cost is one nil check.
 type Tracer struct {
-	exp   Exporter
-	state atomic.Uint64 // private splitmix64 stream; never the algorithm RNG
+	exp Exporter
+	// anchor is the single wall+monotonic reading every timestamp this
+	// tracer emits derives from (anchor wall + monotonic elapsed). With
+	// per-span wall readings, an NTP slew between a parent's Start and
+	// a child's Start can put the child's computed end past the
+	// parent's even though the parent ended later — which shows up in
+	// the analyzer as a child spilling out of its parent and breaks the
+	// Covered ≤ Wall attribution invariant. One shared anchor gives the
+	// whole process one consistent monotonic timeline.
+	anchor time.Time
+	state  atomic.Uint64 // private splitmix64 stream; never the algorithm RNG
+}
+
+// now is the tracer's clock: the anchor's wall time plus the monotonic
+// time elapsed since the anchor was captured.
+func (t *Tracer) now() time.Time {
+	return t.anchor.Add(time.Since(t.anchor))
 }
 
 // New returns a tracer exporting to exp, or nil when exp is nil —
@@ -151,8 +166,8 @@ func New(exp Exporter) *Tracer {
 	if exp == nil {
 		return nil
 	}
-	t := &Tracer{exp: exp}
-	seed := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<40 ^ 0x9E3779B97F4A7C15
+	t := &Tracer{exp: exp, anchor: time.Now()}
+	seed := uint64(t.anchor.UnixNano()) ^ uint64(os.Getpid())<<40 ^ 0x9E3779B97F4A7C15
 	t.state.Store(seed)
 	return t
 }
@@ -200,7 +215,7 @@ func (t *Tracer) start(parent Context, name string, remote bool) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tr: t, name: name, start: time.Now()}
+	s := &Span{tr: t, name: name, start: t.now()}
 	if parent.Valid() {
 		s.ctx.Trace = parent.Trace
 		s.parent = parent.Span
@@ -284,10 +299,10 @@ func (s *Span) End() {
 	if done {
 		return
 	}
-	// start.Add(Since(start)) keeps the duration monotonic even if the
-	// wall clock stepped while the span was open.
-	end := s.start.Add(time.Since(s.start))
-	s.tr.exp.Export(s.record(end.UnixNano()))
+	// The tracer's anchored clock keeps durations monotonic even if the
+	// wall clock stepped while the span was open, and keeps every
+	// span's end on the same timeline as its parent's.
+	s.tr.exp.Export(s.record(s.tr.now().UnixNano()))
 }
 
 func (s *Span) record(endNS int64) Record {

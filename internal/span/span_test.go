@@ -288,3 +288,33 @@ func TestTracerIDsUnique(t *testing.T) {
 		seen[r.Span] = true
 	}
 }
+
+// Every timestamp a tracer emits derives from one wall+monotonic
+// anchor, so ends recorded later always compare later — a child ended
+// before its parent can never spill past the parent's recorded end,
+// whatever the wall clock does while the spans are open. (Per-span
+// wall anchors made this probabilistic under NTP slew, which the
+// trace analyzer saw as Covered > Wall.)
+func TestTimestampsShareOneMonotonicTimeline(t *testing.T) {
+	var c Collector
+	tr := New(&c)
+	for i := 0; i < 1000; i++ {
+		parent := tr.Start(Context{}, "parent")
+		child := tr.Start(parent.Context(), "child")
+		child.End()
+		parent.End()
+	}
+	recs := c.Records()
+	if len(recs) != 2000 {
+		t.Fatalf("got %d records, want 2000", len(recs))
+	}
+	for i := 0; i+1 < len(recs); i += 2 {
+		child, parent := recs[i], recs[i+1]
+		if child.StartNS < parent.StartNS {
+			t.Fatalf("iter %d: child starts %dns before its parent", i/2, parent.StartNS-child.StartNS)
+		}
+		if child.EndNS > parent.EndNS {
+			t.Fatalf("iter %d: child end %d spills past parent end %d", i/2, child.EndNS, parent.EndNS)
+		}
+	}
+}
