@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check cover bench bench-diff bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke clean
+.PHONY: all build vet lint test race check cover bench bench-diff bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke obs-smoke clean
 
 all: build vet test
 
@@ -11,8 +11,8 @@ all: build vet test
 # cannot rot), the committed-capture regression diff, the carbond
 # crash-recovery smoke test, the carbonstat
 # analyzer self-check, the fault-injection chaos gate, the span tracing
-# gate, and the cluster router gate.
-check: build vet lint test race bench-smoke bench-diff serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke
+# gate, the cluster router gate, and the observability-plane gate.
+check: build vet lint test race bench-smoke bench-diff serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -49,33 +49,37 @@ cover:
 # router's own per-submission overhead (admit, route, spool, proxy) —
 # microseconds against jobs that run for seconds. BENCH_pr8.json adds
 # EvalProgram500x30 (compiled bytecode hot path, 0 allocs/op — compare
-# against EvalTree500x30 and EvalTreeWith500x30). Compare captures with
-# `make bench-diff`.
+# against EvalTree500x30 and EvalTreeWith500x30). BENCH_pr9.json adds
+# StepWithSubscribers: a generation with the live-event ring and four
+# SSE-style subscribers attached must stay within 2% of EngineStep.
+# Compare captures with `make bench-diff`.
 #
 # The engine-step benchmarks step ONE engine b.N times and GP trees grow
 # across generations, so their ns/op depends on the iteration count the
 # framework picks — they run at a pinned -benchtime=150x so EngineStep,
-# StepWithSearchStats and StepWithSpans measure the same 150 generations
-# and captures stay comparable across runs.
+# StepWithSearchStats, StepWithSpans and StepWithSubscribers measure
+# the same 150 generations and captures stay comparable across runs.
 bench:
 	$(GO) test -run XXX -bench 'EvalTree|EvalProgram|Prepare|Rotating' -benchmem \
-		./internal/bcpop/ | tee bench_pr8.txt
+		./internal/bcpop/ | tee bench_pr9.txt
 	$(GO) test -run XXX -bench 'EngineStep|StepWithSearchStats|StepWithSpans' -benchtime=150x -benchmem \
-		./internal/core/ | tee -a bench_pr8.txt
+		./internal/core/ | tee -a bench_pr9.txt
+	$(GO) test -run XXX -bench 'StepWithSubscribers' -benchtime=150x -benchmem \
+		./internal/serve/ | tee -a bench_pr9.txt
 	$(GO) test -run XXX -bench 'RouteSubmit' -benchmem \
-		./internal/cluster/ | tee -a bench_pr8.txt
-	$(GO) run carbon/cmd/benchjson -out BENCH_pr8.json < bench_pr8.txt
+		./internal/cluster/ | tee -a bench_pr9.txt
+	$(GO) run carbon/cmd/benchjson -out BENCH_pr9.json < bench_pr9.txt
 
 # Flag >10% ns/op regressions between the previous committed capture and
 # the current one (rerun `make bench` first on a quiet machine).
 bench-diff:
-	$(GO) run carbon/cmd/benchjson -diff BENCH_pr7.json BENCH_pr8.json
+	$(GO) run carbon/cmd/benchjson -diff BENCH_pr8.json BENCH_pr9.json
 
 # One-iteration benchmark pass: proves every benchmark (and the benchjson
 # parser) still runs, without paying for measurement. Part of `check`.
 bench-smoke:
-	$(GO) test -run XXX -bench 'EvalTree|EvalProgram|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans|RouteSubmit' -benchtime=1x -benchmem \
-		./internal/bcpop/ ./internal/core/ ./internal/cluster/ | $(GO) run carbon/cmd/benchjson >/dev/null
+	$(GO) test -run XXX -bench 'EvalTree|EvalProgram|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans|StepWithSubscribers|RouteSubmit' -benchtime=1x -benchmem \
+		./internal/bcpop/ ./internal/core/ ./internal/serve/ ./internal/cluster/ | $(GO) run carbon/cmd/benchjson >/dev/null
 
 # Analyzer self-check: synthetic healthy/pathological traces through the
 # whole carbonstat pipeline (parse, demux, summarize, flag, diff).
@@ -128,6 +132,17 @@ trace-smoke:
 fleet-smoke:
 	$(GO) run carbon/cmd/fleetsmoke
 
+# Observability gate: three workers + router with SLO rules armed.
+# Every job streams over SSE and must still finish bit-identical to an
+# in-process reference (zero RNG consumed, no extra LP solves); the
+# victim's stream is dropped, its worker SIGKILLed, and a Last-Event-ID
+# resume must replay exactly the missed tail across the failover; the
+# router's federated /metrics/prometheus must conserve counter sums over
+# the survivors; the routes-unfinished alert fires and clears; and
+# `carbontop -once` renders the post-mortem fleet.
+obs-smoke:
+	$(GO) run carbon/cmd/obsmoke
+
 examples:
 	$(GO) run carbon/examples/quickstart
 	$(GO) run carbon/examples/linearbilevel
@@ -138,4 +153,4 @@ examples:
 	$(GO) run carbon/examples/packing
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt bench_pr7.txt bench_pr8.txt
+	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt bench_pr7.txt bench_pr8.txt bench_pr9.txt

@@ -1,0 +1,238 @@
+// Command carbontop is the fleet operator's single pane of glass: a
+// terminal view of a carbonfleet router (or a single carbond) showing
+// fleet health, per-worker queue depth, per-job generation progress
+// with a %-gap trend sparkline, and the SLO/dynamics alerts currently
+// firing — all pulled from the observability endpoints the router
+// federates, so one screen covers N workers.
+//
+// Usage:
+//
+//	carbontop -addr http://127.0.0.1:8322 [-refresh 2s] [-once] [-jobs 12]
+//
+// -once renders a single frame without ANSI control codes and exits —
+// the scriptable mode smoke gates and snapshots use. The live mode
+// redraws every -refresh using the alternate-screen-free home+clear
+// sequence, so scrollback survives.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"carbon/internal/cluster"
+	"carbon/internal/serve"
+	"carbon/internal/slo"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8322", "carbonfleet (or carbond) base URL")
+		refresh = flag.Duration("refresh", 2*time.Second, "redraw cadence in live mode")
+		once    = flag.Bool("once", false, "render one plain frame and exit (for scripts)")
+		maxJobs = flag.Int("jobs", 12, "job rows shown (most recent first)")
+	)
+	flag.Parse()
+
+	v := newView(strings.TrimRight(*addr, "/"), *maxJobs)
+	if *once {
+		v.poll()
+		fmt.Print(v.render())
+		if v.pollErr != nil {
+			fmt.Fprintln(os.Stderr, "carbontop:", v.pollErr)
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		v.poll()
+		// Home + clear-to-end beats full clears: no flicker, and the
+		// scrollback buffer stays usable.
+		fmt.Print("\x1b[H\x1b[2J" + v.render())
+		time.Sleep(*refresh)
+	}
+}
+
+// view holds the poll results plus the per-job gap history that feeds
+// the trend sparklines — client-side state, so the router stays
+// stateless about who is watching.
+type view struct {
+	addr    string
+	maxJobs int
+	client  *http.Client
+
+	pollErr error
+	health  cluster.FleetHealth
+	workers []cluster.WorkerStatus
+	jobs    []serve.Status // fleet-ID statuses, newest first
+	alerts  []slo.Alert
+
+	gapHist map[string][]float64 // fleet ID → recent best-gap samples
+}
+
+func newView(addr string, maxJobs int) *view {
+	return &view{
+		addr:    addr,
+		maxJobs: maxJobs,
+		client:  &http.Client{Timeout: 5 * time.Second},
+		gapHist: map[string][]float64{},
+	}
+}
+
+func (v *view) getJSON(path string, out any) error {
+	resp, err := v.client.Get(v.addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.Unmarshal(b, out)
+}
+
+func (v *view) poll() {
+	v.pollErr = v.getJSON("/v1/healthz", &v.health)
+	if err := v.getJSON("/v1/workers", &v.workers); err != nil && v.pollErr == nil {
+		v.pollErr = err
+	}
+	_ = v.getJSON("/v1/fleet/alerts", &v.alerts) // absent on a bare carbond
+
+	// The route table gives fleet IDs; each status poll carries Latest
+	// GenStats — the gap-trend sample.
+	var routes []struct {
+		FleetID string `json:"fleet_id"`
+	}
+	v.jobs = v.jobs[:0]
+	if err := v.getJSON("/v1/jobs", &routes); err == nil {
+		sort.Slice(routes, func(a, b int) bool { return routes[a].FleetID > routes[b].FleetID })
+		if len(routes) > v.maxJobs {
+			routes = routes[:v.maxJobs]
+		}
+		for _, rt := range routes {
+			var st serve.Status
+			if err := v.getJSON("/v1/jobs/"+rt.FleetID, &st); err != nil {
+				continue
+			}
+			v.jobs = append(v.jobs, st)
+			if st.Latest != nil {
+				h := append(v.gapHist[st.ID], st.Latest.BestGap)
+				if len(h) > sparkWidth {
+					h = h[len(h)-sparkWidth:]
+				}
+				v.gapHist[st.ID] = h
+			}
+		}
+	}
+}
+
+const sparkWidth = 16
+
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders xs into a fixed-width trend strip, scaled to the
+// window's own min..max (shape over magnitude — the number next to it
+// carries the scale).
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return strings.Repeat(" ", sparkWidth)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if hi > lo {
+			i = int((x - lo) / (hi - lo) * float64(len(sparkRamp)-1))
+		}
+		b.WriteRune(sparkRamp[i])
+	}
+	for i := len(xs); i < sparkWidth; i++ {
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+func (v *view) render() string {
+	var b strings.Builder
+	now := time.Now().Format("15:04:05")
+	ok := "OK"
+	if !v.health.OK {
+		ok = "DEGRADED"
+	}
+	fmt.Fprintf(&b, "carbontop · %s · %s\n", v.addr, now)
+	if v.pollErr != nil {
+		fmt.Fprintf(&b, "  ! poll error: %v\n", v.pollErr)
+	}
+	fmt.Fprintf(&b, "fleet %s · policy %s · %d/%d workers healthy · %d routes (%d unfinished) · %d failovers\n\n",
+		ok, v.health.Policy, v.health.Healthy, v.health.Workers,
+		v.health.Routes, v.health.Unfinished, v.health.Failovers)
+
+	fmt.Fprintf(&b, "%-28s %-8s %7s %7s %7s %7s %9s\n",
+		"WORKER", "STATE", "QUEUE", "RUN", "DONE", "DEAD", "UPTIME")
+	for _, w := range v.workers {
+		state := "healthy"
+		switch {
+		case w.Dead:
+			state = "DEAD"
+		case !w.Healthy:
+			state = fmt.Sprintf("miss %d", w.Misses)
+		}
+		fmt.Fprintf(&b, "%-28s %-8s %3d/%-3d %7d %7d %7d %8.0fs\n",
+			trim(w.URL, 28), state,
+			w.Health.QueueDepth, w.Health.QueueCap, w.Health.Running,
+			w.Health.Done, w.Health.Dead, w.Health.UptimeSec)
+	}
+
+	fmt.Fprintf(&b, "\n%-9s %-9s %6s %4s %9s  %-*s %s\n",
+		"JOB", "STATE", "GENS", "ATT", "GAP%", sparkWidth, "TREND", "BEST")
+	for _, st := range v.jobs {
+		gap, best := "", ""
+		if st.Latest != nil {
+			gap = fmt.Sprintf("%.4f", st.Latest.BestGap)
+			best = fmt.Sprintf("%.4f", st.Latest.BestRevenue)
+		}
+		fmt.Fprintf(&b, "%-9s %-9s %6d %4d %9s  %s %s\n",
+			st.ID, st.State, st.Gens, st.Attempts, gap,
+			sparkline(v.gapHist[st.ID]), best)
+	}
+
+	b.WriteString("\nALERTS\n")
+	if len(v.alerts) == 0 {
+		b.WriteString("  (none firing)\n")
+	}
+	for _, a := range v.alerts {
+		age := ""
+		if !a.Since.IsZero() {
+			age = time.Since(a.Since).Round(time.Second).String()
+		}
+		fmt.Fprintf(&b, "  %-8s %-24s %-28s value %.4g · for %s\n",
+			strings.ToUpper(string(a.State)), a.Rule, a.Metric, a.Value, age)
+	}
+	return b.String()
+}
+
+func trim(s string, n int) string {
+	s = strings.TrimPrefix(s, "http://")
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

@@ -1,0 +1,656 @@
+// Command obsmoke is the end-to-end gate for the fleet observability
+// plane (run via `make obs-smoke`). It stands up three carbond workers
+// plus a carbonfleet router as separate processes and drives the
+// observability contract through a worker SIGKILL:
+//
+//   - Streaming is free: every job runs with SSE subscribers attached,
+//     and every result must be bit-identical to an in-process
+//     reference — zero algorithm RNG consumed by streaming. On an
+//     undisturbed worker hosting exactly one streamed job, the
+//     bcpop.lp_solves counter must equal the reference run's count
+//     exactly: fan-out buys no extra LP solves.
+//   - SSE resume across failover: the victim job's stream is read
+//     partway and dropped; after its worker is SIGKILLed and the job
+//     re-homed, reconnecting with Last-Event-ID must replay exactly
+//     the missed tail — the stitched sequence has every generation
+//     once, no duplicates, no holes, one terminal state.
+//   - Metrics federation conserves sums: after the dust settles the
+//     router's /metrics/prometheus counter totals must equal the sum
+//     of the surviving workers' endpoints, scraped directly.
+//   - SLO alerts fire and clear: a rule on unfinished routes fires
+//     while jobs run and clears on /v1/fleet/alerts once they finish.
+//   - carbontop -once renders the post-mortem fleet (dead worker and
+//     all) without error.
+//
+// Any divergence, hang, duplicated or missing event exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"time"
+
+	"carbon/internal/core"
+	"carbon/internal/serve"
+	"carbon/internal/slo"
+	"carbon/internal/telemetry"
+)
+
+func smokeSpec(seed uint64) serve.JobSpec {
+	return serve.JobSpec{
+		N: 60, M: 5, Instance: 3, Customers: 1,
+		Seed: seed, Pop: 16, ULEvals: 1600, LLEvals: 4800,
+		PreySample: 2, Workers: 1,
+	}
+}
+
+func victimSpec(seed uint64) serve.JobSpec {
+	s := smokeSpec(seed)
+	s.ULEvals *= 2
+	s.LLEvals *= 2
+	return s
+}
+
+func main() {
+	flag.Parse()
+
+	work, err := os.MkdirTemp("", "carbon-obs-smoke-*")
+	die(err)
+	defer os.RemoveAll(work)
+
+	step("building carbond, carbonfleet and carbontop")
+	carbond := filepath.Join(work, "carbond")
+	carbonfleet := filepath.Join(work, "carbonfleet")
+	carbontop := filepath.Join(work, "carbontop")
+	for bin, pkg := range map[string]string{
+		carbond: "carbon/cmd/carbond", carbonfleet: "carbon/cmd/carbonfleet", carbontop: "carbon/cmd/carbontop",
+	} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	step("computing uninterrupted references (in-process, LP solves counted)")
+	refVictim, _ := reference(victimSpec(21))
+	refA, lpA := reference(smokeSpec(22))
+	refB, _ := reference(smokeSpec(23))
+
+	// The rule fires while any route is unfinished and clears when all
+	// jobs land — a deterministic fire-and-clear cycle for the gate.
+	rulesPath := filepath.Join(work, "slo.rules")
+	die(os.WriteFile(rulesPath, []byte("active carbonfleet_cluster_routes_unfinished value > 0\n"), 0o644))
+
+	step("starting 3 workers + router (slo rules armed)")
+	var workers []*server
+	var workerURLs []string
+	for i := 0; i < 3; i++ {
+		w := startWorker(carbond, "127.0.0.1:0", filepath.Join(work, fmt.Sprintf("w%d", i)))
+		workers = append(workers, w)
+		workerURLs = append(workerURLs, "http://"+w.addr)
+	}
+	router := startRouter(carbonfleet, workerURLs, filepath.Join(work, "fleet"), rulesPath)
+
+	step("submitting 3 jobs, one per worker, streams attached")
+	vic := submit(router.addr, victimSpec(21))
+	jobA := submit(router.addr, smokeSpec(22))
+	jobB := submit(router.addr, smokeSpec(23))
+	used := map[string]bool{vic.worker: true, jobA.worker: true, jobB.worker: true}
+	if len(used) != 3 {
+		fatalf("3 submissions landed on %d workers, want all 3", len(used))
+	}
+
+	// Attach a draining SSE subscriber to every job — the bit-identity
+	// checks below then prove streaming perturbs nothing.
+	doneA := streamUntilEOF(router.addr, jobA.id)
+	doneB := streamUntilEOF(router.addr, jobB.id)
+
+	// Read the victim's stream partway, then drop the connection: the
+	// Last-Event-ID resume after failover must replay exactly the rest.
+	head, lastID := streamHead(router.addr, vic.id, 10)
+	fmt.Printf("victim stream: read %d frames, dropped connection at id %d\n", len(head), lastID)
+
+	step("waiting for the alert to fire (routes unfinished)")
+	waitAlert(router.addr, "active", true)
+
+	// --- SIGKILL the victim's worker mid-run ---
+	victimWorker := serverByURL(workers, vic.worker)
+	waitGens(router.addr, vic.id, 4)
+	waitFile(filepath.Join(work, "fleet", vic.id+".ckpt.json"), "mirrored checkpoint")
+	step("SIGKILL " + vic.worker + " (hosting " + vic.id + ")")
+	die(victimWorker.cmd.Process.Kill())
+	_ = victimWorker.cmd.Wait()
+
+	waitHealth(router.addr, "failover", func(h fleetHealth) bool { return h.Failovers >= 1 && h.Healthy == 2 })
+	stV := waitDone(router.addr, vic.id)
+	if !stV.Resumed {
+		fatalf("victim %s did not resume from the mirrored checkpoint", vic.id)
+	}
+	compare("victim (streamed, failed-over)", result(router.addr, vic.id), refVictim)
+	waitDone(router.addr, jobA.id)
+	waitDone(router.addr, jobB.id)
+	compare("jobA (streamed)", result(router.addr, jobA.id), refA)
+	compare("jobB (streamed)", result(router.addr, jobB.id), refB)
+	fmt.Println("bit-identity OK: all 3 streamed jobs match their references (zero RNG consumed)")
+
+	step("resuming the victim stream via Last-Event-ID across the failover")
+	tail := streamResume(router.addr, vic.id, lastID)
+	checkStitched(append(head, tail...), vic.id, lastID, refVictim.Gens)
+	fmt.Printf("sse OK: %d+%d frames stitch into gens 1..%d, no duplicates, no holes\n",
+		len(head), len(tail), refVictim.Gens)
+
+	// Drain the other two streams (they end with the jobs).
+	waitClosed(doneA, "jobA stream")
+	waitClosed(doneB, "jobB stream")
+
+	step("checking federation conserves counter sums over the survivors")
+	waitAlert(router.addr, "active", false) // all routes done: alert cleared
+	fmt.Println("alert OK: fired while running, cleared when the fleet drained")
+	time.Sleep(400 * time.Millisecond) // two probe rounds: the federated cache settles
+	checkConservation(router.addr, workers, vic.worker)
+
+	// No extra LP solves: jobA's worker hosted exactly that one streamed
+	// job, so its counter must equal the reference run's.
+	wA := serverByURL(workers, jobA.worker)
+	gotLP := counterOn(wA.addr, "carbond_bcpop_lp_solves")
+	if gotLP != float64(lpA) {
+		fatalf("worker %s ran %v LP solves for the streamed job, reference ran %d — streaming is not free",
+			wA.addr, gotLP, lpA)
+	}
+	fmt.Printf("lp OK: streamed job cost exactly %d LP solves, same as the reference\n", lpA)
+
+	step("carbontop -once renders the post-mortem fleet")
+	out, err := exec.Command(carbontop, "-addr", "http://"+router.addr, "-once").CombinedOutput()
+	if err != nil {
+		fatalf("carbontop -once: %v\n%s", err, out)
+	}
+	for _, want := range []string{vic.id, "DEAD", "ALERTS"} {
+		if !strings.Contains(string(out), want) {
+			fatalf("carbontop -once output lacks %q:\n%s", want, out)
+		}
+	}
+
+	step("shutting the fleet down")
+	for _, s := range []*server{router, workers[1], workers[2]} {
+		if s.addr == strings.TrimPrefix(vic.worker, "http://") {
+			continue
+		}
+		die(s.cmd.Process.Signal(syscall.SIGTERM))
+		if err := s.cmd.Wait(); err != nil {
+			fatalf("%s shutdown: %v (want clean exit 0)", s.addr, err)
+		}
+	}
+
+	fmt.Println("obs-smoke PASS")
+}
+
+// reference runs the spec uninterrupted in this process, counting LP
+// solves the same way a worker's registry does.
+func reference(spec serve.JobSpec) (*core.Result, int64) {
+	spec = spec.Normalize()
+	mk, err := spec.Market()
+	die(err)
+	cfg := spec.Config()
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	res, err := core.Run(mk, cfg)
+	die(err)
+	return res, reg.Counter("bcpop.lp_solves").Load()
+}
+
+// --- SSE client ---
+
+type frame struct {
+	id    uint64
+	event string
+	data  string
+}
+
+// scanFrames reads SSE frames from r, invoking fn per frame; stop when
+// fn returns false or the stream ends. Returns the frames fn accepted.
+func scanFrames(r *http.Response, fn func(frame) bool) []frame {
+	defer r.Body.Close()
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []frame
+	var cur frame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				out = append(out, cur)
+				if !fn(cur) {
+					return out
+				}
+			}
+			cur = frame{}
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.id)
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return out
+}
+
+func openStream(addr, id string, after uint64) *http.Response {
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/v1/jobs/"+id+"/events", nil)
+	die(err)
+	if after > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(after))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	die(err)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("events %s: HTTP %d", id, resp.StatusCode)
+	}
+	return resp
+}
+
+// streamHead reads n id-bearing frames then drops the connection,
+// returning them and the last id seen.
+func streamHead(addr, id string, n int) ([]frame, uint64) {
+	var last uint64
+	got := 0
+	frames := scanFrames(openStream(addr, id, 0), func(f frame) bool {
+		if f.id > 0 {
+			last = f.id
+			got++
+		}
+		return got < n && f.event != "eof"
+	})
+	if got < n {
+		fatalf("victim stream ended after %d frames, wanted %d before dropping", got, n)
+	}
+	return frames, last
+}
+
+// streamResume reconnects with Last-Event-ID and reads to eof.
+func streamResume(addr, id string, after uint64) []frame {
+	return scanFrames(openStream(addr, id, after), func(f frame) bool { return f.event != "eof" })
+}
+
+// streamUntilEOF drains a job's stream in the background; the returned
+// channel closes when the eof frame arrives.
+func streamUntilEOF(addr, id string) chan struct{} {
+	done := make(chan struct{})
+	resp := openStream(addr, id, 0)
+	go func() {
+		defer close(done)
+		scanFrames(resp, func(f frame) bool { return f.event != "eof" })
+	}()
+	return done
+}
+
+func waitClosed(ch chan struct{}, what string) {
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Minute):
+		fatalf("%s never reached eof", what)
+	}
+}
+
+// checkStitched asserts head+tail form one seamless stream: ids
+// strictly ascending and contiguous at the splice, generations exactly
+// 1..wantGens each once, a terminal final state, eof last.
+func checkStitched(frames []frame, fleetID string, spliceAt uint64, wantGens int) {
+	if len(frames) == 0 || frames[len(frames)-1].event != "eof" {
+		fatalf("stitched stream does not end with eof")
+	}
+	var lastID uint64
+	lastGen, gens := 0, 0
+	var lastState serve.State
+	spliced := false
+	for _, f := range frames[:len(frames)-1] {
+		if f.event == "dropped" || f.id == 0 {
+			fatalf("unexpected gap frame %+v — ring evicted events mid-gate", f)
+		}
+		var ev serve.Event
+		die(json.Unmarshal([]byte(f.data), &ev))
+		if ev.Job != fleetID {
+			fatalf("event names job %q, want %q", ev.Job, fleetID)
+		}
+		if f.id != lastID+1 {
+			fatalf("ids not contiguous: %d after %d (splice at %d)", f.id, lastID, spliceAt)
+		}
+		if f.id == spliceAt+1 {
+			spliced = true
+		}
+		lastID = f.id
+		switch ev.Type {
+		case serve.EventGen:
+			if ev.Gen == nil || ev.Gen.Gen != lastGen+1 {
+				fatalf("generation sequence broken at %+v after gen %d", ev.Gen, lastGen)
+			}
+			lastGen = ev.Gen.Gen
+			gens++
+		case serve.EventState:
+			lastState = ev.State
+		}
+	}
+	if !spliced {
+		fatalf("resume never crossed the splice point %d", spliceAt)
+	}
+	if gens != wantGens {
+		fatalf("stitched stream carries %d generations, reference ran %d", gens, wantGens)
+	}
+	if lastState != serve.StateDone {
+		fatalf("stitched stream's final state %q, want done", lastState)
+	}
+}
+
+// --- federation assertions ---
+
+func scrapeFams(url string) []telemetry.Family {
+	resp, err := http.Get(url + "/metrics/prometheus")
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	fams, err := telemetry.ParseFamilies(resp.Body)
+	die(err)
+	return fams
+}
+
+func famSum(fams []telemetry.Family, name string) (float64, bool) {
+	f := telemetry.FindFamily(fams, name)
+	if f == nil {
+		return 0, false
+	}
+	var sum float64
+	for _, s := range f.Series {
+		sum += s.Value
+	}
+	return sum, true
+}
+
+func counterOn(addr, name string) float64 {
+	v, ok := famSum(scrapeFams("http://"+addr), name)
+	if !ok {
+		fatalf("worker %s has no family %s", addr, name)
+	}
+	return v
+}
+
+// checkConservation scrapes the survivors directly and asserts every
+// carbond counter family on the router's federated endpoint totals
+// exactly their sum — the dead worker contributes nothing, survivors
+// contribute everything.
+func checkConservation(routerAddr string, workers []*server, deadURL string) {
+	fleet := scrapeFams("http://" + routerAddr)
+	var survivors [][]telemetry.Family
+	for _, w := range workers {
+		if "http://"+w.addr == deadURL {
+			continue
+		}
+		survivors = append(survivors, scrapeFams("http://"+w.addr))
+	}
+	checked := 0
+	for _, f := range fleet {
+		if f.Kind != "counter" || !strings.HasPrefix(f.Name, "carbond") {
+			continue
+		}
+		fleetTotal, _ := famSum(fleet, f.Name)
+		var workerTotal float64
+		for _, fams := range survivors {
+			v, _ := famSum(fams, f.Name)
+			workerTotal += v
+		}
+		if fleetTotal != workerTotal {
+			fatalf("federated %s = %v, survivors sum to %v — conservation violated", f.Name, fleetTotal, workerTotal)
+		}
+		checked++
+	}
+	if checked < 3 {
+		fatalf("only %d carbond counter families federated — scrape too thin to trust", checked)
+	}
+	fmt.Printf("federation OK: %d counter families conserve sums across the kill\n", checked)
+}
+
+// --- alert assertions ---
+
+func waitAlert(addr, rule string, firing bool) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/fleet/alerts")
+		if err == nil {
+			var alerts []slo.Alert
+			derr := json.NewDecoder(resp.Body).Decode(&alerts)
+			resp.Body.Close()
+			if derr == nil {
+				got := false
+				for _, a := range alerts {
+					if a.Rule == rule && a.State == slo.StateFiring {
+						got = true
+					}
+				}
+				if got == firing {
+					return
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fatalf("alert %q never reached firing=%v", rule, firing)
+}
+
+// --- process management (same idiom as fleetsmoke) ---
+
+type server struct {
+	cmd   *exec.Cmd
+	addr  string
+	spool string
+}
+
+func startWorker(bin, addr, spool string) *server {
+	return start(exec.Command(bin,
+		"-addr", addr, "-spool", spool, "-jobs", "1", "-checkpoint-every", "1"), spool)
+}
+
+func startRouter(bin string, workerURLs []string, spool, rules string) *server {
+	return start(exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-workers", strings.Join(workerURLs, ","),
+		"-spool", spool, "-probe-every", "150ms", "-probe-timeout", "2s",
+		"-dead-after", "3", "-slo", rules), spool)
+}
+
+func start(cmd *exec.Cmd, spool string) *server {
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	die(err)
+	die(cmd.Start())
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, after, ok := strings.Cut(sc.Text(), "serving on "); ok {
+			addr := strings.Fields(after)[0]
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			waitReachable(addr)
+			return &server{cmd: cmd, addr: addr, spool: spool}
+		}
+	}
+	fatalf("%s exited before announcing its address", cmd.Path)
+	return nil
+}
+
+func waitReachable(addr string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("server on %s never became reachable", addr)
+}
+
+func serverByURL(workers []*server, url string) *server {
+	for _, w := range workers {
+		if "http://"+w.addr == url {
+			return w
+		}
+	}
+	fatalf("no worker behind %s", url)
+	return nil
+}
+
+// --- fleet API helpers ---
+
+type submission struct {
+	id     string
+	worker string
+}
+
+func submit(addr string, spec serve.JobSpec) submission {
+	var buf bytes.Buffer
+	die(json.NewEncoder(&buf).Encode(spec))
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", &buf)
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		fatalf("submit (seed %d): HTTP %d: %s", spec.Seed, resp.StatusCode, body)
+	}
+	var st serve.Status
+	die(json.NewDecoder(resp.Body).Decode(&st))
+	sub := submission{id: st.ID, worker: resp.Header.Get("X-Carbon-Worker")}
+	fmt.Printf("submitted %s (seed %d) -> %s\n", sub.id, spec.Seed, sub.worker)
+	return sub
+}
+
+func getStatus(addr, id string) (serve.Status, error) {
+	var st serve.Status
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func waitGens(addr, id string, n int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		die(err)
+		if st.State == serve.StateDone {
+			fatalf("job %s finished before generation %d — budget too small to interrupt", id, n)
+		}
+		if st.Gens >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fatalf("job %s never reached generation %d", id, n)
+}
+
+func waitDone(addr, id string) serve.Status {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := getStatus(addr, id)
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		switch st.State {
+		case serve.StateDone:
+			return st
+		case serve.StateFailed, serve.StateCanceled, serve.StateDead:
+			fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("job %s never finished", id)
+	return serve.Status{}
+}
+
+func result(addr, id string) *serve.ResultRecord {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id + "/result")
+	die(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("result %s: HTTP %d", id, resp.StatusCode)
+	}
+	var rec serve.ResultRecord
+	die(json.NewDecoder(resp.Body).Decode(&rec))
+	return &rec
+}
+
+type fleetHealth struct {
+	OK        bool `json:"ok"`
+	Healthy   int  `json:"healthy"`
+	Failovers int  `json:"failovers"`
+}
+
+func waitHealth(addr, what string, ok func(fleetHealth) bool) {
+	deadline := time.Now().Add(30 * time.Second)
+	var h fleetHealth
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err == nil && ok(h) {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fatalf("router never reached the %s state (last: %+v)", what, h)
+}
+
+func waitFile(path, what string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fatalf("%s never appeared at %s", what, path)
+}
+
+func compare(label string, rec *serve.ResultRecord, want *core.Result) {
+	if rec.Gens != want.Gens || rec.ULEvals != want.ULEvals || rec.LLEvals != want.LLEvals {
+		fatalf("%s: budget trace diverged: got %d gens %d/%d, want %d gens %d/%d",
+			label, rec.Gens, rec.ULEvals, rec.LLEvals, want.Gens, want.ULEvals, want.LLEvals)
+	}
+	if rec.BestRevenue != want.Best.Revenue || rec.BestGapPct != want.Best.GapPct ||
+		rec.BestTree != want.Best.TreeStr || !reflect.DeepEqual(rec.BestPrice, want.Best.Price) {
+		fatalf("%s: best pairing diverged", label)
+	}
+}
+
+func step(s string) { fmt.Println("==> " + s) }
+
+func die(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obs-smoke FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

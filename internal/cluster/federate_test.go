@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"carbon/internal/serve"
+	"carbon/internal/slo"
+	"carbon/internal/telemetry"
+)
+
+// testWorkerObs is testWorker with the telemetry surface attached —
+// the same mux shape cmd/carbond serves, so the router's federation
+// scrape hits a real /metrics/prometheus.
+func testWorkerObs(t *testing.T, opts serve.Options) (*serve.Manager, *httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	opts.Metrics = reg
+	if opts.SpoolDir == "" {
+		opts.SpoolDir = t.TempDir()
+	}
+	m, err := serve.NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", serve.APIHandler(m))
+	mux.Handle("/", telemetry.DynamicHandler(
+		func() map[string]*telemetry.Registry { return map[string]*telemetry.Registry{"carbond": reg} },
+		m.MetricsTargets))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Close(ctx)
+	})
+	return m, srv, reg
+}
+
+func findSeries(t *testing.T, fams []telemetry.Family, name string) *telemetry.Family {
+	t.Helper()
+	f := telemetry.FindFamily(fams, name)
+	if f == nil {
+		names := make([]string, 0, len(fams))
+		for _, fam := range fams {
+			names = append(names, fam.Name)
+		}
+		t.Fatalf("family %s missing from federated view; have %v", name, names)
+	}
+	return f
+}
+
+// TestFleetMetricsFederation: counters sum across workers, gauges stay
+// per-worker under a worker label, and the router's own registry joins
+// the view as worker="router".
+func TestFleetMetricsFederation(t *testing.T) {
+	_, w1, reg1 := testWorkerObs(t, serve.Options{Workers: 1})
+	_, w2, reg2 := testWorkerObs(t, serve.Options{Workers: 1})
+	r := newTestRouter(t, Options{Workers: []string{w1.URL, w2.URL}})
+	h := r.Handler()
+
+	// One job per worker (round-robin) so both registries carry real
+	// engine counters.
+	for seed := uint64(1); seed <= 2; seed++ {
+		rr, body := do(t, h, "POST", "/v1/jobs", tinySpec(seed), nil)
+		if rr.Code != http.StatusCreated {
+			t.Fatalf("submit: got %d: %s", rr.Code, body)
+		}
+		var st serve.Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, h, st.ID)
+	}
+	reg1.Gauge("test.depth").Set(3)
+	reg2.Gauge("test.depth").Set(7)
+	r.Probe()
+
+	rr, body := do(t, h, "GET", "/metrics/prometheus", nil, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fleet metrics: got %d", rr.Code)
+	}
+	fams, err := telemetry.ParseFamilies(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("federated output does not re-parse: %v", err)
+	}
+
+	// Counter conservation: the fleet total is exactly the sum of the
+	// per-worker registries.
+	lp := findSeries(t, fams, "carbond_bcpop_lp_solves")
+	wantLP := float64(reg1.Counter("bcpop.lp_solves").Load() + reg2.Counter("bcpop.lp_solves").Load())
+	if wantLP <= 0 {
+		t.Fatal("workers report zero LP solves; jobs did not run")
+	}
+	var gotLP float64
+	for _, s := range lp.Series {
+		gotLP += s.Value
+	}
+	if gotLP != wantLP {
+		t.Fatalf("federated lp_solves = %v, want sum of workers %v", gotLP, wantLP)
+	}
+
+	// Gauges stay per-worker, distinguished by the worker label.
+	depth := findSeries(t, fams, "carbond_test_depth")
+	if depth.Kind != "gauge" || len(depth.Series) != 2 {
+		t.Fatalf("test.depth federated as %s with %d series, want gauge with 2", depth.Kind, len(depth.Series))
+	}
+	got := map[string]float64{}
+	for _, s := range depth.Series {
+		got[s.Labels[telemetry.WorkerLabel]] = s.Value
+	}
+	want := map[string]float64{workerLabel(w1.URL): 3, workerLabel(w2.URL): 7}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("gauge per-worker view = %v, want %v", got, want)
+		}
+	}
+
+	// The router contributes its own health as worker="router".
+	healthy := findSeries(t, fams, "carbonfleet_cluster_workers_healthy")
+	if len(healthy.Series) != 1 || healthy.Series[0].Labels[telemetry.WorkerLabel] != "router" ||
+		healthy.Series[0].Value != 2 {
+		t.Fatalf("router self-series: %+v", healthy.Series)
+	}
+
+	// JSON rollup agrees on coverage.
+	rr, body = do(t, h, "GET", "/v1/fleet/metrics", nil, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fleet metrics JSON: got %d", rr.Code)
+	}
+	var snap FleetMetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scraped != 2 || len(snap.Families) == 0 || snap.MergeError != "" {
+		t.Fatalf("rollup: scraped=%d families=%d mergeErr=%q", snap.Scraped, len(snap.Families), snap.MergeError)
+	}
+}
+
+// TestFleetSLOAlerts: a declarative rule over the federated view fires
+// on /v1/fleet/alerts and as a carbonfleet_alert gauge, then clears
+// when the metric recovers.
+func TestFleetSLOAlerts(t *testing.T) {
+	_, w1, reg := testWorkerObs(t, serve.Options{Workers: 1})
+	rules, err := slo.ParseRules("depth carbond_test_depth value > 10\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRouter(t, Options{Workers: []string{w1.URL}, SLORules: rules})
+	h := r.Handler()
+
+	reg.Gauge("test.depth").Set(50)
+	r.Probe()
+	rr, body := do(t, h, "GET", "/v1/fleet/alerts", nil, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("alerts: got %d", rr.Code)
+	}
+	var alerts []slo.Alert
+	if err := json.Unmarshal(body, &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Rule != "depth" || alerts[0].State != slo.StateFiring {
+		t.Fatalf("alerts after breach: %+v", alerts)
+	}
+	if alerts[0].Value != 50 {
+		t.Fatalf("alert observed value %v, want 50", alerts[0].Value)
+	}
+
+	// The alert is also a metric on the federated endpoint.
+	_, body = do(t, h, "GET", "/metrics/prometheus", nil, nil)
+	if !strings.Contains(string(body), `carbonfleet_alert{rule="depth"} 1`) {
+		t.Fatalf("alert gauge missing from exposition:\n%s", body)
+	}
+
+	reg.Gauge("test.depth").Set(5)
+	r.Probe()
+	_, body = do(t, h, "GET", "/v1/fleet/alerts", nil, nil)
+	alerts = nil
+	if err := json.Unmarshal(body, &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("alert did not clear: %+v", alerts)
+	}
+}
+
+// --- SSE proxy ---
+
+type sseFrame struct {
+	id    string
+	event string
+	data  string
+}
+
+func parseSSEBody(s string) []sseFrame {
+	var out []sseFrame
+	var cur sseFrame
+	for _, line := range strings.Split(s, "\n") {
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				out = append(out, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return out
+}
+
+// checkStream asserts the fleet-surface invariants on a proxied
+// stream: router-stamped ids strictly ascending, payloads carrying the
+// fleet ID, generations strictly increasing with no duplicates, a
+// terminal state, and the eof frame last. Returns the highest id and
+// the number of gen events.
+func checkStream(t *testing.T, frames []sseFrame, fleetID string) (lastID uint64, gens int) {
+	t.Helper()
+	if len(frames) == 0 {
+		t.Fatal("empty stream")
+	}
+	if last := frames[len(frames)-1]; last.event != "eof" {
+		t.Fatalf("stream did not end with eof: %+v", last)
+	}
+	lastGen := 0
+	var lastState serve.State
+	for _, f := range frames[:len(frames)-1] {
+		if f.event == "dropped" {
+			continue
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("frame %+v: %v", f, err)
+		}
+		if ev.Job != fleetID {
+			t.Fatalf("event names job %q, want fleet ID %q", ev.Job, fleetID)
+		}
+		var id uint64
+		if _, err := fmt.Sscanf(f.id, "%d", &id); err != nil {
+			t.Fatalf("frame id %q: %v", f.id, err)
+		}
+		if id <= lastID {
+			t.Fatalf("ids not ascending: %d after %d", id, lastID)
+		}
+		if id != ev.Seq {
+			t.Fatalf("id line %d != payload seq %d", id, ev.Seq)
+		}
+		lastID = id
+		switch ev.Type {
+		case serve.EventGen:
+			if ev.Gen == nil || ev.Gen.Gen <= lastGen {
+				t.Fatalf("gen sequence broken at %+v after gen %d", ev.Gen, lastGen)
+			}
+			lastGen = ev.Gen.Gen
+			gens++
+		case serve.EventState:
+			lastState = ev.State
+		}
+	}
+	if !lastState.Terminal() {
+		t.Fatalf("stream's final state %q is not terminal", lastState)
+	}
+	return lastID, gens
+}
+
+// TestFleetEventProxyStreamsAndResumes: the router proxies a job's SSE
+// stream under its fleet ID with router-owned sequence numbers, and
+// Last-Event-ID resumes replay only the tail.
+func TestFleetEventProxyStreamsAndResumes(t *testing.T) {
+	_, w1 := testWorker(t, serve.Options{Workers: 1})
+	r := newTestRouter(t, Options{Workers: []string{w1.URL}})
+	h := r.Handler()
+
+	rr, body := do(t, h, "POST", "/v1/jobs", tinySpec(7), nil)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("submit: got %d: %s", rr.Code, body)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, h, st.ID)
+
+	rr, body = do(t, h, "GET", "/v1/jobs/"+st.ID+"/events", nil, nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("events: got %d: %s", rr.Code, body)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	frames := parseSSEBody(string(body))
+	lastID, gens := checkStream(t, frames, st.ID)
+	if gens == 0 {
+		t.Fatal("no generation events streamed")
+	}
+
+	// Resume from the midpoint: exactly the tail replays, ending in eof.
+	resumeAfter := lastID / 2
+	rr, body = do(t, h, "GET", "/v1/jobs/"+st.ID+"/events", nil,
+		map[string]string{"Last-Event-ID": fmt.Sprint(resumeAfter)})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("resume: got %d", rr.Code)
+	}
+	tail := parseSSEBody(string(body))
+	if last := tail[len(tail)-1]; last.event != "eof" {
+		t.Fatalf("resumed stream did not end with eof: %+v", last)
+	}
+	var want, got int
+	want = int(lastID - resumeAfter)
+	for _, f := range tail {
+		if f.id != "" {
+			got++
+		}
+	}
+	if got != want {
+		t.Fatalf("resume replayed %d events, want %d", got, want)
+	}
+
+	rr, _ = do(t, h, "GET", "/v1/jobs/f999999/events", nil, nil)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown job events: got %d, want 404", rr.Code)
+	}
+}
+
+// TestFleetEventStreamStitchesAcrossFailover: a client watching one
+// fleet stream sees a seamless event sequence — generations strictly
+// increasing, no duplicates from the post-failover replay, one
+// terminal state — while the job is killed off one worker and restored
+// on another. The run's result stays bit-identical to the reference.
+func TestFleetEventStreamStitchesAcrossFailover(t *testing.T) {
+	_, w1 := testWorker(t, serve.Options{Workers: 1, CheckpointEvery: 1})
+	_, w2 := testWorker(t, serve.Options{Workers: 1, CheckpointEvery: 1})
+	r := newTestRouter(t, Options{Workers: []string{w1.URL, w2.URL}, DeadAfter: 2})
+	h := r.Handler()
+	front := httptest.NewServer(h)
+	t.Cleanup(front.Close)
+
+	spec := longSpec(81)
+	rr, body := do(t, h, "POST", "/v1/jobs", spec, nil)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("submit: got %d: %s", rr.Code, body)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach the stream before the kill and read it live to completion.
+	framesCh := make(chan []sseFrame, 1)
+	errCh := make(chan error, 1)
+	resp, err := http.Get(front.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer resp.Body.Close()
+		var frames []sseFrame
+		var cur sseFrame
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				frames = append(frames, cur)
+				if cur.event == "eof" {
+					framesCh <- frames
+					return
+				}
+				cur = sseFrame{}
+			case strings.HasPrefix(line, "id: "):
+				cur.id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "event: "):
+				cur.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			}
+		}
+		errCh <- fmt.Errorf("stream ended without eof: %v", sc.Err())
+	}()
+
+	waitFor(t, "checkpoint mirror", func() bool {
+		r.Probe()
+		_, err := os.Stat(r.mirrorPath(st.ID))
+		return err == nil
+	})
+	w1.Close()
+	r.Probe()
+	r.Probe()
+	rt, ok := r.lookup(st.ID)
+	if !ok || rt.Worker != w2.URL {
+		t.Fatalf("route did not fail over: %+v", rt)
+	}
+	waitDone(t, h, st.ID)
+	assertRecordMatches(t, fetchResult(t, h, st.ID), reference(t, spec))
+
+	var frames []sseFrame
+	select {
+	case frames = <-framesCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out waiting for the stream to complete")
+	}
+	lastID, gens := checkStream(t, frames, st.ID)
+
+	// Seamless coverage: the stream carries every generation the final
+	// result accounts for, exactly once (checkStream already proved
+	// strict monotonicity, so count == max means no holes).
+	rec := fetchResult(t, h, st.ID)
+	if gens != rec.Gens {
+		t.Fatalf("streamed %d generations across failover, result ran %d", gens, rec.Gens)
+	}
+
+	// Client-side resume still works after the re-home: the router ring
+	// owns the numbering, so a late Last-Event-ID replays just the tail.
+	rr, body = do(t, h, "GET", "/v1/jobs/"+st.ID+"/events", nil,
+		map[string]string{"Last-Event-ID": fmt.Sprint(lastID - 3)})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("post-failover resume: got %d", rr.Code)
+	}
+	tail := parseSSEBody(string(body))
+	var replayed int
+	for _, f := range tail {
+		if f.id != "" {
+			replayed++
+		}
+	}
+	if replayed != 3 || tail[len(tail)-1].event != "eof" {
+		t.Fatalf("post-failover resume replayed %d frames (want 3), tail %+v", replayed, tail[len(tail)-1])
+	}
+}

@@ -46,6 +46,10 @@ type FleetHealth struct {
 //	POST   /v1/islands          run one island-model job across the fleet
 //	GET    /v1/workers          per-worker health, as the router sees it
 //	GET    /v1/healthz          fleet summary (policy, healthy count, failovers)
+//	GET    /v1/jobs/{id}/events live SSE stream, stitched across failover
+//	GET    /v1/fleet/metrics    federated metric rollup as JSON
+//	GET    /v1/fleet/alerts     firing/pending SLO and dynamics alerts
+//	GET    /metrics/prometheus  the federated view in text exposition format
 //
 // Job IDs on this surface are fleet IDs ("f000001"); the worker that
 // hosts a job — and the worker-side ID — is the router's business, and
@@ -61,6 +65,18 @@ func (r *Router) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, req *http.Request) {
 		r.proxyResult(w, req, req.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
+		r.ServeJobEvents(w, req, req.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/fleet/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.FleetMetrics())
+	})
+	mux.HandleFunc("GET /v1/fleet/alerts", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Alerts())
+	})
+	mux.HandleFunc("GET /metrics/prometheus", func(w http.ResponseWriter, req *http.Request) {
+		r.ServeFleetProm(w)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleDelete)
 	mux.HandleFunc("POST /v1/islands", r.handleIslands)

@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"carbon/internal/serve"
+	"carbon/internal/slo"
 	"carbon/internal/span"
+	"carbon/internal/telemetry"
 )
 
 // Options configures a Router.
@@ -50,6 +52,17 @@ type Options struct {
 
 	// Spans writes the router's trace spans to SpoolDir/fleet.spans.jsonl.
 	Spans bool
+
+	// Metrics is the router's own instrument registry (a fresh one is
+	// created when nil). Its families join the federated fleet view
+	// under worker="router".
+	Metrics *telemetry.Registry
+
+	// SLORules are evaluated against the federated metric view every
+	// probe tick; firing rules surface on /v1/fleet/alerts and as
+	// carbonfleet_alert gauges. Nil means only the built-in search
+	// dynamics detectors (stagnation, disengagement, bloat) run.
+	SLORules []slo.Rule
 
 	// Client is the HTTP client for worker traffic (default: a client
 	// with no global timeout; per-request timeouts come from the
@@ -95,12 +108,22 @@ type Router struct {
 	tracer  *span.Tracer
 	spanExp *span.FileExporter
 
+	// Observability plane (see federate.go and events.go): the router's
+	// own registry, the federation cache, and proxied event streams.
+	metrics      *telemetry.Registry
+	fed          *federation
+	metFailovers *telemetry.Counter // cluster.failovers
+	metScrapeErr *telemetry.Counter // cluster.scrape_errors
+	metEvtDrop   *telemetry.Counter // cluster.events_dropped
+	metReconnect *telemetry.Counter // cluster.event_reconnects
+
 	mu        sync.Mutex
 	seq       int
 	rr        int // round-robin cursor
 	workers   []*worker
 	routes    map[string]*route
 	orphans   map[string][]string // worker URL → job IDs to delete when it revives
+	streams   map[string]*fleetStream
 	failovers int
 	closed    bool
 
@@ -133,15 +156,26 @@ func NewRouter(opts Options) (*Router, error) {
 	if err := os.MkdirAll(opts.SpoolDir, 0o755); err != nil {
 		return nil, err
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	r := &Router{
 		opts:    opts,
 		client:  opts.Client,
 		buckets: newBuckets(opts.Rate, opts.Burst, opts.Quota, nil),
+		metrics: reg,
+		fed:     newFederation(opts.SLORules),
 		routes:  make(map[string]*route),
 		orphans: make(map[string][]string),
+		streams: make(map[string]*fleetStream),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	r.metFailovers = reg.Counter("cluster.failovers")
+	r.metScrapeErr = reg.Counter("cluster.scrape_errors")
+	r.metEvtDrop = reg.Counter("cluster.events_dropped")
+	r.metReconnect = reg.Counter("cluster.event_reconnects")
 	if r.client == nil {
 		r.client = &http.Client{}
 	}
@@ -154,6 +188,7 @@ func NewRouter(opts Options) (*Router, error) {
 	}
 	if opts.Spans {
 		r.spanExp = span.NewFileExporter(filepath.Join(opts.SpoolDir, "fleet.spans.jsonl"))
+		r.spanExp.SetDropCounter(reg.Counter("span.dropped_writes"))
 		r.tracer = span.New(r.spanExp)
 	}
 	if err := r.recover(); err != nil {
@@ -278,6 +313,7 @@ func (r *Router) probeTick() {
 	}
 	r.syncRoutes()
 	r.failoverDead()
+	r.federate()
 }
 
 func (r *Router) fetchHealth(url string) (serve.Health, error) {
@@ -340,10 +376,20 @@ func (r *Router) syncRoutes() {
 		if err != nil {
 			continue
 		}
+		if st.Latest != nil {
+			// The status poll doubles as the dynamics feed: detectors
+			// dedupe generations replayed after a failover by number.
+			r.fed.dynMu.Lock()
+			r.fed.dyn.Observe(rt.FleetID, *st.Latest)
+			r.fed.dynMu.Unlock()
+		}
 		if st.State.Terminal() {
 			r.mu.Lock()
 			rt.Done = true
 			r.mu.Unlock()
+			r.fed.dynMu.Lock()
+			r.fed.dyn.Forget(rt.FleetID)
+			r.fed.dynMu.Unlock()
 			_ = writeJSONAtomic(r.routePath(rt.FleetID), rt)
 			_ = os.Remove(r.mirrorPath(rt.FleetID))
 			continue
@@ -414,6 +460,7 @@ func (r *Router) failover(rt *route) {
 		rt.Failovers++
 		r.failovers++
 		r.mu.Unlock()
+		r.metFailovers.Inc()
 		_ = writeJSONAtomic(r.routePath(rt.FleetID), rt)
 		return
 	}

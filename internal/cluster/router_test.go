@@ -105,7 +105,9 @@ func do(t *testing.T, h http.Handler, method, path string, body any, hdr map[str
 
 func waitFor(t testing.TB, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
+	// Generous: a race-instrumented engine on a loaded single-core
+	// machine runs the long failover jobs 10-20x slower than bare.
+	deadline := time.Now().Add(3 * time.Minute)
 	for time.Now().Before(deadline) {
 		if cond() {
 			return

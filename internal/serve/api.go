@@ -25,6 +25,7 @@ type RestoreRequest struct {
 //	POST   /v1/jobs/restore    submit a spec plus a seed checkpoint (cluster failover)
 //	GET    /v1/jobs            list every job
 //	GET    /v1/jobs/{id}       status (live GenStats while running)
+//	GET    /v1/jobs/{id}/events live SSE stream (Last-Event-ID resume, see ServeEvents)
 //	GET    /v1/jobs/{id}/result final ResultRecord (409 until finished)
 //	GET    /v1/jobs/{id}/checkpoint latest clean checkpoint envelope (404 until one exists)
 //	DELETE /v1/jobs/{id}       cancel / withdraw / delete the record
@@ -114,6 +115,9 @@ func APIHandler(m *Manager) http.Handler {
 			w.Header().Set("Traceparent", st.Spec.TraceParent)
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		ServeEvents(m, w, r, r.PathValue("id"))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		rec, err := m.Result(r.PathValue("id"))

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"carbon/internal/core"
+	"carbon/internal/telemetry"
+)
+
+// Event is one item on a job's live stream: a lifecycle transition or a
+// per-generation engine snapshot. Seq is a per-job monotonic sequence
+// number starting at 1 — the SSE id: line, and the resume token clients
+// hand back as Last-Event-ID.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Job  string `json:"job"`
+	Type string `json:"type"` // EventState | EventGen
+
+	// State payload (Type == EventState).
+	State    State  `json:"state,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	// Generation payload (Type == EventGen) — the engine's GenStats with
+	// SearchStats attached when the engine computes them.
+	Gen *core.GenStats `json:"gen,omitempty"`
+}
+
+const (
+	// EventState marks a lifecycle transition (queued, running, done, …).
+	EventState = "state"
+	// EventGen carries one generation's GenStats/SearchStats.
+	EventGen = "gen"
+)
+
+// EventRing is a job's bounded publish ring. The publisher (the engine's
+// observer callback and the lifecycle state machine) appends under one
+// mutex and wakes subscribers with a non-blocking signal — it NEVER
+// waits on a consumer, so a slow SSE client cannot stall a generation
+// or perturb the run (streaming consumes zero algorithm RNG). When the
+// ring is full the oldest event is evicted; a subscriber that fell
+// behind the eviction horizon skips forward and reports how many events
+// it lost, counted in serve.events_dropped. Drop-oldest (not
+// drop-newest) because the most recent generation is always the one an
+// operator needs.
+type EventRing struct {
+	mu     sync.Mutex
+	buf    []Event // fixed ring storage; seq s lives at (s-1) % len(buf)
+	count  int     // retained events, ≤ len(buf)
+	next   uint64  // seq the next publish will take (starts at 1)
+	subs   map[chan struct{}]struct{}
+	closed bool
+	drops  *telemetry.Counter // serve.events_dropped (nil-safe)
+}
+
+func NewEventRing(capacity int, drops *telemetry.Counter) *EventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventRing{
+		buf:   make([]Event, capacity),
+		next:  1,
+		subs:  make(map[chan struct{}]struct{}),
+		drops: drops,
+	}
+}
+
+// Publish appends one event, stamping its Seq, and wakes subscribers.
+// Non-blocking by construction; nil-safe; a closed log drops silently
+// (terminal state already streamed).
+func (l *EventRing) Publish(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	ev.Seq = l.next
+	l.next++
+	l.buf[int((ev.Seq-1)%uint64(len(l.buf)))] = ev
+	if l.count < len(l.buf) {
+		l.count++
+	}
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signaled; subscriber will catch up
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Close marks the stream complete — subscribers drain what is retained,
+// then Next returns io.EOF. Idempotent, nil-safe.
+func (l *EventRing) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.closed = true
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Subscription is one consumer's cursor into a job's event ring.
+type Subscription struct {
+	log     *EventRing
+	cursor  uint64 // last seq delivered (0 = from the beginning)
+	wake    chan struct{}
+	dropped uint64
+}
+
+// Subscribe opens a cursor positioned just after seq `after` (0 streams
+// everything still retained). A token from a future the log never
+// reached — a stale Last-Event-ID after a re-home gave the job a fresh
+// log — clamps to the present instead of waiting for a seq that will
+// never come.
+func (l *EventRing) Subscribe(after uint64) *Subscription {
+	s := &Subscription{log: l, cursor: after, wake: make(chan struct{}, 1)}
+	l.mu.Lock()
+	if last := l.next - 1; s.cursor > last {
+		s.cursor = last
+	}
+	l.subs[s.wake] = struct{}{}
+	l.mu.Unlock()
+	return s
+}
+
+// Close detaches the subscription from the ring.
+func (s *Subscription) Close() {
+	s.log.mu.Lock()
+	delete(s.log.subs, s.wake)
+	s.log.mu.Unlock()
+}
+
+// Dropped reports how many events this subscriber lost to ring
+// eviction so far.
+func (s *Subscription) Dropped() uint64 { return s.dropped }
+
+// Next blocks until an event past the cursor is available and returns
+// it, together with the number of events skipped because the ring
+// evicted them before this subscriber caught up (0 in the healthy
+// case). After the job's stream completes and is fully drained, Next
+// returns io.EOF; a canceled context returns ctx.Err().
+func (s *Subscription) Next(ctx context.Context) (Event, uint64, error) {
+	for {
+		s.log.mu.Lock()
+		last := s.log.next - 1
+		if s.cursor < last {
+			oldest := s.log.next - uint64(s.log.count)
+			var skipped uint64
+			if s.cursor+1 < oldest {
+				skipped = oldest - 1 - s.cursor
+				s.cursor = oldest - 1
+			}
+			s.cursor++
+			ev := s.log.buf[int((s.cursor-1)%uint64(len(s.log.buf)))]
+			s.log.mu.Unlock()
+			if skipped > 0 {
+				s.dropped += skipped
+				s.log.drops.Add(int64(skipped))
+			}
+			return ev, skipped, nil
+		}
+		closed := s.log.closed
+		s.log.mu.Unlock()
+		if closed {
+			return Event{}, 0, io.EOF
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, 0, ctx.Err()
+		case <-s.wake:
+		}
+	}
+}
+
+// Events opens a subscription to a job's live stream, resuming after
+// seq `after` (0 = from the oldest retained event). The caller must
+// Close it.
+func (m *Manager) Events(id string, after uint64) (*Subscription, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.events.Subscribe(after), nil
+}
+
+// publishState emits the job's current lifecycle position. Reads the
+// mutable fields under j.mu; must NOT be called with j.mu held.
+func (j *job) publishState() {
+	j.mu.Lock()
+	ev := Event{
+		Job:      j.id,
+		Type:     EventState,
+		State:    j.state,
+		Attempts: j.attempts,
+		Error:    j.errMsg,
+	}
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	j.events.Publish(ev)
+	if terminal {
+		j.events.Close()
+	}
+}

@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"carbon/internal/core"
+	"carbon/internal/telemetry"
+)
+
+// TestEventLogOrderAndResume pins the ring semantics: monotonic seqs,
+// replay from an arbitrary resume point, EOF after close.
+func TestEventLogOrderAndResume(t *testing.T) {
+	l := NewEventRing(64, nil)
+	for i := 1; i <= 5; i++ {
+		l.Publish(Event{Type: EventGen, Gen: &core.GenStats{Gen: i}})
+	}
+	sub := l.Subscribe(2) // resume after seq 2
+	ctx := context.Background()
+	for want := 3; want <= 5; want++ {
+		ev, skipped, err := sub.Next(ctx)
+		if err != nil || skipped != 0 {
+			t.Fatalf("Next: %v skipped=%d", err, skipped)
+		}
+		if ev.Seq != uint64(want) || ev.Gen.Gen != want {
+			t.Fatalf("got seq %d gen %d, want %d", ev.Seq, ev.Gen.Gen, want)
+		}
+	}
+	l.Close()
+	if _, _, err := sub.Next(ctx); err != io.EOF {
+		t.Fatalf("after close: %v, want EOF", err)
+	}
+	sub.Close()
+}
+
+// TestEventLogDropOldest fills the ring past capacity and checks a slow
+// subscriber skips forward with an accurate gap count, recorded in the
+// drop counter.
+func TestEventLogDropOldest(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	l := NewEventRing(4, reg.Counter("serve.events_dropped"))
+	sub := l.Subscribe(0)
+	for i := 1; i <= 10; i++ {
+		l.Publish(Event{Type: EventGen, Gen: &core.GenStats{Gen: i}})
+	}
+	// Ring holds seqs 7..10; seqs 1..6 were evicted before the first read.
+	ev, skipped, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 6 || ev.Seq != 7 {
+		t.Fatalf("got seq %d skipped %d, want seq 7 skipped 6", ev.Seq, skipped)
+	}
+	if got := reg.Counter("serve.events_dropped").Load(); got != 6 {
+		t.Fatalf("serve.events_dropped = %d, want 6", got)
+	}
+	if sub.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d", sub.Dropped())
+	}
+	for want := 8; want <= 10; want++ {
+		ev, skipped, err = sub.Next(context.Background())
+		if err != nil || skipped != 0 || ev.Seq != uint64(want) {
+			t.Fatalf("drain: seq %d skipped %d err %v, want seq %d", ev.Seq, skipped, err, want)
+		}
+	}
+}
+
+// TestEventLogStaleResumeClamps: a Last-Event-ID from a previous
+// incarnation (higher than anything this log ever issued) must not hang
+// the subscriber — it clamps to the present.
+func TestEventLogStaleResumeClamps(t *testing.T) {
+	l := NewEventRing(8, nil)
+	l.Publish(Event{Type: EventState, State: StateQueued})
+	sub := l.Subscribe(1 << 40)
+	l.Publish(Event{Type: EventState, State: StateRunning})
+	ev, _, err := sub.Next(context.Background())
+	if err != nil || ev.Seq != 2 || ev.State != StateRunning {
+		t.Fatalf("stale resume: ev=%+v err=%v", ev, err)
+	}
+}
+
+// TestEventLogPublisherNeverBlocks: with no consumer draining, a burst
+// far past capacity must complete immediately.
+func TestEventLogPublisherNeverBlocks(t *testing.T) {
+	l := NewEventRing(2, nil)
+	_ = l.Subscribe(0) // attached but never reads
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			l.Publish(Event{Type: EventGen, Gen: &core.GenStats{Gen: i}})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on an idle subscriber")
+	}
+}
+
+// TestJobStreamsLifecycleAndGens runs a real job and checks its stream
+// carries queued → running → every generation in order → done, then
+// EOF.
+func TestJobStreamsLifecycleAndGens(t *testing.T) {
+	m := newTestManager(t, Options{SpoolDir: t.TempDir(), EventBuffer: 1024})
+	st, err := m.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Events(st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var states []State
+	var gens []int
+	for {
+		ev, skipped, err := sub.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skipped != 0 {
+			t.Fatalf("dropped %d events with a huge buffer", skipped)
+		}
+		switch ev.Type {
+		case EventState:
+			states = append(states, ev.State)
+		case EventGen:
+			gens = append(gens, ev.Gen.Gen)
+		}
+	}
+	if want := []State{StateQueued, StateRunning, StateDone}; !reflect.DeepEqual(states, want) {
+		t.Fatalf("lifecycle stream %v, want %v", states, want)
+	}
+	if len(gens) == 0 {
+		t.Fatal("no generation events streamed")
+	}
+	for i, g := range gens {
+		if g != i+1 {
+			t.Fatalf("generation stream out of order at %d: %v", i, gens)
+		}
+	}
+	final, _ := m.Get(st.ID)
+	if final.Gens != gens[len(gens)-1] {
+		t.Fatalf("streamed %d gens, status says %d", gens[len(gens)-1], final.Gens)
+	}
+}
+
+// TestStreamingKeepsRunsBitIdentical is the determinism gate for the
+// whole plane: a job streamed to several (deliberately slow) consumers
+// must produce exactly the result of an undisturbed in-process run.
+func TestStreamingKeepsRunsBitIdentical(t *testing.T) {
+	spec := tinySpec(7)
+	want := reference(t, spec)
+
+	m := newTestManager(t, Options{SpoolDir: t.TempDir(), EventBuffer: 4})
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		sub, err := m.Events(st.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(lazy bool) {
+			defer wg.Done()
+			defer sub.Close()
+			ctx := context.Background()
+			for {
+				if _, _, err := sub.Next(ctx); err != nil {
+					return
+				}
+				if lazy {
+					time.Sleep(time.Millisecond) // force ring eviction
+				}
+			}
+		}(i == 0)
+	}
+	waitFor(t, "job done", func() bool {
+		s, err := m.Get(st.ID)
+		return err == nil && s.State == StateDone
+	})
+	wg.Wait()
+	rec, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BestRevenue != want.Best.Revenue || rec.BestTree != want.Best.TreeStr {
+		t.Fatalf("streamed run diverged: revenue %v tree %q, want %v %q",
+			rec.BestRevenue, rec.BestTree, want.Best.Revenue, want.Best.TreeStr)
+	}
+	if rec.Gens != want.Gens || rec.ULEvals != want.ULEvals || rec.LLEvals != want.LLEvals {
+		t.Fatalf("streamed run consumed different budgets: %+v vs gens=%d ul=%d ll=%d",
+			rec, want.Gens, want.ULEvals, want.LLEvals)
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+func readSSE(t *testing.T, r *bufio.Reader) (sseEvent, error) {
+	t.Helper()
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.event != "" || ev.data != "" {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, "id: "):
+			ev.id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			ev.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			ev.data = line[6:]
+		}
+	}
+}
+
+// TestSSEEndpointStreamsAndResumes drives GET /v1/jobs/{id}/events over
+// real HTTP: full stream first, then a resumed stream via Last-Event-ID
+// must replay exactly the events after the token, ending in eof.
+func TestSSEEndpointStreamsAndResumes(t *testing.T) {
+	m := newTestManager(t, Options{SpoolDir: t.TempDir(), EventBuffer: 4096})
+	srv := httptest.NewServer(APIHandler(m))
+	defer srv.Close()
+
+	st, err := m.Submit(tinySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	var frames []sseEvent
+	for {
+		ev, err := readSSE(t, br)
+		if err != nil {
+			t.Fatalf("stream ended without eof frame: %v", err)
+		}
+		frames = append(frames, ev)
+		if ev.event == "eof" {
+			break
+		}
+	}
+	if len(frames) < 4 { // queued, running, ≥1 gen, done, eof
+		t.Fatalf("only %d frames", len(frames))
+	}
+	// Every framed event's id must match its payload seq and be
+	// strictly ascending.
+	lastSeq := uint64(0)
+	for _, f := range frames[:len(frames)-1] {
+		var ev Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("frame data %q: %v", f.data, err)
+		}
+		if fmt.Sprint(ev.Seq) != f.id || ev.Seq != lastSeq+1 {
+			t.Fatalf("frame id %s vs seq %d (last %d)", f.id, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+
+	// Resume from the middle: replay must continue at resumeAfter+1.
+	resumeAfter := (lastSeq + 1) / 2
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(resumeAfter))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	br2 := bufio.NewReader(resp2.Body)
+	first, err := readSSE(t, br2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(first.data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != resumeAfter+1 {
+		t.Fatalf("resume after %d delivered seq %d", resumeAfter, ev.Seq)
+	}
+	count := uint64(1)
+	for {
+		f, err := readSSE(t, br2)
+		if err != nil {
+			t.Fatalf("resumed stream ended without eof: %v", err)
+		}
+		if f.event == "eof" {
+			break
+		}
+		count++
+	}
+	if count != lastSeq-resumeAfter {
+		t.Fatalf("resumed stream replayed %d events, want %d", count, lastSeq-resumeAfter)
+	}
+
+	// Unknown job: 404, not a hung stream.
+	resp3, err := http.Get(srv.URL + "/v1/jobs/zzz/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events: %d", resp3.StatusCode)
+	}
+}
+
+// TestHealthzEnriched checks the new identity fields on /v1/healthz.
+func TestHealthzEnriched(t *testing.T) {
+	m := newTestManager(t, Options{SpoolDir: t.TempDir()})
+	srv := httptest.NewServer(APIHandler(m))
+	defer srv.Close()
+
+	st, err := m.Submit(longSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Incarnation == "" || h.UptimeSec < 0 {
+		t.Fatalf("health identity: %+v", h)
+	}
+	if h.Build.GoVersion == "" {
+		t.Fatalf("build info missing: %+v", h.Build)
+	}
+	if h.ActiveJobs != h.QueueDepth+h.Running || h.ActiveJobs == 0 {
+		t.Fatalf("active jobs %d (queue %d running %d)", h.ActiveJobs, h.QueueDepth, h.Running)
+	}
+	// Incarnation is stable across calls within one process lifetime.
+	if h2 := m.Health(); h2.Incarnation != h.Incarnation {
+		t.Fatalf("incarnation drifted: %q vs %q", h2.Incarnation, h.Incarnation)
+	}
+	_ = m.Cancel(st.ID)
+}
+
+// TestRecoveredTerminalJobStreamsEOF: subscribing to a job recovered in
+// a terminal state yields its final state then EOF — no hang.
+func TestRecoveredTerminalJobStreamsEOF(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Options{SpoolDir: dir})
+	st, err := m.Submit(tinySpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job done", func() bool {
+		s, err := m.Get(st.ID)
+		return err == nil && s.State == StateDone
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = m.Close(ctx)
+
+	m2 := newTestManager(t, Options{SpoolDir: dir})
+	sub, err := m2.Events(st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ev, _, err := sub.Next(ctx)
+	if err != nil || ev.Type != EventState || ev.State != StateDone {
+		t.Fatalf("recovered stream: %+v err=%v", ev, err)
+	}
+	if _, _, err := sub.Next(ctx); err != io.EOF {
+		t.Fatalf("recovered terminal stream not closed: %v", err)
+	}
+}

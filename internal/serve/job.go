@@ -90,6 +90,11 @@ type job struct {
 	rootSpan  *span.Span
 	queueSpan *span.Span
 
+	// events is the job's live-stream ring (see events.go) — set before
+	// the job becomes visible and never reassigned, so it needs no
+	// locking; it has its own mutex internally.
+	events *EventRing
+
 	mu        sync.Mutex
 	state     State
 	resumed   bool
@@ -148,10 +153,11 @@ func (j *job) closeSpans() {
 	}
 }
 
-// setState transitions the job, stamping started/finished as appropriate.
+// setState transitions the job, stamping started/finished as
+// appropriate, and publishes the transition on the job's event stream
+// (terminal states also complete the stream).
 func (j *job) setState(s State) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = s
 	now := time.Now()
 	switch {
@@ -160,6 +166,8 @@ func (j *job) setState(s State) {
 	case s.Terminal():
 		j.finished = &now
 	}
+	j.mu.Unlock()
+	j.publishState()
 }
 
 // DeadRecord is the spooled marker of an exhausted job: what failed,

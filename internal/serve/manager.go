@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -108,6 +109,12 @@ type Options struct {
 	// sequences reproducible in tests.
 	RetrySeed uint64
 
+	// EventBuffer bounds each job's live-event ring (default 256; <0 is
+	// clamped to 1). A subscriber that falls more than EventBuffer events
+	// behind skips forward and the gap lands in serve.events_dropped —
+	// the publisher never blocks on a consumer.
+	EventBuffer int
+
 	// Fault, when non-nil, arms fault-injection sites across the manager:
 	// lp.solve inside every job's engine, checkpoint.write and spool.write
 	// on the manager's own I/O. Testing and chaos drills only.
@@ -136,6 +143,9 @@ func (o Options) withDefaults() Options {
 	if o.RetrySeed == 0 {
 		o.RetrySeed = 1
 	}
+	if o.EventBuffer == 0 {
+		o.EventBuffer = 256
+	}
 	return o
 }
 
@@ -155,6 +165,12 @@ type Manager struct {
 	seq    int
 	closed bool
 
+	// Identity served on /v1/healthz: fixed at construction, read-only
+	// after (no locking needed).
+	startTime   time.Time
+	incarnation string
+	build       Build
+
 	// retryRng drives backoff jitter; its own mutex keeps the retry path
 	// off the job-table lock.
 	retryMu  sync.Mutex
@@ -168,6 +184,8 @@ type Manager struct {
 	metRetries *telemetry.Counter // serve.retries
 	metDead    *telemetry.Counter // serve.jobs_dead
 	metDiscard *telemetry.Counter // serve.checkpoints_discarded
+	metSpanDrp *telemetry.Counter // span.dropped_writes
+	metEvtDrop *telemetry.Counter // serve.events_dropped
 
 	// histExp feeds every job's ended spans into shared duration
 	// histograms (span.<name>_ms in Metrics); nil when tracing is off or
@@ -191,12 +209,16 @@ func NewManager(opts Options) (*Manager, error) {
 	if err := os.MkdirAll(opts.SpoolDir, 0o755); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	m := &Manager{
 		opts:           opts,
 		pool:           par.NewPool(opts.Workers),
 		sem:            make(chan struct{}, opts.Workers),
 		draining:       make(chan struct{}),
 		jobs:           make(map[string]*job),
+		startTime:      start,
+		incarnation:    fmt.Sprintf("%d-%x", os.Getpid(), start.UnixNano()),
+		build:          readBuild(),
 		retryRng:       rng.New(opts.RetrySeed),
 		lpFault:        opts.Fault.Lookup(fault.SiteLPSolve),
 		ckptFault:      opts.Fault.Lookup(fault.SiteCheckpoint),
@@ -207,6 +229,8 @@ func NewManager(opts Options) (*Manager, error) {
 		m.metRetries = reg.Counter("serve.retries")
 		m.metDead = reg.Counter("serve.jobs_dead")
 		m.metDiscard = reg.Counter("serve.checkpoints_discarded")
+		m.metSpanDrp = reg.Counter("span.dropped_writes")
+		m.metEvtDrop = reg.Counter("serve.events_dropped")
 	}
 	if opts.Spans {
 		m.histExp = span.NewHistExporter(opts.Metrics, "span")
@@ -276,6 +300,7 @@ func (m *Manager) recover() ([]*job, error) {
 			continue
 		}
 		j := &job{id: id, spec: spec, state: StateQueued, submitted: time.Now()}
+		j.events = NewEventRing(m.opts.EventBuffer, m.metEvtDrop)
 		if rec := new(ResultRecord); readJSONQuarantine(m.resultPath(id), rec) {
 			j.state = StateDone
 			j.result = rec
@@ -290,6 +315,11 @@ func (m *Manager) recover() ([]*job, error) {
 			m.reattachSpans(j)
 			requeue = append(requeue, j)
 		}
+		// Seed the recovered job's stream with its current position —
+		// events from the previous incarnation are gone with its memory,
+		// so subscribers start from this state (terminal states close the
+		// stream immediately).
+		j.publishState()
 		m.jobs[id] = j
 	}
 	sort.Slice(requeue, func(a, b int) bool { return requeue[a].id < requeue[b].id })
@@ -311,6 +341,7 @@ func (m *Manager) reattachSpans(j *job) {
 		return // pre-tracing spool entry: run it untraced rather than fail
 	}
 	j.spanExp = span.NewFileExporter(m.spanPath(j.id))
+	j.spanExp.SetDropCounter(m.metSpanDrp)
 	j.tracer = span.New(span.Multi(j.spanExp, m.histExp))
 	j.root = ctx
 	j.queueSpan = j.tracer.StartRemote(ctx, "queue.wait").
@@ -416,6 +447,7 @@ func (m *Manager) submit(spec JobSpec, ckpt []byte) (Status, error) {
 	// The job is built — spans included — before it becomes visible to
 	// List or the queue, so its identity fields never race a reader.
 	j := &job{id: id, state: StateQueued, submitted: time.Now()}
+	j.events = NewEventRing(m.opts.EventBuffer, m.metEvtDrop)
 	if m.opts.Spans {
 		// The root "job" span opens the trace. A valid caller TraceParent
 		// (the API's traceparent header) parents it into the caller's
@@ -424,6 +456,7 @@ func (m *Manager) submit(spec JobSpec, ckpt []byte) (Status, error) {
 		// writes the open record now — a crash leaves the root open in
 		// the file, never absent.
 		j.spanExp = span.NewFileExporter(m.spanPath(id))
+		j.spanExp.SetDropCounter(m.metSpanDrp)
 		j.tracer = span.New(span.Multi(j.spanExp, m.histExp))
 		if parent, perr := span.ParseTraceParent(spec.TraceParent); perr == nil {
 			j.rootSpan = j.tracer.StartRemote(parent, "job")
@@ -471,6 +504,7 @@ func (m *Manager) submit(spec JobSpec, ckpt []byte) (Status, error) {
 	case m.queue <- j:
 		m.jobs[id] = j
 		m.mu.Unlock()
+		j.publishState() // seq 1: queued
 		return j.status(), nil
 	default:
 		m.mu.Unlock()
@@ -496,16 +530,52 @@ type Health struct {
 	JobsTotal int `json:"jobs_total"` // every job the manager answers for
 	Done      int `json:"done"`
 	Dead      int `json:"dead"`
+
+	// Identity and liveness — so probes and carbontop stop inferring
+	// them from queue depth alone. Incarnation changes every process
+	// start (pid + start time, no algorithm RNG involved): a fleet
+	// router comparing incarnations across probes detects a worker that
+	// crashed and restarted between two healthy responses.
+	UptimeSec   float64 `json:"uptime_sec"`
+	Incarnation string  `json:"incarnation"`
+	ActiveJobs  int     `json:"active_jobs"` // queued + running
+	Build       Build   `json:"build"`
 }
 
-// Health reports the manager's current load.
+// Build identifies the serving binary (from runtime/debug.ReadBuildInfo).
+type Build struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+}
+
+// readBuild snapshots the binary's build info once at manager start.
+func readBuild() Build {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return Build{}
+	}
+	b := Build{GoVersion: bi.GoVersion, Path: bi.Main.Path, Version: bi.Main.Version}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			b.Revision = s.Value
+		}
+	}
+	return b
+}
+
+// Health reports the manager's current load and identity.
 func (m *Manager) Health() Health {
 	m.mu.Lock()
 	h := Health{
-		OK:       !m.closed,
-		Draining: m.closed,
-		QueueCap: m.opts.QueueDepth,
-		Workers:  m.opts.Workers,
+		OK:          !m.closed,
+		Draining:    m.closed,
+		QueueCap:    m.opts.QueueDepth,
+		Workers:     m.opts.Workers,
+		UptimeSec:   time.Since(m.startTime).Seconds(),
+		Incarnation: m.incarnation,
+		Build:       m.build,
 	}
 	for _, j := range m.jobs {
 		h.JobsTotal++
@@ -523,6 +593,7 @@ func (m *Manager) Health() Health {
 		j.mu.Unlock()
 	}
 	m.mu.Unlock()
+	h.ActiveJobs = h.QueueDepth + h.Running
 	return h
 }
 
@@ -619,6 +690,7 @@ func (m *Manager) Cancel(id string) error {
 		now := time.Now()
 		j.finished = &now
 		j.mu.Unlock()
+		j.publishState()
 		j.closeSpans()
 	default: // terminal: delete the record entirely
 		j.mu.Unlock()
@@ -686,6 +758,7 @@ func (m *Manager) runJob(j *job) {
 	j.mu.Unlock()
 	defer cancel(nil)
 	j.queueSpan.End() // queue wait is over: a worker owns the job now
+	j.publishState()  // running
 
 	var err error
 	for {
@@ -845,6 +918,10 @@ func (m *Manager) execute(ctx context.Context, j *job, att *span.Span) error {
 		j.gens = gs.Gen
 		j.mu.Unlock()
 		jobMetrics(jreg, gs)
+		// Fan the generation out to live subscribers. publish appends to
+		// the ring and returns — a slow or absent consumer costs the
+		// engine nothing, and no RNG is consumed on this path.
+		j.events.Publish(Event{Job: j.id, Type: EventGen, Gen: &gs})
 	}}
 
 	var e *core.Engine
@@ -993,8 +1070,12 @@ func (m *Manager) lookup(id string) (*job, error) {
 
 func (m *Manager) forget(id string) {
 	m.mu.Lock()
+	j := m.jobs[id]
 	delete(m.jobs, id)
 	m.mu.Unlock()
+	if j != nil {
+		j.events.Close() // subscribers of a deleted record drain and EOF
+	}
 }
 
 // Spool layout: <id>.job.json (the normalized spec — existence marks a

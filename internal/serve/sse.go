@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// ServeEvents streams a job's live events as Server-Sent Events:
+//
+//	id: <seq>          the per-job sequence number — the resume token
+//	event: state|gen   lifecycle transition or generation snapshot
+//	data: <Event JSON>
+//
+// A client reconnecting with a Last-Event-ID header (or ?after=N, for
+// tools that cannot set headers) resumes after that sequence number;
+// events still retained in the ring are replayed, and events already
+// evicted are announced as one `event: dropped` message carrying the
+// gap size, never silently skipped. When the job reaches a terminal
+// state the stream ends with `event: eof` and the connection closes —
+// distinguishable from a network cut, which just drops. The publisher
+// side never blocks on this handler (see EventRing), so a stalled
+// reader cannot slow a run.
+func ServeEvents(m *Manager, w http.ResponseWriter, r *http.Request, id string) {
+	after := ParseAfter(r)
+	sub, err := m.Events(id, after)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	defer sub.Close()
+	StreamSSE(w, r, sub, id)
+}
+
+// StreamSSE writes a subscription out as an SSE response until the
+// stream completes (event: eof) or the client disconnects. Shared by
+// the worker's job endpoint and the fleet router's proxied streams —
+// both speak exactly the same frame protocol, so a client cannot tell
+// (and need not care) which tier it is connected to.
+func StreamSSE(w http.ResponseWriter, r *http.Request, sub *Subscription, id string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("serve: response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // reverse proxies must not buffer
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		ev, skipped, err := sub.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			_, _ = fmt.Fprintf(w, "event: eof\ndata: {\"job\":%q}\n\n", id)
+			fl.Flush()
+			return
+		}
+		if err != nil {
+			return // client went away
+		}
+		if skipped > 0 {
+			_, _ = fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", skipped)
+		}
+		if werr := writeSSE(w, ev); werr != nil {
+			return
+		}
+		fl.Flush()
+	}
+}
+
+// ParseAfter extracts the SSE resume token: the Last-Event-ID header,
+// falling back to ?after=N for tools that cannot set headers. Garbage
+// tokens restart from the oldest retained event.
+func ParseAfter(r *http.Request) uint64 {
+	tok := r.Header.Get("Last-Event-ID")
+	if tok == "" {
+		tok = r.URL.Query().Get("after")
+	}
+	if tok == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(tok, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func writeSSE(w io.Writer, ev Event) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+	return err
+}

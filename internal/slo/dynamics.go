@@ -1,0 +1,105 @@
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"carbon/internal/core"
+	"carbon/internal/tracestat"
+)
+
+// Dynamics watches live per-generation streams and re-runs the
+// tracestat anomaly detectors on them, turning post-hoc trace analysis
+// (stagnation, bloat, predator–prey disengagement) into standing
+// alerts while runs execute. The router feeds it every GenStats it
+// sees — from job status polls and the event stream alike; duplicate
+// generations (failover replays) are dropped by generation number, so
+// a re-homed job never double-counts.
+type Dynamics struct {
+	capacity int
+	jobs     map[string]*jobTrack
+}
+
+type jobTrack struct {
+	run     tracestat.Run
+	lastGen int
+	// since remembers when each anomaly kind first appeared, so the
+	// alert's Since survives re-evaluations.
+	since map[string]time.Time
+}
+
+// NewDynamics bounds each job's retained window to capacity
+// generations (≤0 means the 2048 default). The detectors see at most
+// that much history; a stagnation plateau longer than the window still
+// alerts — it is the recent half that matters.
+func NewDynamics(capacity int) *Dynamics {
+	if capacity <= 0 {
+		capacity = 2048
+	}
+	return &Dynamics{capacity: capacity, jobs: make(map[string]*jobTrack)}
+}
+
+// Observe appends one streamed generation for a job. Out-of-order or
+// duplicate generations are ignored.
+func (d *Dynamics) Observe(job string, gs core.GenStats) {
+	t, ok := d.jobs[job]
+	if !ok {
+		t = &jobTrack{run: tracestat.Run{Label: job}, since: make(map[string]time.Time)}
+		d.jobs[job] = t
+	}
+	if gs.Gen <= t.lastGen {
+		return
+	}
+	t.lastGen = gs.Gen
+	t.run.Gens = append(t.run.Gens, gs)
+	if len(t.run.Gens) > d.capacity {
+		t.run.Gens = t.run.Gens[len(t.run.Gens)-d.capacity:]
+	}
+}
+
+// Forget drops a job's window (terminal jobs stop alerting).
+func (d *Dynamics) Forget(job string) { delete(d.jobs, job) }
+
+// Jobs reports how many jobs are currently tracked.
+func (d *Dynamics) Jobs() int { return len(d.jobs) }
+
+// Alerts runs the detectors over every tracked job and returns one
+// firing alert per (job, anomaly kind), sorted. Kinds that stopped
+// being detected clear automatically.
+func (d *Dynamics) Alerts(now time.Time) []Alert {
+	var out []Alert
+	for job, t := range d.jobs {
+		anomalies := t.run.DetectAnomalies()
+		active := make(map[string]bool, len(anomalies))
+		for _, an := range anomalies {
+			if active[an.Kind] {
+				continue // one alert per kind, earliest detection wins
+			}
+			active[an.Kind] = true
+			if _, ok := t.since[an.Kind]; !ok {
+				t.since[an.Kind] = now
+			}
+			out = append(out, Alert{
+				Rule:   "dynamics-" + an.Kind,
+				Metric: "job:" + job,
+				State:  StateFiring,
+				Value:  float64(an.Gen),
+				Since:  t.since[an.Kind],
+				Detail: fmt.Sprintf("%s: %s", job, an.Detail),
+			})
+		}
+		for kind := range t.since {
+			if !active[kind] {
+				delete(t.since, kind) // cleared
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Rule != out[b].Rule {
+			return out[a].Rule < out[b].Rule
+		}
+		return out[a].Metric < out[b].Metric
+	})
+	return out
+}

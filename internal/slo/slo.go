@@ -1,0 +1,291 @@
+// Package slo evaluates declarative service-level rules over federated
+// fleet metrics and live search dynamics. It is the accounting layer of
+// the observability plane: telemetry.Merge produces one family set for
+// the whole fleet, an Evaluator turns it into firing/pending/cleared
+// alerts (/v1/fleet/alerts), and a Dynamics tracker reuses the
+// tracestat anomaly detectors on streamed GenStats so co-evolutionary
+// pathologies — stagnation, bloat, disengagement — surface while a run
+// executes instead of in post-hoc trace analysis.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"carbon/internal/telemetry"
+)
+
+// Rule is one declarative SLO condition over a federated metric family.
+//
+// Text form (ParseRules, one rule per line):
+//
+//	<name> <metric> <agg> <op> <threshold> [for <duration>]
+//
+//	queue-wait-p90   carbond_span_queue_wait_ms   p90  > 500  for 2s
+//	dead-jobs        carbond_serve_jobs_dead      sum  > 0
+//	retry-rate       carbond_serve_retries        rate > 0.5  for 5s
+//
+// Agg picks how the family's series collapse to one number:
+//
+//   - value: the largest single series value — "worst worker" for
+//     per-worker gauges.
+//   - sum: series values summed (counter totals, dead-letter counts).
+//   - rate: per-second increase of the summed value since the previous
+//     evaluation (counters; the first evaluation never fires).
+//   - p50/p90/p99: the largest per-series histogram quantile (a
+//     summed fleet histogram has one series; per-worker histograms
+//     alert on the worst worker).
+//
+// A rule with For > 0 must hold continuously that long before it
+// fires — transient spikes stay pending and clear silently.
+type Rule struct {
+	Name      string        `json:"name"`
+	Metric    string        `json:"metric"`
+	Agg       string        `json:"agg"` // value | sum | rate | p50 | p90 | p99
+	Op        string        `json:"op"`  // > | >= | < | <= | == | !=
+	Threshold float64       `json:"threshold"`
+	For       time.Duration `json:"for,omitempty"`
+}
+
+// State is an alert's position in its lifecycle.
+type State string
+
+const (
+	// StatePending means the condition holds but not yet for the rule's
+	// For window.
+	StatePending State = "pending"
+	// StateFiring means the condition has held for at least For.
+	StateFiring State = "firing"
+)
+
+// Alert is one rule whose condition currently holds.
+type Alert struct {
+	Rule   string    `json:"rule"`
+	Metric string    `json:"metric"`
+	State  State     `json:"state"`
+	Value  float64   `json:"value"`  // the aggregated observation
+	Since  time.Time `json:"since"`  // when the condition started holding
+	Detail string    `json:"detail"` // human-readable condition
+}
+
+// ParseRules reads the text rule syntax, one rule per line; blank lines
+// and #-comments are skipped.
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	seen := map[string]bool{}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 && len(f) != 7 {
+			return nil, fmt.Errorf("slo: line %d: want `name metric agg op threshold [for dur]`, got %q", i+1, line)
+		}
+		r := Rule{Name: f[0], Metric: f[1], Agg: f[2], Op: f[3]}
+		v, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("slo: line %d: threshold %q: %w", i+1, f[4], err)
+		}
+		r.Threshold = v
+		if len(f) == 7 {
+			if f[5] != "for" {
+				return nil, fmt.Errorf("slo: line %d: expected `for`, got %q", i+1, f[5])
+			}
+			d, err := time.ParseDuration(f[6])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("slo: line %d: duration %q: %v", i+1, f[6], err)
+			}
+			r.For = d
+		}
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("slo: line %d: %w", i+1, err)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("slo: line %d: duplicate rule %q", i+1, r.Name)
+		}
+		seen[r.Name] = true
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func (r Rule) validate() error {
+	switch r.Agg {
+	case "value", "sum", "rate", "p50", "p90", "p99":
+	default:
+		return fmt.Errorf("unknown agg %q", r.Agg)
+	}
+	switch r.Op {
+	case ">", ">=", "<", "<=", "==", "!=":
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	if r.Name == "" || r.Metric == "" {
+		return fmt.Errorf("rule needs a name and a metric")
+	}
+	return nil
+}
+
+func (r Rule) compare(v float64) bool {
+	switch r.Op {
+	case ">":
+		return v > r.Threshold
+	case ">=":
+		return v >= r.Threshold
+	case "<":
+		return v < r.Threshold
+	case "<=":
+		return v <= r.Threshold
+	case "==":
+		return v == r.Threshold
+	default: // "!="
+		return v != r.Threshold
+	}
+}
+
+// Evaluator holds rules plus the cross-evaluation state they need
+// (pending-since timestamps, previous counter values for rates). Not
+// safe for concurrent use; the fleet router calls it from one probe
+// loop.
+type Evaluator struct {
+	rules []Rule
+	state map[string]*ruleState
+}
+
+type ruleState struct {
+	since    time.Time // condition first held; zero when clear
+	prevSum  float64   // last summed value (rate rules)
+	prevTime time.Time // when prevSum was taken
+	hasPrev  bool
+}
+
+// NewEvaluator builds an evaluator over the given rules.
+func NewEvaluator(rules []Rule) *Evaluator {
+	e := &Evaluator{rules: rules, state: make(map[string]*ruleState, len(rules))}
+	for _, r := range rules {
+		e.state[r.Name] = &ruleState{}
+	}
+	return e
+}
+
+// Rules returns the evaluator's rule set.
+func (e *Evaluator) Rules() []Rule { return append([]Rule(nil), e.rules...) }
+
+// Evaluate applies every rule to one federated family snapshot taken at
+// `now` and returns the alerts whose conditions hold, sorted by rule
+// name. Conditions that stopped holding clear their pending state — an
+// alert that fired on the previous evaluation and is absent from this
+// one has cleared.
+func (e *Evaluator) Evaluate(fams []telemetry.Family, now time.Time) []Alert {
+	var out []Alert
+	for _, r := range e.rules {
+		st := e.state[r.Name]
+		obs, ok := e.observe(r, st, fams, now)
+		if !ok || !r.compare(obs) {
+			st.since = time.Time{}
+			continue
+		}
+		if st.since.IsZero() {
+			st.since = now
+		}
+		a := Alert{
+			Rule:   r.Name,
+			Metric: r.Metric,
+			State:  StatePending,
+			Value:  obs,
+			Since:  st.since,
+			Detail: fmt.Sprintf("%s(%s) = %g %s %g", r.Agg, r.Metric, obs, r.Op, r.Threshold),
+		}
+		if now.Sub(st.since) >= r.For {
+			a.State = StateFiring
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Rule < out[b].Rule })
+	return out
+}
+
+// observe collapses the rule's metric family to one number; ok=false
+// when the family is absent or carries nothing usable (absent metrics
+// never fire — an SLO on a metric no worker exports is a config
+// mistake, not an outage).
+func (e *Evaluator) observe(r Rule, st *ruleState, fams []telemetry.Family, now time.Time) (float64, bool) {
+	fam := telemetry.FindFamily(fams, r.Metric)
+	if fam == nil || len(fam.Series) == 0 {
+		return 0, false
+	}
+	switch r.Agg {
+	case "value":
+		best, ok := 0.0, false
+		for _, s := range fam.Series {
+			if !ok || s.Value > best {
+				best, ok = s.Value, true
+			}
+		}
+		return best, ok
+	case "sum":
+		var sum float64
+		for _, s := range fam.Series {
+			sum += s.Value
+		}
+		return sum, true
+	case "rate":
+		var sum float64
+		for _, s := range fam.Series {
+			sum += s.Value
+		}
+		defer func() { st.prevSum, st.prevTime, st.hasPrev = sum, now, true }()
+		if !st.hasPrev {
+			return 0, false
+		}
+		dt := now.Sub(st.prevTime).Seconds()
+		if dt <= 0 {
+			return 0, false
+		}
+		return (sum - st.prevSum) / dt, true
+	default: // p50 | p90 | p99
+		q := map[string]float64{"p50": 0.5, "p90": 0.9, "p99": 0.99}[r.Agg]
+		best, ok := 0.0, false
+		for _, s := range fam.Series {
+			if v, qok := telemetry.HistogramQuantile(s, q); qok && (!ok || v > best) {
+				best, ok = v, true
+			}
+		}
+		return best, ok
+	}
+}
+
+// AlertFamilies renders the current alert set as metric families, so
+// firing rules federate out on /metrics/prometheus like any other
+// series: carbonfleet_alert{rule=...} is 1 while firing (0.5 pending)
+// and carbonfleet_alerts_firing counts them.
+func AlertFamilies(alerts []Alert) []telemetry.Family {
+	perRule := telemetry.Family{
+		Name: "carbonfleet_alert",
+		Help: "CARBON SLO alert state per rule (1 firing, 0.5 pending).",
+		Kind: "gauge",
+	}
+	var firing int
+	for _, a := range alerts {
+		v := 0.5
+		if a.State == StateFiring {
+			v = 1
+			firing++
+		}
+		perRule.Series = append(perRule.Series, telemetry.Series{
+			Labels: map[string]string{"rule": a.Rule},
+			Value:  v,
+		})
+	}
+	total := telemetry.Family{
+		Name:   "carbonfleet_alerts_firing",
+		Help:   "CARBON count of firing SLO alerts.",
+		Kind:   "gauge",
+		Series: []telemetry.Series{{Value: float64(firing)}},
+	}
+	return []telemetry.Family{perRule, total}
+}

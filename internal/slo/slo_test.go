@@ -1,0 +1,252 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"carbon/internal/core"
+	"carbon/internal/telemetry"
+)
+
+func gaugeFam(name string, vals map[string]float64) telemetry.Family {
+	f := telemetry.Family{Name: name, Kind: "gauge"}
+	for w, v := range vals {
+		f.Series = append(f.Series, telemetry.Series{
+			Labels: map[string]string{telemetry.WorkerLabel: w}, Value: v,
+		})
+	}
+	return f
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(`
+# fleet SLOs
+queue-wait-p90  carbond_span_queue_wait_ms  p90  >  500  for 2s
+dead-jobs       carbond_serve_jobs_dead     sum  >  0
+retry-rate      carbond_serve_retries       rate >  0.5  for 5s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	if rules[0].For != 2*time.Second || rules[0].Agg != "p90" || rules[0].Threshold != 500 {
+		t.Fatalf("rule 0: %+v", rules[0])
+	}
+	if rules[1].For != 0 || rules[1].Op != ">" {
+		t.Fatalf("rule 1: %+v", rules[1])
+	}
+
+	for _, bad := range []string{
+		"r m value > x",                // bad threshold
+		"r m max > 1",                  // unknown agg
+		"r m value ~ 1",                // unknown op
+		"r m value > 1 for -2s",        // negative window
+		"r m value > 1 until 2s",       // not `for`
+		"a m value > 1\na m value > 2", // duplicate name
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("parsed %q without error", bad)
+		}
+	}
+}
+
+func TestEvaluatorValueSumFireAndClear(t *testing.T) {
+	ev := NewEvaluator([]Rule{
+		{Name: "deep-queue", Metric: "m_depth", Agg: "value", Op: ">", Threshold: 4},
+		{Name: "dead", Metric: "m_dead", Agg: "sum", Op: ">", Threshold: 0},
+	})
+	t0 := time.Unix(1000, 0)
+	fams := []telemetry.Family{
+		gaugeFam("m_depth", map[string]float64{"w0": 2, "w1": 7}),
+		gaugeFam("m_dead", map[string]float64{"w0": 0, "w1": 0}),
+	}
+	alerts := ev.Evaluate(fams, t0)
+	if len(alerts) != 1 || alerts[0].Rule != "deep-queue" || alerts[0].State != StateFiring {
+		t.Fatalf("alerts: %+v", alerts)
+	}
+	if alerts[0].Value != 7 { // worst worker, not the sum
+		t.Fatalf("value agg took %v, want 7", alerts[0].Value)
+	}
+
+	// Queue drains, a job dies: deep-queue clears, dead fires.
+	fams = []telemetry.Family{
+		gaugeFam("m_depth", map[string]float64{"w0": 1, "w1": 1}),
+		gaugeFam("m_dead", map[string]float64{"w0": 1, "w1": 0}),
+	}
+	alerts = ev.Evaluate(fams, t0.Add(time.Second))
+	if len(alerts) != 1 || alerts[0].Rule != "dead" || alerts[0].Value != 1 {
+		t.Fatalf("after clear: %+v", alerts)
+	}
+}
+
+func TestEvaluatorForWindow(t *testing.T) {
+	ev := NewEvaluator([]Rule{
+		{Name: "sustained", Metric: "m", Agg: "value", Op: ">=", Threshold: 1, For: 3 * time.Second},
+	})
+	t0 := time.Unix(2000, 0)
+	hot := []telemetry.Family{gaugeFam("m", map[string]float64{"w0": 1})}
+	cold := []telemetry.Family{gaugeFam("m", map[string]float64{"w0": 0})}
+
+	if a := ev.Evaluate(hot, t0); len(a) != 1 || a[0].State != StatePending {
+		t.Fatalf("t0: %+v", a)
+	}
+	if a := ev.Evaluate(hot, t0.Add(2*time.Second)); len(a) != 1 || a[0].State != StatePending {
+		t.Fatalf("t+2: %+v", a)
+	}
+	a := ev.Evaluate(hot, t0.Add(3*time.Second))
+	if len(a) != 1 || a[0].State != StateFiring || !a[0].Since.Equal(t0) {
+		t.Fatalf("t+3: %+v", a)
+	}
+	// A dip resets the window: pending again from scratch.
+	if a := ev.Evaluate(cold, t0.Add(4*time.Second)); len(a) != 0 {
+		t.Fatalf("cold: %+v", a)
+	}
+	if a := ev.Evaluate(hot, t0.Add(5*time.Second)); len(a) != 1 || a[0].State != StatePending {
+		t.Fatalf("re-arm: %+v", a)
+	}
+}
+
+func TestEvaluatorRate(t *testing.T) {
+	ev := NewEvaluator([]Rule{
+		{Name: "retry-rate", Metric: "m_retries", Agg: "rate", Op: ">", Threshold: 0.5},
+	})
+	t0 := time.Unix(3000, 0)
+	at := func(v float64) []telemetry.Family {
+		return []telemetry.Family{{Name: "m_retries", Kind: "counter",
+			Series: []telemetry.Series{{Value: v}}}}
+	}
+	// First sight: no rate yet, never fires.
+	if a := ev.Evaluate(at(10), t0); len(a) != 0 {
+		t.Fatalf("first eval fired: %+v", a)
+	}
+	// +8 over 10s = 0.8/s > 0.5.
+	a := ev.Evaluate(at(18), t0.Add(10*time.Second))
+	if len(a) != 1 || a[0].Value != 0.8 {
+		t.Fatalf("rate: %+v", a)
+	}
+	// Flat counter clears.
+	if a := ev.Evaluate(at(18), t0.Add(20*time.Second)); len(a) != 0 {
+		t.Fatalf("flat: %+v", a)
+	}
+}
+
+func TestEvaluatorQuantile(t *testing.T) {
+	ev := NewEvaluator([]Rule{
+		{Name: "slow-wait", Metric: "m_wait_ms", Agg: "p90", Op: ">", Threshold: 50},
+	})
+	hist := func(buckets []float64, count, sum float64) []telemetry.Family {
+		return []telemetry.Family{{Name: "m_wait_ms", Kind: "histogram",
+			Series: []telemetry.Series{{
+				Bounds: []float64{10, 100, 1000}, Buckets: buckets, Count: count, Sum: sum,
+			}}}}
+	}
+	// 10 obs all ≤10ms: p90 ≈ 9 — quiet.
+	if a := ev.Evaluate(hist([]float64{10, 10, 10}, 10, 50), time.Unix(0, 0)); len(a) != 0 {
+		t.Fatalf("fast: %+v", a)
+	}
+	// 10 obs in (10,100]: p90 > 50 — fires.
+	a := ev.Evaluate(hist([]float64{0, 10, 10}, 10, 500), time.Unix(1, 0))
+	if len(a) != 1 {
+		t.Fatalf("slow: %+v", a)
+	}
+	// Absent family never fires.
+	if a := ev.Evaluate(nil, time.Unix(2, 0)); len(a) != 0 {
+		t.Fatalf("absent: %+v", a)
+	}
+}
+
+func TestAlertFamilies(t *testing.T) {
+	fams := AlertFamilies([]Alert{
+		{Rule: "a", State: StateFiring},
+		{Rule: "b", State: StatePending},
+	})
+	per := telemetry.FindFamily(fams, "carbonfleet_alert")
+	if per == nil || len(per.Series) != 2 {
+		t.Fatalf("per-rule family: %+v", per)
+	}
+	total := telemetry.FindFamily(fams, "carbonfleet_alerts_firing")
+	if total == nil || total.Series[0].Value != 1 {
+		t.Fatalf("firing count: %+v", total)
+	}
+	// The families must merge and render like any scrape.
+	merged, err := telemetry.Merge(telemetry.Scrape{Worker: "router", Families: fams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := telemetry.WriteFamilies(&sb, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `carbonfleet_alert{rule="a",worker="router"} 1`) {
+		t.Fatalf("rendered alerts:\n%s", sb.String())
+	}
+}
+
+func TestDynamicsStagnation(t *testing.T) {
+	d := NewDynamics(0)
+	t0 := time.Unix(5000, 0)
+	// 30 generations, improvement stops after gen 5: the final 24 flat
+	// generations trip the stagnation detector (≥10 stalled, ≥50% of n).
+	for g := 1; g <= 30; g++ {
+		rev := float64(g)
+		if g > 5 {
+			rev = 5
+		}
+		d.Observe("f000001", core.GenStats{Gen: g, BestRevenue: rev})
+	}
+	alerts := d.Alerts(t0)
+	if len(alerts) != 1 || alerts[0].Rule != "dynamics-stagnation" {
+		t.Fatalf("alerts: %+v", alerts)
+	}
+	if alerts[0].Metric != "job:f000001" || alerts[0].State != StateFiring {
+		t.Fatalf("alert shape: %+v", alerts[0])
+	}
+	// Since is stable across re-evaluations.
+	again := d.Alerts(t0.Add(time.Minute))
+	if !again[0].Since.Equal(t0) {
+		t.Fatalf("since drifted: %v vs %v", again[0].Since, t0)
+	}
+	// Resumed improvement clears the alert.
+	d.Observe("f000001", core.GenStats{Gen: 31, BestRevenue: 99})
+	for g := 32; g <= 60; g++ {
+		d.Observe("f000001", core.GenStats{Gen: g, BestRevenue: float64(60 + g)})
+	}
+	if a := d.Alerts(t0.Add(2 * time.Minute)); len(a) != 0 {
+		t.Fatalf("stagnation did not clear: %+v", a)
+	}
+	d.Forget("f000001")
+	if d.Jobs() != 0 {
+		t.Fatal("forget left the job tracked")
+	}
+}
+
+func TestDynamicsDisengagementAndDedupe(t *testing.T) {
+	d := NewDynamics(0)
+	collapsed := &core.SearchStats{GapP10: 0.5, GapP50: 0.5, GapP90: 0.5}
+	for g := 1; g <= 5; g++ {
+		d.Observe("f000002", core.GenStats{Gen: g, BestRevenue: float64(g), Search: collapsed})
+		// A failover replay of the same generation must not extend the
+		// streak artificially.
+		d.Observe("f000002", core.GenStats{Gen: g, BestRevenue: float64(g), Search: collapsed})
+	}
+	alerts := d.Alerts(time.Unix(0, 0))
+	if len(alerts) != 1 || alerts[0].Rule != "dynamics-disengagement" {
+		t.Fatalf("alerts: %+v", alerts)
+	}
+}
+
+func TestDynamicsWindowBound(t *testing.T) {
+	d := NewDynamics(8)
+	for g := 1; g <= 100; g++ {
+		d.Observe("j", core.GenStats{Gen: g, BestRevenue: float64(g)})
+	}
+	if n := len(d.jobs["j"].run.Gens); n != 8 {
+		t.Fatalf("window kept %d gens, want 8", n)
+	}
+	if d.jobs["j"].run.Gens[7].Gen != 100 {
+		t.Fatal("window dropped the newest generations")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"strings"
 	"sync"
@@ -19,13 +20,20 @@ import (
 // created if absent, so constructing the exporter is free for jobs
 // that never run. Export never fails the caller: tracing is
 // observability, and a full disk must not kill a job — the first error
-// is remembered and surfaced by Close.
+// is remembered and surfaced by Close. Swallowed does not mean silent:
+// every dropped record bumps the drop counter (SetDropCounter, the
+// span.dropped_writes metric) and the first failure per file is logged,
+// so a full disk shows up in /metrics instead of only at job end.
 type FileExporter struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	buf  []byte
-	err  error
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	buf     []byte
+	err     error
+	drops   *telemetry.Counter
+	logged  bool         // first-failure log emitted for this file
+	dropped int64        // records lost to write/open/marshal errors
+	fault   func() error // test hook: injected write error
 }
 
 // NewFileExporter exports to path (append mode, created on first use).
@@ -36,35 +44,88 @@ func NewFileExporter(path string) *FileExporter {
 // Path returns the exporter's target file.
 func (e *FileExporter) Path() string { return e.path }
 
+// SetDropCounter routes dropped-write counts into a telemetry counter
+// (conventionally "span.dropped_writes"). Nil-safe on both sides.
+func (e *FileExporter) SetDropCounter(c *telemetry.Counter) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.drops = c
+	e.mu.Unlock()
+}
+
+// SetFault injects a write error before each record — the fault hook
+// the dropped-writes tests use. A nil fn clears it.
+func (e *FileExporter) SetFault(fn func() error) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.fault = fn
+	e.mu.Unlock()
+}
+
+// Dropped reports how many records this exporter has lost so far.
+func (e *FileExporter) Dropped() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// drop records one lost record under e.mu: counter bump plus a
+// once-per-file log line naming the first error.
+func (e *FileExporter) drop(err error) {
+	e.dropped++
+	e.drops.Add(1)
+	if e.err == nil {
+		e.err = err
+	}
+	if !e.logged {
+		e.logged = true
+		log.Printf("span: dropping writes to %s: %v", e.path, err)
+	}
+}
+
 // Export appends one record. Errors are swallowed (first one kept for
-// Close); a nil exporter ignores the record.
+// Close) but counted and logged once per file; a nil exporter ignores
+// the record.
 func (e *FileExporter) Export(r Record) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.fault != nil {
+		if err := e.fault(); err != nil {
+			e.drop(err)
+			return
+		}
+	}
 	if e.f == nil {
 		if e.err != nil {
+			e.dropped++
+			e.drops.Add(1)
 			return // opening failed before; stay quiet
 		}
 		f, err := os.OpenFile(e.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
-			e.err = err
+			e.drop(err)
 			return
 		}
 		e.f = f
 	}
 	b, err := json.Marshal(r)
 	if err != nil {
-		if e.err == nil {
-			e.err = err
-		}
+		e.drop(err)
 		return
 	}
 	e.buf = append(append(e.buf[:0], b...), '\n')
-	if _, err := e.f.Write(e.buf); err != nil && e.err == nil {
-		e.err = err
+	if _, err := e.f.Write(e.buf); err != nil {
+		e.drop(err)
 	}
 }
 

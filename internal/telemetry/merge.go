@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scrape is one worker's parsed metrics, tagged with the identity the
+// federator knows it by (its base URL or a short name). Worker becomes
+// the "worker" label value on series that stay per-worker.
+type Scrape struct {
+	Worker   string   `json:"worker"`
+	Families []Family `json:"families"`
+}
+
+// WorkerLabel is the label Merge stamps on per-worker series. A
+// hostile series arriving with its own "worker" label is overwritten —
+// the federator's identity assignment wins, so one worker can never
+// impersonate (or hide behind) another in the aggregate.
+const WorkerLabel = "worker"
+
+// Merge federates scrapes from several workers into one family set —
+// the core of fleet metrics federation:
+//
+//   - counters and summaries: series with identical label sets are
+//     summed across workers (counts and sums independently), so fleet
+//     totals conserve worker totals.
+//   - histograms: bucket counts, sum and count are summed per series.
+//     Bucket bounds must align exactly across workers; mismatched
+//     layouts ERROR rather than mis-add — a histogram merged across
+//     different bucket edges is silently wrong, which is worse than
+//     absent.
+//   - gauges (and untyped samples): levels from different workers must
+//     not be added, so each series is kept per-worker under a
+//     worker="<name>" label.
+//
+// A family whose kind differs across workers is an error for the same
+// reason as bucket misalignment: there is no honest way to combine a
+// counter with a gauge. Families and series in the result are sorted,
+// so federated output is deterministic given the scrape set.
+func Merge(scrapes ...Scrape) ([]Family, error) {
+	agg := map[string]*famAgg{}
+	var order []string
+
+	for _, sc := range scrapes {
+		for _, f := range sc.Families {
+			fa, ok := agg[f.Name]
+			if !ok {
+				fa = &famAgg{
+					fam:    &Family{Name: f.Name, Help: f.Help, Kind: f.Kind},
+					origin: sc.Worker,
+					series: map[string]*Series{},
+				}
+				agg[f.Name] = fa
+				order = append(order, f.Name)
+			}
+			if fa.fam.Kind != f.Kind {
+				return nil, fmt.Errorf("telemetry: merge: family %q is %s on %s but %s on %s",
+					f.Name, fa.fam.Kind, fa.origin, f.Kind, sc.Worker)
+			}
+			for _, s := range f.Series {
+				switch f.Kind {
+				case "counter":
+					t := mergedSeries(fa, s.Labels, nil)
+					t.Value += s.Value
+				case "summary":
+					t := mergedSeries(fa, s.Labels, nil)
+					t.Count += s.Count
+					t.Sum += s.Sum
+				case "histogram":
+					t := mergedSeries(fa, s.Labels, nil)
+					if t.Bounds == nil {
+						t.Bounds = append([]float64(nil), s.Bounds...)
+						t.Buckets = make([]float64, len(s.Buckets))
+					}
+					if !boundsEqual(t.Bounds, s.Bounds) {
+						return nil, fmt.Errorf(
+							"telemetry: merge: histogram %q bucket bounds on %s do not align with %s — refusing to mis-add",
+							f.Name, sc.Worker, fa.origin)
+					}
+					for i := range s.Buckets {
+						t.Buckets[i] += s.Buckets[i]
+					}
+					t.Count += s.Count
+					t.Sum += s.Sum
+				default: // gauge, untyped: one series per worker
+					t := mergedSeries(fa, s.Labels, map[string]string{WorkerLabel: sc.Worker})
+					t.Value = s.Value
+				}
+			}
+		}
+	}
+
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		fa := agg[name]
+		keys := make([]string, 0, len(fa.series))
+		for k := range fa.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fa.fam.Series = append(fa.fam.Series, *fa.series[k])
+		}
+		out = append(out, *fa.fam)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out, nil
+}
+
+// famAgg accumulates one family across scrapes.
+type famAgg struct {
+	fam    *Family
+	origin string // worker that established the kind, for error messages
+	series map[string]*Series
+}
+
+// mergedSeries returns the aggregate series for the given label set,
+// with extra labels overlaid (the per-worker stamp), creating it on
+// first sight. Overlay wins on collision — see WorkerLabel.
+func mergedSeries(fa *famAgg, labels, extra map[string]string) *Series {
+	merged := labels
+	if len(extra) > 0 {
+		merged = make(map[string]string, len(labels)+len(extra))
+		for k, v := range labels {
+			merged[k] = v
+		}
+		for k, v := range extra {
+			merged[k] = v
+		}
+	}
+	key := labelKey(merged)
+	s, ok := fa.series[key]
+	if !ok {
+		var copied map[string]string
+		if len(merged) > 0 {
+			copied = make(map[string]string, len(merged))
+			for k, v := range merged {
+				copied[k] = v
+			}
+		}
+		s = &Series{Labels: copied}
+		fa.series[key] = s
+	}
+	return s
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FindFamily returns the named family, or nil — the lookup alert rules
+// and rollup consumers use.
+func FindFamily(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// HistogramQuantile estimates quantile q (in [0,1]) from a merged
+// histogram series by linear interpolation inside the owning bucket —
+// the standard Prometheus histogram_quantile estimator. The lowest
+// bucket interpolates from zero; ranks landing in the overflow bucket
+// report the highest finite bound (there is no upper edge to
+// interpolate toward). Returns false when the series has no
+// observations or no buckets.
+func HistogramQuantile(s Series, q float64) (float64, bool) {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * s.Count
+	if rank > s.Buckets[len(s.Buckets)-1] {
+		return s.Bounds[len(s.Bounds)-1], true // overflow bucket
+	}
+	prevCum, prevBound := 0.0, 0.0
+	for i, cum := range s.Buckets {
+		if rank <= cum {
+			inBucket := cum - prevCum
+			if inBucket <= 0 {
+				return s.Bounds[i], true
+			}
+			return prevBound + (s.Bounds[i]-prevBound)*(rank-prevCum)/inBucket, true
+		}
+		prevCum, prevBound = cum, s.Bounds[i]
+	}
+	return s.Bounds[len(s.Bounds)-1], true
+}

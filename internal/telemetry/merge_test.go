@@ -1,0 +1,301 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrapeOf renders a registry through WritePrometheus and parses it
+// back — the exact path federation takes over HTTP, minus the socket.
+func scrapeOf(t *testing.T, worker, prefix string, reg *Registry) Scrape {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, PromTarget{Name: prefix, Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseFamilies(&buf)
+	if err != nil {
+		t.Fatalf("parse %s scrape: %v", worker, err)
+	}
+	return Scrape{Worker: worker, Families: fams}
+}
+
+func TestParseFamiliesRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("lp_solves").Add(42)
+	reg.Gauge("queue_depth").Set(3.5)
+	reg.Timer("gen").Observe(1500 * time.Millisecond)
+	reg.Timer("gen").Observe(500 * time.Millisecond)
+	reg.Histogram("wait_ms", 1, 10, 100).Observe(0.5)
+	reg.Histogram("wait_ms", 1, 10, 100).Observe(55)
+	reg.Histogram("wait_ms", 1, 10, 100).Observe(1e6) // overflow bucket
+
+	sc := scrapeOf(t, "w0", "carbon", reg)
+
+	ctr := FindFamily(sc.Families, "carbon_lp_solves")
+	if ctr == nil || ctr.Kind != "counter" || len(ctr.Series) != 1 || ctr.Series[0].Value != 42 {
+		t.Fatalf("counter family mangled: %+v", ctr)
+	}
+	g := FindFamily(sc.Families, "carbon_queue_depth")
+	if g == nil || g.Kind != "gauge" || g.Series[0].Value != 3.5 {
+		t.Fatalf("gauge family mangled: %+v", g)
+	}
+	tm := FindFamily(sc.Families, "carbon_gen_seconds")
+	if tm == nil || tm.Kind != "summary" || tm.Series[0].Count != 2 || tm.Series[0].Sum != 2.0 {
+		t.Fatalf("summary family mangled: %+v", tm)
+	}
+	h := FindFamily(sc.Families, "carbon_wait_ms")
+	if h == nil || h.Kind != "histogram" {
+		t.Fatalf("histogram family missing: %+v", h)
+	}
+	s := h.Series[0]
+	if !boundsEqual(s.Bounds, []float64{1, 10, 100}) {
+		t.Fatalf("bounds %v, want [1 10 100]", s.Bounds)
+	}
+	// Cumulative: one obs <=1, none in (1,10], one in (10,100], one overflow.
+	if !boundsEqual(s.Buckets, []float64{1, 1, 2}) || s.Count != 3 {
+		t.Fatalf("buckets %v count %v, want [1 1 2] 3", s.Buckets, s.Count)
+	}
+	if math.Abs(s.Sum-(0.5+55+1e6)) > 1e-9 {
+		t.Fatalf("sum %v", s.Sum)
+	}
+}
+
+func TestParseFamiliesEscapesAndLabels(t *testing.T) {
+	text := "# HELP f_g CARBON metric f/g.\n" +
+		"# TYPE f_g gauge\n" +
+		"f_g{job=\"j1\",evil=\"a\\\\b\\\"c\\nd\"} 7\n" +
+		"no_type_metric 1.5\n"
+	fams, err := ParseFamilies(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FindFamily(fams, "f_g")
+	if g == nil || len(g.Series) != 1 {
+		t.Fatalf("gauge not parsed: %+v", fams)
+	}
+	if got := g.Series[0].Labels["evil"]; got != "a\\b\"c\nd" {
+		t.Fatalf("label unescape got %q", got)
+	}
+	u := FindFamily(fams, "no_type_metric")
+	if u == nil || u.Kind != "untyped" || u.Series[0].Value != 1.5 {
+		t.Fatalf("untyped sample mangled: %+v", u)
+	}
+}
+
+func TestParseFamiliesRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"metric not_a_number\n",
+		"# TYPE h histogram\nh_bucket{job=\"x\"} 3\n", // bucket without le
+		"{\"json\": true}\n",
+	} {
+		if _, err := ParseFamilies(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parsed %q without error", bad)
+		}
+	}
+}
+
+func TestMergeSumsCountersAcrossWorkers(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Counter("lp_solves").Add(10)
+	regB.Counter("lp_solves").Add(32)
+	regA.Timer("gen").Observe(time.Second)
+	regB.Timer("gen").Observe(3 * time.Second)
+
+	fams, err := Merge(scrapeOf(t, "w0", "carbon", regA), scrapeOf(t, "w1", "carbon", regB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := FindFamily(fams, "carbon_lp_solves")
+	if ctr == nil || len(ctr.Series) != 1 || ctr.Series[0].Value != 42 {
+		t.Fatalf("counter sum: %+v", ctr)
+	}
+	if len(ctr.Series[0].Labels) != 0 {
+		t.Fatalf("summed counter grew labels: %+v", ctr.Series[0].Labels)
+	}
+	sum := FindFamily(fams, "carbon_gen_seconds")
+	if sum == nil || sum.Series[0].Count != 2 || sum.Series[0].Sum != 4.0 {
+		t.Fatalf("summary sum: %+v", sum)
+	}
+}
+
+func TestMergeKeepsGaugesPerWorker(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Gauge("queue_depth").Set(2)
+	regB.Gauge("queue_depth").Set(5)
+
+	fams, err := Merge(scrapeOf(t, "http://w0", "carbon", regA), scrapeOf(t, "http://w1", "carbon", regB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FindFamily(fams, "carbon_queue_depth")
+	if g == nil || len(g.Series) != 2 {
+		t.Fatalf("want 2 per-worker gauge series: %+v", g)
+	}
+	byWorker := map[string]float64{}
+	for _, s := range g.Series {
+		byWorker[s.Labels[WorkerLabel]] = s.Value
+	}
+	if byWorker["http://w0"] != 2 || byWorker["http://w1"] != 5 {
+		t.Fatalf("per-worker gauges: %v", byWorker)
+	}
+}
+
+func TestMergeHistogramBuckets(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	for _, v := range []float64{0.5, 20} {
+		regA.Histogram("wait_ms", 1, 10, 100).Observe(v)
+	}
+	for _, v := range []float64{5, 500} {
+		regB.Histogram("wait_ms", 1, 10, 100).Observe(v)
+	}
+	fams, err := Merge(scrapeOf(t, "w0", "carbon", regA), scrapeOf(t, "w1", "carbon", regB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := FindFamily(fams, "carbon_wait_ms")
+	if h == nil || len(h.Series) != 1 {
+		t.Fatalf("histogram merge: %+v", h)
+	}
+	s := h.Series[0]
+	// A: one <=1, one (10,100]. B: one (1,10], one overflow. Cumulative [1 2 4]... count 4.
+	if !boundsEqual(s.Buckets, []float64{1, 2, 3}) || s.Count != 4 {
+		t.Fatalf("merged buckets %v count %v, want [1 2 3] 4", s.Buckets, s.Count)
+	}
+	if math.Abs(s.Sum-(0.5+20+5+500)) > 1e-9 {
+		t.Fatalf("merged sum %v", s.Sum)
+	}
+	if p90, ok := HistogramQuantile(s, 0.9); !ok || p90 != 100 {
+		t.Fatalf("p90 of merged histogram = %v ok=%v, want 100 (overflow rank)", p90, ok)
+	}
+}
+
+func TestMergeMismatchedBucketBoundsError(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Histogram("wait_ms", 1, 10, 100).Observe(5)
+	regB.Histogram("wait_ms", 1, 50).Observe(5)
+	_, err := Merge(scrapeOf(t, "w0", "carbon", regA), scrapeOf(t, "w1", "carbon", regB))
+	if err == nil {
+		t.Fatal("mismatched bucket bounds merged without error")
+	}
+	if !strings.Contains(err.Error(), "wait_ms") {
+		t.Fatalf("error does not name the offending family: %v", err)
+	}
+}
+
+func TestMergeKindConflictError(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Counter("thing").Add(1)
+	regB.Gauge("thing").Set(1)
+	if _, err := Merge(scrapeOf(t, "w0", "carbon", regA), scrapeOf(t, "w1", "carbon", regB)); err == nil {
+		t.Fatal("counter-vs-gauge kind conflict merged without error")
+	}
+}
+
+// TestMergeHostileWorkerLabel pins the identity rule: a series arriving
+// with its own "worker" label cannot impersonate another worker — the
+// federator's stamp overwrites it on per-worker series, and on summed
+// series the hostile label keeps it from polluting the clean aggregate
+// (label sets must match exactly to sum).
+func TestMergeHostileWorkerLabel(t *testing.T) {
+	hostileGauge := Scrape{Worker: "w0", Families: []Family{{
+		Name: "carbon_depth", Kind: "gauge",
+		Series: []Series{{Labels: map[string]string{WorkerLabel: "w1"}, Value: 9}},
+	}}}
+	honest := Scrape{Worker: "w1", Families: []Family{{
+		Name: "carbon_depth", Kind: "gauge",
+		Series: []Series{{Value: 4}},
+	}}}
+	fams, err := Merge(hostileGauge, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FindFamily(fams, "carbon_depth")
+	if g == nil || len(g.Series) != 2 {
+		t.Fatalf("hostile merge shape: %+v", g)
+	}
+	vals := map[string]float64{}
+	for _, s := range g.Series {
+		vals[s.Labels[WorkerLabel]] = s.Value
+	}
+	if vals["w0"] != 9 {
+		t.Fatalf("hostile worker label not overwritten by federator stamp: %v", vals)
+	}
+	if vals["w1"] != 4 {
+		t.Fatalf("honest worker's series lost: %v", vals)
+	}
+
+	// Hostile label on a summed kind: the label-set identity keeps the
+	// impostor series separate instead of corrupting the true total.
+	hostileCtr := Scrape{Worker: "w0", Families: []Family{{
+		Name: "carbon_solves", Kind: "counter",
+		Series: []Series{{Labels: map[string]string{"job": "j1\"},evil=\"x"}, Value: 5}},
+	}}}
+	honestCtr := Scrape{Worker: "w1", Families: []Family{{
+		Name: "carbon_solves", Kind: "counter",
+		Series: []Series{{Labels: map[string]string{"job": "j1"}, Value: 7}},
+	}}}
+	fams, err = Merge(hostileCtr, honestCtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := FindFamily(fams, "carbon_solves")
+	if ctr == nil || len(ctr.Series) != 2 {
+		t.Fatalf("hostile counter collapsed into honest series: %+v", ctr)
+	}
+	// The merged set must re-render without producing unparseable text
+	// (label escaping contains the injection attempt).
+	var buf bytes.Buffer
+	if err := WriteFamilies(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseFamilies(&buf); err != nil {
+		t.Fatalf("federated output does not re-parse: %v", err)
+	}
+}
+
+// TestWriteFamiliesRoundTrip pins render → parse → render stability:
+// the federated endpoint must serve text that scrapes like first-party
+// WritePrometheus output.
+func TestWriteFamiliesRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(3)
+	reg.Gauge("b").Set(1.25)
+	reg.Histogram("c_ms", 1, 2).Observe(1.5)
+	sc := scrapeOf(t, "w0", "carbon", reg)
+
+	var first bytes.Buffer
+	if err := WriteFamilies(&first, sc.Families); err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseFamilies(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteFamilies(&second, reparsed); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("render not stable:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	s := Series{
+		Bounds:  []float64{10, 20, 40},
+		Buckets: []float64{0, 10, 10},
+		Count:   10,
+		Sum:     150,
+	}
+	// All 10 observations sit in (10,20]: p50 interpolates to 15.
+	if p50, ok := HistogramQuantile(s, 0.5); !ok || math.Abs(p50-15) > 1e-9 {
+		t.Fatalf("p50 = %v, want 15", p50)
+	}
+	if _, ok := HistogramQuantile(Series{}, 0.5); ok {
+		t.Fatal("empty series produced a quantile")
+	}
+}
