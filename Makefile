@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check cover bench bench-diff bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke obs-smoke clean
+.PHONY: all build vet lint test race check cover bench bench-preflight bench-diff bench-smoke bench-all quick full taxonomy examples serve-smoke stat-smoke chaos-smoke trace-smoke fleet-smoke obs-smoke clean
 
 all: build vet test
 
@@ -52,32 +52,42 @@ cover:
 # against EvalTree500x30 and EvalTreeWith500x30). BENCH_pr9.json adds
 # StepWithSubscribers: a generation with the live-event ring and four
 # SSE-style subscribers attached must stay within 2% of EngineStep.
-# Compare captures with `make bench-diff`.
+# BENCH_pr10.json adds EngineStepSurrogate: the surrogate-assisted
+# engine on the same config as EngineStep — its lp_solves/gen metric
+# must come in below EngineStep's (the whole point of the skip policy);
+# it rides the same pinned -benchtime=150x core line because the
+# 'EngineStep' pattern already matches it. Compare captures with
+# `make bench-diff`.
 #
 # The engine-step benchmarks step ONE engine b.N times and GP trees grow
 # across generations, so their ns/op depends on the iteration count the
 # framework picks — they run at a pinned -benchtime=150x so EngineStep,
 # StepWithSearchStats, StepWithSpans and StepWithSubscribers measure
 # the same 150 generations and captures stay comparable across runs.
-bench:
+bench: bench-preflight
 	$(GO) test -run XXX -bench 'EvalTree|EvalProgram|Prepare|Rotating' -benchmem \
-		./internal/bcpop/ | tee bench_pr9.txt
+		./internal/bcpop/ | tee bench_pr10.txt
 	$(GO) test -run XXX -bench 'EngineStep|StepWithSearchStats|StepWithSpans' -benchtime=150x -benchmem \
-		./internal/core/ | tee -a bench_pr9.txt
+		./internal/core/ | tee -a bench_pr10.txt
 	$(GO) test -run XXX -bench 'StepWithSubscribers' -benchtime=150x -benchmem \
-		./internal/serve/ | tee -a bench_pr9.txt
+		./internal/serve/ | tee -a bench_pr10.txt
 	$(GO) test -run XXX -bench 'RouteSubmit' -benchmem \
-		./internal/cluster/ | tee -a bench_pr9.txt
-	$(GO) run carbon/cmd/benchjson -out BENCH_pr9.json < bench_pr9.txt
+		./internal/cluster/ | tee -a bench_pr10.txt
+	$(GO) run carbon/cmd/benchjson -out BENCH_pr10.json < bench_pr10.txt
+
+# Refuse to benchmark while a stray daemon from an interrupted smoke run
+# is eating the machine — on a small box that skews every ns/op.
+bench-preflight:
+	$(GO) run carbon/cmd/smokecheck
 
 # Flag >10% ns/op regressions between the previous committed capture and
 # the current one (rerun `make bench` first on a quiet machine).
 bench-diff:
-	$(GO) run carbon/cmd/benchjson -diff BENCH_pr8.json BENCH_pr9.json
+	$(GO) run carbon/cmd/benchjson -diff BENCH_pr9.json BENCH_pr10.json
 
 # One-iteration benchmark pass: proves every benchmark (and the benchjson
 # parser) still runs, without paying for measurement. Part of `check`.
-bench-smoke:
+bench-smoke: bench-preflight
 	$(GO) test -run XXX -bench 'EvalTree|EvalProgram|Prepare|EngineStep|Rotating|StepWithSearchStats|StepWithSpans|StepWithSubscribers|RouteSubmit' -benchtime=1x -benchmem \
 		./internal/bcpop/ ./internal/core/ ./internal/serve/ ./internal/cluster/ | $(GO) run carbon/cmd/benchjson >/dev/null
 
@@ -153,4 +163,4 @@ examples:
 	$(GO) run carbon/examples/packing
 
 clean:
-	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt bench_pr7.txt bench_pr8.txt bench_pr9.txt
+	rm -rf results results-full test_output.txt bench_output.txt bench_pr3.txt bench_pr4.txt bench_pr6.txt bench_pr7.txt bench_pr8.txt bench_pr9.txt bench_pr10.txt

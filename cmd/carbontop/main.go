@@ -43,6 +43,15 @@ func main() {
 	v := newView(strings.TrimRight(*addr, "/"), *maxJobs)
 	if *once {
 		v.poll()
+		// A dead router means there is nothing to show: an empty frame
+		// on stdout would read as "healthy fleet, zero jobs" to a
+		// script. Fail with the error alone. Partial poll errors still
+		// render whatever did arrive (with the error in the frame and a
+		// non-zero exit).
+		if v.downErr != nil {
+			fmt.Fprintln(os.Stderr, "carbontop: router unreachable:", v.downErr)
+			os.Exit(1)
+		}
 		fmt.Print(v.render())
 		if v.pollErr != nil {
 			fmt.Fprintln(os.Stderr, "carbontop:", v.pollErr)
@@ -68,6 +77,7 @@ type view struct {
 	client  *http.Client
 
 	pollErr error
+	downErr error // healthz poll failure — the router itself is gone
 	health  cluster.FleetHealth
 	workers []cluster.WorkerStatus
 	jobs    []serve.Status // fleet-ID statuses, newest first
@@ -102,7 +112,8 @@ func (v *view) getJSON(path string, out any) error {
 }
 
 func (v *view) poll() {
-	v.pollErr = v.getJSON("/v1/healthz", &v.health)
+	v.downErr = v.getJSON("/v1/healthz", &v.health)
+	v.pollErr = v.downErr
 	if err := v.getJSON("/v1/workers", &v.workers); err != nil && v.pollErr == nil {
 		v.pollErr = err
 	}

@@ -14,12 +14,21 @@ package bcpop
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
 	"time"
 
 	"carbon/internal/covering"
 	"carbon/internal/gp"
 )
+
+// ErrNotPrepared reports an evaluation against a cache slot that was
+// allocated by Slot but never filled — the telltale of a Prepare that
+// failed (e.g. an injected LP fault quarantined the solve) while a
+// reader still tried to pair against the slot. It surfaces as a typed,
+// per-pairing error instead of a nil-pointer crash deep in the scorer.
+var ErrNotPrepared = errors.New("bcpop: cache slot not prepared")
 
 // Key returns the exact identity of a price vector: the little-endian
 // IEEE-754 bits of every coordinate, concatenated. Two vectors share a
@@ -89,6 +98,9 @@ func (ev *Evaluator) Prepare(price []float64) (*Prepared, error) {
 // Metrics.LPSolves. Semantically it is EvalTree(p.Price, tree) minus
 // the redundant solve: both charge one LL evaluation (Evals).
 func (ev *Evaluator) EvalTreeWith(p *Prepared, tree gp.Tree) (Result, []bool, error) {
+	if p == nil {
+		return Result{}, nil, ErrNotPrepared
+	}
 	if ev.EvalFault != nil {
 		if err := ev.EvalFault(); err != nil {
 			return Result{}, nil, err
@@ -158,8 +170,24 @@ func (c *Cache) Slot(price []float64) (slot int, fresh bool) {
 // Fill stores the prepared context of slot s.
 func (c *Cache) Fill(s int, p *Prepared) { c.entries[s] = p }
 
-// At returns the prepared context of slot s (nil until filled).
+// At returns the prepared context of slot s (nil until filled). Prefer
+// Get when a nil context is a reachable state — e.g. after a
+// fault-quarantined Prepare — so the failure carries a typed error
+// instead of surfacing as a nil-deref at the eventual read.
 func (c *Cache) At(s int) *Prepared { return c.entries[s] }
+
+// Get returns the prepared context of slot s, or ErrNotPrepared if the
+// slot was allocated but never filled.
+func (c *Cache) Get(s int) (*Prepared, error) {
+	if s < 0 || s >= len(c.entries) {
+		return nil, fmt.Errorf("bcpop: cache slot %d out of range [0,%d): %w",
+			s, len(c.entries), ErrNotPrepared)
+	}
+	if p := c.entries[s]; p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("bcpop: slot %d: %w", s, ErrNotPrepared)
+}
 
 // Len returns the number of distinct price vectors seen since Reset.
 func (c *Cache) Len() int { return len(c.entries) }

@@ -1,6 +1,7 @@
 package bcpop
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -360,5 +361,76 @@ func BenchmarkRelaxWarmRotating(b *testing.B) {
 		if _, err := ev.Relax(prices[i%len(prices)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestUnpreparedSlotTypedError drives the fault-injected path that used
+// to nil-deref: an LP fault quarantines Prepare, the slot stays empty,
+// and every reader of that slot must fail with ErrNotPrepared — typed,
+// catchable, and panic-free — rather than crash inside the scorer.
+func TestUnpreparedSlotTypedError(t *testing.T) {
+	mk := testMarket(t, 30, 5, 3)
+	set := covering.TableISet()
+	ev, err := NewEvaluator(mk, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	price := mk.PriceBounds().RandomVector(r)
+	tree := set.Ramped(r, 1, 3)
+
+	// Fault-injected Prepare: the solve fails, so the cache slot
+	// allocated for this prey is never filled.
+	c := NewCache()
+	slot, fresh := c.Slot(price)
+	if !fresh {
+		t.Fatal("first slot not fresh")
+	}
+	ev.SetLPFault(func() error { return errors.New("injected LP outage") })
+	if _, err := ev.Prepare(price); err == nil {
+		t.Fatal("fault-injected Prepare succeeded")
+	}
+	ev.SetLPFault(nil)
+
+	// Cache.Get reports the unfilled slot with the typed error; At keeps
+	// its historical nil-return contract for callers that check.
+	if p, err := c.Get(slot); !errors.Is(err, ErrNotPrepared) || p != nil {
+		t.Fatalf("Get on unfilled slot: p=%v err=%v, want ErrNotPrepared", p, err)
+	}
+	if _, err := c.Get(slot + 1); !errors.Is(err, ErrNotPrepared) {
+		t.Fatalf("Get out of range: err=%v, want ErrNotPrepared", err)
+	}
+	if _, err := c.Get(-1); !errors.Is(err, ErrNotPrepared) {
+		t.Fatalf("Get(-1): err=%v, want ErrNotPrepared", err)
+	}
+	if c.At(slot) != nil {
+		t.Fatal("At on unfilled slot must stay nil")
+	}
+
+	// Both evaluation entry points must reject the nil context instead
+	// of dereferencing it.
+	if _, _, err := ev.EvalTreeWith(nil, tree); !errors.Is(err, ErrNotPrepared) {
+		t.Fatalf("EvalTreeWith(nil): err=%v, want ErrNotPrepared", err)
+	}
+	prog, err := ev.CompileTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ev.EvalProgramWith(nil, prog); !errors.Is(err, ErrNotPrepared) {
+		t.Fatalf("EvalProgramWith(nil): err=%v, want ErrNotPrepared", err)
+	}
+
+	// After the outage clears, the same slot can be filled and read.
+	p, err := ev.Prepare(price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Fill(slot, p)
+	got, err := c.Get(slot)
+	if err != nil || got != p {
+		t.Fatalf("Get after Fill: p=%v err=%v", got, err)
+	}
+	if _, _, err := ev.EvalProgramWith(got, prog); err != nil {
+		t.Fatalf("recovered evaluation failed: %v", err)
 	}
 }

@@ -44,6 +44,9 @@ func (ev *Evaluator) CompileTree(tree gp.Tree) (*gp.Program, error) {
 // only valid until the next evaluation on this evaluator; copy it to
 // retain it.
 func (ev *Evaluator) EvalProgramWith(p *Prepared, prog *gp.Program) (Result, []bool, error) {
+	if p == nil {
+		return Result{}, nil, ErrNotPrepared
+	}
 	if ev.EvalFault != nil {
 		if err := ev.EvalFault(); err != nil {
 			return Result{}, nil, err

@@ -45,6 +45,7 @@ import (
 	"carbon/internal/rng"
 	"carbon/internal/span"
 	"carbon/internal/stats"
+	"carbon/internal/surrogate"
 	"carbon/internal/telemetry"
 )
 
@@ -126,6 +127,19 @@ type Config struct {
 	// mutation to each bred predator with this probability (0 = off,
 	// the paper's configuration).
 	LLPointMutProb float64
+
+	// Surrogate configures surrogate-assisted LP skipping (DESIGN.md
+	// §5l): an online model of LB(x) and prey revenue fit from the
+	// solved-LP history surrogate-scores every prey, and only the
+	// sampled + predicted-top-k + high-uncertainty genotypes get exact
+	// LP solves. Disabled (the zero value) keeps the paper-faithful
+	// exact path bit-identical to the pre-surrogate engine — this is
+	// the `-exact` golden reference. Like Interpret, every Surrogate
+	// knob is deliberately excluded from the checkpoint fingerprint: a
+	// checkpoint taken under either mode restores under the other (the
+	// model state travels in the checkpoint and is ignored or rebuilt
+	// as needed).
+	Surrogate surrogate.Config
 
 	// --- Telemetry (all optional; zero-cost and determinism-neutral
 	// when unset — same seed, same result, with or without them). ---
@@ -244,7 +258,7 @@ func (c *Config) Validate() error {
 	case c.LLPointMutProb < 0 || c.LLPointMutProb > 1:
 		return errors.New("core: LLPointMutProb outside [0,1]")
 	}
-	return nil
+	return c.Surrogate.Validate()
 }
 
 // BestPair is the reported solution: the best archived pricing and the

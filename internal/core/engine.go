@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"carbon/internal/rng"
 	"carbon/internal/span"
 	"carbon/internal/stats"
+	"carbon/internal/surrogate"
 	"carbon/internal/telemetry"
 )
 
@@ -51,6 +53,19 @@ type Engine struct {
 	cache    *bcpop.Cache
 	preySlot []int
 	missing  []int
+
+	// Surrogate-assisted LP skipping (DESIGN.md §5l). surr is nil
+	// unless Config.Surrogate.Enabled — the exact path then compiles to
+	// exactly the pre-surrogate engine (gated branches only). All the
+	// per-slot scratch is coordinator-owned: the skip plan is frozen
+	// before the relax wave starts, and the wave closures only read it.
+	surr     *surrogate.Model
+	surrCfg  surrogate.Config // resolved knobs; meaningful iff surr != nil
+	slotSkip []bool           // per slot: surrogate-scored, no LP this gen
+	slotPred []float64        // per slot: predicted revenue
+	slotUnc  []float64        // per slot: model leverage (uncertainty)
+	slotRank []int            // sort scratch for the skip plan
+	exactIdx []int            // relax worklist under skipping (first-occurrence prey indices)
 
 	ulArch *archive.Archive[[]float64]
 	gpArch *archive.Archive[gp.Tree]
@@ -114,14 +129,16 @@ type Engine struct {
 // come from one telemetry.Registry, so islands sharing a registry
 // aggregate into the same counters.
 type engineMetrics struct {
-	gens     *telemetry.Counter
-	ulEvals  *telemetry.Counter
-	llEvals  *telemetry.Counter
-	relax    *telemetry.Timer
-	predEval *telemetry.Timer
-	preyEval *telemetry.Timer
-	breed    *telemetry.Timer
-	wave     *par.WaveMetrics
+	gens      *telemetry.Counter
+	ulEvals   *telemetry.Counter
+	llEvals   *telemetry.Counter
+	surrSkips *telemetry.Counter
+	surrExact *telemetry.Counter
+	relax     *telemetry.Timer
+	predEval  *telemetry.Timer
+	preyEval  *telemetry.Timer
+	breed     *telemetry.Timer
+	wave      *par.WaveMetrics
 }
 
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
@@ -129,14 +146,16 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		return nil
 	}
 	return &engineMetrics{
-		gens:     reg.Counter("core.generations"),
-		ulEvals:  reg.Counter("core.ul_evals"),
-		llEvals:  reg.Counter("core.ll_evals"),
-		relax:    reg.Timer("core.relax_precompute"),
-		predEval: reg.Timer("core.predator_eval"),
-		preyEval: reg.Timer("core.prey_eval"),
-		breed:    reg.Timer("core.breed"),
-		wave:     par.NewWaveMetrics(reg, "par.eval"),
+		gens:      reg.Counter("core.generations"),
+		ulEvals:   reg.Counter("core.ul_evals"),
+		llEvals:   reg.Counter("core.ll_evals"),
+		surrSkips: reg.Counter("core.surrogate_skips"),
+		surrExact: reg.Counter("core.surrogate_exact_solves"),
+		relax:     reg.Timer("core.relax_precompute"),
+		predEval:  reg.Timer("core.predator_eval"),
+		preyEval:  reg.Timer("core.prey_eval"),
+		breed:     reg.Timer("core.breed"),
+		wave:      par.NewWaveMetrics(reg, "par.eval"),
 	}
 }
 
@@ -208,6 +227,10 @@ func NewEngine(mk *bcpop.Market, cfg Config) (*Engine, error) {
 	e.ulArch = archive.New[[]float64](cfg.ULArchiveSize, false, priceKey)
 	e.gpArch = archive.New[gp.Tree](cfg.LLArchiveSize, true,
 		func(t gp.Tree) string { return t.String(set) })
+	if cfg.Surrogate.Enabled {
+		e.surrCfg = cfg.Surrogate.Resolved(cfg.ULPopSize, mk.Leaders())
+		e.surr = surrogate.New(mk.Leaders(), e.surrCfg)
+	}
 	return e, nil
 }
 
@@ -341,6 +364,27 @@ func (e *Engine) Step() bool {
 		}
 	}
 	e.missing = missing
+	// Surrogate skip plan (DESIGN.md §5l): once the model is warmed up
+	// and trusted, only the sampled + predicted-top-k + high-uncertainty
+	// genotypes get exact LP solves; the rest are surrogate-scored. The
+	// plan is frozen here, on the coordinator, from model state that
+	// predates this generation — the exact subset is a deterministic
+	// rule over frozen scores, and the scoring consumes zero RNG, so
+	// determinism per (Seed, Workers) is untouched. With the surrogate
+	// disabled, skipping is false and relaxList is exactly missing: the
+	// paper-faithful path, bit-identical to the pre-surrogate engine.
+	skipping := e.planSurrogate(sample)
+	relaxList := missing
+	if skipping {
+		ex := e.exactIdx[:0]
+		for s, skip := range e.slotSkip {
+			if !skip {
+				ex = append(ex, missing[s])
+			}
+		}
+		e.exactIdx = ex
+		relaxList = ex
+	}
 	// A failed solve quarantines its slot (slotErr) instead of aborting
 	// the wave: the slot's Prepared stays nil, and every prey sharing it
 	// is quarantined for this generation. Writes are per-slot disjoint.
@@ -352,12 +396,12 @@ func (e *Engine) Step() bool {
 	var waveSpan *span.Span
 	if spansOn {
 		waveSpan = e.spans.Start(genSpan.Context(), "relax").Kind(span.KindCompute).
-			Attr("solves", len(missing))
+			Attr("solves", len(relaxList))
 	}
 	relaxCtx := waveSpan.Context()
 	lpEvery := e.spanLPEvery
 	e.phase(observing, "relax", func() {
-		evalStriped(len(missing), e.workers, wave, func(i, worker int) {
+		evalStriped(len(relaxList), e.workers, wave, func(i, worker int) {
 			// Sampled lp.solve child spans: every lpEvery-th distinct
 			// genotype, so the waterfall shows representative solve
 			// latencies without a span per solve. sp is nil off-sample
@@ -365,15 +409,15 @@ func (e *Engine) Step() bool {
 			var sp *span.Span
 			if spansOn && lpEvery > 0 && i%lpEvery == 0 {
 				sp = e.spans.Start(relaxCtx, "lp.solve").Kind(span.KindCompute).
-					Attr("prey", missing[i]).Attr("worker", worker)
+					Attr("prey", relaxList[i]).Attr("worker", worker)
 			}
-			p, err := e.evs[worker].Prepare(e.prey[missing[i]])
+			p, err := e.evs[worker].Prepare(e.prey[relaxList[i]])
 			if err != nil {
 				sp.Attr("error", true).End()
-				slotErr[e.preySlot[missing[i]]] = fmt.Errorf("core: prey %d relaxation: %w", missing[i], err)
+				slotErr[e.preySlot[relaxList[i]]] = fmt.Errorf("core: prey %d relaxation: %w", relaxList[i], err)
 				return
 			}
-			e.cache.Fill(e.preySlot[missing[i]], p)
+			e.cache.Fill(e.preySlot[relaxList[i]], p)
 			sp.End()
 		})
 	})
@@ -388,7 +432,7 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
-	if badSlots == e.cache.Len() {
+	if badSlots == len(relaxList) {
 		// Not one relaxation survived: the generation has no fitness
 		// signal and continuing would evolve on noise. Terminal.
 		e.fail(fmt.Errorf("core: generation %d: every relaxation failed: %w", e.res.Gens+1, firstSlotErr))
@@ -583,6 +627,21 @@ func (e *Engine) Step() bool {
 			if e.preyErr[i] != nil {
 				return // relaxation already quarantined this prey
 			}
+			if skipping && e.slotSkip[e.preySlot[i]] {
+				// Surrogate-scored prey: no Prepared context exists, so
+				// the predicted revenue stands in as selection fitness
+				// (floored at 0, the engine's revenue floor). The NaN
+				// gap keeps the skipped pairing out of the gap stats,
+				// and the archive pass below refuses surrogate scores —
+				// only exactly-evaluated prey can enter the archive.
+				rev := e.slotPred[e.preySlot[i]]
+				if rev < 0 {
+					rev = 0
+				}
+				e.preyFit[i] = rev
+				e.preyGap[i] = math.NaN()
+				return
+			}
 			var out bcpop.Result
 			var err error
 			if compiled {
@@ -637,9 +696,22 @@ func (e *Engine) Step() bool {
 		if e.preyErr[i] != nil {
 			continue // quarantined: no archive entry on a made-up fitness
 		}
+		if skipping && e.slotSkip[e.preySlot[i]] {
+			continue // surrogate-scored: no archive entry on a predicted fitness
+		}
 		if e.ulArch.Add(append([]float64(nil), x...), e.preyFit[i]) {
 			ulAdds++
 		}
+	}
+
+	// --- Surrogate residual feedback ---
+	// Every exactly-evaluated genotype becomes a training observation:
+	// LB from its Prepared relaxation, revenue from the prey wave. Runs
+	// sequentially on the coordinator in slot order, so the model state
+	// entering the next generation's skip plan is deterministic.
+	var surrStats *SurrStats
+	if e.surr != nil {
+		surrStats = e.feedSurrogate(skipping)
 	}
 
 	// --- Fault accounting for the generation ---
@@ -705,9 +777,127 @@ func (e *Engine) Step() bool {
 		}
 	}
 	if e.obs != nil {
-		e.obs.OnGeneration(e.genStats(evalNanos, breedNanos, search))
+		e.obs.OnGeneration(e.genStats(evalNanos, breedNanos, search, surrStats))
 	}
 	return true
+}
+
+// planSurrogate freezes this generation's skip plan. It returns false —
+// solve everything, the pre-surrogate behavior — until the model is
+// past warmup AND has digested enough observations to rank; after that
+// it predicts every distinct genotype (in slot order, consuming no RNG)
+// and marks as exact: the slots of sampled prey (the predator wave
+// needs their Prepared contexts), the TopK slots by predicted revenue
+// (the likely winners must be exactly scored — archives never accept
+// predictions), and the Uncertain highest-leverage slots among the rest
+// (exploration keeps the model honest on new price regions). All ties
+// break by slot index, i.e. first-occurrence prey order: the exact
+// subset is a deterministic rule over frozen scores.
+func (e *Engine) planSurrogate(sample []int) bool {
+	if e.surr == nil || e.res.Gens < e.surrCfg.Warmup || !e.surr.Ready() {
+		return false
+	}
+	n := e.cache.Len()
+	if cap(e.slotSkip) < n {
+		e.slotSkip = make([]bool, n)
+		e.slotPred = make([]float64, n)
+		e.slotUnc = make([]float64, n)
+		e.slotRank = make([]int, n)
+		e.exactIdx = make([]int, 0, n)
+	}
+	skip := e.slotSkip[:n]
+	pred := e.slotPred[:n]
+	unc := e.slotUnc[:n]
+	rank := e.slotRank[:n]
+	e.slotSkip, e.slotPred, e.slotUnc, e.slotRank = skip, pred, unc, rank
+	for s := 0; s < n; s++ {
+		p := e.surr.Predict(e.prey[e.missing[s]])
+		pred[s], unc[s] = p.Rev, p.Unc
+		skip[s] = true
+		rank[s] = s
+	}
+	for _, i := range sample {
+		skip[e.preySlot[i]] = false
+	}
+	sort.Slice(rank, func(a, b int) bool {
+		if pred[rank[a]] != pred[rank[b]] {
+			return pred[rank[a]] > pred[rank[b]]
+		}
+		return rank[a] < rank[b]
+	})
+	for _, s := range rank[:min(e.surrCfg.TopK, n)] {
+		skip[s] = false
+	}
+	for s := range rank {
+		rank[s] = s
+	}
+	sort.Slice(rank, func(a, b int) bool {
+		if unc[rank[a]] != unc[rank[b]] {
+			return unc[rank[a]] > unc[rank[b]]
+		}
+		return rank[a] < rank[b]
+	})
+	picked := 0
+	for _, s := range rank {
+		if picked >= e.surrCfg.Uncertain {
+			break
+		}
+		if skip[s] {
+			skip[s] = false
+			picked++
+		}
+	}
+	return true
+}
+
+// feedSurrogate runs the residual feedback pass after the prey wave and
+// returns the generation's surrogate telemetry. Observations go in slot
+// order; quarantined or unfilled slots contribute nothing. The reported
+// error is the mean relative revenue residual of the generation's
+// *pre-update* predictions — the honest out-of-sample error of exactly
+// the scores the skip plan acted on — which is what the tracestat drift
+// detector watches.
+func (e *Engine) feedSurrogate(skipping bool) *SurrStats {
+	st := &SurrStats{Active: skipping}
+	errSum, lbSum, errN := 0.0, 0.0, 0
+	for s := 0; s < e.cache.Len(); s++ {
+		if skipping && e.slotSkip[s] {
+			st.Skips++
+			continue
+		}
+		st.Exact++
+		i := e.missing[s]
+		if e.preyErr[i] != nil {
+			continue // quarantined: no ground truth this generation
+		}
+		p := e.cache.At(s)
+		if p == nil {
+			continue
+		}
+		rev := e.preyFit[i]
+		lb := p.Rx.LB
+		revErr, lbErr := e.surr.Observe(e.prey[i], lb, rev)
+		den := math.Abs(rev)
+		if den < 1 {
+			den = 1
+		}
+		errSum += revErr / den
+		den = math.Abs(lb)
+		if den < 1 {
+			den = 1
+		}
+		lbSum += lbErr / den
+		errN++
+	}
+	if errN > 0 {
+		st.Err = errSum / float64(errN)
+		st.ErrLB = lbSum / float64(errN)
+	}
+	if e.met != nil {
+		e.met.surrSkips.Add(int64(st.Skips))
+		e.met.surrExact.Add(int64(st.Exact))
+	}
+	return st
 }
 
 // phase runs fn under pprof labels naming the wave ("relax",
@@ -728,11 +918,12 @@ func (e *Engine) phase(observing bool, name string, fn func()) {
 // genStats snapshots the generation that just finished. The fitness
 // arrays still describe the pre-breeding populations at this point
 // (breeding builds fresh slices and never writes the fitness arrays).
-func (e *Engine) genStats(evalNanos, breedNanos int64, search *SearchStats) GenStats {
+func (e *Engine) genStats(evalNanos, breedNanos int64, search *SearchStats, surr *SurrStats) GenStats {
 	gs := GenStats{
 		Label:      e.cfg.RunLabel,
 		Island:     e.island,
 		Search:     search,
+		Surr:       surr,
 		Gen:        e.res.Gens,
 		Faults:     e.Faults(),
 		ULEvals:    e.ulUsed,

@@ -115,6 +115,14 @@ type Options struct {
 	// the publisher never blocks on a consumer.
 	EventBuffer int
 
+	// ForceExact strips the surrogate knobs from every submitted spec, so
+	// all jobs run the exact-LP golden path regardless of what callers
+	// ask for. An operator escape hatch: results published from a forced
+	// deployment are reproducible by the pre-surrogate engine
+	// bit-for-bit. Stripping happens before the spec is spooled, so a
+	// restart of a non-forced manager does not resurrect the knobs.
+	ForceExact bool
+
 	// Fault, when non-nil, arms fault-injection sites across the manager:
 	// lp.solve inside every job's engine, checkpoint.write and spool.write
 	// on the manager's own I/O. Testing and chaos drills only.
@@ -432,6 +440,10 @@ func (m *Manager) SubmitWithCheckpoint(spec JobSpec, ckpt []byte) (Status, error
 
 func (m *Manager) submit(spec JobSpec, ckpt []byte) (Status, error) {
 	spec = spec.withDefaults()
+	if m.opts.ForceExact {
+		spec.Surrogate = false
+		spec.SurrogateTopK, spec.SurrogateWarmup = 0, 0
+	}
 	if err := spec.Validate(); err != nil {
 		return Status{}, err
 	}

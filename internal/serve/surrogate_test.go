@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecMapsSurrogateKnobs(t *testing.T) {
+	spec := tinySpec(5)
+	spec.Surrogate = true
+	spec.SurrogateTopK = 8
+	spec.SurrogateWarmup = 3
+
+	norm := spec.Normalize()
+	cfg := norm.Config()
+	if !cfg.Surrogate.Enabled {
+		t.Fatal("surrogate not enabled in engine config")
+	}
+	if cfg.Surrogate.TopK != 8 || cfg.Surrogate.Warmup != 3 {
+		t.Fatalf("knobs lost in mapping: topk=%d warmup=%d", cfg.Surrogate.TopK, cfg.Surrogate.Warmup)
+	}
+
+	// The zero spec keeps the exact golden path.
+	plain := tinySpec(5).Normalize()
+	if plain.Config().Surrogate.Enabled {
+		t.Fatal("plain spec enabled the surrogate")
+	}
+
+	bad := tinySpec(5).Normalize()
+	bad.SurrogateTopK = -1
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "surrogate_topk") {
+		t.Fatalf("negative topk accepted: %v", err)
+	}
+	bad = tinySpec(5).Normalize()
+	bad.SurrogateWarmup = -2
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "surrogate_warmup") {
+		t.Fatalf("negative warmup accepted: %v", err)
+	}
+}
+
+// TestForceExactStripsSurrogate proves the operator escape hatch: a
+// ForceExact manager clears the surrogate knobs before spooling, and the
+// job's result is bit-identical to the pre-surrogate exact engine.
+func TestForceExactStripsSurrogate(t *testing.T) {
+	m := newTestManager(t, Options{ForceExact: true})
+	spec := tinySpec(11)
+	spec.Surrogate = true
+	spec.SurrogateTopK = 4
+
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec.Surrogate || st.Spec.SurrogateTopK != 0 || st.Spec.SurrogateWarmup != 0 {
+		t.Fatalf("knobs survived ForceExact: %+v", st.Spec)
+	}
+	waitState(t, m, st.ID, StateDone)
+	rec, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, rec, reference(t, tinySpec(11)))
+}

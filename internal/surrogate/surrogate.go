@@ -1,0 +1,298 @@
+// Package surrogate implements the online lower-level value model
+// behind surrogate-assisted LP skipping (DESIGN.md §5l, ROADMAP item 1).
+//
+// Every exact evaluation the engine performs yields two ground-truth
+// observations about a pricing decision x: the LP bound LB(x) of the
+// induced instance (from Prepare) and the leader revenue the prey earns
+// under the current best heuristic (from the prey wave). The Model fits
+// both with one shared recursive-least-squares system over the affine
+// features [1, x₁..x_L]: rank-based upper-level value-function
+// approximation in the sense of Ong (arXiv 2604.02888) — the surrogate
+// is used to *rank* prey so the engine pays for exact LP solves only
+// where the ranking decides something (the predicted top-k) or where the
+// model has no evidence (high-leverage, never-seen regions of the price
+// box), the pseudo-feasible shortcut of the optimistic-variants work.
+//
+// Determinism: the model consumes no RNG and its state is a pure
+// function of the observation sequence, which the engine feeds in prey-
+// index order on the coordinating goroutine. Prediction and update are
+// plain float64 arithmetic in a fixed order, so a run is reproducible
+// bit-for-bit per (Seed, Workers) and a Snapshot/Restore round trip
+// (State/FromState) resumes bit-identically.
+//
+// The Model is NOT safe for concurrent use — it is coordinator-side
+// scratch, like the engine's RNG.
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config carries the skip-policy knobs. The zero value of every field
+// means "use the default resolved by Resolved"; Enabled false disables
+// the whole layer (the engine then never constructs a Model, keeping
+// the exact path byte-for-byte identical to the pre-surrogate engine).
+type Config struct {
+	// Enabled turns surrogate-assisted LP skipping on.
+	Enabled bool
+
+	// TopK is how many predicted-best distinct prey genotypes are solved
+	// exactly each generation (0 = max(1, pop/4)). The predicted winners
+	// must be exact: archives and the reported Result only ever contain
+	// exactly-evaluated prey.
+	TopK int
+
+	// Uncertain is how many additional highest-uncertainty genotypes are
+	// solved exactly (0 = max(1, pop/8)). Uncertainty is the RLS
+	// leverage φᵀPφ — large for prices far from everything the model has
+	// seen — so exploration keeps feeding the model before it is trusted
+	// on new regions.
+	Uncertain int
+
+	// Warmup is how many generations run fully exact before skipping
+	// starts (0 = 5). Skipping also waits for MinFit observations, so a
+	// model restored empty from an old checkpoint re-warms itself.
+	Warmup int
+
+	// MinFit is the number of observations the model needs before its
+	// ranking is trusted (0 = 4·(dim+1)).
+	MinFit int
+
+	// Ridge is the RLS regularizer λ (0 = 1e-3).
+	Ridge float64
+}
+
+// Resolved returns the config with every zero knob replaced by its
+// default for a prey population of size pop over dim price genes.
+func (c Config) Resolved(pop, dim int) Config {
+	if c.TopK == 0 {
+		c.TopK = max(1, pop/4)
+	}
+	if c.Uncertain == 0 {
+		c.Uncertain = max(1, pop/8)
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5
+	}
+	if c.MinFit == 0 {
+		c.MinFit = 4 * (dim + 1)
+	}
+	if c.Ridge == 0 {
+		c.Ridge = 1e-3
+	}
+	return c
+}
+
+// Validate rejects knob values no resolution could make sense of.
+func (c Config) Validate() error {
+	switch {
+	case c.TopK < 0:
+		return errors.New("surrogate: negative TopK")
+	case c.Uncertain < 0:
+		return errors.New("surrogate: negative Uncertain")
+	case c.Warmup < 0:
+		return errors.New("surrogate: negative Warmup")
+	case c.MinFit < 0:
+		return errors.New("surrogate: negative MinFit")
+	case c.Ridge < 0 || math.IsNaN(c.Ridge) || math.IsInf(c.Ridge, 0):
+		return errors.New("surrogate: bad Ridge")
+	}
+	return nil
+}
+
+// Prediction is the model's view of one pricing decision.
+type Prediction struct {
+	Rev float64 // predicted leader revenue under the current best heuristic
+	LB  float64 // predicted LP bound LB(x) of the induced instance
+	Unc float64 // leverage φᵀPφ: how far x sits from the training data
+}
+
+// Model is the online value model: one shared RLS precision matrix (the
+// feature stream is the same for both targets, so their P matrices are
+// identical by construction) with separate weight vectors for revenue
+// and LB.
+type Model struct {
+	dim  int // price genes; features are [1, x₁..x_dim]
+	n    int // dim + 1
+	fits int
+
+	minFit int
+
+	p    []float64 // n×n row-major precision proxy P = (λI + ΣφφᵀT)⁻¹
+	wRev []float64
+	wLB  []float64
+
+	phi  []float64 // scratch: feature vector
+	pphi []float64 // scratch: P·φ
+}
+
+// New builds an empty model for dim price genes. cfg must be resolved
+// (Resolved) — New only reads MinFit and Ridge.
+func New(dim int, cfg Config) *Model {
+	n := dim + 1
+	m := &Model{
+		dim:    dim,
+		n:      n,
+		minFit: cfg.MinFit,
+		p:      make([]float64, n*n),
+		wRev:   make([]float64, n),
+		wLB:    make([]float64, n),
+		phi:    make([]float64, n),
+		pphi:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.p[i*n+i] = 1 / cfg.Ridge
+	}
+	return m
+}
+
+// Fits returns the number of observations consumed so far.
+func (m *Model) Fits() int { return m.fits }
+
+// Ready reports whether the model has seen enough ground truth for its
+// ranking to be trusted (fits ≥ MinFit).
+func (m *Model) Ready() bool { return m.fits >= m.minFit }
+
+// features fills m.phi for x.
+func (m *Model) features(x []float64) {
+	m.phi[0] = 1
+	copy(m.phi[1:], x)
+}
+
+// Predict scores one pricing decision. It shares the model's scratch
+// buffers, so calls must not be concurrent.
+func (m *Model) Predict(x []float64) Prediction {
+	m.features(x)
+	rev, lb := 0.0, 0.0
+	for i, f := range m.phi {
+		rev += m.wRev[i] * f
+		lb += m.wLB[i] * f
+	}
+	return Prediction{Rev: rev, LB: lb, Unc: m.leverage()}
+}
+
+// leverage computes φᵀPφ for the φ already in m.phi, filling m.pphi.
+func (m *Model) leverage() float64 {
+	n := m.n
+	for i := 0; i < n; i++ {
+		s := 0.0
+		row := m.p[i*n : (i+1)*n]
+		for j, f := range m.phi {
+			s += row[j] * f
+		}
+		m.pphi[i] = s
+	}
+	u := 0.0
+	for i, f := range m.phi {
+		u += f * m.pphi[i]
+	}
+	return u
+}
+
+// Observe feeds one exact evaluation back into the model and returns
+// the pre-update absolute residuals |ŷ−y| for both targets — the honest
+// out-of-sample error of the prediction the skip policy just acted on.
+// Residuals from a model that is not yet Ready are meaningless; callers
+// gate their telemetry on Ready *before* the generation's observations.
+func (m *Model) Observe(x []float64, lb, rev float64) (revErr, lbErr float64) {
+	m.features(x)
+	s := 1 + m.leverage() // fills m.pphi = P·φ
+	predRev, predLB := 0.0, 0.0
+	for i, f := range m.phi {
+		predRev += m.wRev[i] * f
+		predLB += m.wLB[i] * f
+	}
+	revErr = math.Abs(predRev - rev)
+	lbErr = math.Abs(predLB - lb)
+	// Sherman–Morrison: k = Pφ/s; w += k·e; P -= k⊗(Pφ). The update
+	// order is fixed, so the resulting floats are reproducible.
+	n := m.n
+	for i := 0; i < n; i++ {
+		k := m.pphi[i] / s
+		m.wRev[i] += k * (rev - predRev)
+		m.wLB[i] += k * (lb - predLB)
+	}
+	for i := 0; i < n; i++ {
+		k := m.pphi[i] / s
+		row := m.p[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] -= k * m.pphi[j]
+		}
+	}
+	m.fits++
+	return revErr, lbErr
+}
+
+// State is the serializable model snapshot, embedded in the engine
+// checkpoint (checkpoint.State.Surrogate). All floats are finite —
+// Validate enforces it — so the state survives JSON exactly (Go's
+// shortest-float encoding round-trips every finite float64 bit-for-bit).
+type State struct {
+	Dim  int       `json:"dim"`
+	Fits int       `json:"fits"`
+	P    []float64 `json:"p"`
+	WRev []float64 `json:"w_rev"`
+	WLB  []float64 `json:"w_lb"`
+}
+
+// Validate rejects structurally inconsistent or non-finite states.
+func (st *State) Validate() error {
+	if st == nil {
+		return errors.New("surrogate: nil state")
+	}
+	n := st.Dim + 1
+	switch {
+	case st.Dim <= 0:
+		return fmt.Errorf("surrogate: bad state dimension %d", st.Dim)
+	case st.Fits < 0:
+		return errors.New("surrogate: negative fit count")
+	case len(st.P) != n*n:
+		return fmt.Errorf("surrogate: P has %d entries, want %d", len(st.P), n*n)
+	case len(st.WRev) != n || len(st.WLB) != n:
+		return fmt.Errorf("surrogate: weights have %d/%d entries, want %d",
+			len(st.WRev), len(st.WLB), n)
+	}
+	for _, s := range [][]float64{st.P, st.WRev, st.WLB} {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return errors.New("surrogate: non-finite state value")
+			}
+		}
+	}
+	return nil
+}
+
+// State snapshots the model. The copy owns its storage.
+func (m *Model) State() *State {
+	return &State{
+		Dim:  m.dim,
+		Fits: m.fits,
+		P:    append([]float64(nil), m.p...),
+		WRev: append([]float64(nil), m.wRev...),
+		WLB:  append([]float64(nil), m.wLB...),
+	}
+}
+
+// FromState rebuilds a model from a snapshot. The restored model
+// predicts and updates bit-identically to the one that was snapshotted.
+// cfg must be resolved for the same dimension.
+func FromState(cfg Config, st *State) (*Model, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	m := New(st.Dim, cfg)
+	m.fits = st.Fits
+	copy(m.p, st.P)
+	copy(m.wRev, st.WRev)
+	copy(m.wLB, st.WLB)
+	return m, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

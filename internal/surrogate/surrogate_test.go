@@ -1,0 +1,211 @@
+package surrogate
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func resolved(dim int) Config {
+	return Config{Enabled: true}.Resolved(16, dim)
+}
+
+// The model must recover an exactly-linear target once it has seen
+// more observations than features.
+func TestRecoversLinearFunction(t *testing.T) {
+	dim := 3
+	m := New(dim, resolved(dim))
+	rng := rand.New(rand.NewSource(1))
+	f := func(x []float64) (lb, rev float64) {
+		lb = 2 + 3*x[0] - x[1] + 0.5*x[2]
+		rev = -1 + x[0] + 4*x[1] - 2*x[2]
+		return
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		lb, rev := f(x)
+		m.Observe(x, lb, rev)
+	}
+	if !m.Ready() {
+		t.Fatalf("model not ready after 50 fits (minFit=%d)", m.minFit)
+	}
+	x := []float64{0.3, 0.7, 0.1}
+	lb, rev := f(x)
+	p := m.Predict(x)
+	// The ridge term biases weights by O(λ)=1e-3; exact recovery is up
+	// to that bias.
+	if math.Abs(p.LB-lb) > 5e-3 {
+		t.Errorf("LB prediction %.9f, want %.9f", p.LB, lb)
+	}
+	if math.Abs(p.Rev-rev) > 5e-3 {
+		t.Errorf("Rev prediction %.9f, want %.9f", p.Rev, rev)
+	}
+}
+
+// Residuals returned by Observe are pre-update: observing the same
+// point twice must show a smaller (or equal) error the second time.
+func TestObserveReturnsPreUpdateResidual(t *testing.T) {
+	dim := 2
+	m := New(dim, resolved(dim))
+	x := []float64{1.5, -0.5}
+	rev1, lb1 := m.Observe(x, 10, 20)
+	if rev1 != 20 || lb1 != 10 {
+		t.Fatalf("first residuals (%g,%g), want (20,10) from zero model", rev1, lb1)
+	}
+	rev2, lb2 := m.Observe(x, 10, 20)
+	if rev2 >= rev1 || lb2 >= lb1 {
+		t.Errorf("second residuals (%g,%g) not smaller than first (%g,%g)", rev2, lb2, rev1, lb1)
+	}
+}
+
+// Uncertainty (leverage) must shrink at observed points and stay
+// comparatively large far from all observations.
+func TestUncertaintyShrinksAtObservedPoints(t *testing.T) {
+	dim := 2
+	m := New(dim, resolved(dim))
+	seen := []float64{0.2, 0.4}
+	before := m.Predict(seen).Unc
+	for i := 0; i < 10; i++ {
+		m.Observe(seen, 1, 2)
+	}
+	after := m.Predict(seen).Unc
+	if after >= before {
+		t.Errorf("leverage at observed point grew: %g -> %g", before, after)
+	}
+	far := m.Predict([]float64{50, -50}).Unc
+	if far <= after {
+		t.Errorf("leverage far from data (%g) not above leverage at data (%g)", far, after)
+	}
+}
+
+// Two models fed the identical observation stream must agree
+// bit-for-bit: the model is deterministic and RNG-free.
+func TestDeterministicAcrossInstances(t *testing.T) {
+	dim := 4
+	a, b := New(dim, resolved(dim)), New(dim, resolved(dim))
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		lb, rev := rng.NormFloat64(), rng.NormFloat64()
+		ar, al := a.Observe(x, lb, rev)
+		br, bl := b.Observe(x, lb, rev)
+		if ar != br || al != bl {
+			t.Fatalf("fit %d: residuals diverge (%x,%x) vs (%x,%x)",
+				i, math.Float64bits(ar), math.Float64bits(al),
+				math.Float64bits(br), math.Float64bits(bl))
+		}
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	pa, pb := a.Predict(x), b.Predict(x)
+	if pa != pb {
+		t.Fatalf("predictions diverge: %+v vs %+v", pa, pb)
+	}
+}
+
+// State -> JSON -> FromState must reproduce the model bit-for-bit,
+// including future behavior (predictions AND subsequent updates).
+func TestStateRoundTripBitExact(t *testing.T) {
+	dim := 3
+	cfg := resolved(dim)
+	m := New(dim, cfg)
+	rng := rand.New(rand.NewSource(3))
+	xs := make([][]float64, 0, 30)
+	for i := 0; i < 30; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, x)
+		m.Observe(x, rng.NormFloat64(), rng.NormFloat64())
+	}
+
+	blob, err := json.Marshal(m.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	r, err := FromState(cfg, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fits() != m.Fits() || r.Ready() != m.Ready() {
+		t.Fatalf("restored fits=%d ready=%t, want %d/%t", r.Fits(), r.Ready(), m.Fits(), m.Ready())
+	}
+	for _, x := range xs {
+		pm, pr := m.Predict(x), r.Predict(x)
+		if pm != pr {
+			t.Fatalf("restored prediction diverges at %v: %+v vs %+v", x, pm, pr)
+		}
+	}
+	// Updates after restore must track too.
+	mr, ml := m.Observe(xs[0], 7, 8)
+	rr, rl := r.Observe(xs[0], 7, 8)
+	if mr != rr || ml != rl {
+		t.Fatalf("post-restore residuals diverge: (%g,%g) vs (%g,%g)", mr, ml, rr, rl)
+	}
+}
+
+func TestStateValidate(t *testing.T) {
+	good := New(2, resolved(2)).State()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	cases := map[string]func(*State){
+		"nil-state":      nil,
+		"bad-dim":        func(s *State) { s.Dim = 0 },
+		"negative-fits":  func(s *State) { s.Fits = -1 },
+		"short-p":        func(s *State) { s.P = s.P[:1] },
+		"short-weights":  func(s *State) { s.WRev = nil },
+		"nan-value":      func(s *State) { s.P[0] = math.NaN() },
+		"inf-weight":     func(s *State) { s.WLB[0] = math.Inf(1) },
+		"mismatched-dim": func(s *State) { s.Dim = 5 },
+	}
+	for name, mutate := range cases {
+		var st *State
+		if mutate != nil {
+			st = New(2, resolved(2)).State()
+			mutate(st)
+		}
+		if err := st.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad state", name)
+		}
+		if _, err := FromState(resolved(2), st); err == nil {
+			t.Errorf("%s: FromState accepted bad state", name)
+		}
+	}
+}
+
+func TestConfigValidateAndResolved(t *testing.T) {
+	bad := []Config{
+		{TopK: -1},
+		{Uncertain: -2},
+		{Warmup: -1},
+		{MinFit: -3},
+		{Ridge: -0.5},
+		{Ridge: math.NaN()},
+		{Ridge: math.Inf(1)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: bad config %+v accepted", i, c)
+		}
+	}
+	r := Config{}.Resolved(16, 5)
+	if r.TopK != 4 || r.Uncertain != 2 || r.Warmup != 5 || r.MinFit != 24 || r.Ridge != 1e-3 {
+		t.Errorf("unexpected defaults: %+v", r)
+	}
+	// Explicit knobs survive resolution.
+	r = Config{TopK: 9, Uncertain: 1, Warmup: 2, MinFit: 7, Ridge: 0.5}.Resolved(16, 5)
+	if r.TopK != 9 || r.Uncertain != 1 || r.Warmup != 2 || r.MinFit != 7 || r.Ridge != 0.5 {
+		t.Errorf("explicit knobs clobbered: %+v", r)
+	}
+	// Tiny populations still resolve to at least one exact slot.
+	r = Config{}.Resolved(1, 2)
+	if r.TopK < 1 || r.Uncertain < 1 {
+		t.Errorf("pop=1 resolved to zero exact slots: %+v", r)
+	}
+}

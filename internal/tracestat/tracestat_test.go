@@ -18,6 +18,14 @@ func genLine(label string, island, gen int, rev float64, search string) string {
 		label, island, gen, gen*10, gen*20, rev, s)
 }
 
+// surrGenLine fabricates a v2 generation line carrying a surrogate
+// telemetry block (healthy size/spread so only drift can fire).
+func surrGenLine(gen int, active bool, errLB float64) string {
+	surr := fmt.Sprintf(`,"surr":{"skips":5,"exact":9,"err":0.08,"err_lb":%g,"active":%t}`, errLB, active)
+	return fmt.Sprintf(`{"schema":"carbon.trace/v2","event":"generation","gen":{"label":"s","island":0,"gen":%d,"ul_evals":%d,"ll_evals":%d,"ul_budget":0,"ll_budget":0,"best_revenue":%g,"best_gap":1.5,"prey_best":0,"prey_mean":0,"prey_std":0,"pred_best":0,"pred_mean":0,"ul_archive":0,"gp_archive":0,"eval_ns":0,"breed_ns":0,"search":%s%s}}`,
+		gen, gen*10, gen*20, 100+float64(gen), searchBlock(8, 1, 2, 3), surr)
+}
+
 func searchBlock(sizeMean, p10, p50, p90 float64) string {
 	return fmt.Sprintf(`{"prey_diversity":0.3,"prey_entropy":0.5,"pred_size_mean":%g,"pred_size_max":20,"pred_depth_mean":3,"pred_depth_max":6,"bloat_rate":0,"gap_p10":%g,"gap_p50":%g,"gap_p90":%g,"gap_min":0,"gap_max":5,"prey_sel_corr":0,"pred_sel_corr":0,"ul_archive_adds":1,"gp_archive_adds":1,"ops":[{"op":"sbx","count":8,"improved":2},{"op":"de","count":4,"improved":3}]}`,
 		sizeMean, p10, p50, p90)
@@ -190,6 +198,68 @@ func TestDetectAnomalies(t *testing.T) {
 	}
 	if as := f2.Runs[0].DetectAnomalies(); len(as) != 0 {
 		t.Fatalf("healthy run flagged: %+v", as)
+	}
+}
+
+func TestDetectSurrogateDrift(t *testing.T) {
+	// The numbers mirror a measured run (core's drift test): in-market
+	// LB error sits around 0.006-0.016; after a market shift it jumps to
+	// ~0.14, 10-20x the baseline. Generations 1-5 are warmup (inactive),
+	// 6-10 form the baseline, 11-12 drift.
+	var lines []string
+	healthy := []float64{0.008, 0.012, 0.006, 0.015, 0.010}
+	for g := 1; g <= 5; g++ {
+		lines = append(lines, surrGenLine(g, false, 0))
+	}
+	for i, e := range healthy {
+		lines = append(lines, surrGenLine(6+i, true, e))
+	}
+	lines = append(lines, surrGenLine(11, true, 0.14), surrGenLine(12, true, 0.13))
+	f, err := Load(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drift *Anomaly
+	for _, a := range f.Runs[0].DetectAnomalies() {
+		if a.Kind == "surrogate-drift" {
+			a := a
+			drift = &a
+		}
+	}
+	if drift == nil {
+		t.Fatal("drifting run not flagged")
+	}
+	if drift.Gen != 11 {
+		t.Fatalf("drift anchored at gen %d, want 11", drift.Gen)
+	}
+
+	// A single-generation spike is noise, not drift: the streak resets
+	// and no anomaly fires.
+	spike := append([]string(nil), lines[:len(lines)-2]...)
+	spike = append(spike, surrGenLine(11, true, 0.14), surrGenLine(12, true, 0.012))
+	f2, err := Load(strings.NewReader(strings.Join(spike, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range f2.Runs[0].DetectAnomalies() {
+		if a.Kind == "surrogate-drift" {
+			t.Fatalf("one-generation spike flagged: %+v", a)
+		}
+	}
+
+	// Post-baseline error within 3x baseline and under the 0.05 floor
+	// stays clean, and a run with no surrogate blocks at all never trips
+	// the detector.
+	clean := append([]string(nil), lines[:len(lines)-2]...)
+	clean = append(clean, surrGenLine(11, true, 0.02), surrGenLine(12, true, 0.025))
+	f3, err := Load(strings.NewReader(strings.Join(clean, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range f3.Runs[0].DetectAnomalies() {
+		if a.Kind == "surrogate-drift" {
+			t.Fatalf("healthy run flagged: %+v", a)
+		}
 	}
 }
 
